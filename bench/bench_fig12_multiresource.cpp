@@ -1,0 +1,72 @@
+/// \file bench_fig12_multiresource.cpp
+/// Reproduces Fig. 12: the 25th and 75th percentiles of the processing
+/// rate with TWO computation resource types (CPU + memory), in the
+/// memory-bottleneck and link-bottleneck cases, diamond task graph on a
+/// star network.
+///
+/// Paper claim to echo: with more than one resource type, the GS and VNE
+/// algorithms degrade drastically (their scalar rankings lose track of the
+/// scarce type) while SPARCLE's dynamic ranking handles all types.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "bench/common.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/stats.hpp"
+
+using namespace sparcle;
+using namespace sparcle::workload;
+using bench::fmt;
+using bench::Table;
+
+int main() {
+  constexpr int kTrials = 150;
+  const auto algorithms = simulation_comparators();
+
+  bench::section(
+      "Fig. 12: rate percentiles with two resource types (CPU + memory), "
+      "diamond graph, star-8 network");
+  std::vector<std::string> header = {"case / percentile"};
+  for (const auto& a : algorithms) header.push_back(a);
+  Table t(header);
+
+  std::map<std::string, double> mem_mean;
+  for (BottleneckCase bn :
+       {BottleneckCase::kMemory, BottleneckCase::kLink}) {
+    std::map<std::string, std::vector<double>> rates;
+    for (int seed = 1; seed <= kTrials; ++seed) {
+      Rng rng(seed);
+      ScenarioSpec spec;
+      spec.topology = TopologyKind::kStar;
+      spec.graph = GraphKind::kDiamond;
+      spec.bottleneck = bn;
+      spec.ncps = 8;
+      const Scenario sc = make_scenario(spec, rng);
+      const AssignmentProblem p = sc.problem();
+      for (const auto& name : algorithms)
+        rates[name].push_back(make_assigner(name, seed)->assign(p).rate);
+    }
+    for (double pct : {25.0, 75.0}) {
+      std::vector<std::string> row = {to_string(bn) + " " + fmt(pct, 0) +
+                                      "th"};
+      for (const auto& a : algorithms)
+        row.push_back(fmt(percentile(rates[a], pct)));
+      t.add_row(row);
+    }
+    if (bn == BottleneckCase::kMemory)
+      for (const auto& a : algorithms) mem_mean[a] = mean(rates[a]);
+  }
+  t.print();
+
+  std::printf(
+      "\npaper: GS and VNE degrade drastically with multiple resource "
+      "types.\nmeasured (memory-bottleneck means): SPARCLE %.3f, GS %.3f "
+      "(%+.0f%%), VNE %.3f (%+.0f%%)\n",
+      mem_mean["SPARCLE"], mem_mean["GS"],
+      (mem_mean["SPARCLE"] / mem_mean["GS"] - 1) * 100, mem_mean["VNE"],
+      (mem_mean["SPARCLE"] / mem_mean["VNE"] - 1) * 100);
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// \file bench_fig8_optimality.cpp
+/// Reproduces Fig. 8: the 25/50/75th percentiles of SPARCLE's achieved
+/// processing rate divided by the exhaustive-search optimal rate, for a
+/// linear task graph (4 middle CTs) on linear and fully-connected network
+/// topologies, across the NCP-bottleneck / balanced / link-bottleneck
+/// regimes.  The paper's claim: SPARCLE "almost always finds the optimal
+/// rates" — all percentiles near 1.0.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/exhaustive.hpp"
+#include "bench/common.hpp"
+#include "core/sparcle_assigner.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/stats.hpp"
+
+using namespace sparcle;
+using namespace sparcle::workload;
+using bench::fmt;
+using bench::Table;
+
+int main() {
+  constexpr int kTrials = 100;
+  const std::vector<BottleneckCase> cases = {
+      BottleneckCase::kNcp, BottleneckCase::kBalanced, BottleneckCase::kLink};
+
+  for (TopologyKind topo : {TopologyKind::kLinear, TopologyKind::kFull}) {
+    bench::section("Fig. 8 (" + to_string(topo) +
+                   " network): SPARCLE rate / optimal rate percentiles");
+    Table t({"case", "25th pct", "50th pct", "75th pct", "mean",
+             "trials at optimum", "+local search (mean)"});
+    for (BottleneckCase bn : cases) {
+      std::vector<double> ratios, refined;
+      int exact = 0;
+      for (int seed = 1; seed <= kTrials; ++seed) {
+        Rng rng(seed);
+        ScenarioSpec spec;
+        spec.topology = topo;
+        spec.graph = GraphKind::kLinear;
+        spec.bottleneck = bn;
+        spec.ncps = 4;
+        spec.middle_cts = 4;
+        const Scenario sc = make_scenario(spec, rng);
+        const AssignmentProblem p = sc.problem();
+        const double ours = SparcleAssigner().assign(p).rate;
+        SparcleAssignerOptions ls;
+        ls.local_search_rounds = 8;
+        const double ours_ls = SparcleAssigner(ls).assign(p).rate;
+        const double best = ExhaustiveAssigner().assign(p).rate;
+        if (best <= 0) continue;
+        const double ratio = ours / best;
+        ratios.push_back(ratio);
+        refined.push_back(ours_ls / best);
+        if (ratio > 1.0 - 1e-9) ++exact;
+      }
+      t.add_row({to_string(bn), fmt(percentile(ratios, 25)),
+                 fmt(percentile(ratios, 50)), fmt(percentile(ratios, 75)),
+                 fmt(mean(ratios)),
+                 std::to_string(exact) + "/" + std::to_string(kTrials),
+                 fmt(mean(refined))});
+    }
+    t.print();
+  }
+  bench::note(
+      "\npaper: SPARCLE almost always finds the optimal rates (percentiles "
+      "~1.0 in all six case/topology combinations).  The last column adds "
+      "the hill-climbing extension (core/local_search.hpp), which closes "
+      "most of the balanced-case gap.");
+  return 0;
+}

@@ -1,0 +1,102 @@
+/// \file bench_micro_scaling.cpp
+/// Google-benchmark microbenchmarks: the polynomial runtime claims of
+/// Theorem 2 (Algorithm 2 in network and task-graph size) plus the cost of
+/// the widest-path routine, the exact availability analysis, and the
+/// proportional-fairness solve.
+
+#include <benchmark/benchmark.h>
+
+#include "core/availability.hpp"
+#include "core/fairness.hpp"
+#include "core/sparcle_assigner.hpp"
+#include "core/widest_path.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace sparcle;
+using namespace sparcle::workload;
+
+namespace {
+
+Scenario scenario_with(std::size_t ncps, std::size_t middle_cts, int seed) {
+  Rng rng(seed);
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kFull;
+  spec.graph = GraphKind::kLinear;
+  spec.bottleneck = BottleneckCase::kBalanced;
+  spec.ncps = ncps;
+  spec.middle_cts = middle_cts;
+  return make_scenario(spec, rng);
+}
+
+void BM_SparcleAssignNetworkSize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scenario sc = scenario_with(n, 6, 1);
+  const AssignmentProblem p = sc.problem();
+  const SparcleAssigner assigner;
+  for (auto _ : state) benchmark::DoNotOptimize(assigner.assign(p));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SparcleAssignNetworkSize)
+    ->RangeMultiplier(2)
+    ->Range(4, 32)
+    ->Complexity();
+
+void BM_SparcleAssignTaskGraphSize(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  const Scenario sc = scenario_with(8, c, 1);
+  const AssignmentProblem p = sc.problem();
+  const SparcleAssigner assigner;
+  for (auto _ : state) benchmark::DoNotOptimize(assigner.assign(p));
+  state.SetComplexityN(static_cast<std::int64_t>(c));
+}
+BENCHMARK(BM_SparcleAssignTaskGraphSize)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity();
+
+void BM_WidestPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scenario sc = scenario_with(n, 2, 1);
+  const auto weight = [&](LinkId l) { return sc.net.link(l).bandwidth; };
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        widest_path(sc.net, 0, static_cast<NcpId>(n - 1), weight));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WidestPath)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_AvailabilityExact(benchmark::State& state) {
+  const auto paths_count = static_cast<std::size_t>(state.range(0));
+  Network net(ResourceSchema::cpu_only());
+  for (int j = 0; j < 16; ++j)
+    net.add_ncp("n" + std::to_string(j), ResourceVector::scalar(1), 0.05);
+  std::vector<std::vector<ElementKey>> paths;
+  for (std::size_t p = 0; p < paths_count; ++p)
+    paths.push_back({ElementKey::ncp(static_cast<NcpId>(p)),
+                     ElementKey::ncp(static_cast<NcpId>((p + 1) % 16)),
+                     ElementKey::ncp(static_cast<NcpId>((p + 5) % 16))});
+  const std::vector<double> rates(paths_count, 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        min_rate_availability(net, paths, rates, 2.0));
+}
+BENCHMARK(BM_AvailabilityExact)->DenseRange(2, 10, 2);
+
+void BM_FairnessSolve(benchmark::State& state) {
+  const auto apps = static_cast<std::size_t>(state.range(0));
+  PfProblem p;
+  p.capacity.assign(apps + 1, 100.0);
+  for (std::size_t a = 0; a < apps; ++a) {
+    PfProblem::Column col;
+    col.entries = {{0, 1.0}, {a + 1, 2.0}};
+    p.columns.push_back(col);
+    p.var_app.push_back(a);
+    p.app_priority.push_back(1.0 + static_cast<double>(a % 3));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(solve_weighted_pf(p));
+}
+BENCHMARK(BM_FairnessSolve)->RangeMultiplier(2)->Range(2, 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

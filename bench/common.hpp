@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+/// \file common.hpp
+/// Formatting helpers shared by the figure-reproduction benchmarks: each
+/// bench binary prints the rows/series its paper figure reports, plus a
+/// short "paper vs measured" note.
+
+namespace sparcle::bench {
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Prints the table.  With SPARCLE_BENCH_FORMAT=csv in the environment
+  /// the output is comma-separated instead (for plotting pipelines).
+  void print() const {
+    const char* format = std::getenv("SPARCLE_BENCH_FORMAT");
+    if (format != nullptr && std::strcmp(format, "csv") == 0) {
+      print_csv();
+      return;
+    }
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("| ");
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf("%-*s | ", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    std::printf("|");
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      for (std::size_t i = 0; i < width[c] + 2; ++i) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+  void print_csv() const {
+    auto print_row = [](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        const bool quote = row[c].find(',') != std::string::npos;
+        std::printf("%s%s%s%s", c ? "," : "", quote ? "\"" : "",
+                    row[c].c_str(), quote ? "\"" : "");
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+}  // namespace sparcle::bench

@@ -1,0 +1,37 @@
+/// \file capacity_planning.cpp
+/// Deployment sizing with plan_capacity(): how many guaranteed-rate
+/// face-detection camera pipelines can the paper's testbed host, as a
+/// function of the field bandwidth?  The answer is the first number a
+/// dispersed-computing operator needs.
+
+#include <cstdio>
+
+#include "core/capacity_planner.hpp"
+#include "workload/task_graphs.hpp"
+#include "workload/topologies.hpp"
+
+using namespace sparcle;
+
+int main() {
+  const auto graph = workload::face_detection_app();
+  std::printf(
+      "camera pipelines the testbed can host (GR 0.05 images/s each):\n\n");
+  std::printf("  %-16s %-10s %-22s %s\n", "field BW (Mbps)", "pipelines",
+              "total guaranteed rate", "limiting factor");
+  for (double bw : {0.5, 2.0, 10.0, 22.0}) {
+    const auto tb = workload::testbed_network(bw);
+    Application camera;
+    camera.name = "camera";
+    camera.graph = graph;
+    camera.qoe = QoeSpec::guaranteed_rate(0.05, 0.0);
+    camera.pinned = {{graph->sources()[0], tb.camera},
+                     {graph->sinks()[0], tb.consumer}};
+    const PlanningResult plan = plan_capacity(tb.net, {camera});
+    std::printf("  %-16.1f %-10zu %-22.3f %s\n", bw, plan.max_copies,
+                plan.total_gr_rate, plan.limiting_reason.c_str());
+  }
+  std::printf(
+      "\n(each probe re-runs full admission control from scratch; the "
+      "limiting factor is the first rejection at N+1 copies)\n");
+  return 0;
+}

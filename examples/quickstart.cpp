@@ -1,0 +1,79 @@
+/// \file quickstart.cpp
+/// Minimal end-to-end tour of the SPARCLE public API:
+///  1. build a dispersed computing network,
+///  2. describe a stream-processing application as a task graph,
+///  3. run SPARCLE's task assignment to get a placement and rate,
+///  4. validate the placement in the discrete-event simulator.
+
+#include <cstdio>
+
+#include "core/scheduler.hpp"
+#include "core/sparcle_assigner.hpp"
+#include "sim/stream_simulator.hpp"
+#include "workload/task_graphs.hpp"
+
+using namespace sparcle;
+
+int main() {
+  // 1. A small dispersed network: two field devices, an edge server, and a
+  //    camera/consumer site, with heterogeneous links (bits/s) and CPU
+  //    capacities (megacycles/s).
+  Network net(ResourceSchema::cpu_only());
+  const NcpId site = net.add_ncp("site", ResourceVector::scalar(2000));
+  const NcpId dev1 = net.add_ncp("dev1", ResourceVector::scalar(4000));
+  const NcpId dev2 = net.add_ncp("dev2", ResourceVector::scalar(4000));
+  const NcpId edge = net.add_ncp("edge", ResourceVector::scalar(12000));
+  net.add_link("site-dev1", site, dev1, 40e6);
+  net.add_link("site-dev2", site, dev2, 40e6);
+  net.add_link("dev1-edge", dev1, edge, 20e6);
+  net.add_link("dev2-edge", dev2, edge, 20e6);
+
+  // 2. The Fig. 1 multi-viewpoint object-classification app: two cameras,
+  //    detection, classification, one consumer.
+  auto graph = workload::object_classification_app();
+
+  // 3. Assign tasks with SPARCLE.  Cameras and the consumer are pinned.
+  AssignmentProblem problem;
+  problem.net = &net;
+  problem.graph = graph.get();
+  problem.capacities = CapacitySnapshot(net);
+  problem.pinned[graph->sources()[0]] = site;
+  problem.pinned[graph->sources()[1]] = site;
+  problem.pinned[graph->sinks()[0]] = site;
+
+  const SparcleAssigner assigner;
+  const AssignmentResult result = assigner.assign(problem);
+  if (!result.feasible) {
+    std::printf("assignment failed: %s\n", result.message.c_str());
+    return 1;
+  }
+
+  std::printf("SPARCLE placement (max stable rate %.3f units/s):\n",
+              result.rate);
+  for (CtId i = 0; i < static_cast<CtId>(graph->ct_count()); ++i)
+    std::printf("  %-22s -> %s\n", graph->ct(i).name.c_str(),
+                net.ncp(result.placement.ct_host(i)).name.c_str());
+  for (TtId k = 0; k < static_cast<TtId>(graph->tt_count()); ++k) {
+    std::printf("  %-22s -> ", graph->tt(k).name.c_str());
+    const auto& route = result.placement.tt_route(k);
+    if (route.empty()) {
+      std::printf("(co-located)\n");
+      continue;
+    }
+    for (LinkId l : route) std::printf("[%s] ", net.link(l).name.c_str());
+    std::printf("\n");
+  }
+
+  // 4. Replay the placement in the simulator at 95% of the stable rate and
+  //    confirm the pipeline keeps up.
+  sim::StreamSimulator simulator(net);
+  const double rate = 0.95 * result.rate;
+  simulator.add_stream(*graph, result.placement, rate);
+  const sim::SimReport report = simulator.run(/*duration=*/400.0,
+                                              /*warmup=*/100.0);
+  std::printf(
+      "\nsimulated at %.3f units/s: delivered %.3f units/s, "
+      "mean latency %.3f s\n",
+      rate, report.streams[0].throughput, report.streams[0].mean_latency);
+  return 0;
+}

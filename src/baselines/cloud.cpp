@@ -1,0 +1,16 @@
+#include "baselines/cloud.hpp"
+
+#include "core/greedy_engine.hpp"
+
+namespace sparcle {
+
+AssignmentResult CloudAssigner::assign(
+    const AssignmentProblem& problem) const {
+  GreedyEngine engine(problem, true, GreedyEngine::Routing::kShortestHops);
+  engine.commit_pins();
+  for (CtId i = 0; i < static_cast<CtId>(problem.graph->ct_count()); ++i)
+    if (!problem.pinned.contains(i)) engine.commit(i, cloud_);
+  return std::move(engine).finish();
+}
+
+}  // namespace sparcle

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "core/assignment.hpp"
+
+/// \file cloud.hpp
+/// The cloud-computing reference point of the Fig. 6 experiment: every
+/// unpinned CT runs on a designated cloud NCP; data sources and consumers
+/// stay at their pinned field hosts, so the raw streams must cross the
+/// access network to reach the cloud.
+
+namespace sparcle {
+
+class CloudAssigner : public Assigner {
+ public:
+  explicit CloudAssigner(NcpId cloud) : cloud_(cloud) {}
+  std::string name() const override { return "Cloud"; }
+  AssignmentResult assign(const AssignmentProblem& problem) const override;
+
+ private:
+  NcpId cloud_;
+};
+
+}  // namespace sparcle

@@ -1,0 +1,45 @@
+#include "baselines/exhaustive.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/greedy_engine.hpp"
+
+namespace sparcle {
+
+AssignmentResult ExhaustiveAssigner::assign(
+    const AssignmentProblem& problem) const {
+  const TaskGraph& g = *problem.graph;
+  const std::size_t n = problem.net->ncp_count();
+
+  std::vector<CtId> free_cts;
+  for (CtId i = 0; i < static_cast<CtId>(g.ct_count()); ++i)
+    if (!problem.pinned.contains(i)) free_cts.push_back(i);
+
+  // Guard the search space.
+  std::uint64_t space = 1;
+  for (std::size_t k = 0; k < free_cts.size(); ++k) {
+    space *= n;
+    if (space > max_assignments_)
+      throw std::invalid_argument(
+          "ExhaustiveAssigner: search space exceeds the configured cap");
+  }
+
+  AssignmentResult best;
+  best.message = "no feasible assignment";
+  std::vector<NcpId> hosts(g.ct_count(), kInvalidId);
+  for (const auto& [ct, ncp] : problem.pinned) hosts[ct] = ncp;
+  for (std::uint64_t code = 0; code < space; ++code) {
+    std::uint64_t c = code;
+    for (CtId i : free_cts) {
+      hosts[i] = static_cast<NcpId>(c % n);
+      c /= n;
+    }
+    AssignmentResult r = evaluate_fixed_hosts(problem, hosts);
+    if (r.feasible && r.rate > best.rate) best = std::move(r);
+  }
+  if (best.feasible) best.message.clear();
+  return best;
+}
+
+}  // namespace sparcle

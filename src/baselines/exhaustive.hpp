@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/assignment.hpp"
+
+/// \file exhaustive.hpp
+/// Exhaustive-search "optimal" used as the reference in Figs. 6 and 8.
+///
+/// Enumerates every assignment of the unpinned CTs to NCPs; for each, TTs
+/// are routed greedily on widest paths (the same router every algorithm
+/// here uses), and the assignment with the maximum bottleneck rate wins.
+/// Exponential — guarded by a search-space cap; intended for the small
+/// instances where the paper runs its optimality comparison.
+
+namespace sparcle {
+
+class ExhaustiveAssigner : public Assigner {
+ public:
+  /// `max_assignments` caps |N|^|unpinned CTs|; assign() throws
+  /// std::invalid_argument beyond it.
+  explicit ExhaustiveAssigner(std::uint64_t max_assignments = 5'000'000)
+      : max_assignments_(max_assignments) {}
+
+  std::string name() const override { return "Optimal"; }
+  AssignmentResult assign(const AssignmentProblem& problem) const override;
+
+ private:
+  std::uint64_t max_assignments_;
+};
+
+}  // namespace sparcle

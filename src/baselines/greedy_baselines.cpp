@@ -1,0 +1,102 @@
+#include "baselines/greedy_baselines.hpp"
+#include <limits>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "core/greedy_engine.hpp"
+
+namespace sparcle {
+
+namespace {
+
+/// CTs not pinned by the problem, i.e. the ones the algorithm must order.
+std::vector<CtId> unpinned_cts(const AssignmentProblem& p) {
+  std::vector<CtId> cts;
+  for (CtId i = 0; i < static_cast<CtId>(p.graph->ct_count()); ++i)
+    if (!p.pinned.contains(i)) cts.push_back(i);
+  return cts;
+}
+
+/// Node-capacity-only host choice: argmax_j min_r C_j^(r) / (a_i^(r) +
+/// existing load) — the γ node term with the link terms dropped ("not
+/// considering the connecting TTs").
+NcpId best_node_fit(const GreedyEngine& engine, CtId i) {
+  const ResourceVector& req = engine.graph().ct(i).requirement;
+  NcpId best = kInvalidId;
+  double best_rate = -1;
+  for (NcpId j = 0; j < static_cast<NcpId>(engine.net().ncp_count()); ++j) {
+    double rate = std::numeric_limits<double>::infinity();
+    const ResourceVector& existing = engine.load().ncp_load(j);
+    for (std::size_t r = 0; r < req.size(); ++r) {
+      const double denom = req[r] + existing[r];
+      if (denom <= 0) continue;
+      rate = std::min(rate, engine.capacities().ncp(j)[r] / denom);
+    }
+    if (rate > best_rate) {
+      best_rate = rate;
+      best = j;
+    }
+  }
+  return best;
+}
+
+AssignmentResult place_in_order(const AssignmentProblem& problem,
+                                const std::vector<CtId>& order) {
+  GreedyEngine engine(problem, true, GreedyEngine::Routing::kShortestHops);
+  engine.commit_pins();
+  for (CtId i : order) {
+    const NcpId j = best_node_fit(engine, i);
+    if (j == kInvalidId) {
+      AssignmentResult r;
+      r.message = "no candidate host";
+      return r;
+    }
+    engine.commit(i, j);
+  }
+  return std::move(engine).finish();
+}
+
+}  // namespace
+
+AssignmentResult GreedySortedAssigner::assign(
+    const AssignmentProblem& problem) const {
+  std::vector<CtId> order = unpinned_cts(problem);
+  // Total computation requirement, summed across resource types (the GS
+  // ranking is capacity- and TT-agnostic by design — this is what degrades
+  // it in the multi-resource experiment of Fig. 12).
+  auto total_req = [&](CtId i) {
+    const ResourceVector& a = problem.graph->ct(i).requirement;
+    double sum = 0;
+    for (std::size_t r = 0; r < a.size(); ++r) sum += a[r];
+    return sum;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](CtId x, CtId y) {
+    return total_req(x) > total_req(y);
+  });
+  return place_in_order(problem, order);
+}
+
+AssignmentResult GreedyRandomAssigner::assign(
+    const AssignmentProblem& problem) const {
+  std::vector<CtId> order = unpinned_cts(problem);
+  std::mt19937_64 rng(seed_);
+  std::shuffle(order.begin(), order.end(), rng);
+  return place_in_order(problem, order);
+}
+
+AssignmentResult RandomAssigner::assign(
+    const AssignmentProblem& problem) const {
+  std::vector<CtId> order = unpinned_cts(problem);
+  std::mt19937_64 rng(seed_);
+  std::shuffle(order.begin(), order.end(), rng);
+  GreedyEngine engine(problem, true, GreedyEngine::Routing::kShortestHops);
+  engine.commit_pins();
+  std::uniform_int_distribution<NcpId> pick(
+      0, static_cast<NcpId>(problem.net->ncp_count()) - 1);
+  for (CtId i : order) engine.commit(i, pick(rng));
+  return std::move(engine).finish();
+}
+
+}  // namespace sparcle

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/assignment.hpp"
+
+/// \file greedy_baselines.hpp
+/// The paper's GS / GR(and) / Random comparators (§V): "a similar
+/// placement algorithm as SPARCLE, but the CTs' placement is based on
+/// their resource requirements and randomly, respectively, not considering
+/// the connecting TTs' resource requirements."
+///
+///  * Greedy Sorted (GS): CTs ordered by total computation requirement
+///    (descending); each is hosted on the NCP with the best residual
+///    node-capacity fit — the γ node term only, no link terms.
+///  * Greedy Random (GRand): random CT order, same node-only host choice.
+///  * Random: both the order and the host are random.
+///
+/// All three route TTs along widest paths (SPARCLE's router), so the
+/// comparison isolates CT placement.  In the NCP-bottleneck regime the
+/// node-only host choice coincides with SPARCLE's γ choice, reproducing
+/// the paper's §V-B equivalence claim.
+
+namespace sparcle {
+
+/// GS: static ranking by total computation requirement, descending (most
+/// demanding CT first); host = argmax γ.
+class GreedySortedAssigner : public Assigner {
+ public:
+  std::string name() const override { return "GS"; }
+  AssignmentResult assign(const AssignmentProblem& problem) const override;
+};
+
+/// GRand: random CT order (seeded), host = argmax γ.
+class GreedyRandomAssigner : public Assigner {
+ public:
+  explicit GreedyRandomAssigner(std::uint64_t seed = 1) : seed_(seed) {}
+  std::string name() const override { return "GRand"; }
+  AssignmentResult assign(const AssignmentProblem& problem) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Random: random CT order and random host (seeded).
+class RandomAssigner : public Assigner {
+ public:
+  explicit RandomAssigner(std::uint64_t seed = 1) : seed_(seed) {}
+  std::string name() const override { return "Random"; }
+  AssignmentResult assign(const AssignmentProblem& problem) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace sparcle

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "core/assignment.hpp"
+
+/// \file heft.hpp
+/// HEFT (Topcuoglu et al., TPDS 2002): Heterogeneous Earliest Finish Time.
+///
+/// CTs receive an *upward rank* — their average execution cost plus the
+/// maximum over successors of (average communication cost + successor
+/// rank) — and are placed in decreasing rank order on the NCP minimizing
+/// the earliest finish time of one data unit.  HEFT optimizes per-unit
+/// makespan, not the sustainable rate, and considers link costs only
+/// through averages — the two properties the paper's evaluation exposes.
+
+namespace sparcle {
+
+class HeftAssigner : public Assigner {
+ public:
+  std::string name() const override { return "HEFT"; }
+  AssignmentResult assign(const AssignmentProblem& problem) const override;
+};
+
+}  // namespace sparcle

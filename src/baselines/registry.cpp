@@ -1,0 +1,35 @@
+#include "baselines/registry.hpp"
+
+#include <stdexcept>
+
+#include "baselines/greedy_baselines.hpp"
+#include "baselines/heft.hpp"
+#include "baselines/rstorm.hpp"
+#include "baselines/tstorm.hpp"
+#include "baselines/vne.hpp"
+#include "core/sparcle_assigner.hpp"
+
+namespace sparcle {
+
+std::unique_ptr<Assigner> make_assigner(const std::string& name,
+                                        std::uint64_t seed) {
+  if (name == "SPARCLE") return std::make_unique<SparcleAssigner>();
+  if (name == "GS") return std::make_unique<GreedySortedAssigner>();
+  if (name == "GRand") return std::make_unique<GreedyRandomAssigner>(seed);
+  if (name == "Random") return std::make_unique<RandomAssigner>(seed);
+  if (name == "T-Storm") return std::make_unique<TStormAssigner>();
+  if (name == "VNE") return std::make_unique<VneAssigner>();
+  if (name == "HEFT") return std::make_unique<HeftAssigner>();
+  if (name == "R-Storm") return std::make_unique<RStormAssigner>();
+  throw std::invalid_argument("unknown assigner: " + name);
+}
+
+std::vector<std::string> simulation_comparators() {
+  return {"SPARCLE", "GRand", "GS", "Random", "T-Storm", "VNE"};
+}
+
+std::vector<std::string> testbed_comparators() {
+  return {"SPARCLE", "HEFT", "T-Storm", "VNE"};
+}
+
+}  // namespace sparcle

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/assignment.hpp"
+
+/// \file registry.hpp
+/// Factory for the standard comparator set the evaluation section uses.
+
+namespace sparcle {
+
+/// Builds an assigner by name: "SPARCLE", "GS", "GRand", "Random",
+/// "T-Storm", "R-Storm", "VNE", "HEFT".  The seed parameterizes the randomized ones.
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<Assigner> make_assigner(const std::string& name,
+                                        std::uint64_t seed = 1);
+
+/// The comparator set of the simulation figures (Figs. 9, 11-14):
+/// SPARCLE, GRand, GS, Random, T-Storm, VNE.
+std::vector<std::string> simulation_comparators();
+
+/// The comparator set of the testbed figure (Fig. 6): SPARCLE, HEFT,
+/// T-Storm, VNE (Cloud and Optimal are constructed separately — they need
+/// the cloud NCP id / the search cap).
+std::vector<std::string> testbed_comparators();
+
+}  // namespace sparcle

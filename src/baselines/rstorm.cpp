@@ -1,0 +1,145 @@
+#include "baselines/rstorm.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "core/greedy_engine.hpp"
+
+namespace sparcle {
+
+namespace {
+
+/// All-pairs hop distances by BFS from every node (small networks).
+std::vector<std::vector<int>> hop_distances(const Network& net) {
+  const std::size_t n = net.ncp_count();
+  std::vector<std::vector<int>> dist(n, std::vector<int>(n, -1));
+  for (NcpId s = 0; s < static_cast<NcpId>(n); ++s) {
+    std::queue<NcpId> q;
+    q.push(s);
+    dist[s][s] = 0;
+    while (!q.empty()) {
+      const NcpId v = q.front();
+      q.pop();
+      for (LinkId l : net.incident_links(v)) {
+        if (!net.can_traverse(l, v)) continue;
+        const NcpId u = net.other_end(l, v);
+        if (dist[s][u] < 0) {
+          dist[s][u] = dist[s][v] + 1;
+          q.push(u);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+AssignmentResult RStormAssigner::assign(
+    const AssignmentProblem& problem) const {
+  const TaskGraph& g = *problem.graph;
+  const Network& net = *problem.net;
+  const std::size_t nr = net.schema().size();
+  const auto hops = hop_distances(net);
+
+  GreedyEngine engine(problem, true, GreedyEngine::Routing::kShortestHops);
+  engine.commit_pins();
+
+  // Remaining soft capacity per node (fixed amounts, not per-rate loads —
+  // R-Storm's cloud-side view of resources).
+  std::vector<ResourceVector> remaining(net.ncp_count());
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j)
+    remaining[j] = problem.capacities.ncp(j);
+  for (const auto& [ct, ncp] : problem.pinned) {
+    remaining[ncp] -= g.ct(ct).requirement;
+    remaining[ncp].clamp_nonnegative();
+  }
+
+  // Normalization scales for the euclidean term.
+  ResourceVector scale(nr, 1e-12);
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j)
+    for (std::size_t r = 0; r < nr; ++r)
+      scale[r] = std::max(scale[r], problem.capacities.ncp(j)[r]);
+  int max_hops = 1;
+  for (const auto& row : hops)
+    for (int d : row) max_hops = std::max(max_hops, d);
+
+  // Breadth-first traversal of the task graph from the sources, so each
+  // task is placed right after its upstream peers.
+  std::vector<CtId> order;
+  {
+    std::vector<char> seen(g.ct_count(), 0);
+    std::queue<CtId> q;
+    for (CtId s : g.sources()) {
+      q.push(s);
+      seen[s] = 1;
+    }
+    while (!q.empty()) {
+      const CtId i = q.front();
+      q.pop();
+      if (!problem.pinned.contains(i)) order.push_back(i);
+      for (TtId k : g.out_tts(i)) {
+        const CtId d = g.tt(k).dst;
+        if (!seen[d]) {
+          seen[d] = 1;
+          q.push(d);
+        }
+      }
+    }
+  }
+
+  for (CtId i : order) {
+    NcpId best = kInvalidId;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j) {
+      // Soft capacity check: skip nodes that cannot fit the task at all.
+      bool fits = true;
+      for (std::size_t r = 0; r < nr; ++r)
+        if (g.ct(i).requirement[r] > remaining[j][r]) fits = false;
+
+      // Network distance to placed upstream tasks, traffic-weighted.
+      double net_dist = 0, weight_sum = 0;
+      auto account = [&](TtId k, CtId other) {
+        if (!engine.placed(other)) return;
+        const int d = hops[engine.host(other)][j];
+        const double w = g.tt(k).bits_per_unit;
+        net_dist += (d < 0 ? max_hops + 1 : d) * w;
+        weight_sum += w;
+      };
+      for (TtId k : g.in_tts(i)) account(k, g.tt(k).src);
+      for (TtId k : g.out_tts(i)) account(k, g.tt(k).dst);
+      const double dist_term =
+          weight_sum > 0 ? net_dist / (weight_sum * max_hops) : 0.0;
+
+      // Resource distance: demand vs remaining, normalized per type.
+      double res_term = 0;
+      for (std::size_t r = 0; r < nr; ++r) {
+        const double d =
+            (g.ct(i).requirement[r] - remaining[j][r]) / scale[r];
+        res_term += d * d;
+      }
+      res_term = std::sqrt(res_term);
+
+      double score = dist_term + res_term;
+      if (!fits) score += 10.0;  // soft-constraint penalty, R-Storm style
+      if (score < best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    if (best == kInvalidId) {
+      AssignmentResult r;
+      r.message = "R-Storm: no candidate host";
+      return r;
+    }
+    engine.commit(i, best);
+    remaining[best] -= g.ct(i).requirement;
+    remaining[best].clamp_nonnegative();
+  }
+
+  return std::move(engine).finish();
+}
+
+}  // namespace sparcle

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "core/assignment.hpp"
+
+/// \file rstorm.hpp
+/// R-Storm (Peng et al., Middleware 2015) — resource-aware scheduling in
+/// Storm; the paper cites it ([22]) as the cloud-side state of the art.
+///
+/// Tasks are traversed breadth-first through the topology (so
+/// communicating tasks are placed consecutively) and each is assigned to
+/// the node minimizing a composite distance: the network hop distance to
+/// its already-placed upstream tasks plus the euclidean distance between
+/// the task's resource demand and the node's *remaining* soft capacity.
+/// R-Storm is capacity-aware (unlike T-Storm) but treats requirements as
+/// fixed amounts rather than per-rate loads, and never reasons about link
+/// bandwidth — the two blind spots SPARCLE's evaluation targets.
+
+namespace sparcle {
+
+class RStormAssigner : public Assigner {
+ public:
+  std::string name() const override { return "R-Storm"; }
+  AssignmentResult assign(const AssignmentProblem& problem) const override;
+};
+
+}  // namespace sparcle

@@ -1,0 +1,76 @@
+#include "baselines/tstorm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/greedy_engine.hpp"
+
+namespace sparcle {
+
+AssignmentResult TStormAssigner::assign(
+    const AssignmentProblem& problem) const {
+  const TaskGraph& g = *problem.graph;
+  const Network& net = *problem.net;
+  GreedyEngine engine(problem, true, GreedyEngine::Routing::kShortestHops);
+  engine.commit_pins();
+
+  // Total incident traffic of each CT (bits per data unit over all
+  // adjacent TTs) — T-Storm's executor sort key.
+  auto traffic = [&](CtId i) {
+    double sum = 0;
+    for (TtId k : g.in_tts(i)) sum += g.tt(k).bits_per_unit;
+    for (TtId k : g.out_tts(i)) sum += g.tt(k).bits_per_unit;
+    return sum;
+  };
+
+  std::vector<CtId> order;
+  for (CtId i = 0; i < static_cast<CtId>(g.ct_count()); ++i)
+    if (!problem.pinned.contains(i)) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](CtId x, CtId y) { return traffic(x) > traffic(y); });
+
+  // Even-workload cap: at most ceil(|C| / |N|) CTs per NCP (slot-based
+  // balancing, capacity-agnostic — pins count against their hosts too).
+  const std::size_t cap =
+      (g.ct_count() + net.ncp_count() - 1) / net.ncp_count();
+  std::vector<std::size_t> slots(net.ncp_count(), 0);
+  for (const auto& [ct, ncp] : problem.pinned) {
+    (void)ct;
+    ++slots[ncp];
+  }
+
+  for (CtId i : order) {
+    // Incremental inter-node traffic of hosting i on j: the bits of every
+    // TT towards an already-placed neighbour on a different node.
+    NcpId best = kInvalidId;
+    double best_added = std::numeric_limits<double>::infinity();
+    for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j) {
+      if (slots[j] >= cap) continue;
+      double added = 0;
+      auto account = [&](TtId k, CtId other) {
+        if (engine.placed(other) && engine.host(other) != j)
+          added += g.tt(k).bits_per_unit;
+      };
+      for (TtId k : g.in_tts(i)) account(k, g.tt(k).src);
+      for (TtId k : g.out_tts(i)) account(k, g.tt(k).dst);
+      if (added < best_added) {
+        best_added = added;
+        best = j;
+      }
+    }
+    if (best == kInvalidId) {
+      // All NCPs at the slot cap (can happen when pins crowd one node):
+      // fall back to the least-loaded NCP.
+      best = 0;
+      for (NcpId j = 1; j < static_cast<NcpId>(net.ncp_count()); ++j)
+        if (slots[j] < slots[best]) best = j;
+    }
+    ++slots[best];
+    engine.commit(i, best);
+  }
+
+  return std::move(engine).finish();
+}
+
+}  // namespace sparcle

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "core/assignment.hpp"
+
+/// \file tstorm.hpp
+/// T-Storm (Xu et al., ICDCS 2014): traffic-aware online scheduling.
+///
+/// Executors (CTs) are sorted by their total incident traffic, descending,
+/// and each is placed on the worker (NCP) that minimizes the *incremental
+/// inter-node traffic*, subject to an even workload cap (T-Storm balances
+/// executors across workers by count — it does not model heterogeneous
+/// resource capacities, which is exactly the paper's critique of it).
+
+namespace sparcle {
+
+class TStormAssigner : public Assigner {
+ public:
+  std::string name() const override { return "T-Storm"; }
+  AssignmentResult assign(const AssignmentProblem& problem) const override;
+};
+
+}  // namespace sparcle

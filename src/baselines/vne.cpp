@@ -1,0 +1,103 @@
+#include "baselines/vne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/greedy_engine.hpp"
+
+namespace sparcle {
+
+namespace {
+
+/// PageRank-style rank over an undirected weighted graph described by a
+/// per-node intrinsic weight H and an adjacency list.  Transition
+/// probability from u to neighbour v is H_v / Σ_{w ∈ nbr(u)} H_w; damping
+/// 0.85; 100 power iterations (plenty at these sizes).
+std::vector<double> node_rank(
+    const std::vector<double>& h,
+    const std::vector<std::vector<std::size_t>>& nbr) {
+  const std::size_t n = h.size();
+  const double total_h = std::accumulate(h.begin(), h.end(), 0.0);
+  std::vector<double> p(n, 1.0 / static_cast<double>(n)), next(n);
+  constexpr double kDamping = 0.85;
+  for (int iter = 0; iter < 100; ++iter) {
+    for (std::size_t v = 0; v < n; ++v)
+      next[v] = (1.0 - kDamping) *
+                (total_h > 0 ? h[v] / total_h : 1.0 / static_cast<double>(n));
+    for (std::size_t u = 0; u < n; ++u) {
+      double denom = 0;
+      for (std::size_t v : nbr[u]) denom += h[v];
+      if (denom <= 0) continue;
+      for (std::size_t v : nbr[u]) next[v] += p[u] * kDamping * h[v] / denom;
+    }
+    p = next;
+  }
+  return p;
+}
+
+}  // namespace
+
+AssignmentResult VneAssigner::assign(const AssignmentProblem& problem) const {
+  const TaskGraph& g = *problem.graph;
+  const Network& net = *problem.net;
+
+  // Substrate side: H_j = (Σ_r capacity) * (Σ incident link bandwidth).
+  std::vector<double> hn(net.ncp_count());
+  std::vector<std::vector<std::size_t>> nbr_n(net.ncp_count());
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j) {
+    double cap_sum = 0;
+    const ResourceVector& c = problem.capacities.ncp(j);
+    for (std::size_t r = 0; r < c.size(); ++r) cap_sum += c[r];
+    double bw_sum = 0;
+    for (LinkId l : net.incident_links(j)) {
+      bw_sum += problem.capacities.link(l);
+      nbr_n[j].push_back(static_cast<std::size_t>(net.other_end(l, j)));
+    }
+    hn[j] = cap_sum * bw_sum;
+  }
+  const std::vector<double> rank_n = node_rank(hn, nbr_n);
+
+  // Virtual side: H_i = (Σ_r requirement) * (Σ incident TT bits); the task
+  // DAG is treated as an undirected virtual-network graph.
+  std::vector<double> hv(g.ct_count());
+  std::vector<std::vector<std::size_t>> nbr_v(g.ct_count());
+  for (CtId i = 0; i < static_cast<CtId>(g.ct_count()); ++i) {
+    double req_sum = 0;
+    const ResourceVector& a = g.ct(i).requirement;
+    for (std::size_t r = 0; r < a.size(); ++r) req_sum += a[r];
+    double bits = 0;
+    for (TtId k : g.in_tts(i)) {
+      bits += g.tt(k).bits_per_unit;
+      nbr_v[i].push_back(static_cast<std::size_t>(g.tt(k).src));
+    }
+    for (TtId k : g.out_tts(i)) {
+      bits += g.tt(k).bits_per_unit;
+      nbr_v[i].push_back(static_cast<std::size_t>(g.tt(k).dst));
+    }
+    // Avoid rank-zero CTs (sources/sinks with zero requirements).
+    hv[i] = std::max(req_sum * bits, 1e-12);
+  }
+  const std::vector<double> rank_v = node_rank(hv, nbr_v);
+
+  // Large-to-large mapping: k-th ranked unpinned CT on the k-th ranked
+  // NCP, wrapping around when CTs outnumber NCPs.
+  std::vector<CtId> ct_order;
+  for (CtId i = 0; i < static_cast<CtId>(g.ct_count()); ++i)
+    if (!problem.pinned.contains(i)) ct_order.push_back(i);
+  std::stable_sort(ct_order.begin(), ct_order.end(),
+                   [&](CtId x, CtId y) { return rank_v[x] > rank_v[y]; });
+  std::vector<NcpId> ncp_order(net.ncp_count());
+  std::iota(ncp_order.begin(), ncp_order.end(), 0);
+  std::stable_sort(ncp_order.begin(), ncp_order.end(),
+                   [&](NcpId x, NcpId y) { return rank_n[x] > rank_n[y]; });
+
+  GreedyEngine engine(problem, true, GreedyEngine::Routing::kShortestHops);
+  engine.commit_pins();
+  for (std::size_t k = 0; k < ct_order.size(); ++k)
+    engine.commit(ct_order[k], ncp_order[k % ncp_order.size()]);
+  return std::move(engine).finish();
+}
+
+}  // namespace sparcle

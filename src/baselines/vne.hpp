@@ -1,0 +1,26 @@
+#pragma once
+
+#include "core/assignment.hpp"
+
+/// \file vne.hpp
+/// Virtual-network-embedding baseline (Cheng et al., SIGCOMM CCR 2011):
+/// topology-aware node ranking via a PageRank-style random walk.
+///
+/// Substrate nodes (NCPs) are ranked by a Markov random walk whose
+/// stationary distribution is biased towards nodes with high
+/// resource-times-bandwidth products; virtual nodes (CTs) are ranked the
+/// same way on the task graph (requirement times incident TT bits).  The
+/// k-th ranked CT is embedded on the k-th ranked NCP (large-to-large),
+/// then TTs are routed on widest paths.  As in VNE, the mapping treats the
+/// requirements as *fixed* — it does not adapt to the achievable input
+/// rate, the paper's critique of this line of work.
+
+namespace sparcle {
+
+class VneAssigner : public Assigner {
+ public:
+  std::string name() const override { return "VNE"; }
+  AssignmentResult assign(const AssignmentProblem& problem) const override;
+};
+
+}  // namespace sparcle

@@ -1,0 +1,41 @@
+#include "core/assignment.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/greedy_engine.hpp"
+
+namespace sparcle {
+
+AssignmentResult evaluate_fixed_hosts(const AssignmentProblem& problem,
+                                      const std::vector<NcpId>& hosts) {
+  if (hosts.size() != problem.graph->ct_count())
+    throw std::invalid_argument("evaluate_fixed_hosts: hosts size mismatch");
+  GreedyEngine engine(problem);
+  for (CtId i : problem.graph->topological_order()) engine.commit(i, hosts[i]);
+  return std::move(engine).finish();
+}
+
+AssignmentResult finish_assignment(const AssignmentProblem& problem,
+                                   Placement placement) {
+  AssignmentResult result;
+  result.placement = std::move(placement);
+  if (!result.placement.complete()) {
+    result.message = "incomplete placement";
+    return result;
+  }
+  std::string err;
+  if (!result.placement.validate(*problem.graph, *problem.net, &err)) {
+    result.message = "invalid placement: " + err;
+    return result;
+  }
+  result.rate = bottleneck_rate(*problem.net, *problem.graph,
+                                result.placement, problem.capacities);
+  result.feasible = result.rate > 0 &&
+                    result.rate != std::numeric_limits<double>::infinity();
+  if (!result.feasible && result.rate == 0)
+    result.message = "placement has zero bottleneck rate";
+  return result;
+}
+
+}  // namespace sparcle

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "model/application.hpp"
+#include "model/capacity.hpp"
+#include "model/network.hpp"
+#include "model/placement.hpp"
+#include "model/task_graph.hpp"
+
+/// \file assignment.hpp
+/// The task-assignment problem interface (problem (1) of §IV-A) shared by
+/// SPARCLE's Algorithm 2 and every baseline comparator: given a network,
+/// effective (residual) capacities, a task graph and the pinned CTs, find
+/// one complete task-assignment path maximizing the bottleneck rate.
+
+namespace sparcle {
+
+/// One invocation of a task-assignment algorithm.
+struct AssignmentProblem {
+  const Network* net{nullptr};
+  const TaskGraph* graph{nullptr};
+  /// Effective capacities the algorithm may assume available (already net
+  /// of GR reservations / previous paths / priority prediction).
+  CapacitySnapshot capacities;
+  /// CTs with predetermined hosts (data sources, result consumers).
+  std::map<CtId, NcpId> pinned;
+};
+
+/// Outcome of a task-assignment attempt.
+struct AssignmentResult {
+  bool feasible{false};  ///< complete placement with strictly positive rate
+  Placement placement;
+  double rate{0.0};  ///< bottleneck rate under the problem's capacities
+  std::string message;
+};
+
+/// Abstract task-assignment algorithm.
+class Assigner {
+ public:
+  virtual ~Assigner() = default;
+  /// Short identifier used in benchmark tables ("SPARCLE", "HEFT", ...).
+  virtual std::string name() const = 0;
+  virtual AssignmentResult assign(const AssignmentProblem& problem) const = 0;
+};
+
+/// Builds a result from a complete placement: computes the bottleneck rate
+/// and validates structure.  Used by all Assigner implementations.
+AssignmentResult finish_assignment(const AssignmentProblem& problem,
+                                   Placement placement);
+
+/// Evaluates a fully specified CT->NCP map: commits the CTs in topological
+/// order (so TT routes are laid source-to-sink) with widest-path routing
+/// and returns the resulting placement and rate.  `hosts[i]` is the NCP of
+/// CT i and must agree with the problem's pins.  Shared by the exhaustive
+/// optimal search and the local-search refinement.
+AssignmentResult evaluate_fixed_hosts(const AssignmentProblem& problem,
+                                      const std::vector<NcpId>& hosts);
+
+}  // namespace sparcle

@@ -1,0 +1,215 @@
+#include "core/availability.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <random>
+#include <stdexcept>
+
+namespace sparcle {
+
+namespace {
+
+/// Maps the distinct elements of all paths to dense indices and represents
+/// each path as a bitmask over them (chunked into 64-bit words).
+struct ElementIndex {
+  std::map<ElementKey, std::size_t> index;
+  std::vector<double> up_prob;                       // per element
+  std::vector<std::vector<std::uint64_t>> path_bits; // per path
+  std::size_t words{0};
+
+  ElementIndex(const Network& net,
+               const std::vector<std::vector<ElementKey>>& paths) {
+    for (const auto& path : paths)
+      for (const ElementKey& e : path)
+        if (!index.contains(e)) {
+          index.emplace(e, index.size());
+          up_prob.push_back(1.0 - net.fail_prob(e));
+        }
+    words = (index.size() + 63) / 64;
+    path_bits.assign(paths.size(), std::vector<std::uint64_t>(words, 0));
+    for (std::size_t p = 0; p < paths.size(); ++p)
+      for (const ElementKey& e : paths[p]) {
+        const std::size_t i = index.at(e);
+        path_bits[p][i / 64] |= std::uint64_t{1} << (i % 64);
+      }
+  }
+
+  /// P(all elements in the union of the paths in `mask` are up).
+  double union_up_probability(std::uint32_t mask) const {
+    std::vector<std::uint64_t> u(words, 0);
+    for (std::size_t p = 0; mask != 0; ++p, mask >>= 1)
+      if (mask & 1)
+        for (std::size_t w = 0; w < words; ++w) u[w] |= path_bits[p][w];
+    double prob = 1.0;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = u[w];
+      while (bits) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        prob *= up_prob[w * 64 + static_cast<std::size_t>(b)];
+      }
+    }
+    return prob;
+  }
+};
+
+void check_path_count(std::size_t n) {
+  if (n == 0)
+    throw std::invalid_argument("availability: no paths given");
+  if (n > kMaxExactPaths)
+    throw std::invalid_argument(
+        "availability: too many paths for exact analysis; use the "
+        "Monte-Carlo estimators");
+}
+
+/// Precomputes P(all paths in mask are up) for every subset mask.
+std::vector<double> all_union_probs(const ElementIndex& ix, std::size_t n) {
+  std::vector<double> up(1u << n);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask)
+    up[mask] = ix.union_up_probability(mask);
+  return up;
+}
+
+}  // namespace
+
+double all_up_probability(const Network& net,
+                          const std::vector<ElementKey>& elements) {
+  std::vector<std::vector<ElementKey>> one{elements};
+  const ElementIndex ix(net, one);
+  return ix.union_up_probability(1u);
+}
+
+double availability_any(const Network& net,
+                        const std::vector<std::vector<ElementKey>>& paths) {
+  check_path_count(paths.size());
+  const ElementIndex ix(net, paths);
+  const std::size_t n = paths.size();
+  // Inclusion–exclusion: P(∪ A_p) = Σ_{∅≠U} (-1)^(|U|+1) P(∩_{p∈U} A_p).
+  double prob = 0.0;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    const double term = ix.union_up_probability(mask);
+    prob += (std::popcount(mask) % 2 == 1) ? term : -term;
+  }
+  return std::clamp(prob, 0.0, 1.0);
+}
+
+double exact_path_state_probability(
+    const Network& net, const std::vector<std::vector<ElementKey>>& paths,
+    std::uint32_t working_mask) {
+  check_path_count(paths.size());
+  const std::size_t n = paths.size();
+  if (working_mask >= (1u << n))
+    throw std::invalid_argument("exact_path_state_probability: bad mask");
+  const ElementIndex ix(net, paths);
+  // P(S up exactly) = Σ_{T ⊆ complement(S)} (-1)^|T| P(S ∪ T all up).
+  const std::uint32_t rest =
+      static_cast<std::uint32_t>((1u << n) - 1) & ~working_mask;
+  double prob = 0.0;
+  // Enumerate submasks of `rest` (including the empty set).
+  std::uint32_t t = rest;
+  while (true) {
+    const double term = ix.union_up_probability(working_mask | t);
+    prob += (std::popcount(t) % 2 == 0) ? term : -term;
+    if (t == 0) break;
+    t = (t - 1) & rest;
+  }
+  return std::clamp(prob, 0.0, 1.0);
+}
+
+double min_rate_availability(const Network& net,
+                             const std::vector<std::vector<ElementKey>>& paths,
+                             const std::vector<double>& rates,
+                             double min_rate) {
+  check_path_count(paths.size());
+  if (rates.size() != paths.size())
+    throw std::invalid_argument("min_rate_availability: rates size mismatch");
+  const std::size_t n = paths.size();
+  const ElementIndex ix(net, paths);
+  const std::vector<double> up = all_union_probs(ix, n);
+
+  // Eq. (7): Σ over subsets S whose rate sum reaches the target of
+  // P(paths in S up & the rest down), the latter by inclusion–exclusion.
+  double avail = 0.0;
+  for (std::uint32_t s = 0; s < (1u << n); ++s) {
+    double sum = 0;
+    for (std::size_t p = 0; p < n; ++p)
+      if (s & (1u << p)) sum += rates[p];
+    if (sum + 1e-12 < min_rate) continue;
+    const std::uint32_t rest = static_cast<std::uint32_t>((1u << n) - 1) & ~s;
+    std::uint32_t t = rest;
+    while (true) {
+      const double term = up[s | t];
+      avail += (std::popcount(t) % 2 == 0) ? term : -term;
+      if (t == 0) break;
+      t = (t - 1) & rest;
+    }
+  }
+  return std::clamp(avail, 0.0, 1.0);
+}
+
+namespace {
+
+/// Shared Monte-Carlo loop: draws element up/down states and reports the
+/// fraction of trials where `qualifies(working path mask)` holds.
+template <typename Qualifier>
+double mc_estimate(const Network& net,
+                   const std::vector<std::vector<ElementKey>>& paths,
+                   std::size_t trials, std::uint64_t seed,
+                   Qualifier qualifies) {
+  if (paths.empty() || trials == 0)
+    throw std::invalid_argument("availability MC: empty input");
+  const ElementIndex ix(net, paths);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const std::size_t ne = ix.index.size();
+  std::vector<char> up(ne);
+  std::size_t hits = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (std::size_t e = 0; e < ne; ++e) up[e] = uni(rng) < ix.up_prob[e];
+    std::uint32_t mask = 0;
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      bool works = true;
+      for (std::size_t w = 0; w < ix.words && works; ++w) {
+        std::uint64_t bits = ix.path_bits[p][w];
+        while (bits) {
+          const int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          if (!up[w * 64 + static_cast<std::size_t>(b)]) {
+            works = false;
+            break;
+          }
+        }
+      }
+      if (works) mask |= 1u << p;
+    }
+    if (qualifies(mask)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+double availability_any_mc(const Network& net,
+                           const std::vector<std::vector<ElementKey>>& paths,
+                           std::size_t trials, std::uint64_t seed) {
+  return mc_estimate(net, paths, trials, seed,
+                     [](std::uint32_t mask) { return mask != 0; });
+}
+
+double min_rate_availability_mc(
+    const Network& net, const std::vector<std::vector<ElementKey>>& paths,
+    const std::vector<double>& rates, double min_rate, std::size_t trials,
+    std::uint64_t seed) {
+  if (rates.size() != paths.size())
+    throw std::invalid_argument(
+        "min_rate_availability_mc: rates size mismatch");
+  return mc_estimate(net, paths, trials, seed, [&](std::uint32_t mask) {
+    double sum = 0;
+    for (std::size_t p = 0; p < paths.size(); ++p)
+      if (mask & (1u << p)) sum += rates[p];
+    return sum + 1e-12 >= min_rate;
+  });
+}
+
+}  // namespace sparcle

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "model/network.hpp"
+
+/// \file availability.hpp
+/// QoE availability analysis under independent element failures (§III-B,
+/// §IV-C/D).  A task-assignment path works iff every NCP and link it uses
+/// is up; paths of the same application overlap, so the exact probabilities
+/// are computed by inclusion–exclusion over path subsets on the *union* of
+/// their elements.  Exponential only in the path count (guarded), never in
+/// the element count.  Monte-Carlo estimators cross-validate the exact
+/// math in tests and cover pathological path counts.
+
+namespace sparcle {
+
+/// Maximum number of paths the exact analysis accepts (3^12 ≈ 5.3e5 terms).
+inline constexpr std::size_t kMaxExactPaths = 12;
+
+/// P(every element in `elements` is up) = Π (1 - P_f).  Duplicate elements
+/// are counted once.
+double all_up_probability(const Network& net,
+                          const std::vector<ElementKey>& elements);
+
+/// BE availability: P(at least one of `paths` has all elements up).
+/// Inclusion–exclusion over non-empty path subsets.
+double availability_any(const Network& net,
+                        const std::vector<std::vector<ElementKey>>& paths);
+
+/// P(exactly the paths in `working_mask` are fully up and every other path
+/// has at least one failed element) — the summand of eq. (7).
+double exact_path_state_probability(
+    const Network& net, const std::vector<std::vector<ElementKey>>& paths,
+    std::uint32_t working_mask);
+
+/// GR min-rate availability (problem (5) / eq. (7)): the probability that
+/// the aggregate rate of the *fully working* paths reaches `min_rate`.
+/// `rates[i]` is the provisioned rate of path i (the subset-sum values).
+double min_rate_availability(const Network& net,
+                             const std::vector<std::vector<ElementKey>>& paths,
+                             const std::vector<double>& rates,
+                             double min_rate);
+
+/// Monte-Carlo estimate of availability_any (for cross-validation and for
+/// path counts beyond kMaxExactPaths).
+double availability_any_mc(const Network& net,
+                           const std::vector<std::vector<ElementKey>>& paths,
+                           std::size_t trials, std::uint64_t seed);
+
+/// Monte-Carlo estimate of min_rate_availability.
+double min_rate_availability_mc(
+    const Network& net, const std::vector<std::vector<ElementKey>>& paths,
+    const std::vector<double>& rates, double min_rate, std::size_t trials,
+    std::uint64_t seed);
+
+}  // namespace sparcle

@@ -1,0 +1,61 @@
+#include "core/capacity_planner.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sparcle {
+
+namespace {
+
+/// Submits n copies of the mix; returns the failing reason ("" = all fit)
+/// and fills the metrics when everything fits.
+std::string probe(const Network& net, const std::vector<Application>& mix,
+                  const SchedulerOptions& options, std::size_t n,
+                  double* gr_rate, double* utility) {
+  Scheduler sched(net, options);
+  for (std::size_t copy = 0; copy < n; ++copy)
+    for (const Application& app : mix) {
+      Application instance = app;
+      instance.name = app.name + "#" + std::to_string(copy);
+      const AdmissionResult r = sched.submit(instance);
+      if (!r.admitted)
+        return instance.name +
+               (r.reason.empty() ? " rejected" : ": " + r.reason);
+    }
+  // A "fit" where a BE tenant ends up with zero rate is not a usable
+  // plan: later GR reservations starved it.  Count that as the limit.
+  for (const PlacedApp& pa : sched.placed())
+    if (pa.app.qoe.cls == QoeClass::kBestEffort && pa.allocated_rate <= 0)
+      return pa.app.name + ": starved to zero rate";
+  if (gr_rate != nullptr) *gr_rate = sched.total_gr_rate();
+  if (utility != nullptr) *utility = sched.be_utility();
+  return "";
+}
+
+}  // namespace
+
+PlanningResult plan_capacity(const Network& net,
+                             const std::vector<Application>& mix,
+                             const SchedulerOptions& options,
+                             std::size_t max_copies_cap) {
+  if (mix.empty())
+    throw std::invalid_argument("plan_capacity: empty workload mix");
+  for (const Application& app : mix) app.validate();
+
+  PlanningResult result;
+  for (std::size_t n = 1; n <= max_copies_cap; ++n) {
+    double gr = 0, utility = 0;
+    const std::string reason = probe(net, mix, options, n, &gr, &utility);
+    if (!reason.empty()) {
+      result.limiting_reason = reason;
+      return result;
+    }
+    result.max_copies = n;
+    result.total_gr_rate = gr;
+    result.be_utility = utility;
+  }
+  result.limiting_reason = "reached max_copies_cap";
+  return result;
+}
+
+}  // namespace sparcle

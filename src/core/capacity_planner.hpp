@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+/// \file capacity_planner.hpp
+/// Deployment sizing on top of the admission controller: given a template
+/// workload mix, how many copies can a dispersed site carry before an
+/// admission fails?  The question every capacity plan starts with ("how
+/// many cameras can this site host?"), answered with the same machinery
+/// that will run the site.
+
+namespace sparcle {
+
+struct PlanningResult {
+  /// Largest n such that n interleaved copies of the whole mix are all
+  /// admitted by a fresh scheduler.
+  std::size_t max_copies{0};
+  /// Allocation metrics at max_copies (0 when max_copies == 0).
+  double total_gr_rate{0.0};
+  double be_utility{0.0};
+  /// The admission result of the first failing application at
+  /// max_copies + 1 (why the next copy does not fit).
+  std::string limiting_reason;
+};
+
+/// Scans n = 1, 2, ... up to `max_copies_cap`, submitting n copies of
+/// every application in `mix` (copy-major order, names suffixed "#k") to
+/// a fresh Scheduler per probe, and returns the last n that fully fits —
+/// where "fits" means every copy is admitted AND no Best-Effort tenant is
+/// starved to zero rate.  Throws std::invalid_argument on an empty mix.
+PlanningResult plan_capacity(const Network& net,
+                             const std::vector<Application>& mix,
+                             const SchedulerOptions& options = {},
+                             std::size_t max_copies_cap = 64);
+
+}  // namespace sparcle

@@ -1,0 +1,226 @@
+#include "core/fairness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/smallmat.hpp"
+
+namespace sparcle {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Internal normalized problem: rows scaled so capacity == 1, and rows
+/// with no coefficients dropped.
+struct Scaled {
+  std::vector<PfProblem::Column> columns;  // coefficients divided by C_row
+  std::vector<std::size_t> row_of;         // scaled row -> original row
+  std::size_t rows{0};
+};
+
+Scaled scale_problem(const PfProblem& p) {
+  // A row participates if some column loads it.
+  std::vector<char> used(p.capacity.size(), 0);
+  for (const auto& col : p.columns)
+    for (const auto& [row, coeff] : col.entries)
+      if (coeff > 0) used.at(row) = 1;
+
+  std::vector<std::size_t> new_row(p.capacity.size(), SIZE_MAX);
+  Scaled s;
+  for (std::size_t e = 0; e < p.capacity.size(); ++e) {
+    if (!used[e]) continue;
+    if (p.capacity[e] <= 0)
+      throw std::invalid_argument(
+          "solve_weighted_pf: a loaded constraint row has zero capacity");
+    new_row[e] = s.rows++;
+    s.row_of.push_back(e);
+  }
+  s.columns.resize(p.columns.size());
+  for (std::size_t v = 0; v < p.columns.size(); ++v)
+    for (const auto& [row, coeff] : p.columns[v].entries)
+      if (coeff > 0)
+        s.columns[v].entries.emplace_back(new_row[row],
+                                          coeff / p.capacity[row]);
+  return s;
+}
+
+}  // namespace
+
+PfSolution solve_weighted_pf(const PfProblem& p, const PfOptions& opt) {
+  const std::size_t nv = p.var_count();
+  const std::size_t na = p.app_count();
+  if (na == 0 || nv == 0)
+    throw std::invalid_argument("solve_weighted_pf: empty problem");
+  if (p.var_app.size() != nv)
+    throw std::invalid_argument("solve_weighted_pf: var_app size mismatch");
+  for (double pr : p.app_priority)
+    if (!(pr > 0))
+      throw std::invalid_argument(
+          "solve_weighted_pf: priorities must be positive");
+  std::vector<char> app_has_var(na, 0);
+  for (std::size_t a : p.var_app) app_has_var.at(a) = 1;
+  for (std::size_t a = 0; a < na; ++a)
+    if (!app_has_var[a])
+      throw std::invalid_argument(
+          "solve_weighted_pf: application with no path variables");
+
+  const Scaled s = scale_problem(p);
+  const std::size_t m = s.rows;
+
+  // Strictly feasible start: x_v = t with t = 0.4 / max_row Σ_v coeff.
+  std::vector<double> row_sum(m, 0.0);
+  for (const auto& col : s.columns)
+    for (const auto& [row, coeff] : col.entries) row_sum[row] += coeff;
+  double max_row = 0;
+  for (double rs : row_sum) max_row = std::max(max_row, rs);
+  const double t0 = max_row > 0 ? 0.4 / max_row : 1.0;
+  std::vector<double> x(nv, t0);
+
+  auto app_sum = [&](const std::vector<double>& xx, std::vector<double>& sa) {
+    sa.assign(na, 0.0);
+    for (std::size_t v = 0; v < nv; ++v) sa[p.var_app[v]] += xx[v];
+  };
+  auto slacks = [&](const std::vector<double>& xx, std::vector<double>& sl) {
+    sl.assign(m, 1.0);
+    for (std::size_t v = 0; v < nv; ++v)
+      for (const auto& [row, coeff] : s.columns[v].entries)
+        sl[row] -= coeff * xx[v];
+  };
+
+  std::vector<double> sa, sl;
+  // Barrier objective for the line search.
+  auto barrier_value = [&](const std::vector<double>& xx, double mu) {
+    app_sum(xx, sa);
+    slacks(xx, sl);
+    double val = 0;
+    for (std::size_t a = 0; a < na; ++a) {
+      if (sa[a] <= 0) return -kInf;
+      val += p.app_priority[a] * std::log(sa[a]);
+    }
+    for (double sv : sl) {
+      if (sv <= 0) return -kInf;
+      val += mu * std::log(sv);
+    }
+    for (double xv : xx) {
+      if (xv <= 0) return -kInf;
+      val += mu * std::log(xv);
+    }
+    return val;
+  };
+
+  double mu = 1.0;
+  const double n_constraints = static_cast<double>(m + nv);
+  int newton_budget = opt.max_newton_steps;
+  std::vector<double> grad(nv), dir(nv);
+
+  while (mu * n_constraints > opt.duality_gap_tol && newton_budget > 0) {
+    // Newton iterations at this μ.
+    for (int it = 0; it < 50 && newton_budget > 0; ++it, --newton_budget) {
+      app_sum(x, sa);
+      slacks(x, sl);
+
+      // Gradient.
+      for (std::size_t v = 0; v < nv; ++v) {
+        double g = p.app_priority[p.var_app[v]] / sa[p.var_app[v]];
+        g += mu / x[v];
+        for (const auto& [row, coeff] : s.columns[v].entries)
+          g -= mu * coeff / sl[row];
+        grad[v] = g;
+      }
+
+      // Negative Hessian (positive definite).
+      Matrix h(nv, nv, 0.0);
+      for (std::size_t v = 0; v < nv; ++v) {
+        for (std::size_t u = 0; u < nv; ++u) {
+          double val = 0;
+          if (p.var_app[v] == p.var_app[u]) {
+            const std::size_t a = p.var_app[v];
+            val += p.app_priority[a] / (sa[a] * sa[a]);
+          }
+          h(v, u) += val;
+        }
+        h(v, v) += mu / (x[v] * x[v]);
+      }
+      for (std::size_t v = 0; v < nv; ++v)
+        for (std::size_t u = 0; u <= v; ++u) {
+          // Σ_rows μ R_rv R_ru / slack², exploiting sparse columns.
+          double val = 0;
+          for (const auto& [rv, cv] : s.columns[v].entries)
+            for (const auto& [ru, cu] : s.columns[u].entries)
+              if (rv == ru) val += mu * cv * cu / (sl[rv] * sl[rv]);
+          h(v, u) += val;
+          if (u != v) h(u, v) += val;
+        }
+
+      if (!cholesky_solve(h, grad, dir)) {
+        // Numerical trouble: fall back to a (scaled) gradient step.
+        dir = grad;
+      }
+
+      // Newton decrement (stopping criterion): grad^T dir.
+      double decrement = 0;
+      for (std::size_t v = 0; v < nv; ++v) decrement += grad[v] * dir[v];
+      if (decrement < 1e-12) break;
+
+      // Backtracking line search on the barrier objective.
+      const double base = barrier_value(x, mu);
+      double step = 1.0;
+      std::vector<double> xn(nv);
+      bool moved = false;
+      for (int ls = 0; ls < 60; ++ls, step *= 0.5) {
+        for (std::size_t v = 0; v < nv; ++v) xn[v] = x[v] + step * dir[v];
+        const double val = barrier_value(xn, mu);
+        if (val > base + 1e-4 * step * decrement) {
+          x = xn;
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) break;
+    }
+    mu *= 0.15;
+  }
+
+  // Assemble the solution in original units.
+  PfSolution out;
+  out.path_rate = x;
+  app_sum(x, out.app_rate);
+  out.utility = 0;
+  for (std::size_t a = 0; a < na; ++a)
+    out.utility += p.app_priority[a] * std::log(out.app_rate[a]);
+
+  slacks(x, sl);
+  out.dual.assign(p.capacity.size(), 0.0);
+  double worst = m == 0 ? 0.0 : -kInf;
+  const double mu_last = mu / 0.15;  // μ of the final Newton phase
+  for (std::size_t row = 0; row < m; ++row) {
+    // λ_row = μ / slack (scaled); the row was divided by C, so the price in
+    // original units is λ_scaled / C.
+    out.dual[s.row_of[row]] =
+        mu_last / std::max(sl[row], 1e-300) / p.capacity[s.row_of[row]];
+    // Violation in original units (negative while strictly feasible).
+    worst = std::max(worst, -sl[row] * p.capacity[s.row_of[row]]);
+  }
+  out.max_violation = worst;
+  out.converged = mu * n_constraints <= opt.duality_gap_tol;
+  return out;
+}
+
+double pf_utility(const PfProblem& p, const std::vector<double>& path_rate) {
+  if (path_rate.size() != p.var_count())
+    throw std::invalid_argument("pf_utility: rate vector size mismatch");
+  std::vector<double> sa(p.app_count(), 0.0);
+  for (std::size_t v = 0; v < p.var_count(); ++v)
+    sa[p.var_app[v]] += path_rate[v];
+  double u = 0;
+  for (std::size_t a = 0; a < p.app_count(); ++a) {
+    if (sa[a] <= 0) return -kInf;
+    u += p.app_priority[a] * std::log(sa[a]);
+  }
+  return u;
+}
+
+}  // namespace sparcle

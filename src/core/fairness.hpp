@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+/// \file fairness.hpp
+/// The Best-Effort resource-allocation problem (4) of §IV-C:
+///
+///   maximize  Σ_i P_i log(x_i)   subject to  R X <= C,  X >= 0,
+///
+/// generalized so each application's rate x_i is the *sum* of the rates of
+/// its task-assignment paths (§IV-D multipath provisioning).  Each path is
+/// one variable; its column in R holds the per-unit load it puts on every
+/// network element.  Solved with a log-barrier Newton interior-point
+/// method; the solution reports the dual prices λ so tests can verify the
+/// KKT conditions.
+
+namespace sparcle {
+
+/// The allocation problem in matrix form (rows = network-element capacity
+/// constraints, columns = path-rate variables).
+struct PfProblem {
+  /// Capacity of each constraint row (one per element resource type).
+  std::vector<double> capacity;
+
+  /// Sparse column: (row index, per-unit load) pairs.
+  struct Column {
+    std::vector<std::pair<std::size_t, double>> entries;
+  };
+  std::vector<Column> columns;
+
+  /// Which application each path variable belongs to.
+  std::vector<std::size_t> var_app;
+  /// Priority P_i of each application (all strictly positive).
+  std::vector<double> app_priority;
+
+  std::size_t app_count() const { return app_priority.size(); }
+  std::size_t var_count() const { return columns.size(); }
+};
+
+struct PfOptions {
+  double duality_gap_tol{1e-8};  ///< stop when m*μ (scaled) drops below this
+  int max_newton_steps{400};
+};
+
+struct PfSolution {
+  bool converged{false};
+  std::vector<double> path_rate;  ///< one per variable
+  std::vector<double> app_rate;   ///< Σ of the app's path rates
+  double utility{0.0};            ///< Σ P_i log(app_rate_i)
+  /// Dual price per constraint row (λ of the KKT system), in original units.
+  std::vector<double> dual;
+  /// Largest constraint violation of the returned point (should be <= 0).
+  double max_violation{0.0};
+};
+
+/// Solves the weighted proportional-fairness problem.  Throws
+/// std::invalid_argument on malformed input (empty apps, non-positive
+/// priorities, an application with no variables, or a variable constrained
+/// by a zero-capacity row — such paths must be dropped by the caller).
+PfSolution solve_weighted_pf(const PfProblem& problem,
+                             const PfOptions& options = {});
+
+/// Σ P_i log(Σ paths of i), for reporting utilities of externally chosen
+/// rates (e.g. baseline algorithms in the Fig. 13 benchmark).
+double pf_utility(const PfProblem& problem,
+                  const std::vector<double>& path_rate);
+
+}  // namespace sparcle

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "model/capacity.hpp"
+#include "model/placement.hpp"
+
+/// \file greedy_engine.hpp
+/// Shared machinery for greedy one-CT-at-a-time assignment algorithms:
+/// the γ_{i,j} evaluation of eq. (2), the widest-path TT routing, and the
+/// incremental load bookkeeping.  SPARCLE's Algorithm 2 and the GS/GRand/
+/// Random/T-Storm/VNE/HEFT/Cloud comparators all commit placements through
+/// this engine, so they share identical routing and rate accounting — the
+/// comparisons in the benchmarks isolate CT-placement quality.
+
+namespace sparcle {
+
+class GreedyEngine {
+ public:
+  /// How commit() routes TTs between hosts.
+  enum class Routing {
+    kWidestPath,    ///< Algorithm 1 (load-aware) — SPARCLE and Optimal
+    kShortestHops,  ///< load-oblivious BFS — the non-network-aware baselines
+  };
+
+  /// Binds to the problem (which must outlive the engine).
+  explicit GreedyEngine(const AssignmentProblem& problem,
+                        bool probe_with_min_bits_tt = true,
+                        Routing routing = Routing::kWidestPath);
+
+  const Network& net() const { return *problem_->net; }
+  const TaskGraph& graph() const { return *problem_->graph; }
+  const CapacitySnapshot& capacities() const { return problem_->capacities; }
+
+  bool placed(CtId i) const { return placed_[i] != 0; }
+  std::size_t placed_count() const { return placed_count_; }
+  NcpId host(CtId i) const { return placement_.ct_host(i); }
+  const LoadMap& load() const { return load_; }
+
+  /// γ_{i,j} (eq. (2)): the bottleneck rate placing CT i on NCP j would
+  /// impose given everything committed so far.  0 when NCP j cannot reach
+  /// the host of a placed reachable CT.
+  double gamma(CtId i, NcpId j) const;
+
+  /// argmax_j γ_{i,j}; stores the γ value in *gamma_out when non-null.
+  /// Deterministic tie-break: the lowest NCP index wins.
+  NcpId best_host(CtId i, double* gamma_out = nullptr) const;
+
+  /// Commits CT i to NCP j, booking its load and routing every TT towards
+  /// already-placed direct neighbours along the widest path.
+  void commit(CtId i, NcpId j);
+
+  /// Commits all pinned CTs of the bound problem.
+  void commit_pins();
+
+  /// Finalizes: returns the (possibly incomplete) placement and rate.
+  AssignmentResult finish() &&;
+
+ private:
+  const AssignmentProblem* problem_;
+  bool probe_min_bits_;
+  Routing routing_;
+  Placement placement_;
+  LoadMap load_;
+  std::vector<char> placed_;
+  std::size_t placed_count_{0};
+};
+
+}  // namespace sparcle

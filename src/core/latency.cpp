@@ -1,0 +1,96 @@
+#include "core/latency.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "model/capacity.hpp"
+
+namespace sparcle {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+LatencyEstimate estimate_latency(const Network& net, const TaskGraph& graph,
+                                 const Placement& placement, double rate) {
+  if (rate < 0) throw std::invalid_argument("estimate_latency: rate < 0");
+  std::string err;
+  if (!placement.validate(graph, net, &err))
+    throw std::invalid_argument("estimate_latency: " + err);
+
+  const LoadMap load(net, graph, placement);
+  const CapacitySnapshot cap(net);
+
+  LatencyEstimate est;
+  est.ct_sojourn.assign(graph.ct_count(), 0.0);
+  est.tt_sojourn.assign(graph.tt_count(), 0.0);
+
+  // Per-element utilization at this rate.
+  auto ncp_utilization = [&](NcpId j) {
+    double rho = 0;
+    const ResourceVector& a = load.ncp_load(j);
+    for (std::size_t r = 0; r < a.size(); ++r)
+      if (a[r] > 0 && cap.ncp(j)[r] > 0)
+        rho = std::max(rho, rate * a[r] / cap.ncp(j)[r]);
+      else if (a[r] > 0)
+        rho = kInf;
+    return rho;
+  };
+  auto link_utilization = [&](LinkId l) {
+    const double a = load.link_load(l);
+    if (a <= 0) return 0.0;
+    return cap.link(l) > 0 ? rate * a / cap.link(l) : kInf;
+  };
+
+  est.stable = true;
+  est.bottleneck_utilization = 0.0;
+  auto track = [&](ElementKey e, double rho) {
+    if (rho > est.bottleneck_utilization) {
+      est.bottleneck_utilization = rho;
+      est.bottleneck = e;
+    }
+    if (rho >= 1.0) est.stable = false;
+  };
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j)
+    track(ElementKey::ncp(j), ncp_utilization(j));
+  for (LinkId l = 0; l < static_cast<LinkId>(net.link_count()); ++l)
+    track(ElementKey::link(l), link_utilization(l));
+  if (!est.stable) {
+    est.total = kInf;
+    return est;
+  }
+
+  // PS sojourn of each CT and each TT hop.
+  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i) {
+    const NcpId j = placement.ct_host(i);
+    const ResourceVector& a = graph.ct(i).requirement;
+    double service = 0;
+    for (std::size_t r = 0; r < a.size(); ++r)
+      if (a[r] > 0) service = std::max(service, a[r] / cap.ncp(j)[r]);
+    est.ct_sojourn[i] = service / (1.0 - ncp_utilization(j));
+  }
+  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k) {
+    double sum = 0;
+    for (LinkId l : placement.tt_route(k)) {
+      const double service = graph.tt(k).bits_per_unit / cap.link(l);
+      sum += service / (1.0 - link_utilization(l));
+    }
+    est.tt_sojourn[k] = sum;
+  }
+
+  // Critical path over the DAG: finish(i) = ct_sojourn(i) + max over
+  // inbound TTs of (finish(src) + tt_sojourn).
+  std::vector<double> finish(graph.ct_count(), 0.0);
+  for (CtId i : graph.topological_order()) {
+    double ready = 0;
+    for (TtId k : graph.in_tts(i))
+      ready = std::max(ready, finish[graph.tt(k).src] + est.tt_sojourn[k]);
+    finish[i] = ready + est.ct_sojourn[i];
+  }
+  est.total = 0;
+  for (CtId s : graph.sinks()) est.total = std::max(est.total, finish[s]);
+  return est;
+}
+
+}  // namespace sparcle

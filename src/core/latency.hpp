@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "model/network.hpp"
+#include "model/placement.hpp"
+#include "model/task_graph.hpp"
+
+/// \file latency.hpp
+/// Analytic end-to-end latency estimate for a placed application at a
+/// given processing rate, from the same queueing-network view the paper
+/// uses for its stability argument (§IV-A).
+///
+/// Each element is a processor-sharing station; a task's sojourn there is
+/// estimated with the PS mean-delay form  s / (1 - ρ), where s is the
+/// task's isolated service time on its element and ρ the element's total
+/// utilization at the given rate.  The application latency is the longest
+/// (critical) path through the task DAG of CT sojourns plus per-hop TT
+/// sojourns — the time a data unit needs from source emission until every
+/// sink has finished it, assuming fan-out branches progress in parallel.
+///
+/// This is a mean-value estimate: exact in the light-load limit and a
+/// usable planning number elsewhere (the simulator tests bound its error).
+
+namespace sparcle {
+
+struct LatencyEstimate {
+  /// False when some element would be at or beyond capacity (ρ >= 1); the
+  /// sojourn fields are then meaningless and total is +infinity.
+  bool stable{false};
+  /// Critical-path latency in seconds.
+  double total{0.0};
+  /// Estimated sojourn of each CT at its host (seconds).
+  std::vector<double> ct_sojourn;
+  /// Estimated sojourn of each TT summed over its route hops (seconds).
+  std::vector<double> tt_sojourn;
+  /// The most utilized element and its utilization at this rate.
+  ElementKey bottleneck{};
+  double bottleneck_utilization{0.0};
+};
+
+/// Estimates the latency of running `placement` at `rate` data units/s.
+/// Throws std::invalid_argument on an incomplete placement or a negative
+/// rate.
+LatencyEstimate estimate_latency(const Network& net, const TaskGraph& graph,
+                                 const Placement& placement, double rate);
+
+}  // namespace sparcle

@@ -1,0 +1,57 @@
+#include "core/local_search.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace sparcle {
+
+AssignmentResult refine_placement(const AssignmentProblem& problem,
+                                  const AssignmentResult& start,
+                                  const LocalSearchOptions& options) {
+  if (!start.feasible)
+    throw std::invalid_argument("refine_placement: start is infeasible");
+  const TaskGraph& g = *problem.graph;
+  const std::size_t ncps = problem.net->ncp_count();
+
+  std::vector<NcpId> hosts(g.ct_count());
+  for (CtId i = 0; i < static_cast<CtId>(g.ct_count()); ++i)
+    hosts[i] = start.placement.ct_host(i);
+
+  AssignmentResult best = start;
+  // Re-evaluate the start through the canonical router so move comparisons
+  // are apples-to-apples (the greedy may have routed in a different order).
+  {
+    AssignmentResult re = evaluate_fixed_hosts(problem, hosts);
+    if (re.feasible && re.rate > best.rate) best = std::move(re);
+  }
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool improved = false;
+    for (CtId i = 0; i < static_cast<CtId>(g.ct_count()); ++i) {
+      if (problem.pinned.contains(i)) continue;
+      const NcpId original = hosts[i];
+      NcpId best_host = original;
+      double best_rate = best.rate;
+      AssignmentResult best_move;
+      for (NcpId j = 0; j < static_cast<NcpId>(ncps); ++j) {
+        if (j == original) continue;
+        hosts[i] = j;
+        AssignmentResult cand = evaluate_fixed_hosts(problem, hosts);
+        if (cand.feasible && cand.rate > best_rate + 1e-12) {
+          best_rate = cand.rate;
+          best_host = j;
+          best_move = std::move(cand);
+        }
+      }
+      hosts[i] = best_host;
+      if (best_host != original) {
+        best = std::move(best_move);
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+}  // namespace sparcle

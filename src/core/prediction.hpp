@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "model/capacity.hpp"
+#include "model/ids.hpp"
+#include "model/network.hpp"
+
+/// \file prediction.hpp
+/// Priority-share capacity prediction, eq. (6) of §IV-D.
+///
+/// Before running the task-assignment algorithm for an arriving BE
+/// application J, SPARCLE predicts how much of each element's capacity J
+/// would receive once the proportional-fair allocation (4) runs: on an
+/// element hosting tasks of already-placed BE applications J_n, J's share
+/// is P_J / (P_J + Σ_{J' ∈ J_n} P_{J'})  (Theorem 3; the paper's worked
+/// example — P_b = 2 P_a gives 2/3 C — fixes the denominator convention).
+/// This makes the final allocation approximately independent of arrival
+/// order.
+
+namespace sparcle {
+
+/// A previously placed BE application's footprint.
+struct BePresence {
+  double priority{1.0};
+  /// Every element any of its task-assignment paths uses.
+  std::vector<ElementKey> elements;
+};
+
+/// Returns `base` (capacities already net of GR reservations) with each
+/// element scaled by the arriving application's predicted priority share.
+CapacitySnapshot predict_capacities(const CapacitySnapshot& base,
+                                    const std::vector<BePresence>& placed_be,
+                                    double new_priority);
+
+}  // namespace sparcle

@@ -1,0 +1,476 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "core/availability.hpp"
+#include "core/prediction.hpp"
+
+namespace sparcle {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+}  // namespace
+
+Scheduler::Scheduler(Network net, SchedulerOptions options)
+    : Scheduler(std::move(net),
+                std::make_unique<SparcleAssigner>(options.assigner_options),
+                options) {}
+
+Scheduler::Scheduler(Network net, std::unique_ptr<Assigner> assigner,
+                     SchedulerOptions options)
+    : net_(std::move(net)),
+      options_(options),
+      assigner_(std::move(assigner)),
+      gr_reserved_(LoadMap::zeros(net_)),
+      residual_(net_) {
+  if (!assigner_) throw std::invalid_argument("Scheduler: null assigner");
+  if (options_.max_paths == 0 || options_.max_paths > kMaxExactPaths)
+    throw std::invalid_argument("Scheduler: max_paths out of [1, 12]");
+}
+
+void Scheduler::rebuild_residual() {
+  residual_ = CapacitySnapshot(net_);
+  residual_.subtract_scaled(gr_reserved_, 1.0);
+  std::vector<ElementKey> dead(failed_.begin(), failed_.end());
+  residual_.scale_elements(dead, 0.0);
+}
+
+bool Scheduler::path_alive(const PathInfo& path) const {
+  for (const ElementKey& e : path.elements)
+    if (failed_.contains(e)) return false;
+  return true;
+}
+
+bool Scheduler::remove(const std::string& app_name) {
+  for (std::size_t i = 0; i < placed_.size(); ++i) {
+    if (placed_[i].app.name != app_name) continue;
+    const PlacedApp& pa = placed_[i];
+    if (pa.app.qoe.cls == QoeClass::kGuaranteedRate) {
+      for (std::size_t k = 0; k < pa.paths.size(); ++k)
+        gr_reserved_.add_scaled(pa.paths[k].load, -pa.path_rates[k]);
+    }
+    placed_.erase(placed_.begin() + static_cast<std::ptrdiff_t>(i));
+    rebuild_residual();
+    reallocate_best_effort();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::mark_failed(ElementKey element) {
+  if (!failed_.insert(element).second) return;
+  rebuild_residual();
+  reallocate_best_effort();
+}
+
+void Scheduler::mark_recovered(ElementKey element) {
+  if (failed_.erase(element) == 0) return;
+  rebuild_residual();
+  reallocate_best_effort();
+}
+
+Scheduler::RebalanceReport Scheduler::rebalance() {
+  RebalanceReport report;
+  for (PlacedApp& pa : placed_) {
+    // Partition the app's paths into alive and dead.
+    std::vector<PathInfo> alive;
+    std::vector<double> alive_rates;
+    std::size_t dead = 0;
+    for (std::size_t k = 0; k < pa.paths.size(); ++k) {
+      if (path_alive(pa.paths[k])) {
+        alive.push_back(std::move(pa.paths[k]));
+        alive_rates.push_back(pa.path_rates[k]);
+      } else {
+        ++dead;
+        if (pa.app.qoe.cls == QoeClass::kGuaranteedRate)
+          gr_reserved_.add_scaled(pa.paths[k].load, -pa.path_rates[k]);
+      }
+    }
+    const std::size_t want = pa.paths.size();
+    // The alive paths were moved out above; put them back in either case.
+    pa.paths = std::move(alive);
+    pa.path_rates = std::move(alive_rates);
+    if (dead == 0) continue;
+    rebuild_residual();  // released reservations are available again
+
+    if (pa.app.qoe.cls == QoeClass::kGuaranteedRate) {
+      double alive_rate = 0;
+      for (double r : pa.path_rates) alive_rate += r;
+      const double shortfall = pa.app.qoe.min_rate - alive_rate;
+      if (shortfall > kEps) {
+        double recovered = 0;
+        auto enough = [&](const std::vector<PathInfo>& paths) {
+          recovered = 0;
+          for (const PathInfo& pi : paths) recovered += pi.standalone_rate;
+          return recovered + kEps >= shortfall;
+        };
+        std::vector<PathInfo> extra =
+            find_paths(pa.app, residual_, shortfall, enough);
+        if (recovered + kEps >= shortfall) {
+          for (PathInfo& pi : extra) {
+            gr_reserved_.add_scaled(pi.load, pi.standalone_rate);
+            pa.path_rates.push_back(pi.standalone_rate);
+            pa.paths.push_back(std::move(pi));
+          }
+          rebuild_residual();
+          report.repaired.push_back(pa.app.name);
+        } else {
+          report.still_degraded.push_back(pa.app.name);
+        }
+      }
+      pa.allocated_rate = 0;
+      for (double r : pa.path_rates) pa.allocated_rate += r;
+    } else {
+      // Best-Effort: top back up to the previous path count; rates come
+      // from the PF re-solve below.
+      auto enough = [&](const std::vector<PathInfo>& paths) {
+        return pa.paths.size() + paths.size() >= want;
+      };
+      std::vector<PathInfo> extra = find_paths(
+          pa.app, residual_, std::numeric_limits<double>::infinity(),
+          enough);
+      if (!extra.empty()) report.repaired.push_back(pa.app.name);
+      for (PathInfo& pi : extra) {
+        pa.path_rates.push_back(0.0);
+        pa.paths.push_back(std::move(pi));
+      }
+    }
+  }
+  reallocate_best_effort();
+  return report;
+}
+
+Scheduler::ReoptimizeReport Scheduler::global_reoptimize(
+    double min_utility_gain) {
+  ReoptimizeReport report;
+  report.old_be_utility = be_utility();
+  report.old_gr_rate = total_gr_rate();
+
+  // Snapshot for rollback.
+  const std::vector<PlacedApp> saved_placed = placed_;
+  const LoadMap saved_reserved = gr_reserved_;
+
+  // Re-admission order: GR by descending guarantee, then BE by descending
+  // priority (the order the prediction machinery assumes favours).
+  std::vector<const PlacedApp*> order;
+  for (const PlacedApp& pa : saved_placed) order.push_back(&pa);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const PlacedApp* a, const PlacedApp* b) {
+                     const bool ga =
+                         a->app.qoe.cls == QoeClass::kGuaranteedRate;
+                     const bool gb =
+                         b->app.qoe.cls == QoeClass::kGuaranteedRate;
+                     if (ga != gb) return ga;
+                     if (ga) return a->app.qoe.min_rate > b->app.qoe.min_rate;
+                     return a->app.qoe.priority > b->app.qoe.priority;
+                   });
+
+  placed_.clear();
+  gr_reserved_ = LoadMap::zeros(net_);
+  rebuild_residual();
+
+  bool all_admitted = true;
+  for (const PlacedApp* pa : order) {
+    if (!submit(pa->app).admitted) {
+      all_admitted = false;
+      break;
+    }
+  }
+
+  const double new_utility = be_utility();
+  const double new_gr = total_gr_rate();
+  const bool improves = all_admitted &&
+                        new_gr + kEps >= report.old_gr_rate &&
+                        new_utility >= report.old_be_utility +
+                                           min_utility_gain - kEps &&
+                        new_utility > report.old_be_utility + kEps;
+  if (!improves) {
+    placed_ = saved_placed;
+    gr_reserved_ = saved_reserved;
+    rebuild_residual();
+    reallocate_best_effort();
+    report.new_be_utility = report.old_be_utility;
+    report.new_gr_rate = report.old_gr_rate;
+    return report;
+  }
+
+  // Count migrated CTs (first path host differences, matched by name).
+  for (const PlacedApp& old_pa : saved_placed)
+    for (const PlacedApp& new_pa : placed_) {
+      if (old_pa.app.name != new_pa.app.name) continue;
+      const Placement& before = old_pa.paths[0].placement;
+      const Placement& after = new_pa.paths[0].placement;
+      for (CtId i = 0; i < static_cast<CtId>(before.ct_count()); ++i)
+        if (before.ct_host(i) != after.ct_host(i)) ++report.migrated_cts;
+    }
+  report.adopted = true;
+  report.new_be_utility = new_utility;
+  report.new_gr_rate = new_gr;
+  return report;
+}
+
+std::vector<std::string> Scheduler::degraded_gr_apps() const {
+  std::vector<std::string> degraded;
+  for (const PlacedApp& pa : placed_) {
+    if (pa.app.qoe.cls != QoeClass::kGuaranteedRate) continue;
+    double alive_rate = 0;
+    for (std::size_t k = 0; k < pa.paths.size(); ++k)
+      if (path_alive(pa.paths[k])) alive_rate += pa.path_rates[k];
+    if (alive_rate + kEps < pa.app.qoe.min_rate)
+      degraded.push_back(pa.app.name);
+  }
+  return degraded;
+}
+
+AdmissionResult Scheduler::submit(const Application& app) {
+  app.validate();
+  return app.qoe.cls == QoeClass::kBestEffort ? submit_best_effort(app)
+                                              : submit_guaranteed_rate(app);
+}
+
+std::vector<PathInfo> Scheduler::find_paths(const Application& app,
+                                            const CapacitySnapshot& start,
+                                            double rate_cap,
+                                            const StopPredicate& enough) const {
+  ProvisioningOptions opts;
+  opts.max_paths = options_.max_paths;
+  opts.diversity = options_.path_diversity;
+  opts.overlap_penalty = options_.overlap_penalty;
+  opts.rate_cap = rate_cap;
+  return provision_paths(net_, *app.graph, app.pinned, start, *assigner_,
+                         opts, enough);
+}
+
+AdmissionResult Scheduler::submit_best_effort(const Application& app) {
+  AdmissionResult result;
+
+  // Step 1 (Fig. 3): predict the capacities this app's priority earns it,
+  // on top of what GR reservations left behind.
+  std::vector<BePresence> presences;
+  for (const PlacedApp& pa : placed_) {
+    if (pa.app.qoe.cls != QoeClass::kBestEffort) continue;
+    BePresence pres;
+    pres.priority = pa.app.qoe.priority;
+    for (const PathInfo& pi : pa.paths)
+      pres.elements.insert(pres.elements.end(), pi.elements.begin(),
+                           pi.elements.end());
+    presences.push_back(std::move(pres));
+  }
+  const CapacitySnapshot effective =
+      options_.use_prediction
+          ? predict_capacities(residual_, presences, app.qoe.priority)
+          : residual_;
+
+  // Steps 2-3: add task-assignment paths until the availability target.
+  const double target = app.qoe.availability;
+  double achieved = 0.0;
+  auto enough = [&](const std::vector<PathInfo>& paths) {
+    std::vector<std::vector<ElementKey>> element_sets;
+    for (const PathInfo& pi : paths) element_sets.push_back(pi.elements);
+    const double prev = achieved;
+    achieved = availability_any(net_, element_sets);
+    if (achieved + kEps >= target) return true;
+    // Stagnation: an extra path that reuses the same elements cannot help.
+    return paths.size() > 1 && achieved <= prev + kEps;
+  };
+  std::vector<PathInfo> paths = find_paths(app, effective, kInf, enough);
+
+  if (paths.empty()) {
+    result.reason = "no feasible task-assignment path";
+    return result;
+  }
+  if (achieved + kEps < target) {
+    result.reason = "availability target not reachable (achieved " +
+                    std::to_string(achieved) + ")";
+    return result;
+  }
+
+  // Steps 4-5: commit tentatively, re-solve the PF allocation (4).
+  PlacedApp placed;
+  placed.app = app;
+  placed.paths = std::move(paths);
+  placed.path_rates.assign(placed.paths.size(), 0.0);
+  placed_.push_back(std::move(placed));
+  if (!reallocate_best_effort()) {
+    placed_.pop_back();
+    reallocate_best_effort();  // restore previous rates
+    result.reason = "resource allocation failed";
+    return result;
+  }
+
+  const PlacedApp& committed = placed_.back();
+  result.admitted = true;
+  result.path_count = committed.paths.size();
+  result.rate = committed.allocated_rate;
+  result.availability = achieved;
+  return result;
+}
+
+AdmissionResult Scheduler::submit_guaranteed_rate(const Application& app) {
+  AdmissionResult result;
+  const double min_rate = app.qoe.min_rate;
+  const double target = app.qoe.min_rate_availability;
+
+  double achieved = 0.0;
+  auto enough = [&](const std::vector<PathInfo>& paths) {
+    std::vector<std::vector<ElementKey>> element_sets;
+    std::vector<double> rates;
+    double sum = 0;
+    for (const PathInfo& pi : paths) {
+      element_sets.push_back(pi.elements);
+      rates.push_back(pi.standalone_rate);
+      sum += pi.standalone_rate;
+    }
+    if (target <= 0) {
+      // Pure rate request: availability is the probability the rate is met
+      // assuming everything up, i.e. 1 iff the aggregate reaches R_J.
+      achieved = sum + kEps >= min_rate ? 1.0 : 0.0;
+      return achieved > 0;
+    }
+    achieved = min_rate_availability(net_, element_sets, rates, min_rate);
+    return achieved + kEps >= target;
+  };
+  std::vector<PathInfo> paths = find_paths(app, residual_, min_rate, enough);
+
+  if (paths.empty()) {
+    result.reason = "no feasible task-assignment path";
+    return result;
+  }
+  const bool met = target <= 0 ? achieved > 0 : achieved + kEps >= target;
+  if (!met) {
+    result.reason =
+        target <= 0
+            ? "requested rate not reachable with the available paths"
+            : "min-rate availability not reachable (achieved " +
+                  std::to_string(achieved) + ")";
+    return result;
+  }
+
+  // Admit: reserve every path's resources permanently (§IV-C: guaranteed
+  // resources are not shared with later arrivals).
+  PlacedApp placed;
+  placed.app = app;
+  placed.allocated_rate = 0;
+  for (PathInfo& pi : paths) {
+    gr_reserved_.add_scaled(pi.load, pi.standalone_rate);
+    placed.path_rates.push_back(pi.standalone_rate);
+    placed.allocated_rate += pi.standalone_rate;
+  }
+  placed.paths = std::move(paths);
+  placed_.push_back(std::move(placed));
+  rebuild_residual();
+
+  // The BE pool shrank: re-run the PF allocation over the survivors.
+  reallocate_best_effort();
+
+  result.admitted = true;
+  result.path_count = placed_.back().paths.size();
+  result.rate = placed_.back().allocated_rate;
+  result.availability = target <= 0 ? 1.0 : achieved;
+  return result;
+}
+
+bool Scheduler::reallocate_best_effort() {
+  // Row layout: NCP j resource r -> j*R + r; link l -> ncp_count*R + l.
+  const std::size_t nr = net_.schema().size();
+  const std::size_t ncp_rows = net_.ncp_count() * nr;
+  const std::size_t rows = ncp_rows + net_.link_count();
+
+  PfProblem pf;
+  pf.capacity.assign(rows, 0.0);
+  for (NcpId j = 0; j < static_cast<NcpId>(net_.ncp_count()); ++j)
+    for (std::size_t r = 0; r < nr; ++r)
+      pf.capacity[j * nr + r] = residual_.ncp(j)[r];
+  for (LinkId l = 0; l < static_cast<LinkId>(net_.link_count()); ++l)
+    pf.capacity[ncp_rows + l] = residual_.link(l);
+
+  struct VarRef {
+    std::size_t placed_index;
+    std::size_t path_index;
+  };
+  std::vector<VarRef> var_refs;
+  std::vector<std::size_t> app_of_placed(placed_.size(), SIZE_MAX);
+
+  for (std::size_t pi = 0; pi < placed_.size(); ++pi) {
+    PlacedApp& pa = placed_[pi];
+    if (pa.app.qoe.cls != QoeClass::kBestEffort) continue;
+    // Reset; surviving variables are written back after the solve.
+    pa.allocated_rate = 0;
+    std::fill(pa.path_rates.begin(), pa.path_rates.end(), 0.0);
+
+    bool app_has_variable = false;
+    for (std::size_t k = 0; k < pa.paths.size(); ++k) {
+      PfProblem::Column col;
+      // A path is unusable when any element it touches failed — including
+      // transit NCPs, which carry no load but must forward the stream.
+      bool blocked = !path_alive(pa.paths[k]);
+      const LoadMap& load = pa.paths[k].load;
+      for (NcpId j = 0; j < static_cast<NcpId>(net_.ncp_count()); ++j)
+        for (std::size_t r = 0; r < nr; ++r) {
+          const double a = load.ncp_load(j)[r];
+          if (a <= 0) continue;
+          if (pf.capacity[j * nr + r] <= 0) blocked = true;
+          col.entries.emplace_back(j * nr + r, a);
+        }
+      for (LinkId l = 0; l < static_cast<LinkId>(net_.link_count()); ++l) {
+        const double a = load.link_load(l);
+        if (a <= 0) continue;
+        if (pf.capacity[ncp_rows + l] <= 0) blocked = true;
+        col.entries.emplace_back(ncp_rows + l, a);
+      }
+      if (blocked) continue;  // a GR reservation starved this path: rate 0
+      if (!app_has_variable) {
+        app_of_placed[pi] = pf.app_priority.size();
+        pf.app_priority.push_back(pa.app.qoe.priority);
+        app_has_variable = true;
+      }
+      pf.columns.push_back(std::move(col));
+      pf.var_app.push_back(app_of_placed[pi]);
+      var_refs.push_back({pi, k});
+    }
+  }
+
+  if (pf.columns.empty()) return true;  // no BE paths to allocate
+
+  PfSolution sol;
+  try {
+    sol = solve_weighted_pf(pf);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (sol.max_violation > 1e-6) return false;
+
+  for (std::size_t v = 0; v < var_refs.size(); ++v) {
+    PlacedApp& pa = placed_[var_refs[v].placed_index];
+    pa.path_rates[var_refs[v].path_index] = sol.path_rate[v];
+    pa.allocated_rate += sol.path_rate[v];
+  }
+  return true;
+}
+
+double Scheduler::be_utility() const {
+  double u = 0;
+  bool any = false;
+  for (const PlacedApp& pa : placed_) {
+    if (pa.app.qoe.cls != QoeClass::kBestEffort) continue;
+    any = true;
+    if (pa.allocated_rate <= 0) return -kInf;
+    u += pa.app.qoe.priority * std::log(pa.allocated_rate);
+  }
+  return any ? u : 0.0;
+}
+
+double Scheduler::total_gr_rate() const {
+  double total = 0;
+  for (const PlacedApp& pa : placed_)
+    if (pa.app.qoe.cls == QoeClass::kGuaranteedRate)
+      total += pa.allocated_rate;
+  return total;
+}
+
+}  // namespace sparcle

@@ -1,0 +1,182 @@
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/fairness.hpp"
+#include "core/provisioning.hpp"
+#include "core/sparcle_assigner.hpp"
+#include "model/application.hpp"
+#include "model/capacity.hpp"
+#include "model/network.hpp"
+#include "model/placement.hpp"
+
+/// \file scheduler.hpp
+/// The complete SPARCLE system of Fig. 3: applications arrive over time and
+/// are admitted (with one or more task-assignment paths) or rejected.
+///
+/// Best-Effort flow:  predict per-element capacities from priorities
+/// (eq. (6)) → run the task-assignment algorithm → add paths until the
+/// requested availability is met → re-solve the proportional-fair
+/// allocation (4) across all placed BE applications.
+///
+/// Guaranteed-Rate flow:  iteratively find paths on residual capacities,
+/// evaluate the min-rate availability via subset-sum + eq. (7), and admit
+/// (permanently reserving the paths' resources) once the requested QoE is
+/// met — otherwise reject without mutating any state.
+
+namespace sparcle {
+
+/// A placed application and its allocation.
+struct PlacedApp {
+  Application app;
+  std::vector<PathInfo> paths;
+  /// Total allocated processing rate: the PF solution for BE apps (updated
+  /// on every admission), the reserved rate for GR apps.
+  double allocated_rate{0.0};
+  /// Per-path allocated rates, aligned with `paths`.
+  std::vector<double> path_rates;
+};
+
+/// Outcome of a submit() call.
+struct AdmissionResult {
+  bool admitted{false};
+  std::string reason;
+  std::size_t path_count{0};
+  double rate{0.0};          ///< allocated (GR: reserved) total rate
+  double availability{0.0};  ///< achieved (min-rate) availability estimate
+};
+
+struct SchedulerOptions {
+  /// Cap on task-assignment paths per application.
+  std::size_t max_paths{4};
+  /// Apply the eq. (6) priority prediction before BE assignment (ablation
+  /// switch; the paper's system always predicts).
+  bool use_prediction{true};
+  /// How additional paths are searched (§IV-D residual loop, or the
+  /// overlap-penalizing diversity extension — see provisioning.hpp).
+  PathDiversity path_diversity{PathDiversity::kResidualOnly};
+  double overlap_penalty{0.3};
+  /// Options forwarded to the default SPARCLE assigner.
+  SparcleAssignerOptions assigner_options{};
+};
+
+/// The admission-control scheduler.  Thread-compatible (external
+/// synchronization required for concurrent use).
+class Scheduler {
+ public:
+  /// Uses SPARCLE's own assignment algorithm.
+  explicit Scheduler(Network net, SchedulerOptions options = {});
+
+  /// Uses a caller-supplied assignment algorithm (lets the multi-app
+  /// benchmarks drive the identical admission pipeline with baselines).
+  Scheduler(Network net, std::unique_ptr<Assigner> assigner,
+            SchedulerOptions options = {});
+
+  /// Admits or rejects one arriving application.
+  AdmissionResult submit(const Application& app);
+
+  /// Removes a placed application (it finished or departed).  GR
+  /// reservations are released and the Best-Effort allocation is re-solved
+  /// over the survivors.  Returns false if no app with that name is placed.
+  bool remove(const std::string& app_name);
+
+  /// Marks a network element failed: its capacity drops to zero for all
+  /// future assignment and allocation decisions, BE paths crossing it stop
+  /// receiving rate (the PF solve is re-run), and GR applications whose
+  /// surviving paths no longer reach their minimum rate show up in
+  /// degraded_gr_apps().  Models the network dynamics of §III-B; idempotent.
+  void mark_failed(ElementKey element);
+
+  /// Clears a previous mark_failed(); re-solves the BE allocation.
+  void mark_recovered(ElementKey element);
+
+  /// Names of GR applications whose currently-alive paths sum below their
+  /// guaranteed minimum rate (given the marked failures).
+  std::vector<std::string> degraded_gr_apps() const;
+
+  /// Outcome of a rebalance() pass.
+  struct RebalanceReport {
+    /// Apps that had dead paths replaced (GR: guarantee restored).
+    std::vector<std::string> repaired;
+    /// GR apps still below their guarantee after the pass.
+    std::vector<std::string> still_degraded;
+  };
+
+  /// Repairs applications hurt by marked failures — the "network resource
+  /// fluctuation" the paper defers to future work.  Dead paths (crossing a
+  /// failed element) are dropped: GR reservations on them are released and
+  /// replacement paths are provisioned on the surviving capacity to
+  /// restore the guaranteed rate; BE apps get replacement paths up to
+  /// their previous path count.  Finishes with a fresh PF allocation.
+  RebalanceReport rebalance();
+
+  /// Outcome of a global_reoptimize() attempt.
+  struct ReoptimizeReport {
+    bool adopted{false};
+    double old_be_utility{0.0}, new_be_utility{0.0};
+    double old_gr_rate{0.0}, new_gr_rate{0.0};
+    /// CTs whose host changed between the old and new first paths.
+    std::size_t migrated_cts{0};
+  };
+
+  /// What-if global re-optimization (extension): replace every placed
+  /// application from scratch — GR apps first (largest guarantee first),
+  /// then BE apps in descending priority — and adopt the new plan only if
+  /// every app is still admitted, no guaranteed rate shrinks, and the BE
+  /// utility improves by at least `min_utility_gain`; otherwise the
+  /// current state is restored untouched.  The paper freezes placements
+  /// because migration is costly (§IV intro); the report's migrated_cts
+  /// counts that cost so operators can weigh it.
+  ReoptimizeReport global_reoptimize(double min_utility_gain = 0.0);
+
+  const Network& network() const { return net_; }
+  const std::vector<PlacedApp>& placed() const { return placed_; }
+
+  /// Residual capacities after all GR reservations and marked failures
+  /// (BE apps do not reserve).
+  const CapacitySnapshot& gr_residual_capacities() const { return residual_; }
+
+  /// Σ P_i log(x_i) over placed BE applications under the current
+  /// allocation; -inf if any BE app currently has rate 0.
+  double be_utility() const;
+
+  /// Total reserved rate over admitted GR applications.
+  double total_gr_rate() const;
+
+ private:
+  AdmissionResult submit_best_effort(const Application& app);
+  AdmissionResult submit_guaranteed_rate(const Application& app);
+
+  /// Finds up to `max_paths` paths for `app` on top of `start` capacities,
+  /// stopping early when `enough(paths)` returns true (delegates to
+  /// provision_paths with this scheduler's diversity options).
+  std::vector<PathInfo> find_paths(const Application& app,
+                                   const CapacitySnapshot& start,
+                                   double rate_cap,
+                                   const StopPredicate& enough) const;
+
+  /// Re-solves problem (4) over all placed BE applications and updates
+  /// their allocated rates.  Returns false if the solve failed.
+  bool reallocate_best_effort();
+
+  /// Recomputes residual_ = full capacities - GR reservations, with the
+  /// failed elements zeroed.
+  void rebuild_residual();
+
+  /// True when every element the path touches is currently alive.
+  bool path_alive(const PathInfo& path) const;
+
+  Network net_;
+  SchedulerOptions options_;
+  std::unique_ptr<Assigner> assigner_;
+  LoadMap gr_reserved_;        ///< Σ over GR paths of rate * per-unit load
+  std::set<ElementKey> failed_;
+  CapacitySnapshot residual_;  ///< see rebuild_residual()
+  std::vector<PlacedApp> placed_;
+};
+
+}  // namespace sparcle

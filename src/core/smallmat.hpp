@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+/// \file smallmat.hpp
+/// Minimal dense linear algebra for the interior-point fairness solver:
+/// a row-major matrix and a Cholesky solve for symmetric positive-definite
+/// systems.  Sized for the small Newton systems (tens of variables) the
+/// resource-allocation problem produces; not a general-purpose BLAS.
+
+namespace sparcle {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky
+/// factorization (A is not modified).  Returns false when A is not
+/// (numerically) positive definite.
+bool cholesky_solve(const Matrix& a, const std::vector<double>& b,
+                    std::vector<double>& x);
+
+}  // namespace sparcle

@@ -1,0 +1,109 @@
+#include "core/sparcle_assigner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/greedy_engine.hpp"
+#include "core/local_search.hpp"
+
+namespace sparcle {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+AssignmentResult SparcleAssigner::assign(
+    const AssignmentProblem& problem) const {
+  using Ranking = SparcleAssignerOptions::Ranking;
+  if (options_.ranking == Ranking::kBestOfBoth) {
+    SparcleAssignerOptions a = options_, b = options_;
+    a.ranking = Ranking::kMostConstrainedFirst;
+    b.ranking = Ranking::kLeastConstrainedFirst;
+    a.local_search_rounds = b.local_search_rounds = 0;  // refine once below
+    AssignmentResult ra = SparcleAssigner(a).assign(problem);
+    AssignmentResult rb = SparcleAssigner(b).assign(problem);
+    AssignmentResult best;
+    if (!ra.feasible)
+      best = std::move(rb);
+    else if (!rb.feasible)
+      best = std::move(ra);
+    else
+      best = ra.rate >= rb.rate ? std::move(ra) : std::move(rb);
+    if (best.feasible && options_.local_search_rounds > 0)
+      best = refine_placement(problem, best,
+                              {options_.local_search_rounds});
+    return best;
+  }
+  GreedyEngine engine(problem, options_.probe_with_min_bits_tt);
+  engine.commit_pins();  // Alg. 2 lines 3-5
+
+  const std::size_t total = engine.graph().ct_count();
+
+  // Static-ranking ablation: the CT order is frozen after the first
+  // evaluation round; hosts are still chosen against current loads.
+  std::vector<CtId> static_order;
+  bool order_frozen = false;
+
+  while (engine.placed_count() < total) {
+    CtId chosen = kInvalidId;
+    NcpId chosen_host = kInvalidId;
+
+    const bool most_constrained =
+        options_.ranking == Ranking::kMostConstrainedFirst;
+    if (options_.dynamic_ranking || !order_frozen) {
+      // Lines 7-16: evaluate every unplaced CT's best host, then pick a CT
+      // by its best-host γ (see SparcleAssignerOptions on the direction).
+      double chosen_gamma = most_constrained ? kInf : -kInf;
+      std::vector<std::pair<double, CtId>> ranked;
+      for (CtId i = 0; i < static_cast<CtId>(total); ++i) {
+        if (engine.placed(i)) continue;
+        double gi = -kInf;
+        const NcpId ji = engine.best_host(i, &gi);
+        ranked.emplace_back(gi, i);
+        const bool better =
+            most_constrained ? gi < chosen_gamma : gi > chosen_gamma;
+        if (better) {
+          chosen_gamma = gi;
+          chosen = i;
+          chosen_host = ji;
+        }
+      }
+      if (!options_.dynamic_ranking) {
+        std::sort(ranked.begin(), ranked.end());
+        if (!most_constrained)
+          std::reverse(ranked.begin(), ranked.end());
+        for (const auto& [g, i] : ranked) static_order.push_back(i);
+        order_frozen = true;
+      }
+    }
+
+    if (!options_.dynamic_ranking) {
+      chosen = kInvalidId;
+      for (CtId i : static_order) {
+        if (!engine.placed(i)) {
+          chosen = i;
+          break;
+        }
+      }
+      if (chosen != kInvalidId) chosen_host = engine.best_host(chosen);
+    }
+
+    if (chosen == kInvalidId || chosen_host == kInvalidId) {
+      AssignmentResult r;
+      r.message = "no placeable CT (disconnected network?)";
+      return r;
+    }
+    engine.commit(chosen, chosen_host);
+  }
+
+  AssignmentResult result = std::move(engine).finish();
+  if (result.feasible && options_.local_search_rounds > 0)
+    result =
+        refine_placement(problem, result, {options_.local_search_rounds});
+  return result;
+}
+
+}  // namespace sparcle

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "model/capacity.hpp"
+#include "model/ids.hpp"
+#include "model/network.hpp"
+#include "model/placement.hpp"
+
+/// \file widest_path.hpp
+/// Algorithm 1: the modified Dijkstra that finds the best path for a TT —
+/// the path whose minimum link weight is maximal, where the weight of link
+/// l is the processing rate the TT would see on it:
+///   weight(l) = C_l^(b) / (a_k^(b) + Σ_{TTs already on l} a^(b)).
+
+namespace sparcle {
+
+/// Result of a widest (maximum-bottleneck) path query.
+struct WidestPathResult {
+  bool reachable{false};
+  /// The max-min weight along the path; +infinity when from == to.
+  double width{0.0};
+  /// Links from source to destination, in hop order; empty when from == to.
+  std::vector<LinkId> links;
+};
+
+/// Generic widest path between two NCPs under an arbitrary per-link weight.
+/// Links with non-positive weight are unusable.  Deterministic tie-break
+/// (lower NCP index wins among equal widths).
+WidestPathResult widest_path(const Network& net, NcpId from, NcpId to,
+                             const std::function<double(LinkId)>& weight);
+
+/// Algorithm 1 proper: the best path P*_k(from, to) for a TT carrying
+/// `tt_bits` per data unit, given residual `cap` and the bits already
+/// placed on each link in `load` (eq. (3)).
+WidestPathResult best_tt_path(const Network& net, const CapacitySnapshot& cap,
+                              const LoadMap& load, double tt_bits, NcpId from,
+                              NcpId to);
+
+/// Load-oblivious hop-count shortest path (BFS, deterministic tie-break).
+/// This is the routing the non-network-aware baselines use; `reachable`
+/// is false when the NCPs are disconnected.  `width` reports the minimum
+/// raw bandwidth along the route (informational).
+WidestPathResult shortest_hop_path(const Network& net, NcpId from, NcpId to);
+
+}  // namespace sparcle

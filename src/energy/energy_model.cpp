@@ -1,0 +1,68 @@
+#include "energy/energy_model.hpp"
+
+#include <stdexcept>
+
+namespace sparcle {
+
+EnergyModel::EnergyModel(const Network& net, DevicePowerProfile profile)
+    : net_(&net), profiles_(net.ncp_count(), profile) {}
+
+EnergyModel::EnergyModel(const Network& net,
+                         std::vector<DevicePowerProfile> profiles)
+    : net_(&net), profiles_(std::move(profiles)) {
+  if (profiles_.size() != net.ncp_count())
+    throw std::invalid_argument("EnergyModel: one profile per NCP required");
+}
+
+double EnergyModel::total_power(const TaskGraph& graph,
+                                const Placement& placement, double rate,
+                                std::size_t cpu_resource) const {
+  if (rate < 0) throw std::invalid_argument("total_power: negative rate");
+
+  // CPU load per NCP (resource `cpu_resource` only).
+  std::vector<double> cpu_load(net_->ncp_count(), 0.0);
+  std::vector<char> hosts_ct(net_->ncp_count(), 0);
+  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i) {
+    const NcpId j = placement.ct_host(i);
+    if (j == kInvalidId)
+      throw std::invalid_argument("total_power: incomplete placement");
+    hosts_ct[j] = 1;
+    cpu_load[j] += graph.ct(i).requirement[cpu_resource];
+  }
+
+  double power = 0.0;
+  for (NcpId j = 0; j < static_cast<NcpId>(net_->ncp_count()); ++j) {
+    if (!hosts_ct[j]) continue;
+    const double capacity = net_->ncp(j).capacity[cpu_resource];
+    const double utilization =
+        capacity > 0 ? std::min(1.0, rate * cpu_load[j] / capacity) : 0.0;
+    power += profiles_[j].idle_watts +
+             profiles_[j].cpu_full_load_watts * utilization;
+  }
+
+  // Radio power: each link hop charges the sender's tx and the receiver's
+  // rx coefficient.  Routes are undirected link lists, so attribute the
+  // mean of the two endpoints' coefficients per direction.
+  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k) {
+    const double bps = rate * graph.tt(k).bits_per_unit;
+    for (LinkId l : placement.tt_route(k)) {
+      const Link& link = net_->link(l);
+      const double tx = 0.5 * (profiles_[link.a].tx_watts_per_bps +
+                               profiles_[link.b].tx_watts_per_bps);
+      const double rx = 0.5 * (profiles_[link.a].rx_watts_per_bps +
+                               profiles_[link.b].rx_watts_per_bps);
+      power += (tx + rx) * bps;
+    }
+  }
+  return power;
+}
+
+double EnergyModel::energy_efficiency(const TaskGraph& graph,
+                                      const Placement& placement, double rate,
+                                      std::size_t cpu_resource) const {
+  if (!(rate > 0)) return 0.0;
+  const double power = total_power(graph, placement, rate, cpu_resource);
+  return power > 0 ? rate / power : 0.0;
+}
+
+}  // namespace sparcle

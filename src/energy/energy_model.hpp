@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "model/ids.hpp"
+#include "model/network.hpp"
+#include "model/placement.hpp"
+#include "model/task_graph.hpp"
+
+/// \file energy_model.hpp
+/// The device energy model of §V-B (Fig. 9): CPU power proportional to
+/// utilization (Chen et al., SIGMETRICS 2015) and radio power proportional
+/// to the transmission rate (Huang et al., MobiSys 2012).
+///
+/// For a placement running at rate x:
+///   * an NCP hosting CTs draws  idle + full_load · u  watts, where u is
+///     its CPU utilization  x · Σ a^(cpu) / C^(cpu);
+///   * each link carrying TTs draws  (tx + rx) · x · Σ bits  watts via the
+///     per-bit radio coefficients of its two endpoints.
+/// Idle power is charged only to NCPs that host at least one CT (devices
+/// that must stay awake for the application).
+///
+/// Energy efficiency is the paper's metric: data units processed per Joule
+/// = x / total_power.
+
+namespace sparcle {
+
+/// Per-device power coefficients.  Defaults are of smartphone order:
+/// ~2.5 W at full CPU load, ~0.5 W idle, and ~1 W per 10 Mbps of radio
+/// traffic in each direction.
+struct DevicePowerProfile {
+  double idle_watts{0.5};
+  double cpu_full_load_watts{2.5};
+  double tx_watts_per_bps{1e-7};
+  double rx_watts_per_bps{1e-7};
+};
+
+class EnergyModel {
+ public:
+  /// Every NCP gets `profile`.
+  EnergyModel(const Network& net, DevicePowerProfile profile = {});
+  /// Per-NCP profiles (size must equal the NCP count).
+  EnergyModel(const Network& net, std::vector<DevicePowerProfile> profiles);
+
+  /// Total power (watts) drawn by `placement` running at `rate`.
+  /// The cpu utilization uses resource type `cpu_resource` (default 0).
+  double total_power(const TaskGraph& graph, const Placement& placement,
+                     double rate, std::size_t cpu_resource = 0) const;
+
+  /// Data units processed per Joule: rate / total_power.
+  double energy_efficiency(const TaskGraph& graph, const Placement& placement,
+                           double rate, std::size_t cpu_resource = 0) const;
+
+ private:
+  const Network* net_;
+  std::vector<DevicePowerProfile> profiles_;
+};
+
+}  // namespace sparcle

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "model/ids.hpp"
+#include "model/task_graph.hpp"
+
+/// \file application.hpp
+/// A stream-processing application request: a task graph plus the QoE
+/// contract of §III-A (Best-Effort priority / availability, or
+/// Guaranteed-Rate minimum rate / min-rate availability) and the pinning
+/// of its source and sink CTs to predetermined hosts (footnote 1).
+
+namespace sparcle {
+
+/// QoE service class (§III-A).
+enum class QoeClass {
+  kBestEffort,      ///< no rate floor; weighted-proportional-fair share
+  kGuaranteedRate,  ///< minimum rate for a minimum fraction of time
+};
+
+/// The QoE contract an application requests.
+struct QoeSpec {
+  QoeClass cls{QoeClass::kBestEffort};
+
+  // Best-Effort fields.
+  double priority{1.0};          ///< P_j, relative weight among BE apps
+  double availability{0.0};      ///< A_j, required P(>=1 path works); 0 = none
+
+  // Guaranteed-Rate fields.
+  double min_rate{0.0};              ///< R_j, data units per second
+  double min_rate_availability{0.0}; ///< A_j, required P(rate >= R_j)
+
+  static QoeSpec best_effort(double priority, double availability = 0.0) {
+    QoeSpec q;
+    q.cls = QoeClass::kBestEffort;
+    q.priority = priority;
+    q.availability = availability;
+    return q;
+  }
+  static QoeSpec guaranteed_rate(double min_rate,
+                                 double min_rate_availability) {
+    QoeSpec q;
+    q.cls = QoeClass::kGuaranteedRate;
+    q.min_rate = min_rate;
+    q.min_rate_availability = min_rate_availability;
+    return q;
+  }
+};
+
+/// An application request.  The task graph is shared (several scheduler
+/// components hold references to it while paths accumulate).
+struct Application {
+  std::string name;
+  std::shared_ptr<const TaskGraph> graph;
+  QoeSpec qoe;
+  /// Predetermined hosts: typically every source CT (camera/sensor site)
+  /// and every sink CT (result consumer) must appear here.
+  std::map<CtId, NcpId> pinned;
+
+  /// Validates that the graph is finalized and that all sources and sinks
+  /// are pinned; throws std::invalid_argument otherwise.
+  void validate() const {
+    if (!graph || !graph->finalized())
+      throw std::invalid_argument("application '" + name +
+                                  "' has no finalized task graph");
+    for (CtId s : graph->sources())
+      if (!pinned.contains(s))
+        throw std::invalid_argument("application '" + name +
+                                    "': source CT '" + graph->ct(s).name +
+                                    "' is not pinned to a data source NCP");
+    for (CtId s : graph->sinks())
+      if (!pinned.contains(s))
+        throw std::invalid_argument("application '" + name + "': sink CT '" +
+                                    graph->ct(s).name +
+                                    "' is not pinned to a consumer NCP");
+    if (qoe.cls == QoeClass::kBestEffort && qoe.priority <= 0)
+      throw std::invalid_argument("application '" + name +
+                                  "': BE priority must be positive");
+    if (qoe.cls == QoeClass::kGuaranteedRate && qoe.min_rate <= 0)
+      throw std::invalid_argument("application '" + name +
+                                  "': GR min rate must be positive");
+  }
+};
+
+}  // namespace sparcle

@@ -1,0 +1,108 @@
+#include "model/dot_export.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace sparcle {
+
+namespace {
+
+/// DOT-quotes an identifier.
+std::string q(const std::string& s) { return "\"" + s + "\""; }
+
+std::string capacity_label(const ResourceVector& v) {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < v.size(); ++r) {
+    if (r) os << "/";
+    os << v[r];
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string network_to_dot(const Network& net) {
+  std::ostringstream os;
+  os << "graph network {\n  node [shape=box];\n";
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j) {
+    const Ncp& n = net.ncp(j);
+    os << "  " << q(n.name) << " [label=" << q(n.name + "\\ncap " +
+                                               capacity_label(n.capacity))
+       << "];\n";
+  }
+  for (LinkId l = 0; l < static_cast<LinkId>(net.link_count()); ++l) {
+    const Link& lk = net.link(l);
+    os << "  " << q(net.ncp(lk.a).name) << " -- " << q(net.ncp(lk.b).name)
+       << " [label="
+       << q(lk.name + (lk.directed ? " (directed)" : "") + "\\n" +
+            std::to_string(lk.bandwidth))
+       << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string task_graph_to_dot(const TaskGraph& graph) {
+  std::ostringstream os;
+  os << "digraph taskgraph {\n  node [shape=ellipse];\n";
+  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i) {
+    const ComputeTask& ct = graph.ct(i);
+    os << "  " << q(ct.name) << " [label="
+       << q(ct.name + "\\nreq " + capacity_label(ct.requirement)) << "];\n";
+  }
+  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k) {
+    const TransportTask& tt = graph.tt(k);
+    os << "  " << q(graph.ct(tt.src).name) << " -> "
+       << q(graph.ct(tt.dst).name) << " [label="
+       << q(tt.name + "\\n" + std::to_string(tt.bits_per_unit) + " bits")
+       << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string placement_to_dot(const Network& net, const TaskGraph& graph,
+                             const Placement& placement) {
+  // Hosted CTs per NCP.
+  std::map<NcpId, std::string> hosted;
+  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i) {
+    const NcpId j = placement.ct_host(i);
+    if (j == kInvalidId) continue;
+    std::string& s = hosted[j];
+    if (!s.empty()) s += ", ";
+    s += graph.ct(i).name;
+  }
+  // TTs per link.
+  std::map<LinkId, std::string> carried;
+  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k)
+    for (LinkId l : placement.tt_route(k)) {
+      std::string& s = carried[l];
+      if (!s.empty()) s += ", ";
+      s += graph.tt(k).name;
+    }
+
+  std::ostringstream os;
+  os << "graph placement {\n  node [shape=box];\n";
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j) {
+    const Ncp& n = net.ncp(j);
+    std::string label = n.name;
+    const auto it = hosted.find(j);
+    if (it != hosted.end()) label += "\\n[" + it->second + "]";
+    os << "  " << q(n.name) << " [label=" << q(label)
+       << (it != hosted.end() ? ", style=filled, fillcolor=lightblue" : "")
+       << "];\n";
+  }
+  for (LinkId l = 0; l < static_cast<LinkId>(net.link_count()); ++l) {
+    const Link& lk = net.link(l);
+    std::string label = lk.name;
+    const auto it = carried.find(l);
+    if (it != carried.end()) label += "\\n{" + it->second + "}";
+    os << "  " << q(net.ncp(lk.a).name) << " -- " << q(net.ncp(lk.b).name)
+       << " [label=" << q(label)
+       << (it != carried.end() ? ", penwidth=2" : "") << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sparcle

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "model/network.hpp"
+#include "model/placement.hpp"
+#include "model/task_graph.hpp"
+
+/// \file dot_export.hpp
+/// Graphviz exports for debugging and documentation: render the computing
+/// network, a task graph, or a placement (task graph overlaid on the
+/// network) as DOT text (`dot -Tsvg` renders them).
+
+namespace sparcle {
+
+/// The computing network: NCPs as boxes labelled with capacities, links as
+/// edges labelled with bandwidth.
+std::string network_to_dot(const Network& net);
+
+/// The application DAG: CTs as ellipses labelled with requirements, TTs as
+/// directed edges labelled with bits per unit.
+std::string task_graph_to_dot(const TaskGraph& graph);
+
+/// A placement: the network with each NCP listing its hosted CTs, and TT
+/// routes drawn along the links they occupy.
+std::string placement_to_dot(const Network& net, const TaskGraph& graph,
+                             const Placement& placement);
+
+}  // namespace sparcle

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+/// \file ids.hpp
+/// Identifier conventions shared across all SPARCLE libraries.
+///
+/// Computation tasks (CTs), transport tasks (TTs), networked computing
+/// points (NCPs) and links are addressed by dense zero-based indices into
+/// their owning container (TaskGraph or Network).  An index of -1 denotes
+/// "unassigned".  ElementKey unifies NCPs and links where the paper treats
+/// them uniformly (load vectors, failure analysis, bottleneck search).
+
+namespace sparcle {
+
+using CtId = std::int32_t;    ///< computation-task index within a TaskGraph
+using TtId = std::int32_t;    ///< transport-task index within a TaskGraph
+using NcpId = std::int32_t;   ///< computing-node index within a Network
+using LinkId = std::int32_t;  ///< link index within a Network
+
+inline constexpr std::int32_t kInvalidId = -1;
+
+/// A computing-network element: either an NCP or a link.
+///
+/// The paper's capacity constraint `Rx <= C` runs over the concatenation
+/// N ∪ L of nodes and links; ElementKey is that concatenated index space.
+struct ElementKey {
+  enum class Kind : std::uint8_t { kNcp, kLink };
+
+  Kind kind{Kind::kNcp};
+  std::int32_t index{kInvalidId};
+
+  static constexpr ElementKey ncp(NcpId id) { return {Kind::kNcp, id}; }
+  static constexpr ElementKey link(LinkId id) { return {Kind::kLink, id}; }
+
+  friend bool operator==(const ElementKey&, const ElementKey&) = default;
+  friend auto operator<=>(const ElementKey&, const ElementKey&) = default;
+};
+
+}  // namespace sparcle
+
+template <>
+struct std::hash<sparcle::ElementKey> {
+  std::size_t operator()(const sparcle::ElementKey& k) const noexcept {
+    return (static_cast<std::size_t>(k.index) << 1) |
+           static_cast<std::size_t>(k.kind);
+  }
+};

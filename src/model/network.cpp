@@ -1,0 +1,77 @@
+#include "model/network.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace sparcle {
+
+NcpId Network::add_ncp(std::string name, ResourceVector capacity,
+                       double fail_prob) {
+  if (capacity.size() != schema_.size())
+    throw std::invalid_argument("NCP '" + name +
+                                "' capacity does not match schema");
+  if (fail_prob < 0.0 || fail_prob >= 1.0)
+    throw std::invalid_argument("NCP '" + name +
+                                "' failure probability out of [0,1)");
+  ncps_.push_back({std::move(name), std::move(capacity), fail_prob});
+  incident_.emplace_back();
+  return static_cast<NcpId>(ncps_.size() - 1);
+}
+
+LinkId Network::add_link(std::string name, NcpId a, NcpId b, double bandwidth,
+                         double fail_prob) {
+  if (a < 0 || b < 0 || a >= static_cast<NcpId>(ncps_.size()) ||
+      b >= static_cast<NcpId>(ncps_.size()))
+    throw std::invalid_argument("link '" + name + "' has unknown endpoint");
+  if (a == b)
+    throw std::invalid_argument("link '" + name + "' is a self-loop");
+  if (bandwidth <= 0)
+    throw std::invalid_argument("link '" + name +
+                                "' must have positive bandwidth");
+  if (fail_prob < 0.0 || fail_prob >= 1.0)
+    throw std::invalid_argument("link '" + name +
+                                "' failure probability out of [0,1)");
+  links_.push_back({std::move(name), bandwidth, a, b, fail_prob, false});
+  const LinkId id = static_cast<LinkId>(links_.size() - 1);
+  incident_[a].push_back(id);
+  incident_[b].push_back(id);
+  return id;
+}
+
+LinkId Network::add_directed_link(std::string name, NcpId from, NcpId to,
+                                  double bandwidth, double fail_prob) {
+  const LinkId id = add_link(std::move(name), from, to, bandwidth, fail_prob);
+  links_[id].directed = true;
+  return id;
+}
+
+NcpId Network::other_end(LinkId l, NcpId j) const {
+  const Link& lk = links_.at(l);
+  if (lk.a == j) return lk.b;
+  if (lk.b == j) return lk.a;
+  throw std::invalid_argument("NCP is not an endpoint of link");
+}
+
+bool Network::connected() const {
+  if (ncps_.empty()) return true;
+  std::vector<char> seen(ncps_.size(), 0);
+  std::queue<NcpId> q;
+  q.push(0);
+  seen[0] = 1;
+  std::size_t count = 1;
+  while (!q.empty()) {
+    const NcpId v = q.front();
+    q.pop();
+    for (LinkId l : incident_[v]) {
+      const NcpId u = other_end(l, v);
+      if (!seen[u]) {
+        seen[u] = 1;
+        ++count;
+        q.push(u);
+      }
+    }
+  }
+  return count == ncps_.size();
+}
+
+}  // namespace sparcle

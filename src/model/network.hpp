@@ -1,0 +1,94 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "model/resource.hpp"
+
+/// \file network.hpp
+/// The dispersed computing network model of §III-B: a graph whose vertices
+/// are networked computing points (NCPs) and whose edges are communication
+/// links.  Links are undirected (shared bandwidth in both directions, the
+/// paper's default, footnote 2).  Every element carries an independent
+/// failure probability P_f used by the availability analysis.
+
+namespace sparcle {
+
+/// A computing node with multi-type computation capacity C_j^(r).
+struct Ncp {
+  std::string name;
+  ResourceVector capacity;
+  double fail_prob{0.0};
+};
+
+/// A communication link with bandwidth capacity C_j^(b).  Undirected by
+/// default (bandwidth shared across both directions); a directed link
+/// carries traffic only from `a` to `b` (footnote 2 of the paper: model
+/// as a directed graph when per-direction bandwidth is not shared).
+struct Link {
+  std::string name;
+  double bandwidth{0.0};  ///< bits per second
+  NcpId a{kInvalidId};
+  NcpId b{kInvalidId};
+  double fail_prob{0.0};
+  bool directed{false};
+};
+
+/// Immutable-after-build network graph.
+class Network {
+ public:
+  Network() = default;
+  explicit Network(ResourceSchema schema) : schema_(std::move(schema)) {}
+
+  NcpId add_ncp(std::string name, ResourceVector capacity,
+                double fail_prob = 0.0);
+  /// Adds an undirected link (bandwidth shared across both directions).
+  LinkId add_link(std::string name, NcpId a, NcpId b, double bandwidth,
+                  double fail_prob = 0.0);
+  /// Adds a directed link: traffic flows only `from` -> `to` (e.g. the
+  /// uplink of an asymmetric access technology).
+  LinkId add_directed_link(std::string name, NcpId from, NcpId to,
+                           double bandwidth, double fail_prob = 0.0);
+
+  const ResourceSchema& schema() const { return schema_; }
+  std::size_t ncp_count() const { return ncps_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  const Ncp& ncp(NcpId j) const { return ncps_.at(j); }
+  const Link& link(LinkId l) const { return links_.at(l); }
+
+  /// Links incident to NCP `j`.
+  const std::vector<LinkId>& incident_links(NcpId j) const {
+    return incident_.at(j);
+  }
+
+  /// The endpoint of link `l` that is not `j`; throws if `j` is not an
+  /// endpoint of `l`.
+  NcpId other_end(LinkId l, NcpId j) const;
+
+  /// True if traffic standing at NCP `from` may cross link `l` (always,
+  /// except against the arrow of a directed link).
+  bool can_traverse(LinkId l, NcpId from) const {
+    const Link& lk = links_.at(l);
+    if (lk.a == from) return true;
+    if (lk.b == from) return !lk.directed;
+    return false;
+  }
+
+  /// True if the undirected graph is connected (vacuously true when empty).
+  bool connected() const;
+
+  /// Failure probability of an element via its unified key.
+  double fail_prob(const ElementKey& e) const {
+    return e.kind == ElementKey::Kind::kNcp ? ncp(e.index).fail_prob
+                                            : link(e.index).fail_prob;
+  }
+
+ private:
+  ResourceSchema schema_ = ResourceSchema::cpu_only();
+  std::vector<Ncp> ncps_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> incident_;
+};
+
+}  // namespace sparcle

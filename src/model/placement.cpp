@@ -1,0 +1,131 @@
+#include "model/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace sparcle {
+
+bool Placement::complete() const {
+  for (NcpId h : ct_host_)
+    if (h == kInvalidId) return false;
+  return std::all_of(tt_placed_.begin(), tt_placed_.end(),
+                     [](char p) { return p != 0; });
+}
+
+bool Placement::validate(const TaskGraph& graph, const Network& net,
+                         std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (ct_host_.size() != graph.ct_count() ||
+      tt_route_.size() != graph.tt_count())
+    return fail("placement shape does not match task graph");
+
+  for (CtId i = 0; i < static_cast<CtId>(ct_host_.size()); ++i) {
+    const NcpId h = ct_host_[i];
+    if (h == kInvalidId) return fail("CT '" + graph.ct(i).name + "' unplaced");
+    if (h < 0 || h >= static_cast<NcpId>(net.ncp_count()))
+      return fail("CT '" + graph.ct(i).name + "' on unknown NCP");
+  }
+  for (TtId k = 0; k < static_cast<TtId>(tt_route_.size()); ++k) {
+    if (!tt_placed_[k]) return fail("TT '" + graph.tt(k).name + "' unplaced");
+    const NcpId from = ct_host_[graph.tt(k).src];
+    const NcpId to = ct_host_[graph.tt(k).dst];
+    const auto& route = tt_route_[k];
+    if (route.empty()) {
+      if (from != to)
+        return fail("TT '" + graph.tt(k).name +
+                    "' has empty route but endpoints are on different NCPs");
+      continue;
+    }
+    // Walk the route; each hop must be incident to the current node and
+    // traversable in the walk direction (directed links only forward).
+    NcpId at = from;
+    for (LinkId l : route) {
+      if (l < 0 || l >= static_cast<LinkId>(net.link_count()))
+        return fail("TT '" + graph.tt(k).name + "' routes over unknown link");
+      const Link& lk = net.link(l);
+      if (lk.a != at && lk.b != at)
+        return fail("TT '" + graph.tt(k).name + "' route is not contiguous");
+      if (!net.can_traverse(l, at))
+        return fail("TT '" + graph.tt(k).name +
+                    "' crosses a directed link against its direction");
+      at = net.other_end(l, at);
+    }
+    if (at != to)
+      return fail("TT '" + graph.tt(k).name +
+                  "' route does not end at the destination host");
+  }
+  return true;
+}
+
+std::vector<ElementKey> Placement::used_elements(const TaskGraph& graph,
+                                                 const Network& net) const {
+  std::set<ElementKey> used;
+  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i)
+    if (ct_host_[i] != kInvalidId) used.insert(ElementKey::ncp(ct_host_[i]));
+  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k) {
+    const CtId src = graph.tt(k).src;
+    NcpId at = src >= 0 && ct_host_[src] != kInvalidId ? ct_host_[src]
+                                                       : kInvalidId;
+    for (LinkId l : tt_route_[k]) {
+      used.insert(ElementKey::link(l));
+      if (at != kInvalidId) {
+        at = net.other_end(l, at);
+        used.insert(ElementKey::ncp(at));  // transit (or destination) NCP
+      }
+    }
+  }
+  return {used.begin(), used.end()};
+}
+
+LoadMap::LoadMap(const Network& net, const TaskGraph& graph,
+                 const Placement& placement)
+    : LoadMap(zeros(net)) {
+  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i)
+    if (placement.ct_placed(i)) add_ct(graph, i, placement.ct_host(i));
+  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k)
+    for (LinkId l : placement.tt_route(k)) add_tt(graph, k, l);
+}
+
+LoadMap LoadMap::zeros(const Network& net) {
+  LoadMap m;
+  m.ncp_.assign(net.ncp_count(),
+                ResourceVector(net.schema().size(), 0.0));
+  m.link_.assign(net.link_count(), 0.0);
+  return m;
+}
+
+void LoadMap::add_scaled(const LoadMap& other, double scale) {
+  for (NcpId j = 0; j < static_cast<NcpId>(ncp_.size()); ++j)
+    ncp_[j] += other.ncp_load(j) * scale;
+  for (LinkId l = 0; l < static_cast<LinkId>(link_.size()); ++l)
+    link_[l] += other.link_load(l) * scale;
+}
+
+double bottleneck_rate(const CapacitySnapshot& cap, const LoadMap& load) {
+  double rate = std::numeric_limits<double>::infinity();
+  for (NcpId j = 0; j < static_cast<NcpId>(load.ncp_count()); ++j) {
+    const ResourceVector& a = load.ncp_load(j);
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      if (a[r] <= 0) continue;
+      rate = std::min(rate, cap.ncp(j)[r] / a[r]);
+    }
+  }
+  for (LinkId l = 0; l < static_cast<LinkId>(load.link_count()); ++l) {
+    const double a = load.link_load(l);
+    if (a <= 0) continue;
+    rate = std::min(rate, cap.link(l) / a);
+  }
+  return rate;
+}
+
+double bottleneck_rate(const Network& net, const TaskGraph& graph,
+                       const Placement& placement,
+                       const CapacitySnapshot& cap) {
+  return bottleneck_rate(cap, LoadMap(net, graph, placement));
+}
+
+}  // namespace sparcle

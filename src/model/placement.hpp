@@ -1,0 +1,112 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/capacity.hpp"
+#include "model/ids.hpp"
+#include "model/network.hpp"
+#include "model/task_graph.hpp"
+
+/// \file placement.hpp
+/// A task-assignment "path" (§III-B): one complete mapping of an
+/// application's CTs to NCPs and TTs to link routes, plus the load
+/// accounting and bottleneck-rate formula built on top of it.
+
+namespace sparcle {
+
+/// One task-assignment path: y_{i,j} of problem (1) in structured form.
+///
+/// `ct_host[i]` is the NCP hosting CT i (kInvalidId while unplaced).
+/// `tt_route[k]` is the ordered list of links TT k crosses; an empty route
+/// with `tt_placed[k] == true` means the endpoints are co-located.
+class Placement {
+ public:
+  Placement() = default;
+  explicit Placement(const TaskGraph& graph)
+      : ct_host_(graph.ct_count(), kInvalidId),
+        tt_route_(graph.tt_count()),
+        tt_placed_(graph.tt_count(), false) {}
+
+  NcpId ct_host(CtId i) const { return ct_host_.at(i); }
+  bool ct_placed(CtId i) const { return ct_host_.at(i) != kInvalidId; }
+  void place_ct(CtId i, NcpId j) { ct_host_.at(i) = j; }
+
+  const std::vector<LinkId>& tt_route(TtId k) const { return tt_route_.at(k); }
+  bool tt_placed(TtId k) const { return tt_placed_.at(k); }
+  void place_tt(TtId k, std::vector<LinkId> route) {
+    tt_route_.at(k) = std::move(route);
+    tt_placed_.at(k) = true;
+  }
+
+  std::size_t ct_count() const { return ct_host_.size(); }
+  std::size_t tt_count() const { return tt_route_.size(); }
+
+  /// True when every CT and TT has been placed.
+  bool complete() const;
+
+  /// Checks structural validity against the graph and network: every CT on
+  /// an existing NCP, every TT route a contiguous link path from its
+  /// source's host to its destination's host (empty iff co-located).
+  /// Returns false and fills `error` (if non-null) on the first violation.
+  bool validate(const TaskGraph& graph, const Network& net,
+                std::string* error = nullptr) const;
+
+  /// All distinct network elements this placement touches — CT hosts,
+  /// route links, and the *transit* NCPs routes pass through (a path works
+  /// iff all of these are up; a failed relay kills the flows it forwards).
+  std::vector<ElementKey> used_elements(const TaskGraph& graph,
+                                        const Network& net) const;
+
+ private:
+  std::vector<NcpId> ct_host_;
+  std::vector<std::vector<LinkId>> tt_route_;
+  std::vector<char> tt_placed_;
+};
+
+/// Per-element per-unit loads: the R vector of `Rx <= C`.
+///
+/// `ncp_load(j)[r]` is  Σ_{CT i hosted on j} a_i^(r)  and `link_load(l)` is
+/// Σ_{TT k routed over l} a_k^(b); multiplying by the application rate x
+/// gives the consumed capacity.
+class LoadMap {
+ public:
+  LoadMap() = default;
+  LoadMap(const Network& net, const TaskGraph& graph,
+          const Placement& placement);
+
+  /// Empty load map shaped like `net` (for incremental accumulation).
+  static LoadMap zeros(const Network& net);
+
+  const ResourceVector& ncp_load(NcpId j) const { return ncp_.at(j); }
+  double link_load(LinkId l) const { return link_.at(l); }
+
+  void add_ct(const TaskGraph& graph, CtId i, NcpId j) {
+    ncp_.at(j) += graph.ct(i).requirement;
+  }
+  void add_tt(const TaskGraph& graph, TtId k, LinkId l) {
+    link_.at(l) += graph.tt(k).bits_per_unit;
+  }
+
+  /// Adds `scale` times another load map (aggregating multiple paths).
+  void add_scaled(const LoadMap& other, double scale);
+
+  std::size_t ncp_count() const { return ncp_.size(); }
+  std::size_t link_count() const { return link_.size(); }
+
+ private:
+  std::vector<ResourceVector> ncp_;
+  std::vector<double> link_;
+};
+
+/// The paper's stable-rate bound:
+///   x  <=  min_{j in N ∪ L, r in R}  C_j^(r) / Σ_{i on j} a_i^(r).
+/// Elements with zero load impose no constraint.  Returns +infinity for an
+/// entirely empty load map and 0 if any loaded element has zero capacity.
+double bottleneck_rate(const CapacitySnapshot& cap, const LoadMap& load);
+
+/// Convenience overload computing the load map from a placement first.
+double bottleneck_rate(const Network& net, const TaskGraph& graph,
+                       const Placement& placement, const CapacitySnapshot& cap);
+
+}  // namespace sparcle

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+/// \file resource.hpp
+/// Multi-type resource quantities (the paper's a_i^(r) and C_j^(r)).
+///
+/// A ResourceSchema names the computation resource types in play (e.g.
+/// {"cpu"} or {"cpu", "memory"}).  A ResourceVector holds one quantity per
+/// type.  Link bandwidth (the "(b)" resource) is kept as a plain scalar
+/// elsewhere because it never mixes with node resources.
+
+namespace sparcle {
+
+/// Names the computation resource types of a scenario.  All task
+/// requirement vectors and NCP capacity vectors in one scenario must have
+/// exactly `size()` entries, in schema order.
+class ResourceSchema {
+ public:
+  ResourceSchema() = default;
+  explicit ResourceSchema(std::vector<std::string> names)
+      : names_(std::move(names)) {}
+
+  /// Convenience single-type schema used by most of the paper's evaluation.
+  static ResourceSchema cpu_only() { return ResourceSchema({"cpu"}); }
+  /// Two-type schema used by the Fig. 12 multi-resource experiment.
+  static ResourceSchema cpu_memory() {
+    return ResourceSchema({"cpu", "memory"});
+  }
+
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(std::size_t r) const { return names_.at(r); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  friend bool operator==(const ResourceSchema&,
+                         const ResourceSchema&) = default;
+
+ private:
+  std::vector<std::string> names_{"cpu"};
+};
+
+/// A per-resource-type quantity vector.  Immutable size; element-wise
+/// arithmetic helpers cover the load-accounting needs of the algorithms.
+class ResourceVector {
+ public:
+  ResourceVector() = default;
+  explicit ResourceVector(std::size_t n, double fill = 0.0)
+      : v_(n, fill) {}
+  ResourceVector(std::initializer_list<double> init) : v_(init) {}
+
+  /// Single-type helper: a vector {q} for cpu-only schemas.
+  static ResourceVector scalar(double q) { return ResourceVector{q}; }
+
+  std::size_t size() const { return v_.size(); }
+  double operator[](std::size_t r) const { return v_.at(r); }
+  double& operator[](std::size_t r) { return v_.at(r); }
+
+  ResourceVector& operator+=(const ResourceVector& o) {
+    check_same_size(o);
+    for (std::size_t r = 0; r < v_.size(); ++r) v_[r] += o.v_[r];
+    return *this;
+  }
+  ResourceVector& operator-=(const ResourceVector& o) {
+    check_same_size(o);
+    for (std::size_t r = 0; r < v_.size(); ++r) v_[r] -= o.v_[r];
+    return *this;
+  }
+  ResourceVector& operator*=(double s) {
+    for (double& x : v_) x *= s;
+    return *this;
+  }
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
+    a += b;
+    return a;
+  }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) {
+    a -= b;
+    return a;
+  }
+  friend ResourceVector operator*(ResourceVector a, double s) {
+    a *= s;
+    return a;
+  }
+
+  /// True if every component is (numerically) zero.
+  bool is_zero(double eps = 0.0) const {
+    for (double x : v_)
+      if (x > eps || x < -eps) return false;
+    return true;
+  }
+
+  /// Clamp all components below zero up to zero (used when subtracting
+  /// reservations in the presence of floating-point slack).
+  void clamp_nonnegative() {
+    for (double& x : v_)
+      if (x < 0) x = 0;
+  }
+
+  double max_component() const {
+    double m = 0;
+    for (double x : v_)
+      if (x > m) m = x;
+    return m;
+  }
+
+  friend bool operator==(const ResourceVector&,
+                         const ResourceVector&) = default;
+
+ private:
+  void check_same_size(const ResourceVector& o) const {
+    if (o.v_.size() != v_.size())
+      throw std::invalid_argument("ResourceVector size mismatch");
+  }
+
+  std::vector<double> v_;
+};
+
+}  // namespace sparcle

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "model/resource.hpp"
+
+/// \file task_graph.hpp
+/// The stream-processing application model of §III-A: a DAG whose vertices
+/// are computation tasks (CTs) and whose edges are transport tasks (TTs).
+///
+/// Every task carries a per-data-unit requirement: a ResourceVector for a
+/// CT (e.g. CPU megacycles per image) and a bit count for a TT.  The graph
+/// exposes the derived structure Algorithm 2 needs: topological order,
+/// ancestor/descendant relations, and G(i,i') — the set of TTs lying on
+/// directed paths between two CTs.
+
+namespace sparcle {
+
+/// A computation task (vertex of the task DAG).
+struct ComputeTask {
+  std::string name;
+  ResourceVector requirement;  ///< a_i^(r), per data unit
+};
+
+/// A transport task (edge of the task DAG): the traffic between the hosts
+/// of two consecutive CTs.
+struct TransportTask {
+  std::string name;
+  double bits_per_unit{0};  ///< a_i^(b), bits per data unit
+  CtId src{kInvalidId};
+  CtId dst{kInvalidId};
+};
+
+/// Immutable-after-build DAG of CTs and TTs.
+///
+/// Build with add_ct()/add_tt(), then call finalize(); finalize() validates
+/// acyclicity and schema consistency and precomputes reachability.  All
+/// query methods require a finalized graph.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  explicit TaskGraph(ResourceSchema schema) : schema_(std::move(schema)) {}
+
+  /// Adds a CT; `requirement` must match the graph's resource schema.
+  CtId add_ct(std::string name, ResourceVector requirement);
+
+  /// Adds a TT carrying `bits_per_unit` bits per data unit from CT `src`
+  /// to CT `dst`.  Both endpoints must already exist.
+  TtId add_tt(std::string name, double bits_per_unit, CtId src, CtId dst);
+
+  /// Validates the graph (DAG, connected endpoints) and freezes it.
+  /// Throws std::invalid_argument on a malformed graph.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  const ResourceSchema& schema() const { return schema_; }
+  std::size_t ct_count() const { return cts_.size(); }
+  std::size_t tt_count() const { return tts_.size(); }
+  const ComputeTask& ct(CtId i) const { return cts_.at(i); }
+  const TransportTask& tt(TtId k) const { return tts_.at(k); }
+
+  const std::vector<TtId>& out_tts(CtId i) const { return out_.at(i); }
+  const std::vector<TtId>& in_tts(CtId i) const { return in_.at(i); }
+
+  /// CTs with no incoming TT (data sources).
+  const std::vector<CtId>& sources() const;
+  /// CTs with no outgoing TT (result consumers).
+  const std::vector<CtId>& sinks() const;
+
+  /// A topological order of the CTs (sources first).
+  const std::vector<CtId>& topological_order() const;
+
+  /// True if there is a directed path from `a` to `b` (a != b).
+  bool reaches(CtId a, CtId b) const;
+
+  /// True if `a` is an ancestor or descendant of `b` — the paper's
+  /// "reachable CTs" relation used to build ν_i in Algorithm 2.
+  bool related(CtId a, CtId b) const {
+    return reaches(a, b) || reaches(b, a);
+  }
+
+  /// G(a,b): all TTs on directed paths between `a` and `b` (in whichever
+  /// orientation connects them).  Empty when unrelated.
+  std::vector<TtId> tts_between(CtId a, CtId b) const;
+
+  /// Total computation requirement (component-wise sum over CTs).
+  ResourceVector total_ct_requirement() const;
+  /// Total bits per data unit summed over all TTs.
+  double total_tt_bits() const;
+
+ private:
+  void require_finalized() const;
+  void require_not_finalized() const;
+
+  ResourceSchema schema_ = ResourceSchema::cpu_only();
+  std::vector<ComputeTask> cts_;
+  std::vector<TransportTask> tts_;
+  std::vector<std::vector<TtId>> out_;
+  std::vector<std::vector<TtId>> in_;
+
+  bool finalized_{false};
+  std::vector<CtId> topo_;
+  std::vector<CtId> sources_;
+  std::vector<CtId> sinks_;
+  // reach_[a] is a bitmap over CTs: reach_[a][b] == a has a path to b.
+  std::vector<std::vector<char>> reach_;
+};
+
+}  // namespace sparcle

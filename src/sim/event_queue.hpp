@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+/// \file event_queue.hpp
+/// The discrete-event core: a time-ordered queue of callbacks with stable
+/// FIFO ordering among simultaneous events and O(1) logical cancellation
+/// (events carry a generation stamp; stale ones are skipped on pop).
+
+namespace sparcle::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using Token = std::uint64_t;
+
+  double now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when` (>= now).  Returns a token
+  /// usable with cancel().
+  Token schedule(double when, Callback cb) {
+    const Token token = next_token_++;
+    heap_.push(Entry{when, token, std::move(cb)});
+    live_.push_back(true);
+    return token;
+  }
+
+  /// Logically removes a scheduled event (no-op if already fired).
+  void cancel(Token token) {
+    if (token < live_.size()) live_[token] = false;
+  }
+
+  /// Fires the next live event; returns false when the queue is empty.
+  bool step() {
+    while (!heap_.empty()) {
+      Entry e = heap_.top();
+      heap_.pop();
+      if (!live_[e.token]) continue;
+      live_[e.token] = false;
+      now_ = e.when;
+      e.cb();
+      return true;
+    }
+    return false;
+  }
+
+  /// Runs until the queue drains or the clock passes `until`.
+  void run_until(double until) {
+    while (!heap_.empty()) {
+      if (peek_time() > until) break;
+      step();
+    }
+    now_ = until;
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+ private:
+  struct Entry {
+    double when;
+    Token token;
+    Callback cb;
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return token > o.token;  // FIFO among ties
+    }
+  };
+
+  double peek_time() {
+    while (!heap_.empty() && !live_[heap_.top().token]) heap_.pop();
+    return heap_.empty() ? now_ : heap_.top().when;
+  }
+
+  double now_{0.0};
+  Token next_token_{0};
+  std::vector<bool> live_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+};
+
+}  // namespace sparcle::sim

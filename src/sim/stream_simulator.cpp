@@ -1,0 +1,378 @@
+#include "sim/stream_simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sparcle::sim {
+
+namespace {
+constexpr double kJobEps = 1e-12;
+}
+
+StreamSimulator::StreamSimulator(const Network& net, std::uint64_t seed)
+    : net_(&net), rng_(seed) {
+  servers_.resize(net.ncp_count() + net.link_count());
+}
+
+std::size_t StreamSimulator::add_stream(const TaskGraph& graph,
+                                        const Placement& placement,
+                                        double input_rate, bool poisson,
+                                        double packet_bits) {
+  if (ran_) throw std::logic_error("add_stream after run()");
+  if (!(input_rate > 0))
+    throw std::invalid_argument("add_stream: rate must be positive");
+  if (packet_bits < 0)
+    throw std::invalid_argument("add_stream: packet_bits must be >= 0");
+  std::string err;
+  if (!placement.validate(graph, *net_, &err))
+    throw std::invalid_argument("add_stream: " + err);
+
+  Stream s;
+  s.graph = &graph;
+  s.placement = &placement;
+  s.rate = input_rate;
+  s.poisson = poisson;
+  s.packet_bits = packet_bits;
+  s.ct_work.resize(graph.ct_count(), 0.0);
+  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i) {
+    const ResourceVector& a = graph.ct(i).requirement;
+    const ResourceVector& c = net_->ncp(placement.ct_host(i)).capacity;
+    double work = 0;
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      if (a[r] <= 0) continue;
+      if (c[r] <= 0)
+        throw std::invalid_argument("add_stream: CT '" + graph.ct(i).name +
+                                    "' needs a resource its host lacks");
+      work = std::max(work, a[r] / c[r]);
+    }
+    s.ct_work[i] = work;
+  }
+  streams_.push_back(std::move(s));
+  return streams_.size() - 1;
+}
+
+void StreamSimulator::add_failure(ElementKey element, double mean_up,
+                                  double mean_down) {
+  if (ran_) throw std::logic_error("add_failure after run()");
+  if (!(mean_up > 0) || !(mean_down > 0))
+    throw std::invalid_argument("add_failure: means must be positive");
+  failures_.push_back({element, mean_up, mean_down, true});
+}
+
+void StreamSimulator::advance(Server& s) {
+  const double elapsed = queue_.now() - s.last_update;
+  s.last_update = queue_.now();
+  if (elapsed <= 0 || s.queues.empty() || s.speed <= 0) return;
+  // Capacity is processor-shared across the active tasks; only the FIFO
+  // head of each task receives service.
+  const double per_task =
+      elapsed * s.speed / static_cast<double>(s.queues.size());
+  for (TaskQueue& q : s.queues) q.head_remaining -= per_task;
+  s.busy_time += elapsed;
+}
+
+void StreamSimulator::reschedule(std::size_t server_id) {
+  Server& s = servers_[server_id];
+  if (s.has_pending) {
+    queue_.cancel(s.pending);
+    s.has_pending = false;
+  }
+  if (s.queues.empty() || s.speed <= 0) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const TaskQueue& q : s.queues)
+    min_remaining = std::min(min_remaining, q.head_remaining);
+  min_remaining = std::max(min_remaining, 0.0);
+  const double when =
+      queue_.now() +
+      min_remaining * static_cast<double>(s.queues.size()) / s.speed;
+  s.pending = queue_.schedule(when, [this, server_id] {
+    on_completion(server_id);
+  });
+  s.has_pending = true;
+}
+
+void StreamSimulator::enqueue_unit(std::size_t server_id, double work,
+                                   const JobRef& ref) {
+  if (trace_ != nullptr)
+    trace_->record({queue_.now(), ref.stream, ref.unit,
+                    ref.is_ct ? TraceEvent::Kind::kCtEnqueued
+                              : TraceEvent::Kind::kHopEnqueued,
+                    ref.task, ref.hop});
+  if (work <= kJobEps) {
+    finish_job(ref);  // zero-demand task: completes instantaneously
+    return;
+  }
+  Server& s = servers_[server_id];
+  advance(s);
+  const TaskKey key{ref.stream, ref.is_ct, ref.task, ref.hop};
+  TaskQueue* queue = nullptr;
+  for (TaskQueue& q : s.queues)
+    if (q.key == key) {
+      queue = &q;
+      break;
+    }
+  if (queue == nullptr) {
+    s.queues.push_back(TaskQueue{key, work, {}, 0});
+    queue = &s.queues.back();
+  }
+  queue->entries.push_back({work, ref});
+  ++s.backlog;
+  s.peak_backlog = std::max(s.peak_backlog, s.backlog);
+  reschedule(server_id);
+}
+
+void StreamSimulator::on_completion(std::size_t server_id) {
+  Server& s = servers_[server_id];
+  s.has_pending = false;
+  advance(s);
+  // Pop the head of every task whose in-service unit has finished.
+  std::vector<JobRef> finished;
+  for (std::size_t k = 0; k < s.queues.size();) {
+    TaskQueue& q = s.queues[k];
+    if (q.head_remaining <= kJobEps) {
+      finished.push_back(q.entries[q.head++].ref);
+      --s.backlog;
+      if (q.head < q.entries.size()) {
+        q.head_remaining = q.entries[q.head].work;  // next enters service
+        // Reclaim the served prefix occasionally.
+        if (q.head > 1024) {
+          q.entries.erase(
+              q.entries.begin(),
+              q.entries.begin() + static_cast<std::ptrdiff_t>(q.head));
+          q.head = 0;
+        }
+        ++k;
+      } else {
+        s.queues[k] = std::move(s.queues.back());
+        s.queues.pop_back();  // task idle: leaves the PS share set
+      }
+    } else {
+      ++k;
+    }
+  }
+  reschedule(server_id);
+  for (const JobRef& ref : finished) finish_job(ref);
+}
+
+double StreamSimulator::hop_work(const Stream& s, TtId k, LinkId l,
+                                 const JobRef& ref) const {
+  const double total_bits = s.graph->tt(k).bits_per_unit;
+  double bits = total_bits;
+  if (ref.packets_total > 1) {
+    const double full = s.packet_bits;
+    bits = ref.packet + 1 == ref.packets_total
+               ? total_bits - full * (ref.packets_total - 1)
+               : full;
+  }
+  return bits / net_->link(l).bandwidth;
+}
+
+void StreamSimulator::finish_job(const JobRef& ref) {
+  if (trace_ != nullptr)
+    trace_->record({queue_.now(), ref.stream, ref.unit,
+                    ref.is_ct ? TraceEvent::Kind::kCtFinished
+                              : TraceEvent::Kind::kHopFinished,
+                    ref.task, ref.hop});
+  if (ref.is_ct) {
+    ct_finished(ref.stream, ref.unit, ref.task);
+    return;
+  }
+  // A TT hop (of one packet, possibly the whole unit) completed: forward
+  // to the next hop, or count arrivals at the destination CT.
+  Stream& s = streams_[ref.stream];
+  const TaskGraph& g = *s.graph;
+  const auto& route = s.placement->tt_route(ref.task);
+  const std::size_t next_hop = ref.hop + 1;
+  if (next_hop < route.size()) {
+    JobRef next = ref;
+    next.hop = next_hop;
+    enqueue_unit(server_index(ElementKey::link(route[next_hop])),
+                 hop_work(s, ref.task, route[next_hop], next), next);
+    return;
+  }
+  if (ref.packets_total > 1) {
+    UnitState& u = s.units[ref.unit];
+    if (++u.tt_packets[ref.task] < ref.packets_total) return;
+  }
+  deliver_to_ct(ref.stream, ref.unit, g.tt(ref.task).dst);
+}
+
+void StreamSimulator::start_tt(std::size_t stream_id, std::uint64_t unit,
+                               TtId k) {
+  Stream& s = streams_[stream_id];
+  const TaskGraph& g = *s.graph;
+  const auto& route = s.placement->tt_route(k);
+  if (route.empty()) {
+    deliver_to_ct(stream_id, unit, g.tt(k).dst);
+    return;
+  }
+  std::uint32_t packets = 1;
+  if (s.packet_bits > 0 && g.tt(k).bits_per_unit > s.packet_bits)
+    packets = static_cast<std::uint32_t>(
+        (g.tt(k).bits_per_unit + s.packet_bits - 1) / s.packet_bits);
+  for (std::uint32_t pkt = 0; pkt < packets; ++pkt) {
+    JobRef ref{stream_id, unit, false, k, 0, pkt, packets};
+    enqueue_unit(server_index(ElementKey::link(route[0])),
+                 hop_work(s, k, route[0], ref), ref);
+  }
+}
+
+void StreamSimulator::deliver_to_ct(std::size_t stream_id, std::uint64_t unit,
+                                    CtId ct) {
+  Stream& s = streams_[stream_id];
+  UnitState& u = s.units[unit];
+  const auto fanin =
+      static_cast<std::uint16_t>(s.graph->in_tts(ct).size());
+  if (++u.ct_arrivals[ct] == fanin) start_ct(stream_id, unit, ct);
+}
+
+void StreamSimulator::start_ct(std::size_t stream_id, std::uint64_t unit,
+                               CtId ct) {
+  Stream& s = streams_[stream_id];
+  JobRef ref{stream_id, unit, true, ct, 0};
+  enqueue_unit(server_index(ElementKey::ncp(s.placement->ct_host(ct))),
+              s.ct_work[ct], ref);
+}
+
+void StreamSimulator::ct_finished(std::size_t stream_id, std::uint64_t unit,
+                                  CtId ct) {
+  Stream& s = streams_[stream_id];
+  const TaskGraph& g = *s.graph;
+  if (g.out_tts(ct).empty()) {
+    // A sink finished this unit.
+    UnitState& u = s.units[unit];
+    if (--u.sinks_remaining == 0 && !u.done) {
+      u.done = true;
+      if (trace_ != nullptr)
+        trace_->record({queue_.now(), stream_id, unit,
+                        TraceEvent::Kind::kDelivered, kInvalidId, 0});
+      // Measure by completion time so overloaded systems still report
+      // their sustained drain rate.
+      if (queue_.now() >= warmup_) {
+        ++s.delivered;
+        const double lat = queue_.now() - u.emitted_at;
+        s.latency_sum += lat;
+        s.latency_max = std::max(s.latency_max, lat);
+        s.latencies.push_back(lat);
+      }
+    }
+    return;
+  }
+  for (TtId k : g.out_tts(ct)) start_tt(stream_id, unit, k);
+}
+
+void StreamSimulator::emit_unit(std::size_t stream_id) {
+  Stream& s = streams_[stream_id];
+  const std::uint64_t unit = s.next_unit++;
+  if (trace_ != nullptr)
+    trace_->record({queue_.now(), stream_id, unit,
+                    TraceEvent::Kind::kEmitted, kInvalidId, 0});
+  UnitState u;
+  u.emitted_at = queue_.now();
+  u.ct_arrivals.assign(s.graph->ct_count(), 0);
+  if (s.packet_bits > 0) u.tt_packets.assign(s.graph->tt_count(), 0);
+  u.sinks_remaining = static_cast<std::uint16_t>(s.graph->sinks().size());
+  s.units.push_back(std::move(u));
+  if (queue_.now() >= warmup_) ++s.emitted;
+  for (CtId src : s.graph->sources()) start_ct(stream_id, unit, src);
+
+  // Schedule the next emission.
+  double gap = 1.0 / s.rate;
+  if (s.poisson) {
+    std::exponential_distribution<double> exp(s.rate);
+    gap = exp(rng_);
+  }
+  queue_.schedule(queue_.now() + gap,
+                  [this, stream_id] { emit_unit(stream_id); });
+}
+
+void StreamSimulator::set_element_down(ElementKey element, bool down) {
+  const std::size_t sid = server_index(element);
+  Server& s = servers_[sid];
+  advance(s);
+  s.down_count += down ? 1 : -1;
+  s.speed = s.down_count > 0 ? 0.0 : 1.0;
+  reschedule(sid);
+}
+
+void StreamSimulator::toggle_failure(std::size_t failure_id) {
+  Failure& f = failures_[failure_id];
+  f.up = !f.up;
+  set_element_down(f.element, !f.up);
+  std::exponential_distribution<double> exp(1.0 /
+                                            (f.up ? f.mean_up : f.mean_down));
+  queue_.schedule(queue_.now() + exp(rng_),
+                  [this, failure_id] { toggle_failure(failure_id); });
+}
+
+void StreamSimulator::add_outage(ElementKey element, double start,
+                                 double end) {
+  if (ran_) throw std::logic_error("add_outage after run()");
+  if (!(start >= 0) || !(end > start))
+    throw std::invalid_argument("add_outage: need 0 <= start < end");
+  outages_.push_back({element, start, end});
+}
+
+SimReport StreamSimulator::run(double duration, double warmup) {
+  if (ran_) throw std::logic_error("run() may be called once");
+  if (!(duration > 0) || warmup < 0 || warmup >= duration)
+    throw std::invalid_argument("run: need 0 <= warmup < duration");
+  ran_ = true;
+  warmup_ = warmup;
+
+  for (std::size_t i = 0; i < streams_.size(); ++i)
+    queue_.schedule(0.0, [this, i] { emit_unit(i); });
+  for (std::size_t i = 0; i < failures_.size(); ++i) {
+    std::exponential_distribution<double> exp(1.0 / failures_[i].mean_up);
+    queue_.schedule(exp(rng_), [this, i] { toggle_failure(i); });
+  }
+  for (const Outage& o : outages_) {
+    queue_.schedule(o.start,
+                    [this, e = o.element] { set_element_down(e, true); });
+    queue_.schedule(o.end,
+                    [this, e = o.element] { set_element_down(e, false); });
+  }
+
+  queue_.run_until(duration);
+
+  SimReport report;
+  const double window = duration - warmup;
+  for (Stream& s : streams_) {
+    StreamStats st;
+    st.emitted = s.emitted;
+    st.delivered = s.delivered;
+    st.throughput = static_cast<double>(s.delivered) / window;
+    st.mean_latency =
+        s.delivered > 0 ? s.latency_sum / static_cast<double>(s.delivered)
+                        : 0.0;
+    st.max_latency = s.latency_max;
+    if (!s.latencies.empty()) {
+      std::sort(s.latencies.begin(), s.latencies.end());
+      auto pct = [&](double p) {
+        const auto idx = static_cast<std::size_t>(
+            p * static_cast<double>(s.latencies.size() - 1));
+        return s.latencies[idx];
+      };
+      st.p50_latency = pct(0.50);
+      st.p95_latency = pct(0.95);
+      st.p99_latency = pct(0.99);
+    }
+    report.streams.push_back(st);
+  }
+  for (std::size_t j = 0; j < net_->ncp_count(); ++j) {
+    Server& s = servers_[j];
+    advance(s);
+    report.ncp_utilization.push_back(s.busy_time / duration);
+    report.ncp_peak_backlog.push_back(s.peak_backlog);
+  }
+  for (std::size_t l = 0; l < net_->link_count(); ++l) {
+    Server& s = servers_[net_->ncp_count() + l];
+    advance(s);
+    report.link_utilization.push_back(s.busy_time / duration);
+    report.link_peak_backlog.push_back(s.peak_backlog);
+  }
+  return report;
+}
+
+}  // namespace sparcle::sim

@@ -1,0 +1,221 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "model/network.hpp"
+#include "model/placement.hpp"
+#include "model/task_graph.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+
+/// \file stream_simulator.hpp
+/// A discrete-event simulator of stream-processing applications running on
+/// a dispersed computing network — the repository's substitute for the
+/// paper's physical testbed and Mininet emulation (§V-A).
+///
+/// Every NCP and link is a server shared by the *tasks* placed on it: the
+/// element's capacity is processor-shared equally across tasks with work
+/// pending (one CPU process per CT, one flow per TT hop), and data units
+/// of the same task are served FIFO — the discipline of a real stream
+/// engine worker.  A data unit emitted by a source traverses its
+/// application's task graph: it is processed at each CT's host (service
+/// demand = max_r a^(r)/C^(r) seconds when alone), crosses each hop of
+/// each TT's route (demand = bits/bandwidth), honours fan-out
+/// (duplication) and fan-in (join: a CT starts a unit only when every
+/// inbound TT has delivered it), and counts as delivered when every sink
+/// CT has finished it.  This discipline is work-conserving, so the
+/// stability region is exactly the paper's rate constraint x·Σa <= C on
+/// every element — which the tests verify against the analytic bottleneck
+/// rate — and under overload the drain rate saturates at the element
+/// capacity.
+///
+/// Element failures are optional on/off renewal processes (exponential up
+/// and down times); a failed element pauses service, work-conservingly.
+///
+/// Multi-resource note: a CT's service demand collapses the resource types
+/// via max_r a/C.  For a single resource type this is exact; with several,
+/// sharing is (slightly) more pessimistic than the fluid bound, so the
+/// quantitative sim/analytic cross-checks in the tests use one resource.
+
+namespace sparcle::sim {
+
+/// Per-stream results over the measurement window.
+struct StreamStats {
+  std::uint64_t emitted{0};
+  std::uint64_t delivered{0};
+  double throughput{0.0};    ///< delivered units per second
+  double mean_latency{0.0};  ///< seconds from emission to last-sink finish
+  double max_latency{0.0};
+  double p50_latency{0.0};   ///< median
+  double p95_latency{0.0};
+  double p99_latency{0.0};
+};
+
+/// Simulation report: per-stream stats plus element utilizations and
+/// peak backlogs (data units queued — bounded backlog is the §IV-A
+/// stability criterion made visible).
+struct SimReport {
+  std::vector<StreamStats> streams;
+  std::vector<double> ncp_utilization;   ///< busy fraction per NCP
+  std::vector<double> link_utilization;  ///< busy fraction per link
+  std::vector<std::size_t> ncp_peak_backlog;   ///< max units queued per NCP
+  std::vector<std::size_t> link_peak_backlog;  ///< max units queued per link
+};
+
+class StreamSimulator {
+ public:
+  explicit StreamSimulator(const Network& net, std::uint64_t seed = 1);
+
+  /// Adds one application path pushing `input_rate` units/s from its
+  /// sources.  `graph` and `placement` must outlive run().  Deterministic
+  /// inter-arrival spacing by default; Poisson when `poisson` is true.
+  /// `packet_bits` > 0 enables packet-level pipelining: TT transfers are
+  /// chopped into packets that are forwarded hop-by-hop as they arrive
+  /// (cut-through), instead of the default whole-unit store-and-forward —
+  /// this is what real networking does and it slashes multi-hop latency
+  /// without changing throughput.  Returns the stream index.  Throws
+  /// std::invalid_argument if the placement is incomplete/invalid or a CT
+  /// requires a resource its host lacks entirely.
+  std::size_t add_stream(const TaskGraph& graph, const Placement& placement,
+                         double input_rate, bool poisson = false,
+                         double packet_bits = 0.0);
+
+  /// Attaches an on/off failure process to an element: exponential up
+  /// times with mean `mean_up` and down times with mean `mean_down`.
+  void add_failure(ElementKey element, double mean_up, double mean_down);
+
+  /// Schedules a deterministic outage: `element` is down during
+  /// [start, end).  Composes with add_failure (an element is down while
+  /// any failure process or outage holds it down) — useful for
+  /// reproducible what-if runs and maintenance-window studies.
+  void add_outage(ElementKey element, double start, double end);
+
+  /// Streams every unit-lifecycle event (emission, per-task enqueue and
+  /// finish, delivery) to `sink` during run().  Pass nullptr to disable.
+  /// The sink must outlive run().
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+  /// Runs for `duration` simulated seconds; throughput and latency are
+  /// measured over [warmup, duration].  May be called once.
+  SimReport run(double duration, double warmup = 0.0);
+
+ private:
+  /// Identifies a task instance: a CT's service or one hop of a TT route.
+  struct TaskKey {
+    std::size_t stream;
+    bool is_ct;         // true: CT service; false: TT hop
+    std::int32_t task;  // CtId or TtId
+    std::size_t hop;    // hop index for TTs
+    friend bool operator==(const TaskKey&, const TaskKey&) = default;
+  };
+
+  struct JobRef {
+    std::size_t stream;
+    std::uint64_t unit;
+    bool is_ct;
+    std::int32_t task;
+    std::size_t hop;
+    std::uint32_t packet{0};         // packet index within the unit
+    std::uint32_t packets_total{1};  // packets per unit on this TT
+  };
+
+  /// One task's FIFO queue at a server.  Entries are data units (or, with
+  /// packetization, individual packets — the last packet of a unit may be
+  /// shorter, hence per-entry work).
+  struct TaskQueue {
+    TaskKey key;
+    struct Entry {
+      double work;
+      JobRef ref;
+    };
+    double head_remaining;  // remaining demand of the entry in service
+    std::vector<Entry> entries;  // FIFO: front at index `head`
+    std::size_t head{0};
+  };
+
+  struct Server {
+    double speed{1.0};
+    int down_count{0};  // >0 while any failure process / outage holds it
+    double last_update{0.0};
+    double busy_time{0.0};
+    std::vector<TaskQueue> queues;  // active tasks only
+    std::size_t backlog{0};         // units currently queued or in service
+    std::size_t peak_backlog{0};
+    bool has_pending{false};
+    EventQueue::Token pending{0};
+  };
+
+  struct UnitState {
+    double emitted_at{0.0};
+    std::vector<std::uint16_t> ct_arrivals;  // per CT: inbound deliveries
+    std::vector<std::uint32_t> tt_packets;   // per TT: packets at last hop
+    std::uint16_t sinks_remaining{0};
+    bool done{false};
+  };
+
+  struct Stream {
+    const TaskGraph* graph;
+    const Placement* placement;
+    double rate;
+    bool poisson;
+    double packet_bits{0.0};  // 0 = whole-unit store-and-forward
+    std::vector<double> ct_work;  // service demand at the assigned host
+    std::uint64_t next_unit{0};
+    std::vector<UnitState> units;
+    // measurement
+    std::uint64_t emitted{0};
+    std::uint64_t delivered{0};
+    double latency_sum{0.0};
+    double latency_max{0.0};
+    std::vector<double> latencies;  // one per delivered unit (percentiles)
+  };
+
+  std::size_t server_index(ElementKey e) const {
+    return e.kind == ElementKey::Kind::kNcp
+               ? static_cast<std::size_t>(e.index)
+               : net_->ncp_count() + static_cast<std::size_t>(e.index);
+  }
+
+  void advance(Server& s);
+  void reschedule(std::size_t server_id);
+  void enqueue_unit(std::size_t server_id, double work, const JobRef& ref);
+  void on_completion(std::size_t server_id);
+  void finish_job(const JobRef& ref);
+  /// Launches the transfer of `unit` over TT `k` starting at hop 0
+  /// (splitting into packets when the stream is packetized).
+  void start_tt(std::size_t stream_id, std::uint64_t unit, TtId k);
+  /// Work of one packet/unit of TT `k` at link `l` for stream `s`.
+  double hop_work(const Stream& s, TtId k, LinkId l,
+                  const JobRef& ref) const;
+  void deliver_to_ct(std::size_t stream_id, std::uint64_t unit, CtId ct);
+  void start_ct(std::size_t stream_id, std::uint64_t unit, CtId ct);
+  void ct_finished(std::size_t stream_id, std::uint64_t unit, CtId ct);
+  void emit_unit(std::size_t stream_id);
+  void toggle_failure(std::size_t failure_id);
+  void set_element_down(ElementKey element, bool down);
+
+  const Network* net_;
+  EventQueue queue_;
+  std::mt19937_64 rng_;
+  std::vector<Server> servers_;  // NCPs then links
+  std::vector<Stream> streams_;
+  struct Failure {
+    ElementKey element;
+    double mean_up, mean_down;
+    bool up{true};
+  };
+  std::vector<Failure> failures_;
+  struct Outage {
+    ElementKey element;
+    double start, end;
+  };
+  std::vector<Outage> outages_;
+  TraceSink* trace_{nullptr};
+  double warmup_{0.0};
+  bool ran_{false};
+};
+
+}  // namespace sparcle::sim

@@ -1,0 +1,106 @@
+#include "sim/trace.hpp"
+
+#include <map>
+#include <ostream>
+
+namespace sparcle::sim {
+
+namespace {
+
+const char* kind_name(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::kEmitted: return "emitted";
+    case TraceEvent::Kind::kCtEnqueued: return "ct_enqueued";
+    case TraceEvent::Kind::kCtFinished: return "ct_finished";
+    case TraceEvent::Kind::kHopEnqueued: return "hop_enqueued";
+    case TraceEvent::Kind::kHopFinished: return "hop_finished";
+    case TraceEvent::Kind::kDelivered: return "delivered";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CsvTraceSink::CsvTraceSink(std::ostream& out) : out_(&out) {
+  *out_ << "time,stream,unit,kind,task,hop\n";
+}
+
+void CsvTraceSink::record(const TraceEvent& e) {
+  *out_ << e.time << ',' << e.stream << ',' << e.unit << ','
+        << kind_name(e.kind) << ',' << e.task << ',' << e.hop << '\n';
+}
+
+TraceAnalysis analyze_trace(const std::vector<TraceEvent>& events,
+                            const TaskGraph& graph, std::size_t stream) {
+  TraceAnalysis out;
+  out.ct_mean_sojourn.assign(graph.ct_count(), 0.0);
+  out.tt_mean_sojourn.assign(graph.tt_count(), 0.0);
+  std::vector<std::size_t> ct_samples(graph.ct_count(), 0);
+  std::vector<std::size_t> tt_samples(graph.tt_count(), 0);
+
+  // Start times keyed by (unit, task): CTs enqueue once per unit; TTs may
+  // see several packets per unit, so the TT sojourn spans the first
+  // enqueue at hop 0 to the last finish at the final hop.
+  std::map<std::pair<std::uint64_t, std::int32_t>, double> ct_start;
+  std::map<std::pair<std::uint64_t, std::int32_t>, double> tt_start;
+  std::map<std::pair<std::uint64_t, std::int32_t>, double> tt_last_finish;
+  std::map<std::uint64_t, double> emitted;
+  double latency_sum = 0;
+
+  for (const TraceEvent& e : events) {
+    if (e.stream != stream) continue;
+    const auto key = std::make_pair(e.unit, e.task);
+    switch (e.kind) {
+      case TraceEvent::Kind::kEmitted:
+        emitted[e.unit] = e.time;
+        break;
+      case TraceEvent::Kind::kCtEnqueued:
+        ct_start.emplace(key, e.time);
+        break;
+      case TraceEvent::Kind::kCtFinished: {
+        const auto it = ct_start.find(key);
+        if (it != ct_start.end()) {
+          out.ct_mean_sojourn[e.task] += e.time - it->second;
+          ++ct_samples[e.task];
+          ct_start.erase(it);
+        }
+        break;
+      }
+      case TraceEvent::Kind::kHopEnqueued:
+        if (e.hop == 0) tt_start.emplace(key, e.time);
+        break;
+      case TraceEvent::Kind::kHopFinished:
+        tt_last_finish[key] = e.time;
+        break;
+      case TraceEvent::Kind::kDelivered: {
+        const auto it = emitted.find(e.unit);
+        if (it != emitted.end()) {
+          latency_sum += e.time - it->second;
+          ++out.delivered_units;
+        }
+        break;
+      }
+    }
+  }
+  // Fold completed TT transfers.
+  for (const auto& [key, finish] : tt_last_finish) {
+    const auto it = tt_start.find(key);
+    if (it == tt_start.end()) continue;
+    out.tt_mean_sojourn[key.second] += finish - it->second;
+    ++tt_samples[key.second];
+  }
+
+  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i)
+    if (ct_samples[i] > 0)
+      out.ct_mean_sojourn[i] /= static_cast<double>(ct_samples[i]);
+  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k)
+    if (tt_samples[k] > 0)
+      out.tt_mean_sojourn[k] /= static_cast<double>(tt_samples[k]);
+  out.mean_latency = out.delivered_units > 0
+                         ? latency_sum /
+                               static_cast<double>(out.delivered_units)
+                         : 0.0;
+  return out;
+}
+
+}  // namespace sparcle::sim

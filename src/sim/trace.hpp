@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "model/task_graph.hpp"
+
+/// \file trace.hpp
+/// Unit-lifecycle tracing for the discrete-event simulator: every
+/// emission, per-task enqueue/finish and delivery can be recorded through
+/// a TraceSink, and TraceAnalysis turns the record into the per-stage
+/// latency breakdown an operator profiles a placement with ("where do my
+/// frames spend their time?").
+
+namespace sparcle::sim {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kEmitted,      ///< unit left the source
+    kCtEnqueued,   ///< unit queued at a CT's host
+    kCtFinished,   ///< CT completed the unit
+    kHopEnqueued,  ///< packet/unit queued at one hop of a TT route
+    kHopFinished,  ///< hop transfer completed
+    kDelivered,    ///< every sink finished the unit
+  };
+
+  double time{0.0};
+  std::size_t stream{0};
+  std::uint64_t unit{0};
+  Kind kind{Kind::kEmitted};
+  std::int32_t task{kInvalidId};  ///< CtId or TtId (kEmitted/kDelivered: -1)
+  std::size_t hop{0};             ///< hop index for TT events
+};
+
+/// Receives every trace event as it happens.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Buffers events in memory (tests, analysis).
+class VectorTraceSink : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Streams events as CSV rows: time,stream,unit,kind,task,hop.
+class CsvTraceSink : public TraceSink {
+ public:
+  /// `out` must outlive the sink.  Writes the header immediately.
+  explicit CsvTraceSink(std::ostream& out);
+  void record(const TraceEvent& event) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Per-stage latency breakdown computed from a trace.
+struct TraceAnalysis {
+  /// Mean queue+service sojourn per CT (seconds), indexed by CtId;
+  /// 0 where no samples exist.
+  std::vector<double> ct_mean_sojourn;
+  /// Mean total transfer sojourn per TT (all hops), indexed by TtId.
+  std::vector<double> tt_mean_sojourn;
+  /// Mean emission-to-delivery latency.
+  double mean_latency{0.0};
+  std::size_t delivered_units{0};
+};
+
+/// Analyzes the events of one stream.  Units without a delivery event are
+/// ignored for the end-to-end mean but still contribute stage samples.
+TraceAnalysis analyze_trace(const std::vector<TraceEvent>& events,
+                            const TaskGraph& graph, std::size_t stream = 0);
+
+}  // namespace sparcle::sim

@@ -1,0 +1,120 @@
+#include "workload/churn.hpp"
+
+#include <map>
+#include <random>
+#include <string>
+
+#include "core/sparcle_assigner.hpp"
+#include "workload/task_graphs.hpp"
+
+namespace sparcle::workload {
+
+ChurnStats run_churn(const Network& net, const ScenarioSpec& spec,
+                     NcpId source, NcpId sink, double calibration_rate,
+                     std::unique_ptr<Assigner> assigner,
+                     const ChurnConfig& config, std::uint64_t seed) {
+  if (!(config.arrival_rate > 0) || !(config.mean_lifetime > 0) ||
+      !(config.horizon > 0))
+    throw std::invalid_argument("run_churn: rates and horizon must be > 0");
+  if (!(calibration_rate > 0))
+    throw std::invalid_argument("run_churn: calibration_rate must be > 0");
+
+  Scheduler sched = assigner
+                        ? Scheduler(net, std::move(assigner),
+                                    config.scheduler_options)
+                        : Scheduler(net, config.scheduler_options);
+  Rng rng(seed);
+  std::exponential_distribution<double> arrival_gap(config.arrival_rate);
+  std::exponential_distribution<double> lifetime(1.0 / config.mean_lifetime);
+
+  ChurnStats stats;
+  const TaskRanges tr = task_ranges_for(spec.bottleneck);
+  std::multimap<double, std::string> departures;  // time -> app name
+  std::size_t next_id = 0;
+  double now = 0.0;
+  double prev_event = 0.0;
+  double gr_rate_integral = 0.0;
+  double concurrency_integral = 0.0;
+  double be_rate_sum = 0.0;
+  std::size_t be_admissions = 0;
+
+  auto advance_to = [&](double t) {
+    gr_rate_integral += sched.total_gr_rate() * (t - prev_event);
+    concurrency_integral +=
+        static_cast<double>(sched.placed().size()) * (t - prev_event);
+    prev_event = t;
+  };
+
+  double next_arrival = arrival_gap(rng.engine());
+  while (next_arrival < config.horizon || !departures.empty()) {
+    // Process whichever event comes first.
+    const bool depart_first =
+        !departures.empty() && (departures.begin()->first <= next_arrival ||
+                                next_arrival >= config.horizon);
+    if (depart_first) {
+      const auto it = departures.begin();
+      now = it->first;
+      if (now > config.horizon) {
+        advance_to(config.horizon);
+        break;
+      }
+      advance_to(now);
+      sched.remove(it->second);
+      departures.erase(it);
+      continue;
+    }
+    if (next_arrival >= config.horizon) {
+      advance_to(config.horizon);
+      break;
+    }
+    now = next_arrival;
+    advance_to(now);
+    next_arrival = now + arrival_gap(rng.engine());
+
+    // Build a random application.
+    Application app;
+    app.name = "app" + std::to_string(next_id++);
+    app.graph = spec.graph == GraphKind::kDiamond
+                    ? diamond_task_graph(rng, tr)
+                    : linear_task_graph(spec.middle_cts, rng, tr);
+    app.pinned = {{app.graph->sources()[0], source},
+                  {app.graph->sinks()[0], sink}};
+    if (rng.bernoulli(config.gr_fraction)) {
+      app.qoe = QoeSpec::guaranteed_rate(
+          calibration_rate *
+              rng.uniform(config.gr_request_lo, config.gr_request_hi),
+          0.0);
+    } else {
+      app.qoe = QoeSpec::best_effort(static_cast<double>(
+          rng.uniform_int(config.be_priority_lo, config.be_priority_hi)));
+    }
+
+    ++stats.arrivals;
+    const AdmissionResult r = sched.submit(app);
+    if (r.admitted) {
+      ++stats.admitted;
+      departures.emplace(now + lifetime(rng.engine()), app.name);
+      if (app.qoe.cls == QoeClass::kBestEffort) {
+        be_rate_sum += r.rate;
+        ++be_admissions;
+      }
+    } else {
+      ++stats.rejected;
+    }
+  }
+  if (prev_event < config.horizon) advance_to(config.horizon);
+
+  stats.admitted_fraction =
+      stats.arrivals > 0
+          ? static_cast<double>(stats.admitted) /
+                static_cast<double>(stats.arrivals)
+          : 0.0;
+  stats.avg_carried_gr_rate = gr_rate_integral / config.horizon;
+  stats.avg_concurrent_apps = concurrency_integral / config.horizon;
+  stats.mean_be_rate_at_admission =
+      be_admissions > 0 ? be_rate_sum / static_cast<double>(be_admissions)
+                        : 0.0;
+  return stats;
+}
+
+}  // namespace sparcle::workload

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/assignment.hpp"
+#include "core/scheduler.hpp"
+#include "workload/scenarios.hpp"
+
+/// \file churn.hpp
+/// Long-horizon churn experiments: applications arrive as a Poisson
+/// process, live for an exponential lifetime, and depart — the dynamic
+/// environment of §III-B ("applications arrive over time").  The driver
+/// measures admission ratios and the time-averaged carried guaranteed
+/// rate, which is how a capacity planner would size a dispersed site.
+
+namespace sparcle::workload {
+
+struct ChurnConfig {
+  double arrival_rate{0.5};    ///< application arrivals per time unit
+  double mean_lifetime{20.0};  ///< exponential lifetime of admitted apps
+  double horizon{400.0};       ///< simulated time units
+  double gr_fraction{0.5};     ///< probability an arrival is GR
+  /// GR rate request as a fraction of the solo SPARCLE rate of the same
+  /// instance (uniform in [lo, hi]).
+  double gr_request_lo{0.15};
+  double gr_request_hi{0.5};
+  /// BE priorities (uniform integers in [lo, hi]).
+  int be_priority_lo{1};
+  int be_priority_hi{3};
+  SchedulerOptions scheduler_options{};
+};
+
+struct ChurnStats {
+  std::size_t arrivals{0};
+  std::size_t admitted{0};
+  std::size_t rejected{0};
+  double admitted_fraction{0.0};
+  /// Time-average of the total reserved GR rate over the horizon.
+  double avg_carried_gr_rate{0.0};
+  /// Time-average of the number of concurrently placed applications.
+  double avg_concurrent_apps{0.0};
+  /// Mean BE allocation (over all BE admission instants).
+  double mean_be_rate_at_admission{0.0};
+};
+
+/// Runs one churn experiment on `net` using `assigner` (nullptr = SPARCLE).
+/// `spec` controls the task-graph shapes and requirement ranges of the
+/// arriving applications; `calibration_rate` scales GR requests (pass the
+/// solo SPARCLE rate of a typical instance).  Deterministic in `seed`.
+ChurnStats run_churn(const Network& net, const ScenarioSpec& spec,
+                     NcpId source, NcpId sink, double calibration_rate,
+                     std::unique_ptr<Assigner> assigner,
+                     const ChurnConfig& config, std::uint64_t seed);
+
+}  // namespace sparcle::workload

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+/// \file rng.hpp
+/// Deterministic random source for workload generation.  Every benchmark
+/// and test passes an explicit seed so results are reproducible run-to-run.
+
+namespace sparcle {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  bool bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sparcle

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/application.hpp"
+#include "model/network.hpp"
+
+/// \file scenario_io.hpp
+/// Plain-text scenario files: a dispersed computing network plus an
+/// ordered list of application requests, loadable by the CLI and test
+/// fixtures.  Line-oriented format, `#` comments:
+///
+///     resources cpu [memory]
+///     ncp  <name> <capacity...> [fail=<p>]
+///     link  <name> <ncpA> <ncpB> <bandwidth> [fail=<p>]
+///     dlink <name> <from> <to>   <bandwidth> [fail=<p>]   (directed)
+///
+///     app <name> be <priority> [<availability>]
+///     app <name> gr <min_rate> <min_rate_availability>
+///       ct  <name> <requirement...>
+///       tt  <name> <bits> <src_ct> <dst_ct>
+///       pin <ct_name> <ncp_name>
+///     end
+///
+/// NCPs and links must precede applications; every `app` block ends with
+/// `end`; names are unique within their kind.  parse errors carry the
+/// offending line number.
+
+namespace sparcle::workload {
+
+/// A parsed scenario: the network and the application arrival sequence.
+struct ScenarioFile {
+  Network net;
+  std::vector<Application> apps;
+};
+
+/// Parses a scenario from a stream.  Throws std::runtime_error with a
+/// "line N: ..." message on malformed input.
+ScenarioFile parse_scenario(std::istream& in);
+
+/// Parses a scenario from a string (convenience for tests).
+ScenarioFile parse_scenario_text(const std::string& text);
+
+/// Loads a scenario from a file path; throws std::runtime_error if the
+/// file cannot be opened.
+ScenarioFile load_scenario_file(const std::string& path);
+
+/// Serializes a scenario back to the text format (round-trips through
+/// parse_scenario up to comment/whitespace differences).
+std::string write_scenario(const ScenarioFile& scenario);
+
+}  // namespace sparcle::workload

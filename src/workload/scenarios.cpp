@@ -1,0 +1,119 @@
+#include "workload/scenarios.hpp"
+
+#include <stdexcept>
+
+namespace sparcle::workload {
+
+std::string to_string(BottleneckCase c) {
+  switch (c) {
+    case BottleneckCase::kNcp: return "NCP-bottleneck";
+    case BottleneckCase::kLink: return "link-bottleneck";
+    case BottleneckCase::kBalanced: return "balanced";
+    case BottleneckCase::kMemory: return "memory-bottleneck";
+  }
+  return "?";
+}
+
+std::string to_string(TopologyKind t) {
+  switch (t) {
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kLinear: return "linear";
+    case TopologyKind::kFull: return "fully-connected";
+  }
+  return "?";
+}
+
+std::string to_string(GraphKind g) {
+  switch (g) {
+    case GraphKind::kLinear: return "linear";
+    case GraphKind::kDiamond: return "diamond";
+  }
+  return "?";
+}
+
+NetRanges net_ranges_for(BottleneckCase c) {
+  NetRanges r;
+  switch (c) {
+    case BottleneckCase::kNcp:
+      // NCPs tight; links have a ~10x larger capacity-to-requirement
+      // ratio (the paper's "10x larger ratio", §V-B1).
+      r.ncp_min = 10;
+      r.ncp_max = 30;
+      r.bw_min = 100;
+      r.bw_max = 300;
+      break;
+    case BottleneckCase::kLink:
+      r.ncp_min = 100;
+      r.ncp_max = 300;
+      r.bw_min = 10;
+      r.bw_max = 30;
+      break;
+    case BottleneckCase::kBalanced:
+      // Wide heterogeneity: either kind of element can end up binding.
+      r.ncp_min = 15;
+      r.ncp_max = 75;
+      r.bw_min = 15;
+      r.bw_max = 75;
+      break;
+    case BottleneckCase::kMemory:
+      // CPU and links plentiful; memory is the scarce resource.
+      r.ncp_min = 100;
+      r.ncp_max = 300;
+      r.mem_min = 10;
+      r.mem_max = 30;
+      r.bw_min = 100;
+      r.bw_max = 300;
+      break;
+  }
+  return r;
+}
+
+TaskRanges task_ranges_for(BottleneckCase c) {
+  TaskRanges r;  // U[5,15] per task for every requirement type
+  (void)c;
+  return r;
+}
+
+Scenario make_scenario(const ScenarioSpec& spec, Rng& rng) {
+  const std::size_t resources =
+      spec.bottleneck == BottleneckCase::kMemory ? 2 : 1;
+  NetRanges nr = net_ranges_for(spec.bottleneck);
+  // The paper's failure experiments attach failures to links ("the failure
+  // probability of links of the considered star computing network is 2%").
+  nr.link_fail_prob = spec.fail_prob;
+  const TaskRanges tr = task_ranges_for(spec.bottleneck);
+
+  GeneratedNetwork gen;
+  switch (spec.topology) {
+    case TopologyKind::kStar:
+      gen = star_network(spec.ncps, rng, nr, resources);
+      break;
+    case TopologyKind::kLinear:
+      gen = linear_network(spec.ncps, rng, nr, resources);
+      break;
+    case TopologyKind::kFull:
+      gen = full_network(spec.ncps, rng, nr, resources);
+      break;
+  }
+
+  Scenario s;
+  s.net = std::move(gen.net);
+  switch (spec.graph) {
+    case GraphKind::kLinear:
+      s.graph = linear_task_graph(spec.middle_cts, rng, tr, resources);
+      break;
+    case GraphKind::kDiamond:
+      s.graph = diamond_task_graph(rng, tr, resources);
+      break;
+  }
+
+  const auto& sources = s.graph->sources();
+  const auto& sinks = s.graph->sinks();
+  if (sources.size() != 1 || sinks.size() != 1)
+    throw std::logic_error("make_scenario: expected one source and one sink");
+  s.pinned[sources[0]] = gen.source;
+  s.pinned[sinks[0]] = gen.sink;
+  return s;
+}
+
+}  // namespace sparcle::workload

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/assignment.hpp"
+#include "model/network.hpp"
+#include "model/task_graph.hpp"
+#include "workload/rng.hpp"
+#include "workload/task_graphs.hpp"
+#include "workload/topologies.hpp"
+
+/// \file scenarios.hpp
+/// Matched (network, task graph, pins) instances for the three evaluation
+/// regimes of §V-B: the link-bottleneck case (links tight, NCPs with 10x
+/// headroom), the NCP-bottleneck case (the reverse), and the balanced case
+/// (either can bind).  The Fig. 12 memory-bottleneck case adds a second
+/// resource type that is the scarce one.
+
+namespace sparcle::workload {
+
+enum class BottleneckCase { kNcp, kLink, kBalanced, kMemory };
+enum class TopologyKind { kStar, kLinear, kFull };
+enum class GraphKind { kLinear, kDiamond };
+
+struct ScenarioSpec {
+  TopologyKind topology{TopologyKind::kStar};
+  GraphKind graph{GraphKind::kDiamond};
+  BottleneckCase bottleneck{BottleneckCase::kBalanced};
+  std::size_t ncps{8};
+  std::size_t middle_cts{4};  ///< linear graphs: CTs between source and sink
+  double fail_prob{0.0};      ///< per-link failure probability (§V-B QoE)
+};
+
+/// One generated instance.  The task graph is shared; the network is owned.
+struct Scenario {
+  Network net;
+  std::shared_ptr<const TaskGraph> graph;
+  std::map<CtId, NcpId> pinned;
+
+  /// Assignment problem over the full network capacities.  The scenario
+  /// must outlive the returned problem (it borrows net/graph).
+  AssignmentProblem problem() const {
+    AssignmentProblem p;
+    p.net = &net;
+    p.graph = graph.get();
+    p.capacities = CapacitySnapshot(net);
+    p.pinned = pinned;
+    return p;
+  }
+};
+
+/// Human-readable labels for benchmark table headers.
+std::string to_string(BottleneckCase c);
+std::string to_string(TopologyKind t);
+std::string to_string(GraphKind g);
+
+/// Generates one random instance of the spec.
+Scenario make_scenario(const ScenarioSpec& spec, Rng& rng);
+
+/// The capacity/requirement ranges behind each bottleneck case (exposed
+/// for tests that need to reason about the regimes).
+NetRanges net_ranges_for(BottleneckCase c);
+TaskRanges task_ranges_for(BottleneckCase c);
+
+}  // namespace sparcle::workload

@@ -1,0 +1,46 @@
+#include "workload/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sparcle {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0 || p > 100)
+    throw std::invalid_argument("percentile: p out of [0, 100]");
+  std::sort(xs.begin(), xs.end());
+  const double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  std::vector<std::pair<double, double>> cdf;
+  cdf.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    cdf.emplace_back(xs[i], static_cast<double>(i + 1) /
+                                static_cast<double>(xs.size()));
+  return cdf;
+}
+
+double fraction_at_least(const std::vector<double>& xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double x : xs)
+    if (x >= threshold) ++count;
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+}  // namespace sparcle

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+/// \file stats.hpp
+/// Small statistics helpers for the benchmark harnesses: percentiles,
+/// means, and empirical CDFs in the shape the paper's figures report.
+
+namespace sparcle {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// The p-th percentile (p in [0, 100]) by linear interpolation between
+/// order statistics.  Throws std::invalid_argument on an empty sample.
+double percentile(std::vector<double> xs, double p);
+
+/// Empirical CDF evaluated at each sample point: sorted (value, F(value))
+/// pairs, F in (0, 1].
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> xs);
+
+/// The fraction of the sample that is >= threshold.
+double fraction_at_least(const std::vector<double>& xs, double threshold);
+
+}  // namespace sparcle

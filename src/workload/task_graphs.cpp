@@ -1,0 +1,181 @@
+#include "workload/task_graphs.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sparcle::workload {
+
+namespace {
+
+ResourceSchema schema_for(std::size_t resources) {
+  if (resources == 1) return ResourceSchema::cpu_only();
+  if (resources == 2) return ResourceSchema::cpu_memory();
+  throw std::invalid_argument("task graph: resources must be 1 or 2");
+}
+
+ResourceVector random_requirement(Rng& rng, const TaskRanges& r,
+                                  std::size_t resources) {
+  ResourceVector v(resources, 0.0);
+  v[0] = rng.uniform(r.ct_min, r.ct_max);
+  if (resources > 1) v[1] = rng.uniform(r.mem_min, r.mem_max);
+  return v;
+}
+
+}  // namespace
+
+std::shared_ptr<const TaskGraph> linear_task_graph(std::size_t middle_cts,
+                                                   Rng& rng,
+                                                   const TaskRanges& ranges,
+                                                   std::size_t resources) {
+  if (middle_cts == 0)
+    throw std::invalid_argument("linear_task_graph: need >= 1 middle CT");
+  auto g = std::make_shared<TaskGraph>(schema_for(resources));
+  const CtId src = g->add_ct("source", ResourceVector(resources, 0.0));
+  CtId prev = src;
+  for (std::size_t i = 0; i < middle_cts; ++i) {
+    const CtId ct = g->add_ct("CT" + std::to_string(i + 1),
+                              random_requirement(rng, ranges, resources));
+    g->add_tt("TT" + std::to_string(i + 1),
+              rng.uniform(ranges.tt_min, ranges.tt_max), prev, ct);
+    prev = ct;
+  }
+  const CtId sink = g->add_ct("consumer", ResourceVector(resources, 0.0));
+  g->add_tt("TT" + std::to_string(middle_cts + 1),
+            rng.uniform(ranges.tt_min, ranges.tt_max), prev, sink);
+  g->finalize();
+  return g;
+}
+
+std::shared_ptr<const TaskGraph> diamond_task_graph(Rng& rng,
+                                                    const TaskRanges& ranges,
+                                                    std::size_t resources) {
+  auto g = std::make_shared<TaskGraph>(schema_for(resources));
+  const CtId src = g->add_ct("source", ResourceVector(resources, 0.0));
+  // First layer: CT2..CT5.
+  CtId layer1[4];
+  for (int i = 0; i < 4; ++i)
+    layer1[i] = g->add_ct("CT" + std::to_string(i + 2),
+                          random_requirement(rng, ranges, resources));
+  // Second layer: CT6, CT7.
+  CtId layer2[2];
+  for (int i = 0; i < 2; ++i)
+    layer2[i] = g->add_ct("CT" + std::to_string(i + 6),
+                          random_requirement(rng, ranges, resources));
+  const CtId sink = g->add_ct("consumer", ResourceVector(resources, 0.0));
+
+  int tt = 1;
+  auto next_tt = [&] { return "TT" + std::to_string(tt++); };
+  for (int i = 0; i < 4; ++i)
+    g->add_tt(next_tt(), rng.uniform(ranges.tt_min, ranges.tt_max), src,
+              layer1[i]);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 2; ++j)
+      g->add_tt(next_tt(), rng.uniform(ranges.tt_min, ranges.tt_max),
+                layer1[i], layer2[j]);
+  for (int j = 0; j < 2; ++j)
+    g->add_tt(next_tt(), rng.uniform(ranges.tt_min, ranges.tt_max),
+              layer2[j], sink);
+  g->finalize();
+  return g;
+}
+
+std::shared_ptr<const TaskGraph> face_detection_app() {
+  // Units: megacycles per image for CTs (capacities in MHz) and bits per
+  // image for TTs (bandwidths in bits/s) — Table II verbatim.
+  constexpr double kMB = 8.0e6;  // bits per megabyte
+  constexpr double kKB = 8.0e3;  // bits per kilobyte
+  auto g = std::make_shared<TaskGraph>(ResourceSchema::cpu_only());
+  const CtId camera = g->add_ct("camera", ResourceVector::scalar(0.0));
+  const CtId resize = g->add_ct("resize", ResourceVector::scalar(9880.0));
+  const CtId denoise = g->add_ct("denoise", ResourceVector::scalar(12800.0));
+  const CtId edge =
+      g->add_ct("edge_detection", ResourceVector::scalar(4826.0));
+  const CtId face =
+      g->add_ct("face_detection", ResourceVector::scalar(5658.0));
+  const CtId consumer = g->add_ct("consumer", ResourceVector::scalar(0.0));
+  g->add_tt("raw_images", 3.1 * kMB, camera, resize);
+  g->add_tt("resized_images", 182.0 * kKB, resize, denoise);
+  g->add_tt("denoised_images", 145.0 * kKB, denoise, edge);
+  g->add_tt("edge_maps", 188.0 * kKB, edge, face);
+  g->add_tt("detected_faces", 11.0 * kKB, face, consumer);
+  g->finalize();
+  return g;
+}
+
+std::shared_ptr<const TaskGraph> object_classification_app() {
+  // Fig. 1 shape with illustrative requirements: two cameras stream images
+  // of the same scene; detection fuses them; classification labels the
+  // found objects.
+  constexpr double kMB = 8.0e6;
+  constexpr double kKB = 8.0e3;
+  auto g = std::make_shared<TaskGraph>(ResourceSchema::cpu_only());
+  const CtId cam1 = g->add_ct("camera1", ResourceVector::scalar(0.0));
+  const CtId cam2 = g->add_ct("camera2", ResourceVector::scalar(0.0));
+  const CtId detect =
+      g->add_ct("object_detection", ResourceVector::scalar(15000.0));
+  const CtId classify =
+      g->add_ct("object_classification", ResourceVector::scalar(8000.0));
+  const CtId consumer = g->add_ct("consumer", ResourceVector::scalar(0.0));
+  g->add_tt("images1", 2.0 * kMB, cam1, detect);
+  g->add_tt("images2", 2.0 * kMB, cam2, detect);
+  g->add_tt("objects", 300.0 * kKB, detect, classify);
+  g->add_tt("classes", 5.0 * kKB, classify, consumer);
+  g->finalize();
+  return g;
+}
+
+std::shared_ptr<const TaskGraph> random_layered_task_graph(
+    Rng& rng, const TaskRanges& ranges, std::size_t layers,
+    std::size_t max_width, double edge_prob, std::size_t resources) {
+  if (layers == 0 || max_width == 0)
+    throw std::invalid_argument(
+        "random_layered_task_graph: layers and max_width must be >= 1");
+  auto g = std::make_shared<TaskGraph>(schema_for(resources));
+  int tt_counter = 1;
+  auto next_tt_name = [&] { return "TT" + std::to_string(tt_counter++); };
+  auto random_bits = [&] { return rng.uniform(ranges.tt_min, ranges.tt_max); };
+
+  std::vector<CtId> prev = {
+      g->add_ct("source", ResourceVector(resources, 0.0))};
+  int ct_counter = 1;
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    const std::size_t width =
+        static_cast<std::size_t>(rng.uniform_int(1, static_cast<int>(
+                                                        max_width)));
+    std::vector<CtId> current;
+    for (std::size_t w = 0; w < width; ++w)
+      current.push_back(
+          g->add_ct("CT" + std::to_string(ct_counter++),
+                    random_requirement(rng, ranges, resources)));
+    // Guarantee connectivity: every new CT gets one inbound edge, and
+    // every previous CT gets one outbound edge.
+    std::vector<char> prev_has_out(prev.size(), 0);
+    for (std::size_t w = 0; w < current.size(); ++w) {
+      const std::size_t p = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(prev.size()) - 1));
+      g->add_tt(next_tt_name(), random_bits(), prev[p], current[w]);
+      prev_has_out[p] = 1;
+    }
+    for (std::size_t p = 0; p < prev.size(); ++p)
+      if (!prev_has_out[p]) {
+        const std::size_t w = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(current.size()) - 1));
+        g->add_tt(next_tt_name(), random_bits(), prev[p], current[w]);
+      }
+    // Extra random edges.
+    for (std::size_t p = 0; p < prev.size(); ++p)
+      for (std::size_t w = 0; w < current.size(); ++w)
+        if (rng.bernoulli(edge_prob)) {
+          // Skip duplicates of the guaranteed edges cheaply: a parallel
+          // TT between the same CTs is legal in the model, so allow it.
+          g->add_tt(next_tt_name(), random_bits(), prev[p], current[w]);
+        }
+    prev = std::move(current);
+  }
+  const CtId sink = g->add_ct("consumer", ResourceVector(resources, 0.0));
+  for (CtId p : prev) g->add_tt(next_tt_name(), random_bits(), p, sink);
+  g->finalize();
+  return g;
+}
+
+}  // namespace sparcle::workload

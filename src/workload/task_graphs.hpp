@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+
+#include "model/task_graph.hpp"
+#include "workload/rng.hpp"
+
+/// \file task_graphs.hpp
+/// Generators for the task graphs the evaluation uses: the linear and
+/// diamond shapes of Fig. 7, randomized-requirement variants, and the real
+/// face-detection pipeline of Fig. 5 / Table II.
+
+namespace sparcle::workload {
+
+/// Requirement ranges for randomized graphs (uniform per task).
+struct TaskRanges {
+  double ct_min{5.0}, ct_max{15.0};    ///< computation units per data unit
+  double tt_min{5.0}, tt_max{15.0};    ///< bits per data unit
+  double mem_min{5.0}, mem_max{15.0};  ///< second resource type, if any
+};
+
+/// Fig. 7(a): source -> n middle CTs in a chain -> sink.  The source and
+/// sink have zero requirements (footnote 1).  `resources` is 1 or 2.
+std::shared_ptr<const TaskGraph> linear_task_graph(std::size_t middle_cts,
+                                                   Rng& rng,
+                                                   const TaskRanges& ranges,
+                                                   std::size_t resources = 1);
+
+/// Fig. 7(b): source CT1 -> {CT2..CT5} -> {CT6, CT7} -> sink CT8, with the
+/// 14 TTs of the figure.
+std::shared_ptr<const TaskGraph> diamond_task_graph(Rng& rng,
+                                                    const TaskRanges& ranges,
+                                                    std::size_t resources = 1);
+
+/// Fig. 5 / Table II: the real face-detection pipeline.  Requirements in
+/// megacycles per image (matching NCP capacities in MHz) and bits per
+/// image: resize 9880 MC, denoise 12800 MC, edge detection 4826 MC, face
+/// detection 5658 MC; raw 3.1 MB, resized 182 kB, denoised 145 kB, edge
+/// maps 188 kB, detected faces 11 kB.
+std::shared_ptr<const TaskGraph> face_detection_app();
+
+/// Fig. 1: the two-camera multi-viewpoint object classification example
+/// (two sources feeding object detection, then classification, then the
+/// consumer).  Used by the quickstart example and tests.
+std::shared_ptr<const TaskGraph> object_classification_app();
+
+/// Random layered DAG: a single zero-requirement source, `layers` inner
+/// layers of 1..max_width CTs, and a single zero-requirement sink.  Every
+/// inner CT has at least one inbound and one outbound TT; extra edges
+/// between consecutive layers appear with probability `edge_prob`.
+/// Exercises fan-out/fan-in shapes beyond the paper's linear/diamond
+/// fixtures (fuzzing, property tests).
+std::shared_ptr<const TaskGraph> random_layered_task_graph(
+    Rng& rng, const TaskRanges& ranges, std::size_t layers,
+    std::size_t max_width, double edge_prob = 0.4,
+    std::size_t resources = 1);
+
+}  // namespace sparcle::workload

@@ -1,0 +1,123 @@
+#include "workload/topologies.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sparcle::workload {
+
+namespace {
+
+ResourceSchema schema_for(std::size_t resources) {
+  if (resources == 1) return ResourceSchema::cpu_only();
+  if (resources == 2) return ResourceSchema::cpu_memory();
+  throw std::invalid_argument("topology: resources must be 1 or 2");
+}
+
+ResourceVector random_capacity(Rng& rng, const NetRanges& r,
+                               std::size_t resources) {
+  ResourceVector v(resources, 0.0);
+  v[0] = rng.uniform(r.ncp_min, r.ncp_max);
+  if (resources > 1) v[1] = rng.uniform(r.mem_min, r.mem_max);
+  return v;
+}
+
+void check_size(std::size_t ncps) {
+  if (ncps < 3)
+    throw std::invalid_argument("topology: need at least 3 NCPs");
+}
+
+}  // namespace
+
+GeneratedNetwork star_network(std::size_t ncps, Rng& rng,
+                              const NetRanges& ranges,
+                              std::size_t resources) {
+  check_size(ncps);
+  GeneratedNetwork out{Network(schema_for(resources)), 0, 0, 0};
+  for (std::size_t j = 0; j < ncps; ++j)
+    out.net.add_ncp(j == 0 ? "hub" : "leaf" + std::to_string(j),
+                    random_capacity(rng, ranges, resources),
+                    ranges.ncp_fail_prob);
+  for (std::size_t j = 1; j < ncps; ++j)
+    out.net.add_link("spoke" + std::to_string(j), 0,
+                     static_cast<NcpId>(j),
+                     rng.uniform(ranges.bw_min, ranges.bw_max),
+                     ranges.link_fail_prob);
+  out.source = 1;
+  out.source2 = ncps > 3 ? 2 : 1;
+  out.sink = static_cast<NcpId>(ncps - 1);
+  return out;
+}
+
+GeneratedNetwork linear_network(std::size_t ncps, Rng& rng,
+                                const NetRanges& ranges,
+                                std::size_t resources) {
+  check_size(ncps);
+  GeneratedNetwork out{Network(schema_for(resources)), 0, 0, 0};
+  for (std::size_t j = 0; j < ncps; ++j)
+    out.net.add_ncp("ncp" + std::to_string(j),
+                    random_capacity(rng, ranges, resources),
+                    ranges.ncp_fail_prob);
+  for (std::size_t j = 0; j + 1 < ncps; ++j)
+    out.net.add_link("hop" + std::to_string(j), static_cast<NcpId>(j),
+                     static_cast<NcpId>(j + 1),
+                     rng.uniform(ranges.bw_min, ranges.bw_max),
+                     ranges.link_fail_prob);
+  out.source = 0;
+  out.source2 = 1;
+  out.sink = static_cast<NcpId>(ncps - 1);
+  return out;
+}
+
+GeneratedNetwork full_network(std::size_t ncps, Rng& rng,
+                              const NetRanges& ranges,
+                              std::size_t resources) {
+  check_size(ncps);
+  GeneratedNetwork out{Network(schema_for(resources)), 0, 0, 0};
+  for (std::size_t j = 0; j < ncps; ++j)
+    out.net.add_ncp("ncp" + std::to_string(j),
+                    random_capacity(rng, ranges, resources),
+                    ranges.ncp_fail_prob);
+  for (std::size_t a = 0; a < ncps; ++a)
+    for (std::size_t b = a + 1; b < ncps; ++b)
+      out.net.add_link("l" + std::to_string(a) + "_" + std::to_string(b),
+                       static_cast<NcpId>(a), static_cast<NcpId>(b),
+                       rng.uniform(ranges.bw_min, ranges.bw_max),
+                       ranges.link_fail_prob);
+  out.source = 0;
+  out.source2 = 1;
+  out.sink = static_cast<NcpId>(ncps - 1);
+  return out;
+}
+
+Testbed testbed_network(double field_bw_mbps) {
+  if (!(field_bw_mbps > 0))
+    throw std::invalid_argument("testbed: field bandwidth must be positive");
+  constexpr double kMHz = 1.0;     // capacities in MHz == megacycles/s
+  constexpr double kMbps = 1.0e6;  // bandwidths in bits/s
+
+  Network net(ResourceSchema::cpu_only());
+  // Table I: Field CPU 3000 MHz, Cloud CPU 4 x 3.8 GHz = 15200 MHz.
+  const NcpId n1 = net.add_ncp("NCP1", ResourceVector::scalar(3000 * kMHz));
+  const NcpId n2 = net.add_ncp("NCP2", ResourceVector::scalar(3000 * kMHz));
+  const NcpId n3 = net.add_ncp("NCP3", ResourceVector::scalar(3000 * kMHz));
+  const NcpId n4 = net.add_ncp("NCP4", ResourceVector::scalar(3000 * kMHz));
+  const NcpId n5 = net.add_ncp("NCP5", ResourceVector::scalar(3000 * kMHz));
+  const NcpId n6 = net.add_ncp("NCP6", ResourceVector::scalar(3000 * kMHz));
+  const NcpId cloud =
+      net.add_ncp("cloud", ResourceVector::scalar(15200 * kMHz));
+
+  const double fbw = field_bw_mbps * kMbps;
+  net.add_link("f_51", n5, n1, fbw);
+  net.add_link("f_52", n5, n2, fbw);
+  net.add_link("f_56", n5, n6, fbw);
+  net.add_link("f_63", n6, n3, fbw);
+  net.add_link("f_64", n6, n4, fbw);
+  net.add_link("f_12", n1, n2, fbw);
+  net.add_link("f_34", n3, n4, fbw);
+  // Table I: Cloud BW 100 Mbps, attached at the N2 gateway.
+  net.add_link("cloud_bw", n2, cloud, 100.0 * kMbps);
+
+  return Testbed{std::move(net), cloud, n5, n6};
+}
+
+}  // namespace sparcle::workload

@@ -1,0 +1,63 @@
+#pragma once
+
+#include "model/network.hpp"
+#include "workload/rng.hpp"
+
+/// \file topologies.hpp
+/// Generators for the computing-network topologies of §V-B (star, linear,
+/// fully connected — "consistent with typical IoT scenarios") and the
+/// experimental testbed of Fig. 4 / Table I.
+
+namespace sparcle::workload {
+
+/// Capacity ranges for randomized topologies (uniform per element).
+struct NetRanges {
+  double ncp_min{20.0}, ncp_max{60.0};  ///< computation capacity
+  double bw_min{10.0}, bw_max{30.0};    ///< link bandwidth
+  double mem_min{20.0}, mem_max{60.0};  ///< second resource type, if any
+  double ncp_fail_prob{0.0};            ///< per-NCP failure probability
+  double link_fail_prob{0.0};           ///< per-link failure probability
+};
+
+/// A generated network plus the NCPs where the benchmarks pin data sources
+/// and result consumers.
+struct GeneratedNetwork {
+  Network net;
+  NcpId source{0};   ///< suggested data-source NCP
+  NcpId source2{0};  ///< second source (multi-source graphs)
+  NcpId sink{0};     ///< suggested consumer NCP
+};
+
+/// Star: NCP 0 is the hub; NCPs 1..n-1 are leaves, each linked to the hub.
+/// Sources/sink suggestions are distinct leaves.
+GeneratedNetwork star_network(std::size_t ncps, Rng& rng,
+                              const NetRanges& ranges,
+                              std::size_t resources = 1);
+
+/// Linear chain 0 - 1 - ... - n-1; source at one end, sink at the other.
+GeneratedNetwork linear_network(std::size_t ncps, Rng& rng,
+                                const NetRanges& ranges,
+                                std::size_t resources = 1);
+
+/// Fully connected graph on n NCPs.
+GeneratedNetwork full_network(std::size_t ncps, Rng& rng,
+                              const NetRanges& ranges,
+                              std::size_t resources = 1);
+
+/// The Fig. 4 experimental testbed, Table I capacities.
+///
+/// Six field NCPs (3000 MHz each) and one cloud NCP (4 x 3.8 GHz =
+/// 15200 MHz).  Seven field links at `field_bw_mbps` wire the field mesh
+/// (N5 and N6 form the lower tier holding the camera and the consumer;
+/// N1..N4 the upper tier) and the cloud attaches to the N2 gateway at
+/// 100 Mbps.  The exact wiring is our documented reconstruction of Fig. 4
+/// (see DESIGN.md §3).
+struct Testbed {
+  Network net;
+  NcpId cloud;
+  NcpId camera;    ///< data-source host (field)
+  NcpId consumer;  ///< result-consumer host (field)
+};
+Testbed testbed_network(double field_bw_mbps);
+
+}  // namespace sparcle::workload

@@ -1,0 +1,182 @@
+/// \file test_api_surface.cpp
+/// Coverage for the corners of the public API that the main suites don't
+/// reach: option forwarding, alternate resource indices, routing-policy
+/// commits, and validation edge cases.
+
+#include <gtest/gtest.h>
+
+#include "sparcle.hpp"
+#include "core/greedy_engine.hpp"
+
+namespace sparcle {
+namespace {
+
+TEST(ApiSurface, SchedulerForwardsAssignerOptions) {
+  // A scheduler configured with local-search rounds should produce at
+  // least as much BE rate as the plain greedy on a balanced instance.
+  Rng rng(6);
+  workload::ScenarioSpec spec;
+  spec.topology = workload::TopologyKind::kStar;
+  spec.graph = workload::GraphKind::kDiamond;
+  spec.bottleneck = workload::BottleneckCase::kBalanced;
+  const workload::Scenario sc = workload::make_scenario(spec, rng);
+  Application app{"a", sc.graph, QoeSpec::best_effort(1.0), sc.pinned};
+
+  SchedulerOptions plain;
+  Scheduler s1(sc.net, plain);
+  const double r1 = s1.submit(app).rate;
+
+  SchedulerOptions refined;
+  refined.assigner_options.local_search_rounds = 4;
+  Scheduler s2(sc.net, refined);
+  const double r2 = s2.submit(app).rate;
+  EXPECT_GE(r2, r1 - 1e-9);
+}
+
+TEST(ApiSurface, EnergyModelHonoursCpuResourceIndex) {
+  Network net(ResourceSchema::cpu_memory());
+  net.add_ncp("n", ResourceVector{100.0, 50.0});
+  TaskGraph g(ResourceSchema::cpu_memory());
+  const CtId w = g.add_ct("w", ResourceVector{10.0, 25.0});
+  g.finalize();
+  Placement p(g);
+  p.place_ct(w, 0);
+  DevicePowerProfile prof;
+  prof.idle_watts = 0;
+  prof.cpu_full_load_watts = 10;
+  prof.tx_watts_per_bps = prof.rx_watts_per_bps = 0;
+  const EnergyModel em(net, prof);
+  // Resource 0: utilization 10/100 = 0.1 -> 1 W.
+  EXPECT_NEAR(em.total_power(g, p, 1.0, 0), 1.0, 1e-12);
+  // Resource 1: utilization 25/50 = 0.5 -> 5 W.
+  EXPECT_NEAR(em.total_power(g, p, 1.0, 1), 5.0, 1e-12);
+}
+
+TEST(ApiSurface, GreedyEngineShortestHopCommit) {
+  // Commit with the shortest-hop policy: the route takes the 2-hop direct
+  // line even when a wider 3-hop detour exists.
+  Network net(ResourceSchema::cpu_only());
+  for (int i = 0; i < 4; ++i)
+    net.add_ncp("n" + std::to_string(i), ResourceVector::scalar(100));
+  net.add_link("a01", 0, 1, 1.0);    // narrow line
+  net.add_link("a12", 1, 2, 1.0);
+  net.add_link("b03", 0, 3, 100.0);  // wide parallel line
+  net.add_link("b32", 3, 2, 100.0);
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId s = g.add_ct("s", ResourceVector::scalar(0));
+  const CtId t = g.add_ct("t", ResourceVector::scalar(1));
+  g.add_tt("st", 10, s, t);
+  g.finalize();
+  AssignmentProblem p;
+  p.net = &net;
+  p.graph = &g;
+  p.capacities = CapacitySnapshot(net);
+  p.pinned = {{s, 0}, {t, 2}};
+
+  GreedyEngine shortest(p, true, GreedyEngine::Routing::kShortestHops);
+  shortest.commit_pins();
+  AssignmentResult r1 = std::move(shortest).finish();
+  ASSERT_TRUE(r1.feasible);
+  EXPECT_EQ(r1.placement.tt_route(0).size(), 2u);
+  EXPECT_EQ(r1.placement.tt_route(0)[0], 0);  // via the narrow line
+
+  GreedyEngine widest(p, true, GreedyEngine::Routing::kWidestPath);
+  widest.commit_pins();
+  AssignmentResult r2 = std::move(widest).finish();
+  ASSERT_TRUE(r2.feasible);
+  EXPECT_EQ(r2.placement.tt_route(0)[0], 2);  // via the wide detour
+  EXPECT_GT(r2.rate, r1.rate);
+}
+
+TEST(ApiSurface, PlacementShapeMismatchIsRejected) {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("n", ResourceVector::scalar(1));
+  TaskGraph g1(ResourceSchema::cpu_only());
+  g1.add_ct("a", ResourceVector::scalar(1));
+  g1.finalize();
+  TaskGraph g2(ResourceSchema::cpu_only());
+  g2.add_ct("a", ResourceVector::scalar(1));
+  g2.add_ct("b", ResourceVector::scalar(1));
+  g2.add_tt("ab", 1, 0, 1);
+  g2.finalize();
+  Placement p(g1);
+  p.place_ct(0, 0);
+  std::string err;
+  EXPECT_FALSE(p.validate(g2, net, &err));
+  EXPECT_NE(err.find("shape"), std::string::npos);
+}
+
+TEST(ApiSurface, AvailabilityMcValidation) {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("n", ResourceVector::scalar(1), 0.1);
+  EXPECT_THROW(availability_any_mc(net, {}, 100, 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      availability_any_mc(net, {{ElementKey::ncp(0)}}, 0, 1),
+      std::invalid_argument);
+  EXPECT_THROW(min_rate_availability_mc(net, {{ElementKey::ncp(0)}},
+                                        {1.0, 2.0}, 0.5, 100, 1),
+               std::invalid_argument);
+}
+
+TEST(ApiSurface, ScenarioParserRejectsMoreMalformedInput) {
+  using workload::parse_scenario_text;
+  EXPECT_THROW(parse_scenario_text("resources a b c\n"),
+               std::runtime_error);  // 3 resource types unsupported
+  EXPECT_THROW(parse_scenario_text("ncp a 1 fail=lots\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text("ncp a 1\napp x gr 1\n"),
+               std::runtime_error);  // gr needs two params
+  EXPECT_THROW(
+      parse_scenario_text("ncp a 1\nncp b 1\ndlink d a b 5\ndlink d b a 5\n"),
+      std::runtime_error);  // duplicate link name
+}
+
+TEST(ApiSurface, WriteScenarioOfGrAppsRoundTrips) {
+  const std::string text = R"(
+ncp a 10
+ncp b 10
+dlink up a b 100
+app g gr 2.5 0.85
+  ct s 0
+  ct t 1
+  tt st 1 s t
+  pin s a
+  pin t b
+end
+)";
+  const auto sf = workload::parse_scenario_text(text);
+  const auto again =
+      workload::parse_scenario_text(workload::write_scenario(sf));
+  ASSERT_EQ(again.apps.size(), 1u);
+  EXPECT_EQ(again.apps[0].qoe.cls, QoeClass::kGuaranteedRate);
+  EXPECT_DOUBLE_EQ(again.apps[0].qoe.min_rate, 2.5);
+  EXPECT_DOUBLE_EQ(again.apps[0].qoe.min_rate_availability, 0.85);
+  EXPECT_TRUE(again.net.link(0).directed);
+}
+
+TEST(ApiSurface, LatencyEstimateOnMultiHopRoute) {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("a", ResourceVector::scalar(100));
+  net.add_ncp("b", ResourceVector::scalar(100));
+  net.add_ncp("c", ResourceVector::scalar(100));
+  net.add_link("ab", 0, 1, 10.0);
+  net.add_link("bc", 1, 2, 5.0);
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId s = g.add_ct("s", ResourceVector::scalar(0));
+  const CtId t = g.add_ct("t", ResourceVector::scalar(0));
+  g.add_tt("st", 10.0, s, t);
+  g.finalize();
+  Placement p(g);
+  p.place_ct(s, 0);
+  p.place_ct(t, 2);
+  p.place_tt(0, {0, 1});
+  const LatencyEstimate e = estimate_latency(net, g, p, 0.0);
+  ASSERT_TRUE(e.stable);
+  // Store-and-forward: 10/10 + 10/5 = 3 s.
+  EXPECT_DOUBLE_EQ(e.tt_sojourn[0], 3.0);
+  EXPECT_DOUBLE_EQ(e.total, 3.0);
+}
+
+}  // namespace
+}  // namespace sparcle

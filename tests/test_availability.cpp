@@ -1,0 +1,190 @@
+#include "core/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/rng.hpp"
+
+namespace sparcle {
+namespace {
+
+/// A network whose elements exist only to carry failure probabilities.
+Network make_failure_net(const std::vector<double>& ncp_pf,
+                         const std::vector<double>& link_pf) {
+  Network net(ResourceSchema::cpu_only());
+  for (std::size_t j = 0; j < ncp_pf.size(); ++j)
+    net.add_ncp("n" + std::to_string(j), ResourceVector::scalar(1),
+                ncp_pf[j]);
+  for (std::size_t l = 0; l < link_pf.size(); ++l)
+    net.add_link("l" + std::to_string(l), 0,
+                 static_cast<NcpId>(1 + l % (ncp_pf.size() - 1)), 1.0,
+                 link_pf[l]);
+  return net;
+}
+
+TEST(Availability, SinglePathIsProductOfUpProbabilities) {
+  const Network net = make_failure_net({0.1, 0.2, 0.0}, {0.05});
+  const std::vector<ElementKey> path = {
+      ElementKey::ncp(0), ElementKey::ncp(1), ElementKey::link(0)};
+  EXPECT_NEAR(all_up_probability(net, path), 0.9 * 0.8 * 0.95, 1e-12);
+  EXPECT_NEAR(availability_any(net, {path}), 0.9 * 0.8 * 0.95, 1e-12);
+}
+
+TEST(Availability, DuplicateElementsCountOnce) {
+  const Network net = make_failure_net({0.5, 0.0}, {});
+  const std::vector<ElementKey> path = {ElementKey::ncp(0),
+                                        ElementKey::ncp(0)};
+  EXPECT_NEAR(all_up_probability(net, path), 0.5, 1e-12);
+}
+
+TEST(Availability, TwoDisjointPaths) {
+  // P(A ∪ B) = a + b - ab for independent paths.
+  const Network net = make_failure_net({0.1, 0.2, 0.3, 0.4}, {});
+  const std::vector<ElementKey> p1 = {ElementKey::ncp(0),
+                                      ElementKey::ncp(1)};
+  const std::vector<ElementKey> p2 = {ElementKey::ncp(2),
+                                      ElementKey::ncp(3)};
+  const double a = 0.9 * 0.8, b = 0.7 * 0.6;
+  EXPECT_NEAR(availability_any(net, {p1, p2}), a + b - a * b, 1e-12);
+}
+
+TEST(Availability, OverlappingPathsShareFate) {
+  // Both paths contain NCP 0: P(A ∪ B) = u0 (u1 + u2 - u1 u2).
+  const Network net = make_failure_net({0.2, 0.3, 0.4}, {});
+  const std::vector<ElementKey> p1 = {ElementKey::ncp(0),
+                                      ElementKey::ncp(1)};
+  const std::vector<ElementKey> p2 = {ElementKey::ncp(0),
+                                      ElementKey::ncp(2)};
+  const double expected = 0.8 * (0.7 + 0.6 - 0.7 * 0.6);
+  EXPECT_NEAR(availability_any(net, {p1, p2}), expected, 1e-12);
+}
+
+TEST(Availability, IdenticalPathsAddNothing) {
+  const Network net = make_failure_net({0.25, 0.0}, {});
+  const std::vector<ElementKey> p = {ElementKey::ncp(0)};
+  EXPECT_NEAR(availability_any(net, {p, p, p}), 0.75, 1e-12);
+}
+
+TEST(Availability, ExactStateProbabilitiesSumToOne) {
+  const Network net = make_failure_net({0.1, 0.2, 0.3}, {0.15, 0.25});
+  const std::vector<std::vector<ElementKey>> paths = {
+      {ElementKey::ncp(0), ElementKey::link(0)},
+      {ElementKey::ncp(1), ElementKey::link(1)},
+      {ElementKey::ncp(0), ElementKey::ncp(2)}};
+  double total = 0;
+  for (std::uint32_t mask = 0; mask < 8; ++mask)
+    total += exact_path_state_probability(net, paths, mask);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Availability, ExactStateMatchesAnyAvailability) {
+  const Network net = make_failure_net({0.1, 0.2, 0.3}, {0.15, 0.25});
+  const std::vector<std::vector<ElementKey>> paths = {
+      {ElementKey::ncp(0), ElementKey::link(0)},
+      {ElementKey::ncp(1), ElementKey::link(1)}};
+  // availability_any == 1 - P(exactly none works).
+  EXPECT_NEAR(availability_any(net, paths),
+              1.0 - exact_path_state_probability(net, paths, 0), 1e-9);
+}
+
+TEST(MinRateAvailability, SubsetSumQualification) {
+  // Disjoint paths with rates 2.67, 1.2, 0.42 and min rate 2.7 (the paper's
+  // Fig. 10(b) narrative): a single path never suffices; {1,2} and {1,3}
+  // qualify, {2,3} does not.
+  const Network net =
+      make_failure_net({0.1, 0.1, 0.1, 0.0}, {});
+  const std::vector<std::vector<ElementKey>> paths = {
+      {ElementKey::ncp(0)}, {ElementKey::ncp(1)}, {ElementKey::ncp(2)}};
+  const std::vector<double> rates = {2.67, 1.2, 0.42};
+  const double u = 0.9;
+  // Qualifying subsets: {1,2}, {1,3}, {1,2,3}.
+  const double expected = u * u * (1 - u) * 2 + u * u * u;
+  EXPECT_NEAR(min_rate_availability(net, paths, rates, 2.7), expected, 1e-12);
+}
+
+TEST(MinRateAvailability, SinglePathAboveTarget) {
+  const Network net = make_failure_net({0.2, 0.0}, {});
+  const std::vector<std::vector<ElementKey>> paths = {{ElementKey::ncp(0)}};
+  EXPECT_NEAR(min_rate_availability(net, paths, {5.0}, 3.0), 0.8, 1e-12);
+  EXPECT_NEAR(min_rate_availability(net, paths, {2.0}, 3.0), 0.0, 1e-12);
+}
+
+TEST(MinRateAvailability, ZeroTargetIsAlwaysMet) {
+  const Network net = make_failure_net({0.2, 0.0}, {});
+  const std::vector<std::vector<ElementKey>> paths = {{ElementKey::ncp(0)}};
+  EXPECT_NEAR(min_rate_availability(net, paths, {5.0}, 0.0), 1.0, 1e-12);
+}
+
+TEST(MinRateAvailability, MoreQualifyingPathsIncreaseAvailability) {
+  const Network net = make_failure_net({0.1, 0.1, 0.1, 0.0}, {});
+  const std::vector<ElementKey> e0 = {ElementKey::ncp(0)};
+  const std::vector<ElementKey> e1 = {ElementKey::ncp(1)};
+  const std::vector<ElementKey> e2 = {ElementKey::ncp(2)};
+  const double one = min_rate_availability(net, {e0}, {3.0}, 2.0);
+  const double two = min_rate_availability(net, {e0, e1}, {3.0, 3.0}, 2.0);
+  const double three =
+      min_rate_availability(net, {e0, e1, e2}, {3.0, 3.0, 3.0}, 2.0);
+  EXPECT_LT(one, two);
+  EXPECT_LT(two, three);
+}
+
+TEST(Availability, RejectsTooManyPathsForExactAnalysis) {
+  const Network net = make_failure_net({0.1, 0.0}, {});
+  std::vector<std::vector<ElementKey>> paths(kMaxExactPaths + 1,
+                                             {ElementKey::ncp(0)});
+  EXPECT_THROW(availability_any(net, paths), std::invalid_argument);
+  EXPECT_THROW(
+      min_rate_availability(net, paths,
+                            std::vector<double>(paths.size(), 1.0), 0.5),
+      std::invalid_argument);
+}
+
+TEST(Availability, RejectsEmptyInput) {
+  const Network net = make_failure_net({0.1, 0.0}, {});
+  EXPECT_THROW(availability_any(net, {}), std::invalid_argument);
+}
+
+/// Cross-validation: exact inclusion–exclusion vs Monte Carlo on random
+/// path systems with overlap.
+class AvailabilityMc : public ::testing::TestWithParam<int> {};
+
+TEST_P(AvailabilityMc, ExactMatchesMonteCarlo) {
+  Rng rng(GetParam());
+  std::vector<double> ncp_pf(6);
+  for (double& p : ncp_pf) p = rng.uniform(0.0, 0.4);
+  std::vector<double> link_pf(4);
+  for (double& p : link_pf) p = rng.uniform(0.0, 0.4);
+  const Network net = make_failure_net(ncp_pf, link_pf);
+
+  // 3 random paths of 3 random elements each (overlaps likely).
+  std::vector<std::vector<ElementKey>> paths;
+  std::vector<double> rates;
+  for (int p = 0; p < 3; ++p) {
+    std::vector<ElementKey> path;
+    for (int e = 0; e < 3; ++e) {
+      if (rng.bernoulli(0.5))
+        path.push_back(ElementKey::ncp(
+            static_cast<NcpId>(rng.uniform_int(0, 5))));
+      else
+        path.push_back(ElementKey::link(
+            static_cast<LinkId>(rng.uniform_int(0, 3))));
+    }
+    paths.push_back(path);
+    rates.push_back(rng.uniform(0.5, 3.0));
+  }
+
+  const std::size_t trials = 200000;
+  const double exact_any = availability_any(net, paths);
+  const double mc_any = availability_any_mc(net, paths, trials, 99);
+  EXPECT_NEAR(exact_any, mc_any, 0.01);
+
+  const double target = 2.0;
+  const double exact_mr = min_rate_availability(net, paths, rates, target);
+  const double mc_mr =
+      min_rate_availability_mc(net, paths, rates, target, trials, 99);
+  EXPECT_NEAR(exact_mr, mc_mr, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvailabilityMc, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cloud.hpp"
+#include "baselines/exhaustive.hpp"
+#include "baselines/greedy_baselines.hpp"
+#include "baselines/heft.hpp"
+#include "baselines/registry.hpp"
+#include "baselines/tstorm.hpp"
+#include "baselines/vne.hpp"
+#include "core/sparcle_assigner.hpp"
+#include "workload/scenarios.hpp"
+
+namespace sparcle {
+namespace {
+
+using workload::BottleneckCase;
+using workload::GraphKind;
+using workload::Scenario;
+using workload::ScenarioSpec;
+using workload::TopologyKind;
+
+Scenario small_scenario(int seed, BottleneckCase bn = BottleneckCase::kBalanced,
+                        GraphKind gk = GraphKind::kDiamond) {
+  Rng rng(seed);
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kStar;
+  spec.graph = gk;
+  spec.bottleneck = bn;
+  spec.ncps = 6;
+  return workload::make_scenario(spec, rng);
+}
+
+/// Every baseline must produce a structurally valid, pin-respecting
+/// placement whose reported rate equals the recomputed bottleneck rate.
+class BaselineValidity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineValidity, ProducesValidPlacements) {
+  for (int seed = 1; seed <= 6; ++seed) {
+    const Scenario sc = small_scenario(seed);
+    const AssignmentProblem p = sc.problem();
+    const auto assigner = make_assigner(GetParam(), seed);
+    const AssignmentResult r = assigner->assign(p);
+    ASSERT_TRUE(r.feasible) << GetParam() << " seed " << seed << ": "
+                            << r.message;
+    std::string err;
+    EXPECT_TRUE(r.placement.validate(*sc.graph, sc.net, &err))
+        << GetParam() << ": " << err;
+    for (const auto& [ct, ncp] : sc.pinned)
+      EXPECT_EQ(r.placement.ct_host(ct), ncp) << GetParam();
+    EXPECT_NEAR(
+        r.rate,
+        bottleneck_rate(sc.net, *sc.graph, r.placement, p.capacities), 1e-12)
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BaselineValidity,
+                         ::testing::Values("SPARCLE", "GS", "GRand", "Random",
+                                           "T-Storm", "R-Storm", "VNE",
+                                           "HEFT"));
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_assigner("NoSuch"), std::invalid_argument);
+}
+
+TEST(Registry, ComparatorSetsAreResolvable) {
+  for (const auto& n : simulation_comparators()) EXPECT_NO_THROW(make_assigner(n));
+  for (const auto& n : testbed_comparators()) EXPECT_NO_THROW(make_assigner(n));
+}
+
+TEST(Baselines, NobodyBeatsExhaustiveOptimal) {
+  for (int seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    ScenarioSpec spec;
+    spec.topology = TopologyKind::kStar;
+    spec.graph = GraphKind::kLinear;
+    spec.bottleneck = BottleneckCase::kBalanced;
+    spec.ncps = 4;
+    spec.middle_cts = 3;
+    const Scenario sc = workload::make_scenario(spec, rng);
+    const AssignmentProblem p = sc.problem();
+    const double best = ExhaustiveAssigner().assign(p).rate;
+    for (const auto& name : simulation_comparators()) {
+      const double rate = make_assigner(name, seed)->assign(p).rate;
+      EXPECT_LE(rate, best + 1e-9) << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(Baselines, SparcleMatchesGsInNcpBottleneck) {
+  // §V-B: "the SPARCLE and the GS algorithms are equivalent in the
+  // NCP-bottleneck case" — rates should agree on most instances.
+  int agree = 0;
+  const int trials = 20;
+  for (int seed = 1; seed <= trials; ++seed) {
+    const Scenario sc = small_scenario(seed, BottleneckCase::kNcp);
+    const AssignmentProblem p = sc.problem();
+    const double a = SparcleAssigner().assign(p).rate;
+    const double b = GreedySortedAssigner().assign(p).rate;
+    if (std::abs(a - b) < 1e-9 * std::max(1.0, a)) ++agree;
+  }
+  EXPECT_GE(agree, trials * 7 / 10);
+}
+
+TEST(Baselines, SparcleBeatsGsOnAverageInLinkBottleneck) {
+  // The dynamic ranking's raison d'être (§V-B, Fig. 11(b)).
+  double sparcle_sum = 0, gs_sum = 0;
+  for (int seed = 1; seed <= 40; ++seed) {
+    const Scenario sc = small_scenario(seed, BottleneckCase::kLink);
+    const AssignmentProblem p = sc.problem();
+    sparcle_sum += SparcleAssigner().assign(p).rate;
+    gs_sum += GreedySortedAssigner().assign(p).rate;
+  }
+  EXPECT_GT(sparcle_sum, gs_sum);
+}
+
+TEST(Baselines, CloudPlacesEverythingOnCloud) {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("field", ResourceVector::scalar(10));
+  net.add_ncp("cloud", ResourceVector::scalar(1000));
+  net.add_link("l", 0, 1, 100);
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId s = g.add_ct("s", ResourceVector::scalar(0));
+  const CtId a = g.add_ct("a", ResourceVector::scalar(5));
+  const CtId b = g.add_ct("b", ResourceVector::scalar(5));
+  const CtId t = g.add_ct("t", ResourceVector::scalar(0));
+  g.add_tt("sa", 10, s, a);
+  g.add_tt("ab", 10, a, b);
+  g.add_tt("bt", 10, b, t);
+  g.finalize();
+  AssignmentProblem p;
+  p.net = &net;
+  p.graph = &g;
+  p.capacities = CapacitySnapshot(net);
+  p.pinned = {{s, 0}, {t, 0}};
+  const AssignmentResult r = CloudAssigner(1).assign(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.placement.ct_host(a), 1);
+  EXPECT_EQ(r.placement.ct_host(b), 1);
+  // Bottleneck: the access link carries sa and bt: 100 / 20 = 5.
+  EXPECT_DOUBLE_EQ(r.rate, 5.0);
+}
+
+TEST(Baselines, TStormBalancesExecutorCounts) {
+  const Scenario sc = small_scenario(2);
+  const AssignmentProblem p = sc.problem();
+  const AssignmentResult r = TStormAssigner().assign(p);
+  ASSERT_TRUE(r.feasible);
+  // Slot cap: ceil(8 CTs / 6 NCPs) = 2 per NCP.
+  std::vector<int> counts(sc.net.ncp_count(), 0);
+  for (CtId i = 0; i < static_cast<CtId>(sc.graph->ct_count()); ++i)
+    ++counts[r.placement.ct_host(i)];
+  for (int c : counts) EXPECT_LE(c, 2);
+}
+
+TEST(Baselines, RandomIsSeedDeterministic) {
+  const Scenario sc = small_scenario(4);
+  const AssignmentProblem p = sc.problem();
+  const AssignmentResult a = RandomAssigner(77).assign(p);
+  const AssignmentResult b = RandomAssigner(77).assign(p);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_EQ(a.rate, b.rate);
+  for (CtId i = 0; i < static_cast<CtId>(sc.graph->ct_count()); ++i)
+    EXPECT_EQ(a.placement.ct_host(i), b.placement.ct_host(i));
+}
+
+TEST(Baselines, ExhaustiveRespectsSearchCap) {
+  const Scenario sc = small_scenario(1);
+  const AssignmentProblem p = sc.problem();
+  // 6 unpinned CTs on 6 NCPs = 46656 assignments > cap of 1000.
+  EXPECT_THROW(ExhaustiveAssigner(1000).assign(p), std::invalid_argument);
+}
+
+TEST(Baselines, ExhaustiveFindsTheObviousOptimum) {
+  // Two hosts; the only free CT fits 10x better on host 1.
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("small", ResourceVector::scalar(10));
+  net.add_ncp("big", ResourceVector::scalar(100));
+  net.add_link("l", 0, 1, 1e6);
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId s = g.add_ct("s", ResourceVector::scalar(0));
+  const CtId x = g.add_ct("x", ResourceVector::scalar(10));
+  const CtId t = g.add_ct("t", ResourceVector::scalar(0));
+  g.add_tt("sx", 1, s, x);
+  g.add_tt("xt", 1, x, t);
+  g.finalize();
+  AssignmentProblem p;
+  p.net = &net;
+  p.graph = &g;
+  p.capacities = CapacitySnapshot(net);
+  p.pinned = {{s, 0}, {t, 0}};
+  const AssignmentResult r = ExhaustiveAssigner().assign(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.placement.ct_host(x), 1);
+  EXPECT_DOUBLE_EQ(r.rate, 10.0);
+}
+
+TEST(Baselines, HeftPrefersFastHostsForTheCriticalPath) {
+  // One dominant CT and ample bandwidth: HEFT should pick the fast NCP.
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("slow", ResourceVector::scalar(10));
+  net.add_ncp("fast", ResourceVector::scalar(500));
+  net.add_link("l", 0, 1, 1e6);
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId s = g.add_ct("s", ResourceVector::scalar(0));
+  const CtId x = g.add_ct("x", ResourceVector::scalar(50));
+  const CtId t = g.add_ct("t", ResourceVector::scalar(0));
+  g.add_tt("sx", 1, s, x);
+  g.add_tt("xt", 1, x, t);
+  g.finalize();
+  AssignmentProblem p;
+  p.net = &net;
+  p.graph = &g;
+  p.capacities = CapacitySnapshot(net);
+  p.pinned = {{s, 0}, {t, 0}};
+  const AssignmentResult r = HeftAssigner().assign(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.placement.ct_host(x), 1);
+}
+
+TEST(Baselines, VneIsDeterministic) {
+  const Scenario sc = small_scenario(9);
+  const AssignmentProblem p = sc.problem();
+  const AssignmentResult a = VneAssigner().assign(p);
+  const AssignmentResult b = VneAssigner().assign(p);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_EQ(a.rate, b.rate);
+}
+
+TEST(Baselines, RStormIsCapacityAwareUnlikeTStorm) {
+  // One giant and several tiny NCPs: T-Storm's slot balancing lands heavy
+  // CTs on tiny nodes; R-Storm's resource distance prefers the giant.
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("src_site", ResourceVector::scalar(5));
+  net.add_ncp("tiny1", ResourceVector::scalar(5));
+  net.add_ncp("tiny2", ResourceVector::scalar(5));
+  net.add_ncp("giant", ResourceVector::scalar(500));
+  net.add_link("l1", 0, 1, 1e6);
+  net.add_link("l2", 0, 2, 1e6);
+  net.add_link("l3", 0, 3, 1e6);
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId s = g.add_ct("s", ResourceVector::scalar(0));
+  const CtId a = g.add_ct("a", ResourceVector::scalar(50));
+  const CtId b = g.add_ct("b", ResourceVector::scalar(50));
+  const CtId t = g.add_ct("t", ResourceVector::scalar(0));
+  g.add_tt("sa", 1, s, a);
+  g.add_tt("ab", 1, a, b);
+  g.add_tt("bt", 1, b, t);
+  g.finalize();
+  AssignmentProblem p;
+  p.net = &net;
+  p.graph = &g;
+  p.capacities = CapacitySnapshot(net);
+  p.pinned = {{s, 0}, {t, 0}};
+  const double rstorm = make_assigner("R-Storm")->assign(p).rate;
+  const double tstorm = make_assigner("T-Storm")->assign(p).rate;
+  EXPECT_GT(rstorm, tstorm);
+  // R-Storm puts both heavy CTs on the giant: rate = 500/100 = 5.
+  EXPECT_NEAR(rstorm, 5.0, 1e-9);
+}
+
+TEST(Baselines, MultiResourceDegradesGsMoreThanSparcle) {
+  // Fig. 12's story: with cpu+memory, GS's scalar sort loses track of the
+  // scarce resource while SPARCLE's γ handles all types.
+  double sparcle_sum = 0, gs_sum = 0;
+  for (int seed = 1; seed <= 40; ++seed) {
+    const Scenario sc = small_scenario(seed, BottleneckCase::kMemory);
+    const AssignmentProblem p = sc.problem();
+    sparcle_sum += SparcleAssigner().assign(p).rate;
+    gs_sum += GreedySortedAssigner().assign(p).rate;
+  }
+  EXPECT_GE(sparcle_sum, gs_sum);
+}
+
+}  // namespace
+}  // namespace sparcle

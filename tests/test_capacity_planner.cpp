@@ -1,0 +1,97 @@
+#include "core/capacity_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/task_graphs.hpp"
+#include "workload/topologies.hpp"
+
+namespace sparcle {
+namespace {
+
+Network make_site(double relay_cap) {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("src", ResourceVector::scalar(1.0));
+  net.add_ncp("relay", ResourceVector::scalar(relay_cap));
+  net.add_ncp("dst", ResourceVector::scalar(1.0));
+  net.add_link("s1", 0, 1, 1000.0);
+  net.add_link("1d", 1, 2, 1000.0);
+  return net;
+}
+
+Application make_gr_app(double rate) {
+  Application app;
+  auto g = std::make_shared<TaskGraph>(ResourceSchema::cpu_only());
+  const CtId s = g->add_ct("source", ResourceVector::scalar(0));
+  const CtId m = g->add_ct("mid", ResourceVector::scalar(5));
+  const CtId t = g->add_ct("sink", ResourceVector::scalar(0));
+  g->add_tt("sm", 1.0, s, m);
+  g->add_tt("mt", 1.0, m, t);
+  g->finalize();
+  app.graph = g;
+  app.name = "gr";
+  app.qoe = QoeSpec::guaranteed_rate(rate, 0.0);
+  app.pinned = {{s, 0}, {t, 2}};
+  return app;
+}
+
+TEST(CapacityPlanner, CountsExactCopies) {
+  // Single-path admission: relay 10 cpu / 5 per unit = 2 units/s total;
+  // 0.5/s per copy -> 4 (the tiny src/dst NCPs cannot host a whole copy).
+  const Network net = make_site(10.0);
+  SchedulerOptions opt;
+  opt.max_paths = 1;
+  const PlanningResult plan = plan_capacity(net, {make_gr_app(0.5)}, opt);
+  EXPECT_EQ(plan.max_copies, 4u);
+  EXPECT_NEAR(plan.total_gr_rate, 2.0, 1e-9);
+  EXPECT_NE(plan.limiting_reason.find("gr#4"), std::string::npos);
+}
+
+TEST(CapacityPlanner, ZeroCopiesWhenOneDoesNotFit) {
+  const Network net = make_site(1.0);  // max 0.2 units/s per path
+  SchedulerOptions opt;
+  opt.max_paths = 1;
+  const PlanningResult plan = plan_capacity(net, {make_gr_app(0.5)}, opt);
+  EXPECT_EQ(plan.max_copies, 0u);
+  EXPECT_FALSE(plan.limiting_reason.empty());
+}
+
+TEST(CapacityPlanner, RespectsTheCap) {
+  const Network net = make_site(1000.0);
+  const PlanningResult plan =
+      plan_capacity(net, {make_gr_app(0.1)}, {}, /*max_copies_cap=*/5);
+  EXPECT_EQ(plan.max_copies, 5u);
+  EXPECT_EQ(plan.limiting_reason, "reached max_copies_cap");
+}
+
+TEST(CapacityPlanner, MixedWorkloadsCountJointly) {
+  // A GR copy (0.5/s -> 2.5 cpu) plus a BE copy per "tenant": the BE apps
+  // always fit (they share), so the GR reservation is the limit.
+  const Network net = make_site(10.0);
+  Application be = make_gr_app(0.0);
+  be.name = "be";
+  be.qoe = QoeSpec::best_effort(1.0);
+  SchedulerOptions opt;
+  opt.max_paths = 1;
+  const PlanningResult plan =
+      plan_capacity(net, {make_gr_app(0.5), be}, opt);
+  // The 4th GR copy would starve the BE tenants to zero rate, which the
+  // planner counts as the limit.
+  EXPECT_EQ(plan.max_copies, 3u);
+  EXPECT_NE(plan.limiting_reason.find("starved"), std::string::npos);
+  EXPECT_GT(plan.be_utility, -1e9);
+}
+
+TEST(CapacityPlanner, EmptyMixThrows) {
+  const Network net = make_site(10.0);
+  EXPECT_THROW(plan_capacity(net, {}), std::invalid_argument);
+}
+
+TEST(CapacityPlanner, InvalidAppThrows) {
+  const Network net = make_site(10.0);
+  Application bad = make_gr_app(0.5);
+  bad.pinned.clear();
+  EXPECT_THROW(plan_capacity(net, {bad}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,119 @@
+#include "workload/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_baselines.hpp"
+#include "core/sparcle_assigner.hpp"
+
+namespace sparcle {
+namespace {
+
+using namespace workload;
+
+struct Fixture {
+  Scenario scenario;
+  ScenarioSpec spec;
+  double calibration;
+
+  Fixture() {
+    Rng rng(3);
+    spec.topology = TopologyKind::kStar;
+    spec.graph = GraphKind::kLinear;
+    spec.bottleneck = BottleneckCase::kBalanced;
+    spec.ncps = 6;
+    scenario = make_scenario(spec, rng);
+    const AssignmentProblem p = scenario.problem();
+    calibration = SparcleAssigner().assign(p).rate;
+  }
+
+  ChurnStats run(const ChurnConfig& cfg, std::uint64_t seed,
+                 std::unique_ptr<Assigner> assigner = nullptr) {
+    return run_churn(scenario.net, spec, scenario.pinned.begin()->second,
+                     scenario.pinned.rbegin()->second, calibration,
+                     std::move(assigner), cfg, seed);
+  }
+};
+
+TEST(Churn, IsDeterministicInSeed) {
+  Fixture f;
+  ChurnConfig cfg;
+  cfg.horizon = 100.0;
+  const ChurnStats a = f.run(cfg, 42);
+  const ChurnStats b = f.run(cfg, 42);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_DOUBLE_EQ(a.avg_carried_gr_rate, b.avg_carried_gr_rate);
+}
+
+TEST(Churn, CountsAreConsistent) {
+  Fixture f;
+  ChurnConfig cfg;
+  cfg.horizon = 150.0;
+  const ChurnStats s = f.run(cfg, 7);
+  EXPECT_EQ(s.arrivals, s.admitted + s.rejected);
+  EXPECT_GT(s.arrivals, 30u);  // ~0.5/t * 150t
+  EXPECT_GE(s.admitted_fraction, 0.0);
+  EXPECT_LE(s.admitted_fraction, 1.0);
+  EXPECT_GE(s.avg_concurrent_apps, 0.0);
+}
+
+TEST(Churn, LightLoadAdmitsAlmostEverything) {
+  Fixture f;
+  ChurnConfig cfg;
+  cfg.arrival_rate = 0.05;
+  cfg.mean_lifetime = 2.0;  // utilization ~0.1 concurrent apps
+  cfg.horizon = 400.0;
+  cfg.gr_request_lo = 0.05;
+  cfg.gr_request_hi = 0.15;
+  const ChurnStats s = f.run(cfg, 11);
+  EXPECT_GE(s.admitted_fraction, 0.95);
+}
+
+TEST(Churn, HeavyLoadRejectsSome) {
+  Fixture f;
+  ChurnConfig cfg;
+  cfg.arrival_rate = 2.0;
+  cfg.mean_lifetime = 50.0;
+  cfg.horizon = 200.0;
+  cfg.gr_fraction = 1.0;
+  cfg.gr_request_lo = 0.4;
+  cfg.gr_request_hi = 0.8;
+  const ChurnStats s = f.run(cfg, 11);
+  EXPECT_LT(s.admitted_fraction, 0.6);
+  EXPECT_GT(s.avg_carried_gr_rate, 0.0);
+}
+
+TEST(Churn, CarriedRateNeverExceedsCalibration) {
+  // The star's capacity caps what can be reserved at any instant.
+  Fixture f;
+  ChurnConfig cfg;
+  cfg.arrival_rate = 2.0;
+  cfg.gr_fraction = 1.0;
+  cfg.horizon = 200.0;
+  const ChurnStats s = f.run(cfg, 13);
+  // Multiple disjoint relays can carry more than one solo path, but not
+  // more than a small multiple of it on a star.
+  EXPECT_LE(s.avg_carried_gr_rate, 8.0 * f.calibration);
+}
+
+TEST(Churn, WorksWithBaselineAssigners) {
+  Fixture f;
+  ChurnConfig cfg;
+  cfg.horizon = 100.0;
+  const ChurnStats s =
+      f.run(cfg, 17, std::make_unique<GreedySortedAssigner>());
+  EXPECT_GT(s.arrivals, 0u);
+}
+
+TEST(Churn, RejectsBadConfig) {
+  Fixture f;
+  ChurnConfig cfg;
+  cfg.horizon = -1;
+  EXPECT_THROW(f.run(cfg, 1), std::invalid_argument);
+  ChurnConfig cfg2;
+  cfg2.arrival_rate = 0;
+  EXPECT_THROW(f.run(cfg2, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sparcle

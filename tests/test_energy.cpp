@@ -1,0 +1,127 @@
+#include "energy/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sparcle {
+namespace {
+
+struct Fixture {
+  Network net{ResourceSchema::cpu_only()};
+  TaskGraph graph{ResourceSchema::cpu_only()};
+  Placement placement;
+
+  Fixture() {
+    net.add_ncp("n0", ResourceVector::scalar(100));
+    net.add_ncp("n1", ResourceVector::scalar(100));
+    net.add_link("l", 0, 1, 1e6);
+    const CtId s = graph.add_ct("s", ResourceVector::scalar(0));
+    const CtId w = graph.add_ct("w", ResourceVector::scalar(50));
+    graph.add_tt("sw", 1e5, s, w);
+    graph.finalize();
+    placement = Placement(graph);
+    placement.place_ct(s, 0);
+    placement.place_ct(w, 1);
+    placement.place_tt(0, {0});
+  }
+};
+
+TEST(EnergyModel, CpuPowerScalesWithUtilization) {
+  Fixture f;
+  DevicePowerProfile prof;
+  prof.idle_watts = 1.0;
+  prof.cpu_full_load_watts = 10.0;
+  prof.tx_watts_per_bps = 0.0;
+  prof.rx_watts_per_bps = 0.0;
+  const EnergyModel em(f.net, prof);
+  // rate 1: n1 utilization = 50/100 = 0.5 -> 1 + 5 = 6 W; n0 hosts the
+  // zero-cost source -> idle only, 1 W.  Total 7 W.
+  EXPECT_NEAR(em.total_power(f.graph, f.placement, 1.0), 7.0, 1e-12);
+  // rate 2: n1 at full load -> 1 + 10; total 12.
+  EXPECT_NEAR(em.total_power(f.graph, f.placement, 2.0), 12.0, 1e-12);
+}
+
+TEST(EnergyModel, UtilizationIsCappedAtOne) {
+  Fixture f;
+  DevicePowerProfile prof;
+  prof.idle_watts = 0.0;
+  prof.cpu_full_load_watts = 10.0;
+  prof.tx_watts_per_bps = 0.0;
+  prof.rx_watts_per_bps = 0.0;
+  const EnergyModel em(f.net, prof);
+  EXPECT_NEAR(em.total_power(f.graph, f.placement, 100.0), 10.0, 1e-12);
+}
+
+TEST(EnergyModel, RadioPowerScalesWithTraffic) {
+  Fixture f;
+  DevicePowerProfile prof;
+  prof.idle_watts = 0.0;
+  prof.cpu_full_load_watts = 0.0;
+  prof.tx_watts_per_bps = 2e-6;
+  prof.rx_watts_per_bps = 1e-6;
+  const EnergyModel em(f.net, prof);
+  // rate 1: 1e5 bps over one hop -> (2e-6 + 1e-6) * 1e5 = 0.3 W.
+  EXPECT_NEAR(em.total_power(f.graph, f.placement, 1.0), 0.3, 1e-12);
+  EXPECT_NEAR(em.total_power(f.graph, f.placement, 2.0), 0.6, 1e-12);
+}
+
+TEST(EnergyModel, CoLocationSavesRadioEnergy) {
+  Fixture f;
+  Placement local(f.graph);
+  local.place_ct(0, 0);
+  local.place_ct(1, 0);
+  local.place_tt(0, {});
+  const EnergyModel em(f.net, DevicePowerProfile{});
+  const double split = em.total_power(f.graph, f.placement, 1.0);
+  const double colocated = em.total_power(f.graph, local, 1.0);
+  EXPECT_LT(colocated, split);
+}
+
+TEST(EnergyModel, EfficiencyIsRateOverPower) {
+  Fixture f;
+  const EnergyModel em(f.net, DevicePowerProfile{});
+  const double rate = 1.5;
+  const double power = em.total_power(f.graph, f.placement, rate);
+  EXPECT_NEAR(em.energy_efficiency(f.graph, f.placement, rate),
+              rate / power, 1e-12);
+  EXPECT_DOUBLE_EQ(em.energy_efficiency(f.graph, f.placement, 0.0), 0.0);
+}
+
+TEST(EnergyModel, IdleChargedOnlyToHostingNcps) {
+  // Adding an unused NCP must not change the power draw.
+  Fixture f;
+  Network bigger = f.net;
+  bigger.add_ncp("idle", ResourceVector::scalar(100));
+  DevicePowerProfile prof;
+  prof.idle_watts = 5.0;
+  const EnergyModel em_small(f.net, prof);
+  const EnergyModel em_big(bigger, prof);
+  EXPECT_NEAR(em_small.total_power(f.graph, f.placement, 1.0),
+              em_big.total_power(f.graph, f.placement, 1.0), 1e-12);
+}
+
+TEST(EnergyModel, PerNcpProfilesAreRespected) {
+  Fixture f;
+  std::vector<DevicePowerProfile> profs(2);
+  profs[0].idle_watts = 1.0;
+  profs[1].idle_watts = 100.0;
+  profs[0].cpu_full_load_watts = profs[1].cpu_full_load_watts = 0.0;
+  profs[0].tx_watts_per_bps = profs[1].tx_watts_per_bps = 0.0;
+  profs[0].rx_watts_per_bps = profs[1].rx_watts_per_bps = 0.0;
+  const EnergyModel em(f.net, profs);
+  EXPECT_NEAR(em.total_power(f.graph, f.placement, 1.0), 101.0, 1e-12);
+}
+
+TEST(EnergyModel, RejectsBadInputs) {
+  Fixture f;
+  EXPECT_THROW(EnergyModel(f.net, std::vector<DevicePowerProfile>(5)),
+               std::invalid_argument);
+  const EnergyModel em(f.net, DevicePowerProfile{});
+  EXPECT_THROW(em.total_power(f.graph, f.placement, -1.0),
+               std::invalid_argument);
+  Placement incomplete(f.graph);
+  EXPECT_THROW(em.total_power(f.graph, incomplete, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,95 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sparcle::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsFireFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i)
+    q.schedule(1.0, [&fired, i] { fired.push_back(i); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSuppressesEvent) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  const EventQueue::Token t = q.schedule(2.0, [&] { fired.push_back(2); });
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.cancel(t);
+  while (q.step()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelAfterFireIsHarmless) {
+  EventQueue q;
+  int fired = 0;
+  const EventQueue::Token t = q.schedule(1.0, [&] { ++fired; });
+  ASSERT_TRUE(q.step());
+  q.cancel(t);  // already fired: no effect, no crash
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule(1.0, [&] { fired.push_back(1.0); });
+  q.schedule(5.0, [&] { fired.push_back(5.0); });
+  q.run_until(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  // The 5.0 event survives and fires on a later horizon.
+  q.run_until(10.0);
+  EXPECT_EQ(fired.size(), 2u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) q.schedule(q.now() + 1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  q.run_until(100.0);
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueue, NowAdvancesOnlyThroughEvents) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  q.schedule(7.5, [] {});
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);  // scheduling does not advance time
+  q.step();
+  EXPECT_DOUBLE_EQ(q.now(), 7.5);
+}
+
+TEST(EventQueue, EmptyQueueStepReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace sparcle::sim

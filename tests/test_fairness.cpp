@@ -1,0 +1,223 @@
+#include "core/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sparcle {
+namespace {
+
+/// Two apps, one shared link of capacity C, unit loads: the weighted-PF
+/// closed form is x_i = P_i / ΣP * C.
+TEST(Fairness, SingleLinkClosedForm) {
+  PfProblem p;
+  p.capacity = {30.0};
+  p.columns.resize(2);
+  p.columns[0].entries = {{0, 1.0}};
+  p.columns[1].entries = {{0, 1.0}};
+  p.var_app = {0, 1};
+  p.app_priority = {2.0, 1.0};
+  const PfSolution s = solve_weighted_pf(p);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.app_rate[0], 20.0, 1e-3);
+  EXPECT_NEAR(s.app_rate[1], 10.0, 1e-3);
+  EXPECT_LE(s.max_violation, 1e-9);
+}
+
+TEST(Fairness, SingleLinkHeterogeneousLoads) {
+  // Loads R_1 = 2, R_2 = 1 on one capacity-12 element with equal
+  // priorities: KKT gives x_i = P_i / (λ R_i), λ from 2x1 + x2 = 12
+  // -> 1/λ + 1/λ = 12 -> λ = 1/6: x1 = 3, x2 = 6.
+  PfProblem p;
+  p.capacity = {12.0};
+  p.columns.resize(2);
+  p.columns[0].entries = {{0, 2.0}};
+  p.columns[1].entries = {{0, 1.0}};
+  p.var_app = {0, 1};
+  p.app_priority = {1.0, 1.0};
+  const PfSolution s = solve_weighted_pf(p);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.app_rate[0], 3.0, 1e-3);
+  EXPECT_NEAR(s.app_rate[1], 6.0, 1e-3);
+}
+
+TEST(Fairness, IndependentAppsSaturateTheirOwnConstraints) {
+  PfProblem p;
+  p.capacity = {10.0, 40.0};
+  p.columns.resize(2);
+  p.columns[0].entries = {{0, 1.0}};
+  p.columns[1].entries = {{1, 2.0}};
+  p.var_app = {0, 1};
+  p.app_priority = {1.0, 1.0};
+  const PfSolution s = solve_weighted_pf(p);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.app_rate[0], 10.0, 1e-3);
+  EXPECT_NEAR(s.app_rate[1], 20.0, 1e-3);
+}
+
+TEST(Fairness, KktStationarityHolds) {
+  // Random-ish 3-app, 4-constraint problem: check P_i / x_i == Σ λ_e R_ei
+  // for every variable at the optimum.
+  PfProblem p;
+  p.capacity = {20.0, 15.0, 25.0, 30.0};
+  p.columns.resize(3);
+  p.columns[0].entries = {{0, 1.0}, {1, 2.0}};
+  p.columns[1].entries = {{1, 1.0}, {2, 3.0}};
+  p.columns[2].entries = {{0, 2.0}, {3, 1.0}};
+  p.var_app = {0, 1, 2};
+  p.app_priority = {1.0, 2.0, 3.0};
+  const PfSolution s = solve_weighted_pf(p);
+  ASSERT_TRUE(s.converged);
+  for (std::size_t v = 0; v < 3; ++v) {
+    double price = 0;
+    for (const auto& [row, coeff] : p.columns[v].entries)
+      price += s.dual[row] * coeff;
+    const double marginal = p.app_priority[v] / s.app_rate[v];
+    EXPECT_NEAR(marginal, price, 0.02 * marginal)
+        << "stationarity violated for variable " << v;
+  }
+}
+
+TEST(Fairness, UtilityMatchesPfUtilityHelper) {
+  PfProblem p;
+  p.capacity = {30.0};
+  p.columns.resize(2);
+  p.columns[0].entries = {{0, 1.0}};
+  p.columns[1].entries = {{0, 1.0}};
+  p.var_app = {0, 1};
+  p.app_priority = {2.0, 1.0};
+  const PfSolution s = solve_weighted_pf(p);
+  EXPECT_NEAR(s.utility, pf_utility(p, s.path_rate), 1e-9);
+  EXPECT_NEAR(s.utility, 2.0 * std::log(s.app_rate[0]) +
+                             std::log(s.app_rate[1]),
+              1e-9);
+}
+
+TEST(Fairness, MultipathAggregatesAcrossPaths) {
+  // One app with two disjoint paths (capacities 5 and 7) and another app
+  // sharing nothing: app 0 should get 12 total.
+  PfProblem p;
+  p.capacity = {5.0, 7.0, 9.0};
+  p.columns.resize(3);
+  p.columns[0].entries = {{0, 1.0}};
+  p.columns[1].entries = {{1, 1.0}};
+  p.columns[2].entries = {{2, 1.0}};
+  p.var_app = {0, 0, 1};
+  p.app_priority = {1.0, 1.0};
+  const PfSolution s = solve_weighted_pf(p);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.app_rate[0], 12.0, 1e-2);
+  EXPECT_NEAR(s.app_rate[1], 9.0, 1e-2);
+}
+
+TEST(Fairness, MultipathSharedBottleneckSplitsArbitrarilyButSumsRight) {
+  // Two paths of one app over the same link: only the sum is determined.
+  PfProblem p;
+  p.capacity = {10.0};
+  p.columns.resize(2);
+  p.columns[0].entries = {{0, 1.0}};
+  p.columns[1].entries = {{0, 1.0}};
+  p.var_app = {0, 0};
+  p.app_priority = {1.0};
+  const PfSolution s = solve_weighted_pf(p);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.app_rate[0], 10.0, 1e-3);
+  EXPECT_GT(s.path_rate[0], 0.0);
+  EXPECT_GT(s.path_rate[1], 0.0);
+}
+
+TEST(Fairness, PriorityScalesAllocationOnSharedBottleneck) {
+  for (double ratio : {1.0, 2.0, 5.0, 10.0}) {
+    PfProblem p;
+    p.capacity = {100.0};
+    p.columns.resize(2);
+    p.columns[0].entries = {{0, 1.0}};
+    p.columns[1].entries = {{0, 1.0}};
+    p.var_app = {0, 1};
+    p.app_priority = {ratio, 1.0};
+    const PfSolution s = solve_weighted_pf(p);
+    ASSERT_TRUE(s.converged);
+    EXPECT_NEAR(s.app_rate[0] / s.app_rate[1], ratio, 0.02 * ratio)
+        << "priority ratio " << ratio;
+  }
+}
+
+TEST(Fairness, LargeCapacityUnitsAreHandled) {
+  // Bits-per-second scale (1e8) with megacycle loads: the internal scaling
+  // must keep the solve stable.
+  PfProblem p;
+  p.capacity = {1e8, 15200.0};
+  p.columns.resize(2);
+  p.columns[0].entries = {{0, 2.48e7}, {1, 9880.0}};
+  p.columns[1].entries = {{0, 1.456e6}, {1, 12800.0}};
+  p.var_app = {0, 1};
+  p.app_priority = {1.0, 1.0};
+  const PfSolution s = solve_weighted_pf(p);
+  ASSERT_TRUE(s.converged);
+  EXPECT_LE(s.max_violation, 1e-3);
+  EXPECT_GT(s.app_rate[0], 0.0);
+  EXPECT_GT(s.app_rate[1], 0.0);
+}
+
+TEST(Fairness, RejectsMalformedProblems) {
+  PfProblem empty;
+  EXPECT_THROW(solve_weighted_pf(empty), std::invalid_argument);
+
+  PfProblem no_vars;
+  no_vars.capacity = {1.0};
+  no_vars.app_priority = {1.0};
+  EXPECT_THROW(solve_weighted_pf(no_vars), std::invalid_argument);
+
+  PfProblem bad_priority;
+  bad_priority.capacity = {1.0};
+  bad_priority.columns.resize(1);
+  bad_priority.columns[0].entries = {{0, 1.0}};
+  bad_priority.var_app = {0};
+  bad_priority.app_priority = {0.0};
+  EXPECT_THROW(solve_weighted_pf(bad_priority), std::invalid_argument);
+
+  PfProblem zero_cap;
+  zero_cap.capacity = {0.0};
+  zero_cap.columns.resize(1);
+  zero_cap.columns[0].entries = {{0, 1.0}};
+  zero_cap.var_app = {0};
+  zero_cap.app_priority = {1.0};
+  EXPECT_THROW(solve_weighted_pf(zero_cap), std::invalid_argument);
+}
+
+TEST(Fairness, PfUtilityIsMinusInfinityForZeroRateApp) {
+  PfProblem p;
+  p.capacity = {1.0};
+  p.columns.resize(1);
+  p.columns[0].entries = {{0, 1.0}};
+  p.var_app = {0};
+  p.app_priority = {1.0};
+  EXPECT_EQ(pf_utility(p, {0.0}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Fairness, SolutionIsOptimalAgainstPerturbations) {
+  // Local optimality: random feasible perturbations never improve utility.
+  PfProblem p;
+  p.capacity = {20.0, 15.0};
+  p.columns.resize(2);
+  p.columns[0].entries = {{0, 1.0}, {1, 1.0}};
+  p.columns[1].entries = {{1, 1.0}};
+  p.var_app = {0, 1};
+  p.app_priority = {1.0, 3.0};
+  const PfSolution s = solve_weighted_pf(p);
+  ASSERT_TRUE(s.converged);
+  const double u = pf_utility(p, s.path_rate);
+  for (double d1 : {-0.5, -0.1, 0.1}) {
+    for (double d2 : {-0.5, -0.1, 0.1}) {
+      std::vector<double> x = s.path_rate;
+      x[0] += d1;
+      x[1] += d2;
+      if (x[0] <= 0 || x[1] <= 0) continue;
+      if (x[0] > 20.0 || x[0] + x[1] > 15.0) continue;  // infeasible
+      EXPECT_LE(pf_utility(p, x), u + 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,109 @@
+/// \file test_gamma_property.cpp
+/// Property check on the heart of Algorithm 2: GreedyEngine::gamma must
+/// equal an independent, brute-force re-implementation of eq. (2) on
+/// random partial placements.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+
+#include "core/greedy_engine.hpp"
+#include "core/widest_path.hpp"
+#include "workload/scenarios.hpp"
+
+namespace sparcle {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Brute-force widest path by DFS over all simple paths.
+double bf_width(const Network& net, NcpId from, NcpId to,
+                const std::function<double(LinkId)>& weight) {
+  if (from == to) return kInf;
+  double best = -1;
+  std::vector<char> visited(net.ncp_count(), 0);
+  std::function<void(NcpId, double)> dfs = [&](NcpId v, double width) {
+    if (v == to) {
+      best = std::max(best, width);
+      return;
+    }
+    visited[v] = 1;
+    for (LinkId l : net.incident_links(v)) {
+      if (!net.can_traverse(l, v)) continue;
+      const double w = weight(l);
+      if (!(w > 0)) continue;
+      const NcpId u = net.other_end(l, v);
+      if (!visited[u]) dfs(u, std::min(width, w));
+    }
+    visited[v] = 0;
+  };
+  dfs(from, kInf);
+  return best;
+}
+
+/// Literal transcription of eq. (2) against the engine's committed state.
+double reference_gamma(const GreedyEngine& e, CtId i, NcpId j) {
+  const TaskGraph& g = e.graph();
+  const Network& net = e.net();
+  double rate = kInf;
+  // Node term.
+  for (std::size_t r = 0; r < g.schema().size(); ++r) {
+    const double denom =
+        g.ct(i).requirement[r] + e.load().ncp_load(j)[r];
+    if (denom <= 0) continue;
+    rate = std::min(rate, e.capacities().ncp(j)[r] / denom);
+  }
+  // Link terms over placed reachable CTs.
+  for (CtId other = 0; other < static_cast<CtId>(g.ct_count()); ++other) {
+    if (other == i || !e.placed(other)) continue;
+    if (!g.related(i, other)) continue;
+    const NcpId jo = e.host(other);
+    if (jo == j) continue;
+    // k = argmin bits over G(i, other).
+    const auto between = g.tts_between(i, other);
+    double min_bits = kInf;
+    for (TtId k : between)
+      min_bits = std::min(min_bits, g.tt(k).bits_per_unit);
+    const double width = bf_width(net, j, jo, [&](LinkId l) {
+      const double denom = min_bits + e.load().link_load(l);
+      return denom > 0 ? e.capacities().link(l) / denom : kInf;
+    });
+    if (!(width > 0)) return 0.0;
+    rate = std::min(rate, width);
+  }
+  return rate;
+}
+
+class GammaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GammaProperty, EngineGammaMatchesEquationTwo) {
+  Rng rng(GetParam());
+  workload::ScenarioSpec spec;
+  spec.topology = workload::TopologyKind::kStar;
+  spec.graph = workload::GraphKind::kDiamond;
+  spec.bottleneck = workload::BottleneckCase::kBalanced;
+  spec.ncps = 6;
+  const workload::Scenario sc = workload::make_scenario(spec, rng);
+  const AssignmentProblem p = sc.problem();
+
+  GreedyEngine engine(p);
+  engine.commit_pins();
+  // Commit a random half of the remaining CTs to random hosts.
+  for (CtId i = 0; i < static_cast<CtId>(sc.graph->ct_count()); ++i) {
+    if (engine.placed(i) || rng.bernoulli(0.5)) continue;
+    engine.commit(i, static_cast<NcpId>(rng.uniform_int(0, 5)));
+  }
+  // Every unplaced (i, j) pair must agree with the reference.
+  for (CtId i = 0; i < static_cast<CtId>(sc.graph->ct_count()); ++i) {
+    if (engine.placed(i)) continue;
+    for (NcpId j = 0; j < 6; ++j)
+      EXPECT_NEAR(engine.gamma(i, j), reference_gamma(engine, i, j), 1e-9)
+          << "seed " << GetParam() << " ct " << i << " ncp " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GammaProperty, ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,172 @@
+#include "core/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/sparcle_assigner.hpp"
+#include "sim/stream_simulator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace sparcle {
+namespace {
+
+struct Fixture {
+  Network net{ResourceSchema::cpu_only()};
+  TaskGraph graph{ResourceSchema::cpu_only()};
+  Placement placement;
+
+  Fixture() {
+    net.add_ncp("n0", ResourceVector::scalar(10));
+    net.add_ncp("n1", ResourceVector::scalar(20));
+    net.add_link("l", 0, 1, 100);
+    const CtId s = graph.add_ct("s", ResourceVector::scalar(0));
+    const CtId a = graph.add_ct("a", ResourceVector::scalar(5));
+    const CtId b = graph.add_ct("b", ResourceVector::scalar(4));
+    graph.add_tt("sa", 0, s, a);
+    graph.add_tt("ab", 50, a, b);
+    graph.finalize();
+    placement = Placement(graph);
+    placement.place_ct(s, 0);
+    placement.place_ct(a, 0);
+    placement.place_ct(b, 1);
+    placement.place_tt(0, {});
+    placement.place_tt(1, {0});
+  }
+};
+
+TEST(LatencyEstimate, ZeroRateGivesPureServiceTimes) {
+  Fixture f;
+  const LatencyEstimate e = estimate_latency(f.net, f.graph, f.placement, 0);
+  ASSERT_TRUE(e.stable);
+  // a: 5/10 = 0.5 s; transfer: 50/100 = 0.5 s; b: 4/20 = 0.2 s.
+  EXPECT_DOUBLE_EQ(e.ct_sojourn[1], 0.5);
+  EXPECT_DOUBLE_EQ(e.tt_sojourn[1], 0.5);
+  EXPECT_DOUBLE_EQ(e.ct_sojourn[2], 0.2);
+  EXPECT_DOUBLE_EQ(e.total, 1.2);
+}
+
+TEST(LatencyEstimate, SojournsGrowWithRate) {
+  Fixture f;
+  const LatencyEstimate lo = estimate_latency(f.net, f.graph, f.placement, 0.5);
+  const LatencyEstimate hi = estimate_latency(f.net, f.graph, f.placement, 1.5);
+  ASSERT_TRUE(lo.stable);
+  ASSERT_TRUE(hi.stable);
+  EXPECT_GT(hi.total, lo.total);
+  EXPECT_GT(lo.total, 1.2);  // above the light-load floor
+}
+
+TEST(LatencyEstimate, PsDelayFormula) {
+  Fixture f;
+  // At rate 1: n0 utilization = 1*5/10 = 0.5 -> sojourn of a = 0.5/(1-0.5).
+  const LatencyEstimate e = estimate_latency(f.net, f.graph, f.placement, 1.0);
+  ASSERT_TRUE(e.stable);
+  EXPECT_DOUBLE_EQ(e.ct_sojourn[1], 1.0);
+  // link utilization = 50/100 -> 0.5/(1-0.5) = 1.0.
+  EXPECT_DOUBLE_EQ(e.tt_sojourn[1], 1.0);
+}
+
+TEST(LatencyEstimate, UnstableBeyondBottleneckRate) {
+  Fixture f;
+  // Bottleneck: min(10/5, 100/50, 20/4) = 2.0 units/s.
+  const LatencyEstimate e = estimate_latency(f.net, f.graph, f.placement, 2.0);
+  EXPECT_FALSE(e.stable);
+  EXPECT_EQ(e.total, std::numeric_limits<double>::infinity());
+}
+
+TEST(LatencyEstimate, ReportsBottleneckElement) {
+  Fixture f;
+  const LatencyEstimate e = estimate_latency(f.net, f.graph, f.placement, 1.0);
+  // Utilizations at rate 1: n0 0.5, link 0.5, n1 0.2 — n0 checked first.
+  EXPECT_DOUBLE_EQ(e.bottleneck_utilization, 0.5);
+}
+
+TEST(LatencyEstimate, FanOutBranchesRunInParallel) {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("n", ResourceVector::scalar(10));
+  net.add_ncp("m", ResourceVector::scalar(10));
+  net.add_link("l", 0, 1, 1000);
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId s = g.add_ct("s", ResourceVector::scalar(0));
+  const CtId a = g.add_ct("a", ResourceVector::scalar(2));  // fast branch
+  const CtId b = g.add_ct("b", ResourceVector::scalar(8));  // slow branch
+  const CtId j = g.add_ct("j", ResourceVector::scalar(0));
+  g.add_tt("sa", 0, s, a);
+  g.add_tt("sb", 0, s, b);
+  g.add_tt("aj", 0, a, j);
+  g.add_tt("bj", 0, b, j);
+  g.finalize();
+  Placement p(g);
+  p.place_ct(s, 0);
+  p.place_ct(a, 0);
+  p.place_ct(b, 1);  // separate hosts: truly parallel
+  p.place_ct(j, 0);
+  for (TtId k = 0; k < 4; ++k) p.place_tt(k, k == 1 || k == 3
+                                                 ? std::vector<LinkId>{0}
+                                                 : std::vector<LinkId>{});
+  const LatencyEstimate e = estimate_latency(net, g, p, 0.0);
+  ASSERT_TRUE(e.stable);
+  // Critical path is the slow branch: 8/10 = 0.8 s, not 0.2 + 0.8.
+  EXPECT_DOUBLE_EQ(e.total, 0.8);
+}
+
+TEST(LatencyEstimate, RejectsBadInput) {
+  Fixture f;
+  EXPECT_THROW(estimate_latency(f.net, f.graph, f.placement, -1),
+               std::invalid_argument);
+  Placement incomplete(f.graph);
+  EXPECT_THROW(estimate_latency(f.net, f.graph, incomplete, 1),
+               std::invalid_argument);
+}
+
+TEST(LatencyEstimate, MatchesSimulatorAtLightLoad) {
+  Fixture f;
+  const double rate = 0.1;  // utilizations ~5%
+  const LatencyEstimate e =
+      estimate_latency(f.net, f.graph, f.placement, rate);
+  sim::StreamSimulator sim(f.net);
+  sim.add_stream(f.graph, f.placement, rate);
+  const auto rep = sim.run(3000, 300);
+  ASSERT_TRUE(e.stable);
+  EXPECT_NEAR(rep.streams[0].mean_latency, e.total, 0.15 * e.total);
+}
+
+/// Property: across random scenarios at moderate load the estimate stays
+/// within a small factor of the simulated mean latency.
+class LatencyVsSim : public ::testing::TestWithParam<int> {};
+
+TEST_P(LatencyVsSim, EstimateTracksSimulation) {
+  Rng rng(GetParam());
+  workload::ScenarioSpec spec;
+  spec.topology = workload::TopologyKind::kStar;
+  spec.graph = workload::GraphKind::kLinear;
+  spec.bottleneck = workload::BottleneckCase::kBalanced;
+  const workload::Scenario sc = workload::make_scenario(spec, rng);
+  const AssignmentProblem p = sc.problem();
+  const AssignmentResult r = SparcleAssigner().assign(p);
+  ASSERT_TRUE(r.feasible);
+  const double rate = 0.5 * r.rate;  // moderate load
+
+  const LatencyEstimate e =
+      estimate_latency(sc.net, *sc.graph, r.placement, rate);
+  ASSERT_TRUE(e.stable);
+  sim::StreamSimulator sim(sc.net, GetParam());
+  sim.add_stream(*sc.graph, r.placement, rate);
+  const double horizon = 600.0 / rate;
+  const auto rep = sim.run(horizon, horizon / 4);
+  const double simulated = rep.streams[0].mean_latency;
+  EXPECT_GT(simulated, 0.0);
+  // Deterministic arrivals queue less than the PS mean-value form
+  // predicts, so the estimate is an upper-ish bound; keep a wide band.
+  EXPECT_LT(simulated, 2.5 * e.total) << "seed " << GetParam();
+  EXPECT_GT(simulated, 0.25 * e.total) << "seed " << GetParam();
+  // Percentile ordering is a free sanity check on the new stats.
+  EXPECT_LE(rep.streams[0].p50_latency, rep.streams[0].p95_latency);
+  EXPECT_LE(rep.streams[0].p95_latency, rep.streams[0].p99_latency);
+  EXPECT_LE(rep.streams[0].p99_latency, rep.streams[0].max_latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatencyVsSim, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,122 @@
+#include "core/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exhaustive.hpp"
+#include "core/sparcle_assigner.hpp"
+#include "workload/scenarios.hpp"
+
+namespace sparcle {
+namespace {
+
+using namespace workload;
+
+Scenario balanced_scenario(int seed) {
+  Rng rng(seed);
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kLinear;
+  spec.graph = GraphKind::kLinear;
+  spec.bottleneck = BottleneckCase::kBalanced;
+  spec.ncps = 4;
+  spec.middle_cts = 4;
+  return make_scenario(spec, rng);
+}
+
+TEST(EvaluateFixedHosts, MatchesManualPlacement) {
+  const Scenario sc = balanced_scenario(1);
+  const AssignmentProblem p = sc.problem();
+  // All middle CTs on the source host.
+  std::vector<NcpId> hosts(sc.graph->ct_count(),
+                           sc.pinned.begin()->second);
+  hosts[sc.graph->sinks()[0]] = sc.pinned.rbegin()->second;
+  const AssignmentResult r = evaluate_fixed_hosts(p, hosts);
+  ASSERT_TRUE(r.feasible);
+  for (CtId i = 0; i < static_cast<CtId>(sc.graph->ct_count()); ++i)
+    EXPECT_EQ(r.placement.ct_host(i), hosts[i]);
+  std::string err;
+  EXPECT_TRUE(r.placement.validate(*sc.graph, sc.net, &err)) << err;
+}
+
+TEST(EvaluateFixedHosts, RejectsWrongSize) {
+  const Scenario sc = balanced_scenario(1);
+  const AssignmentProblem p = sc.problem();
+  EXPECT_THROW(evaluate_fixed_hosts(p, {0, 1}), std::invalid_argument);
+}
+
+TEST(LocalSearch, NeverWorsensTheStart) {
+  for (int seed = 1; seed <= 20; ++seed) {
+    const Scenario sc = balanced_scenario(seed);
+    const AssignmentProblem p = sc.problem();
+    const AssignmentResult start = SparcleAssigner().assign(p);
+    ASSERT_TRUE(start.feasible);
+    const AssignmentResult refined = refine_placement(p, start);
+    ASSERT_TRUE(refined.feasible);
+    EXPECT_GE(refined.rate, start.rate - 1e-9) << "seed " << seed;
+    std::string err;
+    EXPECT_TRUE(refined.placement.validate(*sc.graph, sc.net, &err)) << err;
+    for (const auto& [ct, ncp] : sc.pinned)
+      EXPECT_EQ(refined.placement.ct_host(ct), ncp);
+  }
+}
+
+TEST(LocalSearch, NeverBeatsExhaustiveOptimal) {
+  for (int seed = 1; seed <= 20; ++seed) {
+    const Scenario sc = balanced_scenario(seed);
+    const AssignmentProblem p = sc.problem();
+    SparcleAssignerOptions opts;
+    opts.local_search_rounds = 8;
+    const double refined = SparcleAssigner(opts).assign(p).rate;
+    const double best = ExhaustiveAssigner().assign(p).rate;
+    EXPECT_LE(refined, best + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(LocalSearch, ImprovesTheBalancedCaseOnAverage) {
+  double plain_sum = 0, refined_sum = 0;
+  for (int seed = 1; seed <= 40; ++seed) {
+    const Scenario sc = balanced_scenario(seed);
+    const AssignmentProblem p = sc.problem();
+    SparcleAssignerOptions ls;
+    ls.local_search_rounds = 8;
+    plain_sum += SparcleAssigner().assign(p).rate;
+    refined_sum += SparcleAssigner(ls).assign(p).rate;
+  }
+  EXPECT_GT(refined_sum, 1.05 * plain_sum);
+}
+
+TEST(LocalSearch, EscapesAnObviouslyBadStart) {
+  // Start with everything crammed on the weakest NCP; the climber must
+  // find the strong host for the heavy CT.
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("weak", ResourceVector::scalar(10));
+  net.add_ncp("strong", ResourceVector::scalar(1000));
+  net.add_link("l", 0, 1, 1e6);
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId s = g.add_ct("s", ResourceVector::scalar(0));
+  const CtId heavy = g.add_ct("heavy", ResourceVector::scalar(100));
+  const CtId t = g.add_ct("t", ResourceVector::scalar(0));
+  g.add_tt("sh", 10, s, heavy);
+  g.add_tt("ht", 10, heavy, t);
+  g.finalize();
+  AssignmentProblem p;
+  p.net = &net;
+  p.graph = &g;
+  p.capacities = CapacitySnapshot(net);
+  p.pinned = {{s, 0}, {t, 0}};
+  const AssignmentResult start = evaluate_fixed_hosts(p, {0, 0, 0});
+  ASSERT_TRUE(start.feasible);
+  EXPECT_DOUBLE_EQ(start.rate, 0.1);
+  const AssignmentResult refined = refine_placement(p, start);
+  EXPECT_EQ(refined.placement.ct_host(heavy), 1);
+  EXPECT_DOUBLE_EQ(refined.rate, 10.0);
+}
+
+TEST(LocalSearch, RejectsInfeasibleStart) {
+  const Scenario sc = balanced_scenario(1);
+  const AssignmentProblem p = sc.problem();
+  AssignmentResult bogus;
+  EXPECT_THROW(refine_placement(p, bogus), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,194 @@
+#include "model/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "model/capacity.hpp"
+#include "model/placement.hpp"
+#include "workload/topologies.hpp"
+
+namespace sparcle {
+namespace {
+
+Network make_triangle() {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("a", ResourceVector::scalar(10), 0.1);
+  net.add_ncp("b", ResourceVector::scalar(20), 0.2);
+  net.add_ncp("c", ResourceVector::scalar(30));
+  net.add_link("ab", 0, 1, 100, 0.05);
+  net.add_link("bc", 1, 2, 200);
+  net.add_link("ca", 2, 0, 300);
+  return net;
+}
+
+TEST(Network, CountsAndAccessors) {
+  const Network net = make_triangle();
+  EXPECT_EQ(net.ncp_count(), 3u);
+  EXPECT_EQ(net.link_count(), 3u);
+  EXPECT_EQ(net.ncp(1).name, "b");
+  EXPECT_DOUBLE_EQ(net.link(1).bandwidth, 200.0);
+}
+
+TEST(Network, IncidentLinks) {
+  const Network net = make_triangle();
+  EXPECT_EQ(net.incident_links(0).size(), 2u);  // ab and ca
+  EXPECT_EQ(net.incident_links(1).size(), 2u);
+}
+
+TEST(Network, OtherEnd) {
+  const Network net = make_triangle();
+  EXPECT_EQ(net.other_end(0, 0), 1);
+  EXPECT_EQ(net.other_end(0, 1), 0);
+  EXPECT_THROW(net.other_end(0, 2), std::invalid_argument);
+}
+
+TEST(Network, ConnectedDetectsPartition) {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("a", ResourceVector::scalar(1));
+  net.add_ncp("b", ResourceVector::scalar(1));
+  net.add_ncp("c", ResourceVector::scalar(1));
+  net.add_link("ab", 0, 1, 10);
+  EXPECT_FALSE(net.connected());
+  net.add_link("bc", 1, 2, 10);
+  EXPECT_TRUE(net.connected());
+}
+
+TEST(Network, FailProbByElementKey) {
+  const Network net = make_triangle();
+  EXPECT_DOUBLE_EQ(net.fail_prob(ElementKey::ncp(0)), 0.1);
+  EXPECT_DOUBLE_EQ(net.fail_prob(ElementKey::link(0)), 0.05);
+  EXPECT_DOUBLE_EQ(net.fail_prob(ElementKey::ncp(2)), 0.0);
+}
+
+TEST(Network, RejectsBadInputs) {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("a", ResourceVector::scalar(1));
+  EXPECT_THROW(net.add_ncp("bad", ResourceVector{1.0, 2.0}),
+               std::invalid_argument);  // schema mismatch
+  EXPECT_THROW(net.add_ncp("bad", ResourceVector::scalar(1), 1.5),
+               std::invalid_argument);  // failure probability
+  EXPECT_THROW(net.add_link("self", 0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(net.add_link("dangling", 0, 9, 10), std::invalid_argument);
+  EXPECT_THROW(net.add_link("zero-bw", 0, 0, 0), std::invalid_argument);
+}
+
+TEST(ElementKey, OrderingAndHash) {
+  const ElementKey a = ElementKey::ncp(1);
+  const ElementKey b = ElementKey::link(1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, ElementKey::ncp(1));
+  EXPECT_NE(std::hash<ElementKey>{}(a), std::hash<ElementKey>{}(b));
+}
+
+TEST(CapacitySnapshot, StartsAtFullCapacity) {
+  const Network net = make_triangle();
+  const CapacitySnapshot cap(net);
+  EXPECT_DOUBLE_EQ(cap.ncp(0)[0], 10.0);
+  EXPECT_DOUBLE_EQ(cap.link(2), 300.0);
+  EXPECT_DOUBLE_EQ(cap.element(ElementKey::ncp(1), 0), 20.0);
+  EXPECT_DOUBLE_EQ(cap.element(ElementKey::link(1), 0), 200.0);
+}
+
+TEST(CapacitySnapshot, ScaleElements) {
+  const Network net = make_triangle();
+  CapacitySnapshot cap(net);
+  cap.scale_elements({ElementKey::ncp(0), ElementKey::link(1)}, 0.5);
+  EXPECT_DOUBLE_EQ(cap.ncp(0)[0], 5.0);
+  EXPECT_DOUBLE_EQ(cap.link(1), 100.0);
+  EXPECT_DOUBLE_EQ(cap.ncp(1)[0], 20.0);  // untouched
+}
+
+TEST(CapacitySnapshot, SubtractScaledClampsAtZero) {
+  const Network net = make_triangle();
+  CapacitySnapshot cap(net);
+  LoadMap load = LoadMap::zeros(net);
+  // Put 3 cpu units of per-unit load on NCP 0 and 50 bits on link 0.
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId x = g.add_ct("x", ResourceVector::scalar(3));
+  const CtId y = g.add_ct("y", ResourceVector::scalar(1));
+  g.add_tt("t", 50, x, y);
+  g.finalize();
+  load.add_ct(g, x, 0);
+  load.add_tt(g, 0, 0);
+
+  cap.subtract_scaled(load, 2.0);  // rate 2: 6 cpu, 100 bits
+  EXPECT_DOUBLE_EQ(cap.ncp(0)[0], 4.0);
+  EXPECT_DOUBLE_EQ(cap.link(0), 0.0);  // 100 - 100
+  cap.subtract_scaled(load, 10.0);     // would go negative: clamps
+  EXPECT_DOUBLE_EQ(cap.ncp(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(cap.link(0), 0.0);
+}
+
+TEST(Topologies, StarShape) {
+  Rng rng(3);
+  const auto gen = workload::star_network(8, rng, workload::NetRanges{});
+  EXPECT_EQ(gen.net.ncp_count(), 8u);
+  EXPECT_EQ(gen.net.link_count(), 7u);
+  EXPECT_TRUE(gen.net.connected());
+  // Every link touches the hub.
+  for (LinkId l = 0; l < 7; ++l) {
+    const Link& lk = gen.net.link(l);
+    EXPECT_TRUE(lk.a == 0 || lk.b == 0);
+  }
+  EXPECT_NE(gen.source, gen.sink);
+}
+
+TEST(Topologies, LinearShape) {
+  Rng rng(3);
+  const auto gen = workload::linear_network(5, rng, workload::NetRanges{});
+  EXPECT_EQ(gen.net.link_count(), 4u);
+  EXPECT_TRUE(gen.net.connected());
+  EXPECT_EQ(gen.source, 0);
+  EXPECT_EQ(gen.sink, 4);
+}
+
+TEST(Topologies, FullShape) {
+  Rng rng(3);
+  const auto gen = workload::full_network(6, rng, workload::NetRanges{});
+  EXPECT_EQ(gen.net.link_count(), 15u);  // C(6,2)
+  EXPECT_TRUE(gen.net.connected());
+}
+
+TEST(Topologies, CapacitiesWithinRanges) {
+  Rng rng(11);
+  workload::NetRanges r;
+  r.ncp_min = 10;
+  r.ncp_max = 20;
+  r.bw_min = 100;
+  r.bw_max = 200;
+  const auto gen = workload::star_network(6, rng, r);
+  for (NcpId j = 0; j < 6; ++j) {
+    EXPECT_GE(gen.net.ncp(j).capacity[0], 10.0);
+    EXPECT_LE(gen.net.ncp(j).capacity[0], 20.0);
+  }
+  for (LinkId l = 0; l < 5; ++l) {
+    EXPECT_GE(gen.net.link(l).bandwidth, 100.0);
+    EXPECT_LE(gen.net.link(l).bandwidth, 200.0);
+  }
+}
+
+TEST(Testbed, MatchesTableOne) {
+  const auto tb = workload::testbed_network(10.0);
+  EXPECT_EQ(tb.net.ncp_count(), 7u);  // 6 field + cloud
+  EXPECT_EQ(tb.net.link_count(), 8u); // 7 field + cloud attachment
+  EXPECT_DOUBLE_EQ(tb.net.ncp(tb.cloud).capacity[0], 15200.0);
+  for (NcpId j = 0; j < 6; ++j)
+    EXPECT_DOUBLE_EQ(tb.net.ncp(j).capacity[0], 3000.0);
+  // The cloud link is 100 Mbps; field links are 10 Mbps.
+  bool found_cloud_link = false;
+  for (LinkId l = 0; l < 8; ++l) {
+    const Link& lk = tb.net.link(l);
+    if (lk.a == tb.cloud || lk.b == tb.cloud) {
+      EXPECT_DOUBLE_EQ(lk.bandwidth, 100e6);
+      found_cloud_link = true;
+    } else {
+      EXPECT_DOUBLE_EQ(lk.bandwidth, 10e6);
+    }
+  }
+  EXPECT_TRUE(found_cloud_link);
+  EXPECT_TRUE(tb.net.connected());
+}
+
+}  // namespace
+}  // namespace sparcle

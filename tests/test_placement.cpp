@@ -1,0 +1,257 @@
+#include "model/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "model/capacity.hpp"
+#include "model/network.hpp"
+#include "model/task_graph.hpp"
+
+namespace sparcle {
+namespace {
+
+/// A 4-NCP network shaped like Fig. 2's example (simplified): a square
+/// 0-1-2-3 with a diagonal.
+Network make_square() {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("n0", ResourceVector::scalar(100));
+  net.add_ncp("n1", ResourceVector::scalar(50));
+  net.add_ncp("n2", ResourceVector::scalar(80));
+  net.add_ncp("n3", ResourceVector::scalar(60));
+  net.add_link("l0", 0, 1, 10);  // 0-1
+  net.add_link("l1", 1, 2, 20);  // 1-2
+  net.add_link("l2", 2, 3, 30);  // 2-3
+  net.add_link("l3", 3, 0, 40);  // 3-0
+  net.add_link("l4", 0, 2, 50);  // diagonal
+  return net;
+}
+
+TaskGraph make_chain() {
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId s = g.add_ct("s", ResourceVector::scalar(0));
+  const CtId a = g.add_ct("a", ResourceVector::scalar(5));
+  const CtId b = g.add_ct("b", ResourceVector::scalar(10));
+  const CtId t = g.add_ct("t", ResourceVector::scalar(0));
+  g.add_tt("sa", 2, s, a);
+  g.add_tt("ab", 4, a, b);
+  g.add_tt("bt", 1, b, t);
+  g.finalize();
+  return g;
+}
+
+TEST(Placement, CompleteRequiresEverything) {
+  const TaskGraph g = make_chain();
+  Placement p(g);
+  EXPECT_FALSE(p.complete());
+  p.place_ct(0, 0);
+  p.place_ct(1, 0);
+  p.place_ct(2, 2);
+  p.place_ct(3, 2);
+  EXPECT_FALSE(p.complete());
+  p.place_tt(0, {});
+  p.place_tt(1, {4});
+  p.place_tt(2, {});
+  EXPECT_TRUE(p.complete());
+}
+
+TEST(Placement, ValidateAcceptsContiguousRoutes) {
+  const Network net = make_square();
+  const TaskGraph g = make_chain();
+  Placement p(g);
+  p.place_ct(0, 0);
+  p.place_ct(1, 1);
+  p.place_ct(2, 3);
+  p.place_ct(3, 3);
+  p.place_tt(0, {0});        // 0 -> 1 over l0
+  p.place_tt(1, {1, 2});     // 1 -> 2 -> 3
+  p.place_tt(2, {});         // co-located
+  std::string err;
+  EXPECT_TRUE(p.validate(g, net, &err)) << err;
+}
+
+TEST(Placement, ValidateRejectsBrokenRoute) {
+  const Network net = make_square();
+  const TaskGraph g = make_chain();
+  Placement p(g);
+  p.place_ct(0, 0);
+  p.place_ct(1, 1);
+  p.place_ct(2, 3);
+  p.place_ct(3, 3);
+  p.place_tt(0, {0});
+  p.place_tt(1, {2});  // l2 = 2-3 does not start at NCP 1
+  p.place_tt(2, {});
+  std::string err;
+  EXPECT_FALSE(p.validate(g, net, &err));
+  EXPECT_NE(err.find("not contiguous"), std::string::npos);
+}
+
+TEST(Placement, ValidateRejectsRouteEndingElsewhere) {
+  const Network net = make_square();
+  const TaskGraph g = make_chain();
+  Placement p(g);
+  p.place_ct(0, 0);
+  p.place_ct(1, 1);
+  p.place_ct(2, 3);
+  p.place_ct(3, 3);
+  p.place_tt(0, {0});
+  p.place_tt(1, {1});  // ends at NCP 2, not 3
+  p.place_tt(2, {});
+  EXPECT_FALSE(p.validate(g, net, nullptr));
+}
+
+TEST(Placement, ValidateRejectsEmptyRouteAcrossNodes) {
+  const Network net = make_square();
+  const TaskGraph g = make_chain();
+  Placement p(g);
+  p.place_ct(0, 0);
+  p.place_ct(1, 1);
+  p.place_ct(2, 3);
+  p.place_ct(3, 3);
+  p.place_tt(0, {0});
+  p.place_tt(1, {});  // hosts differ: must not be empty
+  p.place_tt(2, {});
+  EXPECT_FALSE(p.validate(g, net, nullptr));
+}
+
+TEST(Placement, UsedElementsDeduplicates) {
+  const Network net = make_square();
+  const TaskGraph g = make_chain();
+  Placement p(g);
+  p.place_ct(0, 0);
+  p.place_ct(1, 0);
+  p.place_ct(2, 2);
+  p.place_ct(3, 2);
+  p.place_tt(0, {});
+  p.place_tt(1, {4});  // the direct 0-2 diagonal: no transit NCP
+  p.place_tt(2, {});
+  const auto used = p.used_elements(g, net);
+  // NCPs {0, 2} and link {4}.
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(Placement, UsedElementsIncludesTransitNcps) {
+  const Network net = make_square();
+  const TaskGraph g = make_chain();
+  Placement p(g);
+  p.place_ct(0, 0);
+  p.place_ct(1, 0);
+  p.place_ct(2, 2);
+  p.place_ct(3, 2);
+  p.place_tt(0, {});
+  p.place_tt(1, {0, 1});  // 0 -> 1 -> 2: NCP 1 forwards the stream
+  p.place_tt(2, {});
+  const auto used = p.used_elements(g, net);
+  // NCPs {0, 1, 2} and links {0, 1}.
+  EXPECT_EQ(used.size(), 5u);
+  EXPECT_NE(std::find(used.begin(), used.end(), ElementKey::ncp(1)),
+            used.end());
+}
+
+TEST(LoadMap, AccumulatesPerElementLoads) {
+  const Network net = make_square();
+  const TaskGraph g = make_chain();
+  Placement p(g);
+  p.place_ct(0, 0);
+  p.place_ct(1, 0);  // a (5) on n0
+  p.place_ct(2, 2);  // b (10) on n2
+  p.place_ct(3, 2);
+  p.place_tt(0, {});
+  p.place_tt(1, {4});  // ab (4 bits) over the diagonal
+  p.place_tt(2, {});
+  const LoadMap load(net, g, p);
+  EXPECT_DOUBLE_EQ(load.ncp_load(0)[0], 5.0);
+  EXPECT_DOUBLE_EQ(load.ncp_load(2)[0], 10.0);
+  EXPECT_DOUBLE_EQ(load.ncp_load(1)[0], 0.0);
+  EXPECT_DOUBLE_EQ(load.link_load(4), 4.0);
+  EXPECT_DOUBLE_EQ(load.link_load(0), 0.0);
+}
+
+TEST(LoadMap, AddScaledAggregatesPaths) {
+  const Network net = make_square();
+  LoadMap total = LoadMap::zeros(net);
+  const TaskGraph g = make_chain();
+  Placement p(g);
+  p.place_ct(0, 0);
+  p.place_ct(1, 0);
+  p.place_ct(2, 2);
+  p.place_ct(3, 2);
+  p.place_tt(0, {});
+  p.place_tt(1, {4});
+  p.place_tt(2, {});
+  const LoadMap one(net, g, p);
+  total.add_scaled(one, 2.0);
+  total.add_scaled(one, 0.5);
+  EXPECT_DOUBLE_EQ(total.ncp_load(0)[0], 12.5);
+  EXPECT_DOUBLE_EQ(total.link_load(4), 10.0);
+}
+
+TEST(BottleneckRate, MatchesPaperFormula) {
+  // The §IV-A worked example structure: rate = min over loaded elements of
+  // capacity / summed per-unit load.
+  const Network net = make_square();
+  const TaskGraph g = make_chain();
+  Placement p(g);
+  p.place_ct(0, 0);
+  p.place_ct(1, 0);  // n0: load 5, cap 100 -> 20
+  p.place_ct(2, 2);  // n2: load 10, cap 80 -> 8
+  p.place_ct(3, 2);
+  p.place_tt(0, {});
+  p.place_tt(1, {4});  // l4: load 4, cap 50 -> 12.5
+  p.place_tt(2, {});
+  const CapacitySnapshot cap(net);
+  EXPECT_DOUBLE_EQ(bottleneck_rate(net, g, p, cap), 8.0);
+}
+
+TEST(BottleneckRate, MultipleTasksOnOneElementSumLoads) {
+  const Network net = make_square();
+  const TaskGraph g = make_chain();
+  Placement p(g);
+  for (CtId i = 0; i < 4; ++i) p.place_ct(i, 1);  // everything on n1 (50)
+  for (TtId k = 0; k < 3; ++k) p.place_tt(k, {});
+  const CapacitySnapshot cap(net);
+  // Sum of CT loads on n1 = 15 -> rate 50/15.
+  EXPECT_NEAR(bottleneck_rate(net, g, p, cap), 50.0 / 15.0, 1e-12);
+}
+
+TEST(BottleneckRate, EmptyLoadIsUnbounded) {
+  const Network net = make_square();
+  const LoadMap load = LoadMap::zeros(net);
+  const CapacitySnapshot cap(net);
+  EXPECT_EQ(bottleneck_rate(cap, load),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(BottleneckRate, ZeroCapacityLoadedElementGivesZero) {
+  const Network net = make_square();
+  const TaskGraph g = make_chain();
+  Placement p(g);
+  for (CtId i = 0; i < 4; ++i) p.place_ct(i, 1);
+  for (TtId k = 0; k < 3; ++k) p.place_tt(k, {});
+  CapacitySnapshot cap(net);
+  cap.ncp(1)[0] = 0.0;
+  EXPECT_DOUBLE_EQ(bottleneck_rate(net, g, p, cap), 0.0);
+}
+
+TEST(BottleneckRate, MultiResourceTakesWorstType) {
+  Network net(ResourceSchema::cpu_memory());
+  net.add_ncp("n", ResourceVector{100.0, 10.0});
+  net.add_ncp("m", ResourceVector{100.0, 100.0});
+  net.add_link("l", 0, 1, 1000);
+  TaskGraph g(ResourceSchema::cpu_memory());
+  const CtId a = g.add_ct("a", ResourceVector{5.0, 5.0});
+  const CtId b = g.add_ct("b", ResourceVector{5.0, 5.0});
+  g.add_tt("t", 1, a, b);
+  g.finalize();
+  Placement p(g);
+  p.place_ct(a, 0);
+  p.place_ct(b, 1);
+  p.place_tt(0, {0});
+  const CapacitySnapshot cap(net);
+  // NCP 0: cpu 100/5 = 20, memory 10/5 = 2  -> memory binds.
+  EXPECT_DOUBLE_EQ(bottleneck_rate(net, g, p, cap), 2.0);
+}
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,82 @@
+#include "core/prediction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sparcle {
+namespace {
+
+Network make_pair_net() {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("a", ResourceVector::scalar(90));
+  net.add_ncp("b", ResourceVector::scalar(60));
+  net.add_link("l", 0, 1, 30);
+  return net;
+}
+
+TEST(Prediction, PaperWorkedExample) {
+  // App a (priority P) occupies NCP 0; arriving app b with priority 2P
+  // should predict 2/3 of NCP 0's capacity (eq. (6) worked example).
+  const Network net = make_pair_net();
+  const CapacitySnapshot base(net);
+  const std::vector<BePresence> placed = {{1.0, {ElementKey::ncp(0)}}};
+  const CapacitySnapshot pred = predict_capacities(base, placed, 2.0);
+  EXPECT_NEAR(pred.ncp(0)[0], 90.0 * 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pred.ncp(1)[0], 60.0);  // untouched
+  EXPECT_DOUBLE_EQ(pred.link(0), 30.0);
+}
+
+TEST(Prediction, EqualPrioritiesHalve) {
+  const Network net = make_pair_net();
+  const CapacitySnapshot base(net);
+  const std::vector<BePresence> placed = {{1.0, {ElementKey::link(0)}}};
+  const CapacitySnapshot pred = predict_capacities(base, placed, 1.0);
+  EXPECT_NEAR(pred.link(0), 15.0, 1e-12);
+}
+
+TEST(Prediction, MultipleIncumbentsAccumulate) {
+  const Network net = make_pair_net();
+  const CapacitySnapshot base(net);
+  const std::vector<BePresence> placed = {{1.0, {ElementKey::ncp(0)}},
+                                          {2.0, {ElementKey::ncp(0)}}};
+  const CapacitySnapshot pred = predict_capacities(base, placed, 1.0);
+  EXPECT_NEAR(pred.ncp(0)[0], 90.0 * 1.0 / 4.0, 1e-12);
+}
+
+TEST(Prediction, DuplicateElementsOfOneAppCountOnce) {
+  const Network net = make_pair_net();
+  const CapacitySnapshot base(net);
+  // The same app lists NCP 0 twice (two paths through it).
+  const std::vector<BePresence> placed = {
+      {1.0, {ElementKey::ncp(0), ElementKey::ncp(0)}}};
+  const CapacitySnapshot pred = predict_capacities(base, placed, 1.0);
+  EXPECT_NEAR(pred.ncp(0)[0], 45.0, 1e-12);
+}
+
+TEST(Prediction, NoIncumbentsMeansFullCapacity) {
+  const Network net = make_pair_net();
+  const CapacitySnapshot base(net);
+  const CapacitySnapshot pred = predict_capacities(base, {}, 5.0);
+  EXPECT_DOUBLE_EQ(pred.ncp(0)[0], 90.0);
+  EXPECT_DOUBLE_EQ(pred.link(0), 30.0);
+}
+
+TEST(Prediction, AppliesOnTopOfResidualBase) {
+  const Network net = make_pair_net();
+  CapacitySnapshot base(net);
+  base.ncp(0)[0] = 50.0;  // e.g. after a GR reservation
+  const std::vector<BePresence> placed = {{1.0, {ElementKey::ncp(0)}}};
+  const CapacitySnapshot pred = predict_capacities(base, placed, 1.0);
+  EXPECT_NEAR(pred.ncp(0)[0], 25.0, 1e-12);
+}
+
+TEST(Prediction, RejectsNonPositivePriorities) {
+  const Network net = make_pair_net();
+  const CapacitySnapshot base(net);
+  EXPECT_THROW(predict_capacities(base, {}, 0.0), std::invalid_argument);
+  const std::vector<BePresence> placed = {{-1.0, {ElementKey::ncp(0)}}};
+  EXPECT_THROW(predict_capacities(base, placed, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sparcle

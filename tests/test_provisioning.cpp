@@ -1,0 +1,176 @@
+#include "core/provisioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/availability.hpp"
+#include "core/scheduler.hpp"
+#include "core/sparcle_assigner.hpp"
+
+namespace sparcle {
+namespace {
+
+/// Two relays between src and dst; relay 1 is bigger, so the residual-only
+/// loop keeps going back to it while the diversity mode switches away.
+struct Fixture {
+  Network net{ResourceSchema::cpu_only()};
+  TaskGraph graph{ResourceSchema::cpu_only()};
+  std::map<CtId, NcpId> pins;
+
+  explicit Fixture(double r1 = 40.0, double r2 = 10.0, double pf = 0.1) {
+    net.add_ncp("src", ResourceVector::scalar(1.0));
+    net.add_ncp("r1", ResourceVector::scalar(r1), pf);
+    net.add_ncp("r2", ResourceVector::scalar(r2), pf);
+    net.add_ncp("dst", ResourceVector::scalar(1.0));
+    net.add_link("s1", 0, 1, 1000.0);
+    net.add_link("1d", 1, 3, 1000.0);
+    net.add_link("s2", 0, 2, 1000.0);
+    net.add_link("2d", 2, 3, 1000.0);
+    const CtId s = graph.add_ct("source", ResourceVector::scalar(0));
+    const CtId m = graph.add_ct("mid", ResourceVector::scalar(5));
+    const CtId t = graph.add_ct("sink", ResourceVector::scalar(0));
+    graph.add_tt("sm", 1.0, s, m);
+    graph.add_tt("mt", 1.0, m, t);
+    graph.finalize();
+    pins = {{s, 0}, {t, 3}};
+  }
+
+  std::vector<PathInfo> run(const ProvisioningOptions& opts) {
+    const SparcleAssigner assigner;
+    return provision_paths(net, graph, pins, CapacitySnapshot(net), assigner,
+                           opts, nullptr);
+  }
+};
+
+TEST(Provisioning, ResidualOnlyReusesTheBigRelay) {
+  Fixture f;  // r1 = 40, r2 = 10: r1 can host several paths
+  ProvisioningOptions opts;
+  opts.max_paths = 2;
+  const auto paths = f.run(opts);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].placement.ct_host(1), 1);
+  // After path 1 (rate 8, load 40), r1 is exhausted; the residual loop
+  // moves to r2 anyway in this extreme case — use a larger r1 to see the
+  // reuse (path1 rate 8 consumes all 40...).  Verify rates instead.
+  EXPECT_NEAR(paths[0].standalone_rate, 8.0, 1e-9);
+}
+
+TEST(Provisioning, DiversityChoosesDisjointElements) {
+  // Make r1 big enough to host two paths comfortably: residual-only will
+  // reuse it, diversity will not.
+  Fixture f(100.0, 10.0);
+  // Cap path rates (as a GR request would) so the first path leaves the
+  // big relay mostly free — the residual-only loop then reuses it.
+  ProvisioningOptions residual;
+  residual.max_paths = 2;
+  residual.rate_cap = 2.0;
+  const auto same = f.run(residual);
+  ASSERT_EQ(same.size(), 2u);
+  EXPECT_EQ(same[0].placement.ct_host(1), 1);
+  EXPECT_EQ(same[1].placement.ct_host(1), 1);  // reuses the big relay
+
+  ProvisioningOptions diverse;
+  diverse.max_paths = 2;
+  diverse.rate_cap = 2.0;
+  diverse.diversity = PathDiversity::kPenalizeOverlap;
+  diverse.overlap_penalty = 0.05;
+  const auto split = f.run(diverse);
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0].placement.ct_host(1), 1);
+  EXPECT_EQ(split[1].placement.ct_host(1), 2);  // steered to the other relay
+}
+
+TEST(Provisioning, DiversityImprovesAvailability) {
+  Fixture f(100.0, 10.0, 0.1);
+  auto availability = [&](const std::vector<PathInfo>& paths) {
+    std::vector<std::vector<ElementKey>> sets;
+    for (const auto& p : paths) sets.push_back(p.elements);
+    return availability_any(f.net, sets);
+  };
+  ProvisioningOptions residual;
+  residual.max_paths = 2;
+  residual.rate_cap = 2.0;
+  ProvisioningOptions diverse = residual;
+  diverse.diversity = PathDiversity::kPenalizeOverlap;
+  diverse.overlap_penalty = 0.05;
+  const double a_residual = availability(f.run(residual));
+  const double a_diverse = availability(f.run(diverse));
+  // Same-relay paths share fate (0.9); disjoint relays give 0.99.
+  EXPECT_NEAR(a_residual, 0.9, 1e-9);
+  EXPECT_NEAR(a_diverse, 0.99, 1e-9);
+}
+
+TEST(Provisioning, PenaltyDoesNotInflateReportedRates) {
+  // The second path's rate must be measured against true residuals, not
+  // the penalized search capacities.
+  Fixture f(100.0, 10.0);
+  ProvisioningOptions diverse;
+  diverse.max_paths = 2;
+  diverse.diversity = PathDiversity::kPenalizeOverlap;
+  diverse.overlap_penalty = 0.05;
+  const auto paths = f.run(diverse);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[1].placement.ct_host(1), 2);
+  // Path 2 on r2: 10 cpu / 5 = 2.0 — full capacity, not 5% of it.
+  EXPECT_NEAR(paths[1].standalone_rate, 2.0, 1e-9);
+}
+
+TEST(Provisioning, StopPredicateEndsTheSearch) {
+  Fixture f(100.0, 10.0);
+  ProvisioningOptions opts;
+  opts.max_paths = 4;
+  const SparcleAssigner assigner;
+  const auto paths = provision_paths(
+      f.net, f.graph, f.pins, CapacitySnapshot(f.net), assigner, opts,
+      [](const std::vector<PathInfo>& so_far) { return so_far.size() >= 1; });
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(Provisioning, RateCapApplies) {
+  Fixture f;
+  ProvisioningOptions opts;
+  opts.max_paths = 1;
+  opts.rate_cap = 3.0;
+  const auto paths = f.run(opts);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(paths[0].standalone_rate, 3.0);
+}
+
+TEST(Provisioning, SchedulerDiversityOptionRaisesGrAvailability) {
+  // End-to-end with a Guaranteed-Rate request (whose paths are capped at
+  // the requested rate, so the big relay is never exhausted): with 10%
+  // relay failures and a 0.98 min-rate availability target, the §IV-D
+  // residual loop keeps piling correlated paths onto the big relay and
+  // rejects, while the diversity mode finds the disjoint relay.
+  auto make_app = [] {
+    Application app;
+    auto g = std::make_shared<TaskGraph>(ResourceSchema::cpu_only());
+    const CtId s = g->add_ct("source", ResourceVector::scalar(0));
+    const CtId m = g->add_ct("mid", ResourceVector::scalar(5));
+    const CtId t = g->add_ct("sink", ResourceVector::scalar(0));
+    g->add_tt("sm", 1.0, s, m);
+    g->add_tt("mt", 1.0, m, t);
+    g->finalize();
+    app.graph = g;
+    app.name = "stream";
+    app.qoe = QoeSpec::guaranteed_rate(2.0, 0.98);
+    app.pinned = {{s, 0}, {t, 3}};
+    return app;
+  };
+  Fixture f(100.0, 10.0, 0.1);
+
+  SchedulerOptions residual_opts;
+  residual_opts.max_paths = 4;
+  Scheduler residual_sched(f.net, residual_opts);
+  EXPECT_FALSE(residual_sched.submit(make_app()).admitted);
+
+  SchedulerOptions diverse_opts = residual_opts;
+  diverse_opts.path_diversity = PathDiversity::kPenalizeOverlap;
+  diverse_opts.overlap_penalty = 0.05;
+  Scheduler diverse_sched(f.net, diverse_opts);
+  const auto r = diverse_sched.submit(make_app());
+  EXPECT_TRUE(r.admitted) << r.reason;
+  EXPECT_NEAR(r.availability, 0.99, 1e-9);
+}
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,142 @@
+/// \file test_rebalance.cpp
+/// Scheduler::rebalance() — path repair after element failures (the
+/// paper's future-work "computing network resource fluctuation").
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+
+namespace sparcle {
+namespace {
+
+Network make_two_relay_net(double r1 = 10.0, double r2 = 10.0) {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("src", ResourceVector::scalar(1.0));
+  net.add_ncp("r1", ResourceVector::scalar(r1));
+  net.add_ncp("r2", ResourceVector::scalar(r2));
+  net.add_ncp("dst", ResourceVector::scalar(1.0));
+  net.add_link("s1", 0, 1, 1000.0);
+  net.add_link("1d", 1, 3, 1000.0);
+  net.add_link("s2", 0, 2, 1000.0);
+  net.add_link("2d", 2, 3, 1000.0);
+  return net;
+}
+
+Application make_app(const std::string& name, QoeSpec qoe) {
+  Application app;
+  auto g = std::make_shared<TaskGraph>(ResourceSchema::cpu_only());
+  const CtId s = g->add_ct("source", ResourceVector::scalar(0));
+  const CtId m = g->add_ct("mid", ResourceVector::scalar(5));
+  const CtId t = g->add_ct("sink", ResourceVector::scalar(0));
+  g->add_tt("sm", 1.0, s, m);
+  g->add_tt("mt", 1.0, m, t);
+  g->finalize();
+  app.graph = g;
+  app.name = name;
+  app.qoe = qoe;
+  app.pinned = {{0, 0}, {2, 3}};
+  return app;
+}
+
+TEST(Rebalance, NoopWithoutFailures) {
+  Scheduler sched(make_two_relay_net());
+  ASSERT_TRUE(
+      sched.submit(make_app("gr", QoeSpec::guaranteed_rate(1.0, 0.0)))
+          .admitted);
+  const auto report = sched.rebalance();
+  EXPECT_TRUE(report.repaired.empty());
+  EXPECT_TRUE(report.still_degraded.empty());
+  EXPECT_DOUBLE_EQ(sched.total_gr_rate(), 1.0);
+}
+
+TEST(Rebalance, RestoresGrGuaranteeOnTheOtherRelay) {
+  Scheduler sched(make_two_relay_net());
+  ASSERT_TRUE(
+      sched.submit(make_app("gr", QoeSpec::guaranteed_rate(1.5, 0.0)))
+          .admitted);
+  const NcpId host = sched.placed()[0].paths[0].placement.ct_host(1);
+  sched.mark_failed(ElementKey::ncp(host));
+  ASSERT_EQ(sched.degraded_gr_apps().size(), 1u);
+
+  const auto report = sched.rebalance();
+  ASSERT_EQ(report.repaired.size(), 1u);
+  EXPECT_EQ(report.repaired[0], "gr");
+  EXPECT_TRUE(report.still_degraded.empty());
+  EXPECT_TRUE(sched.degraded_gr_apps().empty());
+  // The new path sits on the surviving relay.
+  const PlacedApp& pa = sched.placed()[0];
+  ASSERT_EQ(pa.paths.size(), 1u);
+  EXPECT_NE(pa.paths[0].placement.ct_host(1), host);
+  EXPECT_NEAR(pa.allocated_rate, 1.5, 1e-9);
+}
+
+TEST(Rebalance, ReleasesDeadReservations) {
+  Scheduler sched(make_two_relay_net());
+  ASSERT_TRUE(
+      sched.submit(make_app("gr", QoeSpec::guaranteed_rate(1.5, 0.0)))
+          .admitted);
+  const NcpId host = sched.placed()[0].paths[0].placement.ct_host(1);
+  sched.mark_failed(ElementKey::ncp(host));
+  (void)sched.rebalance();
+  sched.mark_recovered(ElementKey::ncp(host));
+  // The recovered relay must be entirely free again (its old reservation
+  // was released during the rebalance).
+  EXPECT_DOUBLE_EQ(sched.gr_residual_capacities().ncp(host)[0], 10.0);
+}
+
+TEST(Rebalance, ReportsUnrepairableGuarantees) {
+  // Second relay too small to carry the guarantee.
+  Scheduler sched(make_two_relay_net(10.0, 2.0));
+  ASSERT_TRUE(
+      sched.submit(make_app("gr", QoeSpec::guaranteed_rate(1.5, 0.0)))
+          .admitted);
+  ASSERT_EQ(sched.placed()[0].paths[0].placement.ct_host(1), 1);
+  sched.mark_failed(ElementKey::ncp(1));
+  const auto report = sched.rebalance();
+  ASSERT_EQ(report.still_degraded.size(), 1u);
+  EXPECT_EQ(report.still_degraded[0], "gr");
+  EXPECT_FALSE(sched.degraded_gr_apps().empty());
+}
+
+TEST(Rebalance, ReplacesBeDeadPaths) {
+  Scheduler sched(make_two_relay_net());
+  ASSERT_TRUE(
+      sched.submit(make_app("be", QoeSpec::best_effort(1.0))).admitted);
+  const NcpId host = sched.placed()[0].paths[0].placement.ct_host(1);
+  sched.mark_failed(ElementKey::ncp(host));
+  EXPECT_DOUBLE_EQ(sched.placed()[0].allocated_rate, 0.0);
+
+  const auto report = sched.rebalance();
+  ASSERT_EQ(report.repaired.size(), 1u);
+  const PlacedApp& pa = sched.placed()[0];
+  ASSERT_EQ(pa.paths.size(), 1u);
+  EXPECT_NE(pa.paths[0].placement.ct_host(1), host);
+  EXPECT_NEAR(pa.allocated_rate, 2.0, 0.02);  // surviving relay 10/5
+}
+
+TEST(Rebalance, RepairedAppsSurviveFuzzInvariants) {
+  // Fail/repair/recover cycles keep capacity feasibility intact.
+  Scheduler sched(make_two_relay_net());
+  ASSERT_TRUE(
+      sched.submit(make_app("gr", QoeSpec::guaranteed_rate(1.0, 0.0)))
+          .admitted);
+  ASSERT_TRUE(
+      sched.submit(make_app("be", QoeSpec::best_effort(1.0))).admitted);
+  for (NcpId relay : {1, 2, 1, 2}) {
+    sched.mark_failed(ElementKey::ncp(relay));
+    (void)sched.rebalance();
+    sched.mark_recovered(ElementKey::ncp(relay));
+    // Feasibility: total allocation within capacities.
+    LoadMap total = LoadMap::zeros(sched.network());
+    for (const PlacedApp& pa : sched.placed())
+      for (std::size_t k = 0; k < pa.paths.size(); ++k)
+        total.add_scaled(pa.paths[k].load, pa.path_rates[k]);
+    for (NcpId j = 0; j < 4; ++j)
+      ASSERT_LE(total.ncp_load(j)[0],
+                sched.network().ncp(j).capacity[0] + 1e-6);
+    ASSERT_GE(sched.total_gr_rate() + 1e-9, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,104 @@
+/// \file test_scenario_fuzz.cpp
+/// Robustness of the scenario parser: random token soup and random
+/// mutations of a valid scenario must either parse or throw
+/// std::runtime_error with a line number — never crash, hang, or throw
+/// anything else.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "workload/rng.hpp"
+#include "workload/scenario_io.hpp"
+
+namespace sparcle {
+namespace {
+
+const char* kValid = R"(resources cpu
+ncp a 100
+ncp b 50 fail=0.1
+link ab a b 1e6
+dlink up a b 2e6 fail=0.02
+app stream be 2 0.9
+  ct src 0
+  ct work 10
+  ct dst 0
+  tt raw 1000 src work
+  tt out 10 work dst
+  pin src a
+  pin dst b
+end
+app g gr 1.5 0.8
+  ct s 0
+  ct t 1
+  tt st 1 s t
+  pin s a
+  pin t b
+end
+)";
+
+void expect_parse_or_runtime_error(const std::string& text) {
+  try {
+    const auto sf = workload::parse_scenario_text(text);
+    (void)sf;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+        << "error lacks a line number: " << e.what();
+  }
+  // Any other exception type escapes and fails the test.
+}
+
+TEST(ScenarioFuzz, ValidBaselineParses) {
+  const auto sf = workload::parse_scenario_text(kValid);
+  EXPECT_EQ(sf.apps.size(), 2u);
+}
+
+class ScenarioFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioFuzz, RandomTokenSoupNeverCrashes) {
+  Rng rng(GetParam());
+  static const char* kTokens[] = {
+      "resources", "cpu",  "memory", "ncp",  "link", "dlink", "app",
+      "ct",        "tt",   "pin",    "end",  "be",   "gr",    "a",
+      "b",         "x",    "1",      "0",    "-5",   "1e6",   "fail=0.1",
+      "fail=2",    "#c",   "nan",    "10.5", "",     "stream"};
+  std::ostringstream soup;
+  const int lines = static_cast<int>(rng.uniform_int(1, 30));
+  for (int l = 0; l < lines; ++l) {
+    const int toks = static_cast<int>(rng.uniform_int(0, 6));
+    for (int t = 0; t < toks; ++t)
+      soup << kTokens[rng.uniform_int(0, std::size(kTokens) - 1)] << " ";
+    soup << "\n";
+  }
+  expect_parse_or_runtime_error(soup.str());
+}
+
+TEST_P(ScenarioFuzz, MutatedValidScenarioNeverCrashes) {
+  Rng rng(GetParam() + 1000);
+  std::string text = kValid;
+  const int mutations = static_cast<int>(rng.uniform_int(1, 8));
+  for (int m = 0; m < mutations; ++m) {
+    const std::size_t pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(text.size()) - 1));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:  // flip a character
+        text[pos] = static_cast<char>('a' + rng.uniform_int(0, 25));
+        break;
+      case 1:  // delete a span
+        text.erase(pos, static_cast<std::size_t>(rng.uniform_int(1, 10)));
+        break;
+      default:  // duplicate a span
+        text.insert(pos, text.substr(
+                             pos, static_cast<std::size_t>(
+                                      rng.uniform_int(1, 10))));
+        break;
+    }
+  }
+  expect_parse_or_runtime_error(text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioFuzz, ::testing::Range(1, 41));
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,216 @@
+#include "workload/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/dot_export.hpp"
+
+namespace sparcle {
+namespace {
+
+using workload::parse_scenario_text;
+using workload::ScenarioFile;
+using workload::write_scenario;
+
+const char* kBasic = R"(
+# comment line
+resources cpu
+
+ncp a 100
+ncp b 50 fail=0.1
+link ab a b 1e6 fail=0.02
+
+app stream be 2 0.9
+  ct src 0
+  ct work 10
+  ct dst 0
+  tt raw 1000 src work
+  tt out 10 work dst
+  pin src a
+  pin dst b
+end
+)";
+
+TEST(ScenarioIo, ParsesBasicScenario) {
+  const ScenarioFile sf = parse_scenario_text(kBasic);
+  ASSERT_EQ(sf.net.ncp_count(), 2u);
+  EXPECT_EQ(sf.net.ncp(0).name, "a");
+  EXPECT_DOUBLE_EQ(sf.net.ncp(0).capacity[0], 100.0);
+  EXPECT_DOUBLE_EQ(sf.net.ncp(1).fail_prob, 0.1);
+  ASSERT_EQ(sf.net.link_count(), 1u);
+  EXPECT_DOUBLE_EQ(sf.net.link(0).bandwidth, 1e6);
+  EXPECT_DOUBLE_EQ(sf.net.link(0).fail_prob, 0.02);
+  ASSERT_EQ(sf.apps.size(), 1u);
+  const Application& app = sf.apps[0];
+  EXPECT_EQ(app.name, "stream");
+  EXPECT_EQ(app.qoe.cls, QoeClass::kBestEffort);
+  EXPECT_DOUBLE_EQ(app.qoe.priority, 2.0);
+  EXPECT_DOUBLE_EQ(app.qoe.availability, 0.9);
+  EXPECT_EQ(app.graph->ct_count(), 3u);
+  EXPECT_EQ(app.graph->tt_count(), 2u);
+  EXPECT_EQ(app.pinned.size(), 2u);
+}
+
+TEST(ScenarioIo, ParsesGuaranteedRateApps) {
+  const std::string text = R"(
+ncp a 100
+ncp b 100
+link ab a b 10
+app g gr 2.5 0.85
+  ct s 0
+  ct t 1
+  tt st 1 s t
+  pin s a
+  pin t b
+end
+)";
+  const ScenarioFile sf = parse_scenario_text(text);
+  ASSERT_EQ(sf.apps.size(), 1u);
+  EXPECT_EQ(sf.apps[0].qoe.cls, QoeClass::kGuaranteedRate);
+  EXPECT_DOUBLE_EQ(sf.apps[0].qoe.min_rate, 2.5);
+  EXPECT_DOUBLE_EQ(sf.apps[0].qoe.min_rate_availability, 0.85);
+}
+
+TEST(ScenarioIo, ParsesMultiResourceSchema) {
+  const std::string text = R"(
+resources cpu memory
+ncp a 100 32
+ncp b 50 16
+link ab a b 10
+app x be 1
+  ct s 0 0
+  ct w 10 4
+  tt sw 5 s w
+  pin s a
+  pin w b
+end
+)";
+  const ScenarioFile sf = parse_scenario_text(text);
+  EXPECT_EQ(sf.net.schema().size(), 2u);
+  EXPECT_DOUBLE_EQ(sf.net.ncp(0).capacity[1], 32.0);
+  EXPECT_DOUBLE_EQ(sf.apps[0].graph->ct(1).requirement[1], 4.0);
+}
+
+TEST(ScenarioIo, RoundTripsThroughWriter) {
+  const ScenarioFile sf = parse_scenario_text(kBasic);
+  const std::string text = write_scenario(sf);
+  const ScenarioFile again = parse_scenario_text(text);
+  ASSERT_EQ(again.net.ncp_count(), sf.net.ncp_count());
+  ASSERT_EQ(again.net.link_count(), sf.net.link_count());
+  for (NcpId j = 0; j < static_cast<NcpId>(sf.net.ncp_count()); ++j) {
+    EXPECT_EQ(again.net.ncp(j).name, sf.net.ncp(j).name);
+    EXPECT_EQ(again.net.ncp(j).capacity, sf.net.ncp(j).capacity);
+    EXPECT_DOUBLE_EQ(again.net.ncp(j).fail_prob, sf.net.ncp(j).fail_prob);
+  }
+  ASSERT_EQ(again.apps.size(), sf.apps.size());
+  const Application &a = again.apps[0], &b = sf.apps[0];
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.graph->ct_count(), b.graph->ct_count());
+  EXPECT_EQ(a.graph->tt_count(), b.graph->tt_count());
+  EXPECT_EQ(a.pinned, b.pinned);
+  EXPECT_DOUBLE_EQ(a.qoe.priority, b.qoe.priority);
+}
+
+struct BadCase {
+  const char* name;
+  const char* text;
+  const char* expect;  // substring of the error
+};
+
+class ScenarioIoErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ScenarioIoErrors, RejectsMalformedInput) {
+  try {
+    parse_scenario_text(GetParam().text);
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(GetParam().expect),
+              std::string::npos)
+        << "actual error: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ScenarioIoErrors,
+    ::testing::Values(
+        BadCase{"empty", "", "no NCPs"},
+        BadCase{"unknown", "frobnicate x\n", "unknown directive"},
+        BadCase{"dup_ncp", "ncp a 1\nncp a 2\n", "duplicate NCP"},
+        BadCase{"bad_cap", "ncp a lots\n", "bad capacity"},
+        BadCase{"link_unknown_ncp", "ncp a 1\nlink l a b 5\n",
+                "unknown NCP"},
+        BadCase{"ct_outside_app", "ncp a 1\nct x 1\n", "outside an app"},
+        BadCase{"unterminated",
+                "ncp a 1\napp x be 1\n ct s 0\n pin s a\n",
+                "unterminated app"},
+        BadCase{"nested_app", "ncp a 1\napp x be 1\napp y be 1\n",
+                "nested 'app'"},
+        BadCase{"tt_unknown_ct",
+                "ncp a 1\napp x be 1\n ct s 0\n tt t 1 s ghost\nend\n",
+                "unknown CT"},
+        BadCase{"pin_unknown_ncp",
+                "ncp a 1\napp x be 1\n ct s 0\n ct t 1\n tt st 1 s t\n "
+                "pin s nowhere\n pin t a\nend\n",
+                "unknown NCP"},
+        BadCase{"unpinned_source",
+                "ncp a 1\napp x be 1\n ct s 0\n ct t 1\n tt st 1 s t\n "
+                "pin t a\nend\n",
+                "not pinned"},
+        BadCase{"cycle",
+                "ncp a 1\napp x be 1\n ct s 1\n ct t 1\n tt st 1 s t\n "
+                "tt ts 1 t s\nend\n",
+                "cycle"},
+        BadCase{"resources_late", "ncp a 1\nresources cpu\n",
+                "must precede"},
+        BadCase{"bad_class", "ncp a 1\napp x vip 1\n", "'be' or 'gr'"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ScenarioIo, ErrorsCarryLineNumbers) {
+  try {
+    parse_scenario_text("ncp a 1\nncp b 2\nbogus\n");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ScenarioIo, MissingFileThrows) {
+  EXPECT_THROW(workload::load_scenario_file("/no/such/file.scn"),
+               std::runtime_error);
+}
+
+TEST(DotExport, NetworkContainsAllElements) {
+  const ScenarioFile sf = parse_scenario_text(kBasic);
+  const std::string dot = network_to_dot(sf.net);
+  EXPECT_NE(dot.find("graph network"), std::string::npos);
+  EXPECT_NE(dot.find("\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("\"b\""), std::string::npos);
+  EXPECT_NE(dot.find("\"a\" -- \"b\""), std::string::npos);
+}
+
+TEST(DotExport, TaskGraphIsDirected) {
+  const ScenarioFile sf = parse_scenario_text(kBasic);
+  const std::string dot = task_graph_to_dot(*sf.apps[0].graph);
+  EXPECT_NE(dot.find("digraph taskgraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"src\" -> \"work\""), std::string::npos);
+  EXPECT_NE(dot.find("\"work\" -> \"dst\""), std::string::npos);
+}
+
+TEST(DotExport, PlacementShowsHostedCts) {
+  const ScenarioFile sf = parse_scenario_text(kBasic);
+  const TaskGraph& g = *sf.apps[0].graph;
+  Placement p(g);
+  p.place_ct(0, 0);
+  p.place_ct(1, 0);
+  p.place_ct(2, 1);
+  p.place_tt(0, {});
+  p.place_tt(1, {0});
+  const std::string dot = placement_to_dot(sf.net, g, p);
+  EXPECT_NE(dot.find("src, work"), std::string::npos);  // hosted on a
+  EXPECT_NE(dot.find("{out}"), std::string::npos);      // TT on the link
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,189 @@
+/// \file test_scheduler_fuzz.cpp
+/// Randomized operation sequences against the Scheduler, checking global
+/// invariants after every step:
+///   * no element is allocated beyond its capacity (BE rates + GR
+///     reservations, accounting for marked failures);
+///   * GR allocations equal the sum of their path rates and never change
+///     except through remove();
+///   * paths crossing failed elements carry zero BE rate;
+///   * removing everything restores the full residual capacities.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/scheduler.hpp"
+#include "workload/task_graphs.hpp"
+#include "workload/topologies.hpp"
+
+namespace sparcle {
+namespace {
+
+using workload::NetRanges;
+using workload::TaskRanges;
+
+/// Verifies that the current allocation fits in the network's capacities.
+void check_capacity_feasibility(const Scheduler& sched) {
+  const Network& net = sched.network();
+  LoadMap total = LoadMap::zeros(net);
+  for (const PlacedApp& pa : sched.placed())
+    for (std::size_t k = 0; k < pa.paths.size(); ++k)
+      total.add_scaled(pa.paths[k].load, pa.path_rates[k]);
+  constexpr double kTol = 1e-6;
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j)
+    for (std::size_t r = 0; r < net.schema().size(); ++r)
+      ASSERT_LE(total.ncp_load(j)[r],
+                net.ncp(j).capacity[r] * (1 + kTol) + kTol)
+          << "NCP " << j << " resource " << r << " over-allocated";
+  for (LinkId l = 0; l < static_cast<LinkId>(net.link_count()); ++l)
+    ASSERT_LE(total.link_load(l), net.link(l).bandwidth * (1 + kTol) + kTol)
+        << "link " << l << " over-allocated";
+}
+
+void check_gr_consistency(const Scheduler& sched) {
+  for (const PlacedApp& pa : sched.placed()) {
+    double sum = 0;
+    for (double r : pa.path_rates) sum += r;
+    if (pa.app.qoe.cls == QoeClass::kGuaranteedRate) {
+      ASSERT_NEAR(pa.allocated_rate, sum, 1e-9);
+      ASSERT_GE(pa.allocated_rate + 1e-9, pa.app.qoe.min_rate);
+    } else {
+      ASSERT_NEAR(pa.allocated_rate, sum, 1e-6);
+    }
+  }
+}
+
+void check_failed_paths_carry_nothing(const Scheduler& sched,
+                                      const std::set<ElementKey>& failed) {
+  for (const PlacedApp& pa : sched.placed()) {
+    if (pa.app.qoe.cls != QoeClass::kBestEffort) continue;
+    for (std::size_t k = 0; k < pa.paths.size(); ++k) {
+      bool crosses_failed = false;
+      for (const ElementKey& e : pa.paths[k].elements)
+        if (failed.contains(e)) crosses_failed = true;
+      if (crosses_failed) {
+        ASSERT_LE(pa.path_rates[k], 1e-9)
+            << pa.app.name << " path " << k << " runs over a failed element";
+      }
+    }
+  }
+}
+
+class SchedulerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerFuzz, InvariantsHoldUnderRandomOperations) {
+  Rng rng(GetParam());
+  NetRanges ranges;
+  ranges.ncp_min = 20;
+  ranges.ncp_max = 80;
+  ranges.bw_min = 30;
+  ranges.bw_max = 120;
+  auto gen = workload::full_network(6, rng, ranges);
+  const Network net_copy = gen.net;  // keep original capacities for checks
+
+  Scheduler sched(std::move(gen.net));
+  std::set<ElementKey> failed;
+  std::vector<std::string> live_apps;
+  int next_id = 0;
+  const TaskRanges tr;
+
+  for (int step = 0; step < 60; ++step) {
+    const int op = static_cast<int>(rng.uniform_int(0, 9));
+    if (op <= 4) {
+      // Submit a random app (50%).
+      Application app;
+      app.name = "app" + std::to_string(next_id++);
+      const int shape = static_cast<int>(rng.uniform_int(0, 2));
+      app.graph = shape == 0
+                      ? workload::linear_task_graph(3, rng, tr)
+                      : shape == 1
+                            ? workload::diamond_task_graph(rng, tr)
+                            : workload::random_layered_task_graph(rng, tr, 2,
+                                                                  3);
+      app.pinned = {{app.graph->sources()[0], gen.source},
+                    {app.graph->sinks()[0], gen.sink}};
+      app.qoe = rng.bernoulli(0.5)
+                    ? QoeSpec::best_effort(
+                          static_cast<double>(rng.uniform_int(1, 4)))
+                    : QoeSpec::guaranteed_rate(rng.uniform(0.05, 0.6), 0.0);
+      const AdmissionResult r = sched.submit(app);
+      if (r.admitted) live_apps.push_back(app.name);
+    } else if (op <= 6 && !live_apps.empty()) {
+      // Remove a random live app (20%).
+      const std::size_t idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(live_apps.size()) - 1));
+      ASSERT_TRUE(sched.remove(live_apps[idx]));
+      live_apps.erase(live_apps.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (op == 7 || op == 8) {
+      // Fail a random element (20%).
+      ElementKey e = rng.bernoulli(0.5)
+                         ? ElementKey::ncp(static_cast<NcpId>(
+                               rng.uniform_int(0, 5)))
+                         : ElementKey::link(static_cast<LinkId>(
+                               rng.uniform_int(
+                                   0, static_cast<int>(
+                                          net_copy.link_count()) -
+                                          1)));
+      sched.mark_failed(e);
+      failed.insert(e);
+    } else if (!failed.empty()) {
+      // Recover a random failed element (10%).
+      auto it = failed.begin();
+      std::advance(it, rng.uniform_int(
+                           0, static_cast<int>(failed.size()) - 1));
+      sched.mark_recovered(*it);
+      failed.erase(it);
+    }
+
+    check_capacity_feasibility(sched);
+    check_gr_consistency(sched);
+    check_failed_paths_carry_nothing(sched, failed);
+    ASSERT_EQ(sched.placed().size(), live_apps.size());
+  }
+
+  // Drain: remove everything and recover all failures; the residual must
+  // return to the full capacities.
+  for (const std::string& name : live_apps) ASSERT_TRUE(sched.remove(name));
+  for (const ElementKey& e : failed) sched.mark_recovered(e);
+  const CapacitySnapshot& resid = sched.gr_residual_capacities();
+  for (NcpId j = 0; j < static_cast<NcpId>(net_copy.ncp_count()); ++j)
+    for (std::size_t r = 0; r < net_copy.schema().size(); ++r)
+      EXPECT_NEAR(resid.ncp(j)[r], net_copy.ncp(j).capacity[r], 1e-9);
+  for (LinkId l = 0; l < static_cast<LinkId>(net_copy.link_count()); ++l)
+    EXPECT_NEAR(resid.link(l), net_copy.link(l).bandwidth, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz, ::testing::Range(1, 13));
+
+TEST(RandomLayeredGraph, ShapeInvariants) {
+  for (int seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    const auto g = workload::random_layered_task_graph(
+        rng, TaskRanges{}, 3, 4, 0.5);
+    EXPECT_EQ(g->sources().size(), 1u) << seed;
+    EXPECT_EQ(g->sinks().size(), 1u) << seed;
+    // Every CT lies on a source-to-sink path: reachable from the source
+    // and reaching the sink.
+    const CtId src = g->sources()[0];
+    const CtId dst = g->sinks()[0];
+    for (CtId i = 0; i < static_cast<CtId>(g->ct_count()); ++i) {
+      if (i == src || i == dst) continue;
+      EXPECT_TRUE(g->reaches(src, i)) << "seed " << seed << " ct " << i;
+      EXPECT_TRUE(g->reaches(i, dst)) << "seed " << seed << " ct " << i;
+    }
+  }
+}
+
+TEST(RandomLayeredGraph, RejectsDegenerateParameters) {
+  Rng rng(1);
+  EXPECT_THROW(
+      workload::random_layered_task_graph(rng, TaskRanges{}, 0, 3),
+      std::invalid_argument);
+  EXPECT_THROW(
+      workload::random_layered_task_graph(rng, TaskRanges{}, 2, 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sparcle

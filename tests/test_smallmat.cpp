@@ -1,0 +1,85 @@
+#include "core/smallmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/rng.hpp"
+
+namespace sparcle {
+namespace {
+
+TEST(Matrix, ShapeAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(CholeskySolve, IdentitySystem) {
+  Matrix a(3, 3, 0.0);
+  for (int i = 0; i < 3; ++i) a(i, i) = 1.0;
+  std::vector<double> x;
+  ASSERT_TRUE(cholesky_solve(a, {1.0, 2.0, 3.0}, x));
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(CholeskySolve, KnownSpdSystem) {
+  // A = [[4, 2], [2, 3]], b = [10, 8] -> x = [7/4, 3/2].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  std::vector<double> x;
+  ASSERT_TRUE(cholesky_solve(a, {10.0, 8.0}, x));
+  EXPECT_NEAR(x[0], 1.75, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(CholeskySolve, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3 and -1
+  std::vector<double> x;
+  EXPECT_FALSE(cholesky_solve(a, {1.0, 1.0}, x));
+}
+
+TEST(CholeskySolve, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  std::vector<double> x;
+  EXPECT_THROW(cholesky_solve(a, {1.0, 2.0}, x), std::invalid_argument);
+  Matrix b(2, 2, 1.0);
+  EXPECT_THROW(cholesky_solve(b, {1.0}, x), std::invalid_argument);
+}
+
+TEST(CholeskySolve, RandomSpdRoundTrip) {
+  // Build A = B^T B + I (SPD), pick x*, solve A x = A x*, compare.
+  Rng rng(5);
+  const std::size_t n = 6;
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1, 1);
+    Matrix a(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) a(i, j) += b(k, i) * b(k, j);
+        if (i == j) a(i, j) += 1.0;
+      }
+    std::vector<double> x_star(n), rhs(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) x_star[i] = rng.uniform(-5, 5);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) rhs[i] += a(i, j) * x_star[j];
+    std::vector<double> x;
+    ASSERT_TRUE(cholesky_solve(a, rhs, x));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_star[i], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,197 @@
+#include "model/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/task_graphs.hpp"
+
+namespace sparcle {
+namespace {
+
+/// source -> a -> b -> sink, plus a parallel arm source -> c -> sink.
+TaskGraph make_two_arm_graph() {
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId src = g.add_ct("src", ResourceVector::scalar(0));
+  const CtId a = g.add_ct("a", ResourceVector::scalar(10));
+  const CtId b = g.add_ct("b", ResourceVector::scalar(20));
+  const CtId c = g.add_ct("c", ResourceVector::scalar(30));
+  const CtId sink = g.add_ct("sink", ResourceVector::scalar(0));
+  g.add_tt("t0", 100, src, a);
+  g.add_tt("t1", 50, a, b);
+  g.add_tt("t2", 25, b, sink);
+  g.add_tt("t3", 70, src, c);
+  g.add_tt("t4", 35, c, sink);
+  g.finalize();
+  return g;
+}
+
+TEST(TaskGraph, BuildCountsTasks) {
+  const TaskGraph g = make_two_arm_graph();
+  EXPECT_EQ(g.ct_count(), 5u);
+  EXPECT_EQ(g.tt_count(), 5u);
+}
+
+TEST(TaskGraph, SourcesAndSinks) {
+  const TaskGraph g = make_two_arm_graph();
+  ASSERT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.ct(g.sources()[0]).name, "src");
+  ASSERT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.ct(g.sinks()[0]).name, "sink");
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = make_two_arm_graph();
+  const auto& topo = g.topological_order();
+  ASSERT_EQ(topo.size(), g.ct_count());
+  auto pos = [&](CtId i) {
+    return std::find(topo.begin(), topo.end(), i) - topo.begin();
+  };
+  for (TtId k = 0; k < static_cast<TtId>(g.tt_count()); ++k)
+    EXPECT_LT(pos(g.tt(k).src), pos(g.tt(k).dst))
+        << "edge " << g.tt(k).name << " violates the order";
+}
+
+TEST(TaskGraph, ReachabilityFollowsPaths) {
+  const TaskGraph g = make_two_arm_graph();
+  EXPECT_TRUE(g.reaches(0, 4));   // src -> sink
+  EXPECT_TRUE(g.reaches(1, 2));   // a -> b
+  EXPECT_FALSE(g.reaches(2, 1));  // not backwards
+  EXPECT_FALSE(g.reaches(1, 3));  // a and c are parallel arms
+  EXPECT_FALSE(g.reaches(3, 1));
+}
+
+TEST(TaskGraph, RelatedIsSymmetric) {
+  const TaskGraph g = make_two_arm_graph();
+  EXPECT_TRUE(g.related(1, 4));
+  EXPECT_TRUE(g.related(4, 1));
+  EXPECT_FALSE(g.related(1, 3));
+}
+
+TEST(TaskGraph, TtsBetweenDirectNeighbours) {
+  const TaskGraph g = make_two_arm_graph();
+  const auto set = g.tts_between(1, 2);  // a -> b: exactly t1
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(g.tt(set[0]).name, "t1");
+}
+
+TEST(TaskGraph, TtsBetweenDistantCtsCoversTheChain) {
+  const TaskGraph g = make_two_arm_graph();
+  const auto set = g.tts_between(1, 4);  // a .. sink: t1, t2
+  ASSERT_EQ(set.size(), 2u);
+}
+
+TEST(TaskGraph, TtsBetweenWorksInEitherArgumentOrder) {
+  const TaskGraph g = make_two_arm_graph();
+  EXPECT_EQ(g.tts_between(1, 4).size(), g.tts_between(4, 1).size());
+}
+
+TEST(TaskGraph, TtsBetweenSourceAndSinkSpansBothArms) {
+  const TaskGraph g = make_two_arm_graph();
+  // Every TT lies on some src -> sink path.
+  EXPECT_EQ(g.tts_between(0, 4).size(), g.tt_count());
+}
+
+TEST(TaskGraph, TtsBetweenUnrelatedIsEmpty) {
+  const TaskGraph g = make_two_arm_graph();
+  EXPECT_TRUE(g.tts_between(1, 3).empty());
+}
+
+TEST(TaskGraph, CycleDetectionThrows) {
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId a = g.add_ct("a", ResourceVector::scalar(1));
+  const CtId b = g.add_ct("b", ResourceVector::scalar(1));
+  g.add_tt("ab", 1, a, b);
+  g.add_tt("ba", 1, b, a);
+  EXPECT_THROW(g.finalize(), std::invalid_argument);
+}
+
+TEST(TaskGraph, EmptyGraphThrowsOnFinalize) {
+  TaskGraph g;
+  EXPECT_THROW(g.finalize(), std::invalid_argument);
+}
+
+TEST(TaskGraph, SelfLoopTtThrows) {
+  TaskGraph g;
+  const CtId a = g.add_ct("a", ResourceVector::scalar(1));
+  EXPECT_THROW(g.add_tt("aa", 1, a, a), std::invalid_argument);
+}
+
+TEST(TaskGraph, UnknownEndpointThrows) {
+  TaskGraph g;
+  g.add_ct("a", ResourceVector::scalar(1));
+  EXPECT_THROW(g.add_tt("bad", 1, 0, 7), std::invalid_argument);
+}
+
+TEST(TaskGraph, NegativeBitsThrows) {
+  TaskGraph g;
+  const CtId a = g.add_ct("a", ResourceVector::scalar(1));
+  const CtId b = g.add_ct("b", ResourceVector::scalar(1));
+  EXPECT_THROW(g.add_tt("neg", -1, a, b), std::invalid_argument);
+}
+
+TEST(TaskGraph, SchemaMismatchThrows) {
+  TaskGraph g(ResourceSchema::cpu_memory());
+  EXPECT_THROW(g.add_ct("a", ResourceVector::scalar(1)),
+               std::invalid_argument);
+}
+
+TEST(TaskGraph, MutationAfterFinalizeThrows) {
+  TaskGraph g = make_two_arm_graph();
+  EXPECT_THROW(g.add_ct("late", ResourceVector::scalar(1)),
+               std::logic_error);
+}
+
+TEST(TaskGraph, QueryBeforeFinalizeThrows) {
+  TaskGraph g;
+  g.add_ct("a", ResourceVector::scalar(1));
+  EXPECT_THROW(g.topological_order(), std::logic_error);
+  EXPECT_THROW(g.sources(), std::logic_error);
+}
+
+TEST(TaskGraph, TotalsAggregateRequirements) {
+  const TaskGraph g = make_two_arm_graph();
+  EXPECT_DOUBLE_EQ(g.total_ct_requirement()[0], 60.0);
+  EXPECT_DOUBLE_EQ(g.total_tt_bits(), 280.0);
+}
+
+TEST(FaceDetectionApp, MatchesTableTwo) {
+  const auto g = workload::face_detection_app();
+  ASSERT_EQ(g->ct_count(), 6u);
+  ASSERT_EQ(g->tt_count(), 5u);
+  EXPECT_DOUBLE_EQ(g->ct(1).requirement[0], 9880.0);   // resize
+  EXPECT_DOUBLE_EQ(g->ct(2).requirement[0], 12800.0);  // denoise
+  EXPECT_DOUBLE_EQ(g->ct(3).requirement[0], 4826.0);   // edge detection
+  EXPECT_DOUBLE_EQ(g->ct(4).requirement[0], 5658.0);   // face detection
+  EXPECT_DOUBLE_EQ(g->tt(0).bits_per_unit, 3.1 * 8e6);  // raw images
+  EXPECT_DOUBLE_EQ(g->tt(4).bits_per_unit, 11.0 * 8e3);  // detected faces
+  // Chain shape: one source (the camera), one sink (the consumer).
+  EXPECT_EQ(g->sources().size(), 1u);
+  EXPECT_EQ(g->sinks().size(), 1u);
+}
+
+TEST(ObjectClassificationApp, HasTwoCameraSources) {
+  const auto g = workload::object_classification_app();
+  EXPECT_EQ(g->sources().size(), 2u);
+  EXPECT_EQ(g->sinks().size(), 1u);
+}
+
+TEST(DiamondTaskGraph, MatchesFigureSevenB) {
+  Rng rng(7);
+  const auto g = workload::diamond_task_graph(rng, workload::TaskRanges{});
+  EXPECT_EQ(g->ct_count(), 8u);
+  EXPECT_EQ(g->tt_count(), 14u);
+  EXPECT_EQ(g->sources().size(), 1u);
+  EXPECT_EQ(g->sinks().size(), 1u);
+}
+
+TEST(LinearTaskGraph, HasRequestedMiddleCts) {
+  Rng rng(7);
+  const auto g = workload::linear_task_graph(4, rng, workload::TaskRanges{});
+  EXPECT_EQ(g->ct_count(), 6u);  // source + 4 + sink
+  EXPECT_EQ(g->tt_count(), 5u);
+}
+
+}  // namespace
+}  // namespace sparcle

@@ -1,0 +1,123 @@
+/// \file test_testbed_sweep.cpp
+/// Properties of the Fig. 4/6 testbed across the field-bandwidth range:
+/// monotonicity of every algorithm's rate in bandwidth, SPARCLE's
+/// domination of the pure strategies, and the capacity planner's
+/// consistency with the single-app rate.
+
+#include <gtest/gtest.h>
+
+#include "baselines/cloud.hpp"
+#include "baselines/exhaustive.hpp"
+#include "core/capacity_planner.hpp"
+#include "core/sparcle_assigner.hpp"
+#include "workload/task_graphs.hpp"
+#include "workload/topologies.hpp"
+
+namespace sparcle {
+namespace {
+
+AssignmentProblem make_problem(const workload::Testbed& tb,
+                               const TaskGraph& g) {
+  AssignmentProblem p;
+  p.net = &tb.net;
+  p.graph = &g;
+  p.capacities = CapacitySnapshot(tb.net);
+  p.pinned = {{g.sources()[0], tb.camera}, {g.sinks()[0], tb.consumer}};
+  return p;
+}
+
+const std::vector<double>& bandwidths() {
+  static const std::vector<double> kBw = {0.25, 0.5, 1.0, 2.0,  4.0,
+                                          8.0,  10.0, 16.0, 22.0, 40.0};
+  return kBw;
+}
+
+TEST(TestbedSweep, SparcleRateIsMonotoneInFieldBandwidth) {
+  const auto g = workload::face_detection_app();
+  double prev = 0;
+  for (double bw : bandwidths()) {
+    const auto tb = workload::testbed_network(bw);
+    const AssignmentProblem p = make_problem(tb, *g);
+    const double rate = SparcleAssigner().assign(p).rate;
+    EXPECT_GE(rate, prev - 1e-9) << "bw " << bw;
+    prev = rate;
+  }
+}
+
+TEST(TestbedSweep, OptimalDominatesEveryAlgorithmEverywhere) {
+  const auto g = workload::face_detection_app();
+  for (double bw : {0.5, 4.0, 22.0}) {
+    const auto tb = workload::testbed_network(bw);
+    const AssignmentProblem p = make_problem(tb, *g);
+    const double best = ExhaustiveAssigner().assign(p).rate;
+    EXPECT_LE(SparcleAssigner().assign(p).rate, best + 1e-9) << bw;
+    EXPECT_LE(CloudAssigner(tb.cloud).assign(p).rate, best + 1e-9) << bw;
+  }
+}
+
+TEST(TestbedSweep, SparcleWithLocalSearchMatchesOptimalAcrossTheSweep) {
+  const auto g = workload::face_detection_app();
+  SparcleAssignerOptions opts;
+  opts.local_search_rounds = 8;
+  for (double bw : bandwidths()) {
+    const auto tb = workload::testbed_network(bw);
+    const AssignmentProblem p = make_problem(tb, *g);
+    const double refined = SparcleAssigner(opts).assign(p).rate;
+    const double best = ExhaustiveAssigner().assign(p).rate;
+    EXPECT_GE(refined, 0.95 * best) << "bw " << bw;
+  }
+}
+
+TEST(TestbedSweep, CloudRateIsCappedByItsCpu) {
+  const auto g = workload::face_detection_app();
+  const double cpu_cap = 15200.0 / (9880.0 + 12800.0 + 4826.0 + 5658.0);
+  for (double bw : bandwidths()) {
+    const auto tb = workload::testbed_network(bw);
+    const AssignmentProblem p = make_problem(tb, *g);
+    EXPECT_LE(CloudAssigner(tb.cloud).assign(p).rate, cpu_cap + 1e-9);
+  }
+}
+
+TEST(TestbedSweep, CrossoverFromDispersedToCloudAndBack) {
+  // The Fig. 6 narrative as a property: at tiny and at high field
+  // bandwidth the all-cloud placement is strictly sub-optimal, while at
+  // 10 Mbps it achieves the optimal rate (possibly tied with equivalent
+  // placements).
+  const auto g = workload::face_detection_app();
+  auto cloud_gap = [&](double bw) {
+    const auto tb = workload::testbed_network(bw);
+    const AssignmentProblem p = make_problem(tb, *g);
+    // Evaluate the literal all-cloud placement through the same router the
+    // exhaustive search uses, so the comparison is routing-neutral.
+    std::vector<NcpId> hosts(g->ct_count(), tb.cloud);
+    hosts[g->sources()[0]] = tb.camera;
+    hosts[g->sinks()[0]] = tb.consumer;
+    const double all_cloud = evaluate_fixed_hosts(p, hosts).rate;
+    const double best = ExhaustiveAssigner().assign(p).rate;
+    return best - all_cloud;
+  };
+  EXPECT_GT(cloud_gap(0.5), 0.01);
+  EXPECT_NEAR(cloud_gap(10.0), 0.0, 1e-9);
+  EXPECT_GT(cloud_gap(22.0), 0.01);
+}
+
+TEST(TestbedSweep, PlannerCountGrowsWithBandwidth) {
+  const auto g = workload::face_detection_app();
+  std::size_t prev = 0;
+  for (double bw : {0.5, 2.0, 10.0}) {
+    const auto tb = workload::testbed_network(bw);
+    Application cam;
+    cam.name = "cam";
+    cam.graph = g;
+    cam.qoe = QoeSpec::guaranteed_rate(0.05, 0.0);
+    cam.pinned = {{g->sources()[0], tb.camera},
+                  {g->sinks()[0], tb.consumer}};
+    const PlanningResult plan = plan_capacity(tb.net, {cam}, {}, 32);
+    EXPECT_GE(plan.max_copies, prev) << "bw " << bw;
+    prev = plan.max_copies;
+  }
+  EXPECT_GT(prev, 10u);  // 10 Mbps hosts many pipelines
+}
+
+}  // namespace
+}  // namespace sparcle

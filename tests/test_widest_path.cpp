@@ -1,0 +1,183 @@
+#include "core/widest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "workload/rng.hpp"
+#include "workload/topologies.hpp"
+
+namespace sparcle {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Network make_diamond_net() {
+  // 0 -(10)- 1 -(20)- 3   and   0 -(15)- 2 -(5)- 3, plus 1 -(1)- 2.
+  Network net(ResourceSchema::cpu_only());
+  for (int i = 0; i < 4; ++i)
+    net.add_ncp("n" + std::to_string(i), ResourceVector::scalar(1));
+  net.add_link("l01", 0, 1, 10);
+  net.add_link("l13", 1, 3, 20);
+  net.add_link("l02", 0, 2, 15);
+  net.add_link("l23", 2, 3, 5);
+  net.add_link("l12", 1, 2, 1);
+  return net;
+}
+
+/// Brute-force widest path by enumerating all simple paths (DFS).
+double brute_force_width(const Network& net, NcpId from, NcpId to,
+                         const std::function<double(LinkId)>& weight) {
+  double best = -1;
+  std::vector<char> visited(net.ncp_count(), 0);
+  std::function<void(NcpId, double)> dfs = [&](NcpId v, double width) {
+    if (v == to) {
+      best = std::max(best, width);
+      return;
+    }
+    visited[v] = 1;
+    for (LinkId l : net.incident_links(v)) {
+      const double w = weight(l);
+      if (!(w > 0)) continue;
+      const NcpId u = net.other_end(l, v);
+      if (visited[u]) continue;
+      dfs(u, std::min(width, w));
+    }
+    visited[v] = 0;
+  };
+  dfs(from, kInf);
+  return best;
+}
+
+TEST(WidestPath, PicksTheWiderArm) {
+  const Network net = make_diamond_net();
+  const auto r = widest_path(net, 0, 3,
+                             [&](LinkId l) { return net.link(l).bandwidth; });
+  ASSERT_TRUE(r.reachable);
+  EXPECT_DOUBLE_EQ(r.width, 10.0);  // via 0-1-3: min(10,20)
+  ASSERT_EQ(r.links.size(), 2u);
+  EXPECT_EQ(r.links[0], 0);
+  EXPECT_EQ(r.links[1], 1);
+}
+
+TEST(WidestPath, SameEndpointsGiveInfiniteWidth) {
+  const Network net = make_diamond_net();
+  const auto r = widest_path(net, 2, 2, [](LinkId) { return 1.0; });
+  EXPECT_TRUE(r.reachable);
+  EXPECT_EQ(r.width, kInf);
+  EXPECT_TRUE(r.links.empty());
+}
+
+TEST(WidestPath, UnreachableWhenCut) {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("a", ResourceVector::scalar(1));
+  net.add_ncp("b", ResourceVector::scalar(1));
+  const auto r = widest_path(net, 0, 1, [](LinkId) { return 1.0; });
+  EXPECT_FALSE(r.reachable);
+}
+
+TEST(WidestPath, ZeroWeightLinksAreUnusable) {
+  const Network net = make_diamond_net();
+  // Kill both arms except 0-2-3.
+  const auto r = widest_path(net, 0, 3, [&](LinkId l) {
+    return (l == 2 || l == 3) ? net.link(l).bandwidth : 0.0;
+  });
+  ASSERT_TRUE(r.reachable);
+  EXPECT_DOUBLE_EQ(r.width, 5.0);
+  ASSERT_EQ(r.links.size(), 2u);
+}
+
+TEST(WidestPath, ReturnedRouteIsContiguous) {
+  const Network net = make_diamond_net();
+  const auto r = widest_path(net, 1, 2,
+                             [&](LinkId l) { return net.link(l).bandwidth; });
+  ASSERT_TRUE(r.reachable);
+  NcpId at = 1;
+  for (LinkId l : r.links) at = net.other_end(l, at);
+  EXPECT_EQ(at, 2);
+}
+
+TEST(WidestPath, RouteWidthMatchesReportedWidth) {
+  const Network net = make_diamond_net();
+  const auto weight = [&](LinkId l) { return net.link(l).bandwidth; };
+  const auto r = widest_path(net, 0, 3, weight);
+  ASSERT_TRUE(r.reachable);
+  double w = kInf;
+  for (LinkId l : r.links) w = std::min(w, weight(l));
+  EXPECT_DOUBLE_EQ(w, r.width);
+}
+
+TEST(WidestPath, OutOfRangeEndpointThrows) {
+  const Network net = make_diamond_net();
+  EXPECT_THROW(widest_path(net, 0, 9, [](LinkId) { return 1.0; }),
+               std::invalid_argument);
+}
+
+TEST(BestTtPath, AccountsForExistingLoads) {
+  const Network net = make_diamond_net();
+  const CapacitySnapshot cap(net);
+  LoadMap load = LoadMap::zeros(net);
+  // Congest link l01 with 90 bits of existing TTs; probing a 10-bit TT
+  // makes arm 0-1-3 width 10/(10+90) = 0.1 while 0-2-3 gives
+  // min(15/10, 5/10) = 0.5.
+  TaskGraph g(ResourceSchema::cpu_only());
+  const CtId a = g.add_ct("a", ResourceVector::scalar(1));
+  const CtId b = g.add_ct("b", ResourceVector::scalar(1));
+  g.add_tt("big", 90, a, b);
+  g.finalize();
+  load.add_tt(g, 0, 0);
+
+  const auto r = best_tt_path(net, cap, load, 10.0, 0, 3);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_DOUBLE_EQ(r.width, 0.5);
+  EXPECT_EQ(r.links[0], 2);  // via NCP 2
+}
+
+TEST(BestTtPath, ZeroBitTtOnEmptyLinksIsFree) {
+  const Network net = make_diamond_net();
+  const CapacitySnapshot cap(net);
+  const LoadMap load = LoadMap::zeros(net);
+  const auto r = best_tt_path(net, cap, load, 0.0, 0, 3);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_EQ(r.width, kInf);
+}
+
+/// Property sweep: Dijkstra widest path == brute-force widest path on
+/// random star / full topologies.
+class WidestPathRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidestPathRandom, MatchesBruteForceOnFullNetworks) {
+  Rng rng(GetParam());
+  const auto gen = workload::full_network(6, rng, workload::NetRanges{});
+  const auto weight = [&](LinkId l) { return gen.net.link(l).bandwidth; };
+  for (NcpId from = 0; from < 6; ++from)
+    for (NcpId to = 0; to < 6; ++to) {
+      if (from == to) continue;
+      const auto r = widest_path(gen.net, from, to, weight);
+      ASSERT_TRUE(r.reachable);
+      EXPECT_NEAR(r.width, brute_force_width(gen.net, from, to, weight),
+                  1e-12);
+    }
+}
+
+TEST_P(WidestPathRandom, MatchesBruteForceOnStarNetworks) {
+  Rng rng(GetParam() + 1000);
+  const auto gen = workload::star_network(7, rng, workload::NetRanges{});
+  const auto weight = [&](LinkId l) { return gen.net.link(l).bandwidth; };
+  for (NcpId from = 0; from < 7; ++from)
+    for (NcpId to = 0; to < 7; ++to) {
+      if (from == to) continue;
+      const auto r = widest_path(gen.net, from, to, weight);
+      ASSERT_TRUE(r.reachable);
+      EXPECT_NEAR(r.width, brute_force_width(gen.net, from, to, weight),
+                  1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WidestPathRandom,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace sparcle

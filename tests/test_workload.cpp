@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "workload/scenarios.hpp"
+#include "workload/stats.hpp"
+
+namespace sparcle {
+namespace {
+
+using namespace workload;
+
+TEST(Stats, MeanOfSample) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 17.5);
+}
+
+TEST(Stats, PercentileValidation) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Stats, EmpiricalCdfIsMonotone) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_NEAR(cdf[0].second, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].second, 1.0);
+}
+
+TEST(Stats, FractionAtLeast) {
+  EXPECT_DOUBLE_EQ(fraction_at_least({1.0, 2.0, 3.0, 4.0}, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_at_least({}, 1.0), 0.0);
+}
+
+TEST(Scenarios, LabelsAreHumanReadable) {
+  EXPECT_EQ(to_string(BottleneckCase::kLink), "link-bottleneck");
+  EXPECT_EQ(to_string(TopologyKind::kStar), "star");
+  EXPECT_EQ(to_string(GraphKind::kDiamond), "diamond");
+}
+
+TEST(Scenarios, SeedsAreReproducible) {
+  ScenarioSpec spec;
+  Rng a(42), b(42);
+  const Scenario s1 = make_scenario(spec, a);
+  const Scenario s2 = make_scenario(spec, b);
+  ASSERT_EQ(s1.net.ncp_count(), s2.net.ncp_count());
+  for (NcpId j = 0; j < static_cast<NcpId>(s1.net.ncp_count()); ++j)
+    EXPECT_EQ(s1.net.ncp(j).capacity, s2.net.ncp(j).capacity);
+  for (LinkId l = 0; l < static_cast<LinkId>(s1.net.link_count()); ++l)
+    EXPECT_DOUBLE_EQ(s1.net.link(l).bandwidth, s2.net.link(l).bandwidth);
+}
+
+TEST(Scenarios, BottleneckRegimesHoldByConstruction) {
+  // In the link-bottleneck case every NCP has at least 10x more headroom
+  // relative to total CT demand than any link has relative to TT demand.
+  Rng rng(7);
+  ScenarioSpec spec;
+  spec.bottleneck = BottleneckCase::kLink;
+  const Scenario sc = make_scenario(spec, rng);
+  const double ct_total = sc.graph->total_ct_requirement()[0];
+  const double tt_total = sc.graph->total_tt_bits();
+  double min_ncp_ratio = 1e300, max_link_ratio = 0;
+  for (NcpId j = 0; j < static_cast<NcpId>(sc.net.ncp_count()); ++j)
+    min_ncp_ratio =
+        std::min(min_ncp_ratio, sc.net.ncp(j).capacity[0] / ct_total);
+  for (LinkId l = 0; l < static_cast<LinkId>(sc.net.link_count()); ++l)
+    max_link_ratio =
+        std::max(max_link_ratio, sc.net.link(l).bandwidth / tt_total);
+  EXPECT_GT(min_ncp_ratio, max_link_ratio);
+}
+
+TEST(Scenarios, MemoryCaseUsesTwoResources) {
+  Rng rng(7);
+  ScenarioSpec spec;
+  spec.bottleneck = BottleneckCase::kMemory;
+  const Scenario sc = make_scenario(spec, rng);
+  EXPECT_EQ(sc.net.schema().size(), 2u);
+  EXPECT_EQ(sc.graph->schema().size(), 2u);
+}
+
+TEST(Scenarios, PinsCoverSourceAndSink) {
+  Rng rng(9);
+  ScenarioSpec spec;
+  spec.graph = GraphKind::kLinear;
+  const Scenario sc = make_scenario(spec, rng);
+  EXPECT_TRUE(sc.pinned.contains(sc.graph->sources()[0]));
+  EXPECT_TRUE(sc.pinned.contains(sc.graph->sinks()[0]));
+}
+
+TEST(Scenarios, FailProbPropagatesToElements) {
+  Rng rng(9);
+  ScenarioSpec spec;
+  spec.fail_prob = 0.02;
+  const Scenario sc = make_scenario(spec, rng);
+  for (LinkId l = 0; l < static_cast<LinkId>(sc.net.link_count()); ++l)
+    EXPECT_DOUBLE_EQ(sc.net.link(l).fail_prob, 0.02);
+}
+
+TEST(Scenarios, ProblemBorrowsScenario) {
+  Rng rng(1);
+  const Scenario sc = make_scenario(ScenarioSpec{}, rng);
+  const AssignmentProblem p = sc.problem();
+  EXPECT_EQ(p.net, &sc.net);
+  EXPECT_EQ(p.graph, sc.graph.get());
+  EXPECT_EQ(p.capacities.ncp_count(), sc.net.ncp_count());
+}
+
+TEST(Rng, IsDeterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  EXPECT_EQ(a.uniform_int(0, 100), b.uniform_int(0, 100));
+}
+
+}  // namespace
+}  // namespace sparcle
