@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_multiresource.dir/bench_fig12_multiresource.cpp.o"
+  "CMakeFiles/bench_fig12_multiresource.dir/bench_fig12_multiresource.cpp.o.d"
+  "bench_fig12_multiresource"
+  "bench_fig12_multiresource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_multiresource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

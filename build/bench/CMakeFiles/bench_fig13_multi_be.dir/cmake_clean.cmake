@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_multi_be.dir/bench_fig13_multi_be.cpp.o"
+  "CMakeFiles/bench_fig13_multi_be.dir/bench_fig13_multi_be.cpp.o.d"
+  "bench_fig13_multi_be"
+  "bench_fig13_multi_be.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_multi_be.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

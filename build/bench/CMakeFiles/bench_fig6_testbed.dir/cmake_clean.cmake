@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_testbed.dir/bench_fig6_testbed.cpp.o"
+  "CMakeFiles/bench_fig6_testbed.dir/bench_fig6_testbed.cpp.o.d"
+  "bench_fig6_testbed"
+  "bench_fig6_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_curve.dir/bench_latency_curve.cpp.o"
+  "CMakeFiles/bench_latency_curve.dir/bench_latency_curve.cpp.o.d"
+  "bench_latency_curve"
+  "bench_latency_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_scaling.cpp" "bench/CMakeFiles/bench_micro_scaling.dir/bench_micro_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_scaling.dir/bench_micro_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sparcle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sparcle_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sparcle_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sparcle_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

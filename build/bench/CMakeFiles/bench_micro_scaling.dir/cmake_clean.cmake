@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_scaling.dir/bench_micro_scaling.cpp.o"
+  "CMakeFiles/bench_micro_scaling.dir/bench_micro_scaling.cpp.o.d"
+  "bench_micro_scaling"
+  "bench_micro_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

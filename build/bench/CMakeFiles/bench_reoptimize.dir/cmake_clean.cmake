@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reoptimize.dir/bench_reoptimize.cpp.o"
+  "CMakeFiles/bench_reoptimize.dir/bench_reoptimize.cpp.o.d"
+  "bench_reoptimize"
+  "bench_reoptimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reoptimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/face_detection_pipeline.dir/face_detection_pipeline.cpp.o"
+  "CMakeFiles/face_detection_pipeline.dir/face_detection_pipeline.cpp.o.d"
+  "face_detection_pipeline"
+  "face_detection_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/face_detection_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

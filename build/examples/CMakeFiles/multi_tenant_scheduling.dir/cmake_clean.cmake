@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_scheduling.dir/multi_tenant_scheduling.cpp.o"
+  "CMakeFiles/multi_tenant_scheduling.dir/multi_tenant_scheduling.cpp.o.d"
+  "multi_tenant_scheduling"
+  "multi_tenant_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

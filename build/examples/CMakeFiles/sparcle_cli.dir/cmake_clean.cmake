@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcle_cli.dir/sparcle_cli.cpp.o"
+  "CMakeFiles/sparcle_cli.dir/sparcle_cli.cpp.o.d"
+  "sparcle_cli"
+  "sparcle_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcle_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cloud.cpp" "src/baselines/CMakeFiles/sparcle_baselines.dir/cloud.cpp.o" "gcc" "src/baselines/CMakeFiles/sparcle_baselines.dir/cloud.cpp.o.d"
+  "/root/repo/src/baselines/exhaustive.cpp" "src/baselines/CMakeFiles/sparcle_baselines.dir/exhaustive.cpp.o" "gcc" "src/baselines/CMakeFiles/sparcle_baselines.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/baselines/greedy_baselines.cpp" "src/baselines/CMakeFiles/sparcle_baselines.dir/greedy_baselines.cpp.o" "gcc" "src/baselines/CMakeFiles/sparcle_baselines.dir/greedy_baselines.cpp.o.d"
+  "/root/repo/src/baselines/heft.cpp" "src/baselines/CMakeFiles/sparcle_baselines.dir/heft.cpp.o" "gcc" "src/baselines/CMakeFiles/sparcle_baselines.dir/heft.cpp.o.d"
+  "/root/repo/src/baselines/registry.cpp" "src/baselines/CMakeFiles/sparcle_baselines.dir/registry.cpp.o" "gcc" "src/baselines/CMakeFiles/sparcle_baselines.dir/registry.cpp.o.d"
+  "/root/repo/src/baselines/rstorm.cpp" "src/baselines/CMakeFiles/sparcle_baselines.dir/rstorm.cpp.o" "gcc" "src/baselines/CMakeFiles/sparcle_baselines.dir/rstorm.cpp.o.d"
+  "/root/repo/src/baselines/tstorm.cpp" "src/baselines/CMakeFiles/sparcle_baselines.dir/tstorm.cpp.o" "gcc" "src/baselines/CMakeFiles/sparcle_baselines.dir/tstorm.cpp.o.d"
+  "/root/repo/src/baselines/vne.cpp" "src/baselines/CMakeFiles/sparcle_baselines.dir/vne.cpp.o" "gcc" "src/baselines/CMakeFiles/sparcle_baselines.dir/vne.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sparcle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sparcle_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

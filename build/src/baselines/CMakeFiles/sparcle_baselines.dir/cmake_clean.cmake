@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcle_baselines.dir/cloud.cpp.o"
+  "CMakeFiles/sparcle_baselines.dir/cloud.cpp.o.d"
+  "CMakeFiles/sparcle_baselines.dir/exhaustive.cpp.o"
+  "CMakeFiles/sparcle_baselines.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/sparcle_baselines.dir/greedy_baselines.cpp.o"
+  "CMakeFiles/sparcle_baselines.dir/greedy_baselines.cpp.o.d"
+  "CMakeFiles/sparcle_baselines.dir/heft.cpp.o"
+  "CMakeFiles/sparcle_baselines.dir/heft.cpp.o.d"
+  "CMakeFiles/sparcle_baselines.dir/registry.cpp.o"
+  "CMakeFiles/sparcle_baselines.dir/registry.cpp.o.d"
+  "CMakeFiles/sparcle_baselines.dir/rstorm.cpp.o"
+  "CMakeFiles/sparcle_baselines.dir/rstorm.cpp.o.d"
+  "CMakeFiles/sparcle_baselines.dir/tstorm.cpp.o"
+  "CMakeFiles/sparcle_baselines.dir/tstorm.cpp.o.d"
+  "CMakeFiles/sparcle_baselines.dir/vne.cpp.o"
+  "CMakeFiles/sparcle_baselines.dir/vne.cpp.o.d"
+  "libsparcle_baselines.a"
+  "libsparcle_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcle_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cpp" "src/core/CMakeFiles/sparcle_core.dir/assignment.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/assignment.cpp.o.d"
+  "/root/repo/src/core/availability.cpp" "src/core/CMakeFiles/sparcle_core.dir/availability.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/availability.cpp.o.d"
+  "/root/repo/src/core/capacity_planner.cpp" "src/core/CMakeFiles/sparcle_core.dir/capacity_planner.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/capacity_planner.cpp.o.d"
+  "/root/repo/src/core/fairness.cpp" "src/core/CMakeFiles/sparcle_core.dir/fairness.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/fairness.cpp.o.d"
+  "/root/repo/src/core/greedy_engine.cpp" "src/core/CMakeFiles/sparcle_core.dir/greedy_engine.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/greedy_engine.cpp.o.d"
+  "/root/repo/src/core/latency.cpp" "src/core/CMakeFiles/sparcle_core.dir/latency.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/latency.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/core/CMakeFiles/sparcle_core.dir/local_search.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/local_search.cpp.o.d"
+  "/root/repo/src/core/prediction.cpp" "src/core/CMakeFiles/sparcle_core.dir/prediction.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/prediction.cpp.o.d"
+  "/root/repo/src/core/provisioning.cpp" "src/core/CMakeFiles/sparcle_core.dir/provisioning.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/provisioning.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/sparcle_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/smallmat.cpp" "src/core/CMakeFiles/sparcle_core.dir/smallmat.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/smallmat.cpp.o.d"
+  "/root/repo/src/core/sparcle_assigner.cpp" "src/core/CMakeFiles/sparcle_core.dir/sparcle_assigner.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/sparcle_assigner.cpp.o.d"
+  "/root/repo/src/core/widest_path.cpp" "src/core/CMakeFiles/sparcle_core.dir/widest_path.cpp.o" "gcc" "src/core/CMakeFiles/sparcle_core.dir/widest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/sparcle_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcle_core.dir/assignment.cpp.o"
+  "CMakeFiles/sparcle_core.dir/assignment.cpp.o.d"
+  "CMakeFiles/sparcle_core.dir/availability.cpp.o"
+  "CMakeFiles/sparcle_core.dir/availability.cpp.o.d"
+  "CMakeFiles/sparcle_core.dir/capacity_planner.cpp.o"
+  "CMakeFiles/sparcle_core.dir/capacity_planner.cpp.o.d"
+  "CMakeFiles/sparcle_core.dir/fairness.cpp.o"
+  "CMakeFiles/sparcle_core.dir/fairness.cpp.o.d"
+  "CMakeFiles/sparcle_core.dir/greedy_engine.cpp.o"
+  "CMakeFiles/sparcle_core.dir/greedy_engine.cpp.o.d"
+  "CMakeFiles/sparcle_core.dir/latency.cpp.o"
+  "CMakeFiles/sparcle_core.dir/latency.cpp.o.d"
+  "CMakeFiles/sparcle_core.dir/local_search.cpp.o"
+  "CMakeFiles/sparcle_core.dir/local_search.cpp.o.d"
+  "CMakeFiles/sparcle_core.dir/prediction.cpp.o"
+  "CMakeFiles/sparcle_core.dir/prediction.cpp.o.d"
+  "CMakeFiles/sparcle_core.dir/provisioning.cpp.o"
+  "CMakeFiles/sparcle_core.dir/provisioning.cpp.o.d"
+  "CMakeFiles/sparcle_core.dir/scheduler.cpp.o"
+  "CMakeFiles/sparcle_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/sparcle_core.dir/smallmat.cpp.o"
+  "CMakeFiles/sparcle_core.dir/smallmat.cpp.o.d"
+  "CMakeFiles/sparcle_core.dir/sparcle_assigner.cpp.o"
+  "CMakeFiles/sparcle_core.dir/sparcle_assigner.cpp.o.d"
+  "CMakeFiles/sparcle_core.dir/widest_path.cpp.o"
+  "CMakeFiles/sparcle_core.dir/widest_path.cpp.o.d"
+  "libsparcle_core.a"
+  "libsparcle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

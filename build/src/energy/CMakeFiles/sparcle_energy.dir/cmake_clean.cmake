@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcle_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/sparcle_energy.dir/energy_model.cpp.o.d"
+  "libsparcle_energy.a"
+  "libsparcle_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcle_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/capacity.cpp" "src/model/CMakeFiles/sparcle_model.dir/capacity.cpp.o" "gcc" "src/model/CMakeFiles/sparcle_model.dir/capacity.cpp.o.d"
+  "/root/repo/src/model/dot_export.cpp" "src/model/CMakeFiles/sparcle_model.dir/dot_export.cpp.o" "gcc" "src/model/CMakeFiles/sparcle_model.dir/dot_export.cpp.o.d"
+  "/root/repo/src/model/network.cpp" "src/model/CMakeFiles/sparcle_model.dir/network.cpp.o" "gcc" "src/model/CMakeFiles/sparcle_model.dir/network.cpp.o.d"
+  "/root/repo/src/model/placement.cpp" "src/model/CMakeFiles/sparcle_model.dir/placement.cpp.o" "gcc" "src/model/CMakeFiles/sparcle_model.dir/placement.cpp.o.d"
+  "/root/repo/src/model/task_graph.cpp" "src/model/CMakeFiles/sparcle_model.dir/task_graph.cpp.o" "gcc" "src/model/CMakeFiles/sparcle_model.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcle_model.dir/capacity.cpp.o"
+  "CMakeFiles/sparcle_model.dir/capacity.cpp.o.d"
+  "CMakeFiles/sparcle_model.dir/dot_export.cpp.o"
+  "CMakeFiles/sparcle_model.dir/dot_export.cpp.o.d"
+  "CMakeFiles/sparcle_model.dir/network.cpp.o"
+  "CMakeFiles/sparcle_model.dir/network.cpp.o.d"
+  "CMakeFiles/sparcle_model.dir/placement.cpp.o"
+  "CMakeFiles/sparcle_model.dir/placement.cpp.o.d"
+  "CMakeFiles/sparcle_model.dir/task_graph.cpp.o"
+  "CMakeFiles/sparcle_model.dir/task_graph.cpp.o.d"
+  "libsparcle_model.a"
+  "libsparcle_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcle_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcle_sim.dir/stream_simulator.cpp.o"
+  "CMakeFiles/sparcle_sim.dir/stream_simulator.cpp.o.d"
+  "CMakeFiles/sparcle_sim.dir/trace.cpp.o"
+  "CMakeFiles/sparcle_sim.dir/trace.cpp.o.d"
+  "libsparcle_sim.a"
+  "libsparcle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/churn.cpp" "src/workload/CMakeFiles/sparcle_workload.dir/churn.cpp.o" "gcc" "src/workload/CMakeFiles/sparcle_workload.dir/churn.cpp.o.d"
+  "/root/repo/src/workload/scenario_io.cpp" "src/workload/CMakeFiles/sparcle_workload.dir/scenario_io.cpp.o" "gcc" "src/workload/CMakeFiles/sparcle_workload.dir/scenario_io.cpp.o.d"
+  "/root/repo/src/workload/scenarios.cpp" "src/workload/CMakeFiles/sparcle_workload.dir/scenarios.cpp.o" "gcc" "src/workload/CMakeFiles/sparcle_workload.dir/scenarios.cpp.o.d"
+  "/root/repo/src/workload/stats.cpp" "src/workload/CMakeFiles/sparcle_workload.dir/stats.cpp.o" "gcc" "src/workload/CMakeFiles/sparcle_workload.dir/stats.cpp.o.d"
+  "/root/repo/src/workload/task_graphs.cpp" "src/workload/CMakeFiles/sparcle_workload.dir/task_graphs.cpp.o" "gcc" "src/workload/CMakeFiles/sparcle_workload.dir/task_graphs.cpp.o.d"
+  "/root/repo/src/workload/topologies.cpp" "src/workload/CMakeFiles/sparcle_workload.dir/topologies.cpp.o" "gcc" "src/workload/CMakeFiles/sparcle_workload.dir/topologies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sparcle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sparcle_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

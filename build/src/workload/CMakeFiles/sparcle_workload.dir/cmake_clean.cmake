@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcle_workload.dir/churn.cpp.o"
+  "CMakeFiles/sparcle_workload.dir/churn.cpp.o.d"
+  "CMakeFiles/sparcle_workload.dir/scenario_io.cpp.o"
+  "CMakeFiles/sparcle_workload.dir/scenario_io.cpp.o.d"
+  "CMakeFiles/sparcle_workload.dir/scenarios.cpp.o"
+  "CMakeFiles/sparcle_workload.dir/scenarios.cpp.o.d"
+  "CMakeFiles/sparcle_workload.dir/stats.cpp.o"
+  "CMakeFiles/sparcle_workload.dir/stats.cpp.o.d"
+  "CMakeFiles/sparcle_workload.dir/task_graphs.cpp.o"
+  "CMakeFiles/sparcle_workload.dir/task_graphs.cpp.o.d"
+  "CMakeFiles/sparcle_workload.dir/topologies.cpp.o"
+  "CMakeFiles/sparcle_workload.dir/topologies.cpp.o.d"
+  "libsparcle_workload.a"
+  "libsparcle_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcle_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directed_links.dir/test_directed_links.cpp.o"
+  "CMakeFiles/test_directed_links.dir/test_directed_links.cpp.o.d"
+  "test_directed_links"
+  "test_directed_links.pdb"
+  "test_directed_links[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directed_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fairness_random.dir/test_fairness_random.cpp.o"
+  "CMakeFiles/test_fairness_random.dir/test_fairness_random.cpp.o.d"
+  "test_fairness_random"
+  "test_fairness_random.pdb"
+  "test_fairness_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fairness_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

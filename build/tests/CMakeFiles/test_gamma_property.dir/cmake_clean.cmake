@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gamma_property.dir/test_gamma_property.cpp.o"
+  "CMakeFiles/test_gamma_property.dir/test_gamma_property.cpp.o.d"
+  "test_gamma_property"
+  "test_gamma_property.pdb"
+  "test_gamma_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gamma_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy_engine.dir/test_greedy_engine.cpp.o"
+  "CMakeFiles/test_greedy_engine.dir/test_greedy_engine.cpp.o.d"
+  "test_greedy_engine"
+  "test_greedy_engine.pdb"
+  "test_greedy_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_provisioning.cpp" "tests/CMakeFiles/test_provisioning.dir/test_provisioning.cpp.o" "gcc" "tests/CMakeFiles/test_provisioning.dir/test_provisioning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sparcle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sparcle_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sparcle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/sparcle_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sparcle_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sparcle_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provisioning.dir/test_provisioning.cpp.o"
+  "CMakeFiles/test_provisioning.dir/test_provisioning.cpp.o.d"
+  "test_provisioning"
+  "test_provisioning.pdb"
+  "test_provisioning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reoptimize.dir/test_reoptimize.cpp.o"
+  "CMakeFiles/test_reoptimize.dir/test_reoptimize.cpp.o.d"
+  "test_reoptimize"
+  "test_reoptimize.pdb"
+  "test_reoptimize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reoptimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

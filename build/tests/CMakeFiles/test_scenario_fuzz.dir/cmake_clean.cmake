@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_fuzz.dir/test_scenario_fuzz.cpp.o"
+  "CMakeFiles/test_scenario_fuzz.dir/test_scenario_fuzz.cpp.o.d"
+  "test_scenario_fuzz"
+  "test_scenario_fuzz.pdb"
+  "test_scenario_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

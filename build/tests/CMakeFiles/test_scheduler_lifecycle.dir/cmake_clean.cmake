@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_lifecycle.dir/test_scheduler_lifecycle.cpp.o"
+  "CMakeFiles/test_scheduler_lifecycle.dir/test_scheduler_lifecycle.cpp.o.d"
+  "test_scheduler_lifecycle"
+  "test_scheduler_lifecycle.pdb"
+  "test_scheduler_lifecycle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

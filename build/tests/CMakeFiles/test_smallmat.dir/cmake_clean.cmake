@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smallmat.dir/test_smallmat.cpp.o"
+  "CMakeFiles/test_smallmat.dir/test_smallmat.cpp.o.d"
+  "test_smallmat"
+  "test_smallmat.pdb"
+  "test_smallmat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smallmat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

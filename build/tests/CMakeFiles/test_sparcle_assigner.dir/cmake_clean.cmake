@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparcle_assigner.dir/test_sparcle_assigner.cpp.o"
+  "CMakeFiles/test_sparcle_assigner.dir/test_sparcle_assigner.cpp.o.d"
+  "test_sparcle_assigner"
+  "test_sparcle_assigner.pdb"
+  "test_sparcle_assigner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparcle_assigner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_widest_path.dir/test_widest_path.cpp.o"
+  "CMakeFiles/test_widest_path.dir/test_widest_path.cpp.o.d"
+  "test_widest_path"
+  "test_widest_path.pdb"
+  "test_widest_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_widest_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
