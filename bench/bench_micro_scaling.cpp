@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "core/availability.hpp"
 #include "core/fairness.hpp"
 #include "core/sparcle_assigner.hpp"
@@ -99,4 +103,25 @@ BENCHMARK(BM_FairnessSolve)->RangeMultiplier(2)->Range(2, 16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the assignment speedup can be *tracked*: with
+// SPARCLE_BENCH_JSON=<path> in the environment the full google-benchmark
+// JSON report is written there in addition to the console output (it
+// simply injects --benchmark_out flags, so explicit flags still win).
+// tools/bench_assign.sh uses this to refresh BENCH_assign.json.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  if (const char* json_path = std::getenv("SPARCLE_BENCH_JSON")) {
+    out_flag = std::string("--benchmark_out=") + json_path;
+    // Insert before user flags so an explicit --benchmark_out overrides.
+    args.insert(args.begin() + 1, out_flag.data());
+    args.insert(args.begin() + 2, fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/assignment.hpp"
+#include "core/widest_path.hpp"
 #include "model/capacity.hpp"
 #include "model/placement.hpp"
 
@@ -15,6 +16,14 @@
 /// comparisons in the benchmarks isolate CT-placement quality.
 
 namespace sparcle {
+
+/// What a commit changed — the information SparcleAssigner's γ memoization
+/// needs to decide which cached (best host, γ) entries the commit dirtied.
+struct CommitEffects {
+  /// At least one TT route added load to at least one link.  When false,
+  /// only the host NCP's node load changed.
+  bool routed_links{false};
+};
 
 class GreedyEngine {
  public:
@@ -40,24 +49,60 @@ class GreedyEngine {
 
   /// γ_{i,j} (eq. (2)): the bottleneck rate placing CT i on NCP j would
   /// impose given everything committed so far.  0 when NCP j cannot reach
-  /// the host of a placed reachable CT.
+  /// the host of a placed reachable CT.  Uses the engine's internal
+  /// scratch workspace — not safe to call concurrently; use the overload
+  /// below with per-thread workspaces for parallel evaluation.
   double gamma(CtId i, NcpId j) const;
 
+  /// γ_{i,j} with a caller-owned workspace and an exact branch-and-bound
+  /// floor: evaluation aborts as soon as the running rate can no longer
+  /// exceed `floor`, returning a value <= floor (possibly inexact) in that
+  /// case and the exact γ otherwise.  Pass -infinity for an exact answer.
+  /// Thread-safe across distinct workspaces while no commit is running
+  /// (the engine state is read-only here); call warm_probe_cache() once
+  /// before concurrent use.
+  double gamma(CtId i, NcpId j, WidestPathWorkspace& ws, double floor) const;
+
   /// argmax_j γ_{i,j}; stores the γ value in *gamma_out when non-null.
-  /// Deterministic tie-break: the lowest NCP index wins.
+  /// Deterministic tie-break: among hosts with equal γ the lowest NCP id
+  /// wins.  This is the spec any reordered or parallel evaluation must
+  /// match; the returned γ is always exact even though losing candidates
+  /// are pruned against the incumbent.
   NcpId best_host(CtId i, double* gamma_out = nullptr) const;
 
+  /// best_host with a caller-owned workspace (for parallel per-CT rounds).
+  NcpId best_host(CtId i, WidestPathWorkspace& ws, double* gamma_out) const;
+
   /// Commits CT i to NCP j, booking its load and routing every TT towards
-  /// already-placed direct neighbours along the widest path.
-  void commit(CtId i, NcpId j);
+  /// already-placed direct neighbours along the widest path.  Reports
+  /// which parts of the shared state the commit dirtied.
+  CommitEffects commit(CtId i, NcpId j);
 
   /// Commits all pinned CTs of the bound problem.
   void commit_pins();
+
+  /// True if some *placed* CT is related (ancestor/descendant) to i —
+  /// i.e. γ(i, ·) has link terms, not just the node term.
+  bool has_placed_relative(CtId i) const;
+
+  /// Precomputes the probe-TT bits of every related CT pair (Alg. 2 line
+  /// 12: the min- or max-bit TT of G(i,i')).  The pairs are a static
+  /// property of the task graph, so this is computed once and makes
+  /// gamma() allocation-free; it is also required before calling gamma()
+  /// from multiple threads.
+  void warm_probe_cache();
 
   /// Finalizes: returns the (possibly incomplete) placement and rate.
   AssignmentResult finish() &&;
 
  private:
+  /// min_r C_j^(r) / (a_i^(r) + existing load on j) — the node term of
+  /// eq. (2) and an upper bound on γ(i,j).
+  double node_term(CtId i, NcpId j) const;
+  /// bits_per_unit of the probe TT of G(i, other) (cached when warm).
+  double probe_bits(CtId i, CtId other) const;
+  double compute_probe_bits(CtId i, CtId other) const;
+
   const AssignmentProblem* problem_;
   bool probe_min_bits_;
   Routing routing_;
@@ -65,6 +110,11 @@ class GreedyEngine {
   LoadMap load_;
   std::vector<char> placed_;
   std::size_t placed_count_{0};
+  /// probe_bits_[i * ct_count + other]; valid only when probe_warm_.
+  std::vector<double> probe_bits_;
+  bool probe_warm_{false};
+  /// Scratch for the serial gamma()/best_host()/commit() entry points.
+  mutable WidestPathWorkspace scratch_;
 };
 
 }  // namespace sparcle

@@ -2,18 +2,31 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "core/greedy_engine.hpp"
 #include "core/local_search.hpp"
+#include "core/parallel.hpp"
+#include "core/widest_path.hpp"
 
 namespace sparcle {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
-}
+
+/// Memoized (best host, γ) of one unplaced CT.  `valid` entries are exact:
+/// the invalidation rules below dirty every entry a commit could change.
+struct CachedBest {
+  NcpId host{kInvalidId};
+  double gamma{-kInf};
+  bool valid{false};
+};
+
+}  // namespace
 
 AssignmentResult SparcleAssigner::assign(
     const AssignmentProblem& problem) const {
@@ -39,8 +52,40 @@ AssignmentResult SparcleAssigner::assign(
   }
   GreedyEngine engine(problem, options_.probe_with_min_bits_tt);
   engine.commit_pins();  // Alg. 2 lines 3-5
+  engine.warm_probe_cache();
 
-  const std::size_t total = engine.graph().ct_count();
+  const TaskGraph& graph = engine.graph();
+  const std::size_t total = graph.ct_count();
+
+  // Memoized per-CT best-host evaluations (lines 7-14 of each round).
+  std::vector<CachedBest> cache(total);
+  const unsigned threads = WorkerPool::resolve_threads(options_.eval_threads);
+  std::vector<WidestPathWorkspace> workspaces(threads);
+  std::unique_ptr<WorkerPool> pool;  // spawned on first parallel round
+  std::vector<CtId> stale;
+  stale.reserve(total);
+
+  // Recomputes every invalid cache entry of an unplaced CT.  The engine is
+  // read-only during evaluation and each item writes only its own slot, so
+  // the parallel fan-out is race-free; the (serial) reduction over the
+  // cache afterwards makes the outcome bit-identical to a serial run.
+  const auto refresh_cache = [&] {
+    stale.clear();
+    for (CtId i = 0; i < static_cast<CtId>(total); ++i)
+      if (!engine.placed(i) && !cache[i].valid) stale.push_back(i);
+    const auto evaluate = [&](std::size_t idx, unsigned worker) {
+      const CtId i = stale[idx];
+      double gi = -kInf;
+      const NcpId ji = engine.best_host(i, workspaces[worker], &gi);
+      cache[i] = {ji, gi, true};
+    };
+    if (threads > 1 && stale.size() > 1) {
+      if (!pool) pool = std::make_unique<WorkerPool>(threads);
+      pool->run(stale.size(), evaluate);
+    } else {
+      for (std::size_t idx = 0; idx < stale.size(); ++idx) evaluate(idx, 0);
+    }
+  };
 
   // Static-ranking ablation: the CT order is frozen after the first
   // evaluation round; hosts are still chosen against current loads.
@@ -56,19 +101,19 @@ AssignmentResult SparcleAssigner::assign(
     if (options_.dynamic_ranking || !order_frozen) {
       // Lines 7-16: evaluate every unplaced CT's best host, then pick a CT
       // by its best-host γ (see SparcleAssignerOptions on the direction).
+      refresh_cache();
       double chosen_gamma = most_constrained ? kInf : -kInf;
       std::vector<std::pair<double, CtId>> ranked;
       for (CtId i = 0; i < static_cast<CtId>(total); ++i) {
         if (engine.placed(i)) continue;
-        double gi = -kInf;
-        const NcpId ji = engine.best_host(i, &gi);
+        const double gi = cache[i].gamma;
         ranked.emplace_back(gi, i);
         const bool better =
             most_constrained ? gi < chosen_gamma : gi > chosen_gamma;
         if (better) {
           chosen_gamma = gi;
           chosen = i;
-          chosen_host = ji;
+          chosen_host = cache[i].host;
         }
       }
       if (!options_.dynamic_ranking) {
@@ -96,7 +141,22 @@ AssignmentResult SparcleAssigner::assign(
       r.message = "no placeable CT (disconnected network?)";
       return r;
     }
-    engine.commit(chosen, chosen_host);
+    const CommitEffects effects = engine.commit(chosen, chosen_host);
+
+    // Dirty-tracking: a commit of `chosen` on `chosen_host` can change
+    // γ(i, ·) of an unplaced CT i only through (a) a new placed relative
+    // (i related to chosen), (b) node load on i's cached best host, or
+    // (c) link load anywhere, which matters only to CTs whose γ has link
+    // terms — i.e. CTs with at least one placed relative.  Everything
+    // else keeps an exact cache entry (see docs/perf.md for the proof
+    // sketch and test_assign_equivalence for the property test).
+    for (CtId i = 0; i < static_cast<CtId>(total); ++i) {
+      if (engine.placed(i) || !cache[i].valid) continue;
+      if (!options_.memoize_gamma || graph.related(i, chosen) ||
+          cache[i].host == chosen_host ||
+          (effects.routed_links && engine.has_placed_relative(i)))
+        cache[i].valid = false;
+    }
   }
 
   AssignmentResult result = std::move(engine).finish();

@@ -1,9 +1,6 @@
 #include "core/widest_path.hpp"
 
-#include <algorithm>
-#include <limits>
 #include <queue>
-#include <stdexcept>
 
 namespace sparcle {
 
@@ -13,77 +10,26 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 WidestPathResult widest_path(const Network& net, NcpId from, NcpId to,
                              const std::function<double(LinkId)>& weight) {
-  if (from < 0 || to < 0 || from >= static_cast<NcpId>(net.ncp_count()) ||
-      to >= static_cast<NcpId>(net.ncp_count()))
-    throw std::invalid_argument("widest_path: endpoint out of range");
-
-  WidestPathResult result;
-  if (from == to) {
-    result.reachable = true;
-    result.width = kInf;
-    return result;
-  }
-
-  // phi[v]: best bottleneck width from `from` to v found so far
-  // (Algorithm 1's φ), prev_link[v]: the link used to reach v on that path.
-  const std::size_t n = net.ncp_count();
-  std::vector<double> phi(n, -kInf);
-  std::vector<LinkId> prev_link(n, kInvalidId);
-  std::vector<char> done(n, 0);
-  phi[from] = kInf;
-
-  using Entry = std::pair<double, NcpId>;  // (width, node), max-heap
-  std::priority_queue<Entry> heap;
-  heap.emplace(kInf, from);
-
-  while (!heap.empty()) {
-    const auto [w, v] = heap.top();
-    heap.pop();
-    if (done[v]) continue;
-    done[v] = 1;
-    if (v == to) break;
-    for (LinkId l : net.incident_links(v)) {
-      if (!net.can_traverse(l, v)) continue;
-      const double lw = weight(l);
-      if (!(lw > 0)) continue;  // unusable (zero, negative, or NaN)
-      const NcpId u = net.other_end(l, v);
-      if (done[u]) continue;
-      const double cand = std::min(phi[v], lw);
-      if (cand > phi[u]) {
-        phi[u] = cand;
-        prev_link[u] = l;
-        heap.emplace(cand, u);
-      }
-    }
-  }
-
-  if (phi[to] <= 0 || prev_link[to] == kInvalidId) return result;  // cut off
-
-  result.reachable = true;
-  result.width = phi[to];
-  for (NcpId at = to; at != from;) {
-    const LinkId l = prev_link[at];
-    result.links.push_back(l);
-    at = net.other_end(l, at);
-  }
-  std::reverse(result.links.begin(), result.links.end());
-  return result;
+  WidestPathWorkspace ws;
+  return widest_path_buffered(net, from, to, weight, ws);
 }
 
 WidestPathResult best_tt_path(const Network& net, const CapacitySnapshot& cap,
                               const LoadMap& load, double tt_bits, NcpId from,
                               NcpId to) {
-  return widest_path(net, from, to, [&](LinkId l) {
-    const double denom = tt_bits + load.link_load(l);
-    if (denom <= 0) return kInf;  // zero-bit TT on an empty link: free
-    return cap.link(l) / denom;
-  });
+  WidestPathWorkspace ws;
+  return best_tt_path(net, cap, load, tt_bits, from, to, ws);
+}
+
+WidestPathResult best_tt_path(const Network& net, const CapacitySnapshot& cap,
+                              const LoadMap& load, double tt_bits, NcpId from,
+                              NcpId to, WidestPathWorkspace& ws) {
+  return widest_path_buffered(net, from, to,
+                              TtPathWeight{&cap, &load, tt_bits}, ws);
 }
 
 WidestPathResult shortest_hop_path(const Network& net, NcpId from, NcpId to) {
-  if (from < 0 || to < 0 || from >= static_cast<NcpId>(net.ncp_count()) ||
-      to >= static_cast<NcpId>(net.ncp_count()))
-    throw std::invalid_argument("shortest_hop_path: endpoint out of range");
+  detail::check_endpoints(net, from, to, "shortest_hop_path");
   WidestPathResult result;
   if (from == to) {
     result.reachable = true;
@@ -100,6 +46,9 @@ WidestPathResult shortest_hop_path(const Network& net, NcpId from, NcpId to) {
     q.pop();
     for (LinkId l : net.incident_links(v)) {
       if (!net.can_traverse(l, v)) continue;
+      // Same "unusable link" rule as widest_path: a link with non-positive
+      // (or NaN) bandwidth is dead and must never carry a TT route.
+      if (!(net.link(l).bandwidth > 0)) continue;
       const NcpId u = net.other_end(l, v);
       if (seen[u]) continue;
       seen[u] = 1;

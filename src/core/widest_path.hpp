@@ -1,6 +1,10 @@
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "model/capacity.hpp"
@@ -13,6 +17,15 @@
 /// the path whose minimum link weight is maximal, where the weight of link
 /// l is the processing rate the TT would see on it:
 ///   weight(l) = C_l^(b) / (a_k^(b) + Σ_{TTs already on l} a^(b)).
+///
+/// Two call layers:
+///  - the legacy std::function entry points (widest_path / best_tt_path /
+///    shortest_hop_path), which allocate per call — convenient for tests
+///    and one-off queries;
+///  - the buffered kernel (widest_path_buffered / widest_path_width),
+///    a template over the weight functor with a caller-owned reusable
+///    WidestPathWorkspace — the assignment hot path runs thousands of
+///    queries per round and pays zero allocations after warm-up.
 
 namespace sparcle {
 
@@ -23,6 +36,216 @@ struct WidestPathResult {
   double width{0.0};
   /// Links from source to destination, in hop order; empty when from == to.
   std::vector<LinkId> links;
+};
+
+/// Width-only probe result (no route reconstruction, no allocation).
+struct WidestWidthResult {
+  /// Destination reached with width > floor.
+  bool reachable{false};
+  /// The search aborted because no remaining path can exceed the caller's
+  /// floor; `width` then holds an upper bound (<= floor) on the true
+  /// width, and `reachable` is false even if a path <= floor exists.
+  bool pruned{false};
+  double width{0.0};
+};
+
+/// Caller-owned scratch buffers for the Dijkstra kernel.  Buffers are
+/// epoch-stamped: reset between queries is O(1) (a counter bump), and only
+/// nodes actually touched by a query are ever written.  One workspace may
+/// be reused across networks of different sizes and across different
+/// weight functors; it must not be shared by concurrent queries.
+class WidestPathWorkspace {
+ public:
+  /// Sizes the buffers for an `n`-node network and opens a new epoch.
+  void prepare(std::size_t n) {
+    if (phi_.size() < n) {
+      phi_.resize(n);
+      prev_.resize(n);
+      stamp_.assign(n, 0);
+      done_.assign(n, 0);
+    }
+    if (++epoch_ == 0) {  // epoch counter wrapped: hard-reset the stamps
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      std::fill(done_.begin(), done_.end(), 0);
+      epoch_ = 1;
+    }
+    heap_.clear();
+  }
+
+  // Kernel state, valid for nodes whose stamp equals the current epoch.
+  double phi(NcpId v) const { return stamp_[v] == epoch_ ? phi_[v] : -kInf_; }
+  LinkId prev(NcpId v) const {
+    return stamp_[v] == epoch_ ? prev_[v] : kInvalidId;
+  }
+  void relax(NcpId v, double width, LinkId via) {
+    phi_[v] = width;
+    prev_[v] = via;
+    stamp_[v] = epoch_;
+  }
+  bool done(NcpId v) const { return done_[v] == epoch_; }
+  void mark_done(NcpId v) { done_[v] = epoch_; }
+
+  /// Max-heap keyed by (width desc, node id asc): among equal widths the
+  /// lower NCP id is settled first — the deterministic tie-break rule.
+  void push(double width, NcpId v) {
+    heap_.push_back({width, v});
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess{});
+  }
+  bool heap_empty() const { return heap_.empty(); }
+  std::pair<double, NcpId> pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLess{});
+    const Entry e = heap_.back();
+    heap_.pop_back();
+    return {e.width, e.node};
+  }
+
+ private:
+  struct Entry {
+    double width;
+    NcpId node;
+  };
+  struct HeapLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.width != b.width) return a.width < b.width;
+      return a.node > b.node;
+    }
+  };
+  static constexpr double kInf_ = std::numeric_limits<double>::infinity();
+
+  std::vector<double> phi_;
+  std::vector<LinkId> prev_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint32_t> done_;
+  std::vector<Entry> heap_;
+  std::uint32_t epoch_{0};
+};
+
+namespace detail {
+
+/// Shared Dijkstra core.  Returns +1 when `to` was settled, 0 when the
+/// search exhausted the reachable set without meeting `to`, and -1 when it
+/// aborted because the widest remaining frontier width is <= `floor`
+/// (only possible with floor > 0).  On -1, *bound holds that frontier
+/// width.  phi/prev for settled nodes live in `ws`.
+template <typename WeightFn>
+int run_widest_dijkstra(const Network& net, NcpId from, NcpId to,
+                        const WeightFn& weight, WidestPathWorkspace& ws,
+                        double floor, double* bound) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ws.prepare(net.ncp_count());
+  ws.relax(from, kInf, kInvalidId);
+  ws.push(kInf, from);
+  while (!ws.heap_empty()) {
+    const auto [w, v] = ws.pop();
+    if (ws.done(v)) continue;
+    if (w <= floor) {  // no remaining path can beat the caller's floor
+      *bound = w;
+      return -1;
+    }
+    ws.mark_done(v);
+    if (v == to) return 1;
+    for (LinkId l : net.incident_links(v)) {
+      if (!net.can_traverse(l, v)) continue;
+      const double lw = weight(l);
+      if (!(lw > 0)) continue;  // unusable (zero, negative, or NaN)
+      const NcpId u = net.other_end(l, v);
+      if (ws.done(u)) continue;
+      const double cand = std::min(ws.phi(v), lw);
+      if (cand > ws.phi(u)) {
+        ws.relax(u, cand, l);
+        ws.push(cand, u);
+      }
+    }
+  }
+  return 0;
+}
+
+inline void check_endpoints(const Network& net, NcpId from, NcpId to,
+                            const char* who) {
+  if (from < 0 || to < 0 || from >= static_cast<NcpId>(net.ncp_count()) ||
+      to >= static_cast<NcpId>(net.ncp_count()))
+    throw std::invalid_argument(std::string(who) +
+                                ": endpoint out of range");
+}
+
+}  // namespace detail
+
+/// Buffered kernel with route reconstruction.  Identical semantics to
+/// widest_path() below but allocation-free apart from the result's link
+/// vector, and free of the std::function indirection.
+template <typename WeightFn>
+WidestPathResult widest_path_buffered(const Network& net, NcpId from,
+                                      NcpId to, const WeightFn& weight,
+                                      WidestPathWorkspace& ws) {
+  detail::check_endpoints(net, from, to, "widest_path");
+  WidestPathResult result;
+  if (from == to) {
+    result.reachable = true;
+    result.width = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  double bound = 0.0;
+  if (detail::run_widest_dijkstra(net, from, to, weight, ws, 0.0, &bound) !=
+      1)
+    return result;  // cut off
+  if (!(ws.phi(to) > 0) || ws.prev(to) == kInvalidId) return result;
+  result.reachable = true;
+  result.width = ws.phi(to);
+  for (NcpId at = to; at != from;) {
+    const LinkId l = ws.prev(at);
+    result.links.push_back(l);
+    at = net.other_end(l, at);
+  }
+  std::reverse(result.links.begin(), result.links.end());
+  return result;
+}
+
+/// Width-only buffered probe with exact branch-and-bound pruning: when no
+/// path wider than `floor` exists the search aborts early and reports
+/// `pruned` with an upper bound instead of the exact width.  Pass
+/// floor <= 0 for an exact reachability answer.
+template <typename WeightFn>
+WidestWidthResult widest_path_width(const Network& net, NcpId from, NcpId to,
+                                    const WeightFn& weight,
+                                    WidestPathWorkspace& ws,
+                                    double floor = 0.0) {
+  detail::check_endpoints(net, from, to, "widest_path");
+  WidestWidthResult r;
+  if (from == to) {
+    r.reachable = true;
+    r.width = std::numeric_limits<double>::infinity();
+    return r;
+  }
+  double bound = 0.0;
+  switch (detail::run_widest_dijkstra(net, from, to, weight, ws, floor,
+                                      &bound)) {
+    case 1:
+      r.reachable = true;
+      r.width = ws.phi(to);
+      break;
+    case -1:
+      r.pruned = true;
+      r.width = bound;
+      break;
+    default:
+      break;  // unreachable
+  }
+  return r;
+}
+
+/// Algorithm 1's per-link weight (eq. (3)): the rate a TT carrying
+/// `tt_bits` would see on link l given residual capacities and the bits
+/// already routed over l.
+struct TtPathWeight {
+  const CapacitySnapshot* cap;
+  const LoadMap* load;
+  double tt_bits;
+  double operator()(LinkId l) const {
+    const double denom = tt_bits + load->link_load(l);
+    if (denom <= 0)
+      return std::numeric_limits<double>::infinity();  // zero-bit TT: free
+    return cap->link(l) / denom;
+  }
 };
 
 /// Generic widest path between two NCPs under an arbitrary per-link weight.
@@ -38,10 +261,17 @@ WidestPathResult best_tt_path(const Network& net, const CapacitySnapshot& cap,
                               const LoadMap& load, double tt_bits, NcpId from,
                               NcpId to);
 
+/// Buffered variant of best_tt_path for hot paths.
+WidestPathResult best_tt_path(const Network& net, const CapacitySnapshot& cap,
+                              const LoadMap& load, double tt_bits, NcpId from,
+                              NcpId to, WidestPathWorkspace& ws);
+
 /// Load-oblivious hop-count shortest path (BFS, deterministic tie-break).
 /// This is the routing the non-network-aware baselines use; `reachable`
 /// is false when the NCPs are disconnected.  `width` reports the minimum
-/// raw bandwidth along the route (informational).
+/// raw bandwidth along the route (informational).  Honors the same
+/// "unusable link" rule as widest_path: links with non-positive (or NaN)
+/// bandwidth are never traversed.
 WidestPathResult shortest_hop_path(const Network& net, NcpId from, NcpId to);
 
 }  // namespace sparcle

@@ -14,7 +14,7 @@ NcpId Network::add_ncp(std::string name, ResourceVector capacity,
     throw std::invalid_argument("NCP '" + name +
                                 "' failure probability out of [0,1)");
   ncps_.push_back({std::move(name), std::move(capacity), fail_prob});
-  incident_.emplace_back();
+  csr_valid_ = false;
   return static_cast<NcpId>(ncps_.size() - 1);
 }
 
@@ -32,10 +32,8 @@ LinkId Network::add_link(std::string name, NcpId a, NcpId b, double bandwidth,
     throw std::invalid_argument("link '" + name +
                                 "' failure probability out of [0,1)");
   links_.push_back({std::move(name), bandwidth, a, b, fail_prob, false});
-  const LinkId id = static_cast<LinkId>(links_.size() - 1);
-  incident_[a].push_back(id);
-  incident_[b].push_back(id);
-  return id;
+  csr_valid_ = false;
+  return static_cast<LinkId>(links_.size() - 1);
 }
 
 LinkId Network::add_directed_link(std::string name, NcpId from, NcpId to,
@@ -52,6 +50,23 @@ NcpId Network::other_end(LinkId l, NcpId j) const {
   throw std::invalid_argument("NCP is not an endpoint of link");
 }
 
+void Network::rebuild_csr() const {
+  const std::size_t n = ncps_.size();
+  csr_off_.assign(n + 1, 0);
+  for (const Link& lk : links_) {
+    ++csr_off_[lk.a + 1];
+    ++csr_off_[lk.b + 1];
+  }
+  for (std::size_t j = 0; j < n; ++j) csr_off_[j + 1] += csr_off_[j];
+  csr_links_.resize(2 * links_.size());
+  std::vector<std::int32_t> cursor(csr_off_.begin(), csr_off_.end() - 1);
+  for (LinkId l = 0; l < static_cast<LinkId>(links_.size()); ++l) {
+    csr_links_[cursor[links_[l].a]++] = l;
+    csr_links_[cursor[links_[l].b]++] = l;
+  }
+  csr_valid_ = true;
+}
+
 bool Network::connected() const {
   if (ncps_.empty()) return true;
   std::vector<char> seen(ncps_.size(), 0);
@@ -62,7 +77,7 @@ bool Network::connected() const {
   while (!q.empty()) {
     const NcpId v = q.front();
     q.pop();
-    for (LinkId l : incident_[v]) {
+    for (LinkId l : incident_links(v)) {
       const NcpId u = other_end(l, v);
       if (!seen[u]) {
         seen[u] = 1;

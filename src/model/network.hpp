@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,9 +58,20 @@ class Network {
   const Ncp& ncp(NcpId j) const { return ncps_.at(j); }
   const Link& link(LinkId l) const { return links_.at(l); }
 
-  /// Links incident to NCP `j`.
-  const std::vector<LinkId>& incident_links(NcpId j) const {
-    return incident_.at(j);
+  /// Links incident to NCP `j`, in insertion (ascending link-id) order.
+  ///
+  /// The span views one contiguous CSR array shared by all NCPs, so the
+  /// shortest-path inner loops touch a single flat allocation instead of
+  /// chasing a vector-of-vectors.  The CSR is rebuilt lazily after a
+  /// mutation: the *first* call following add_ncp/add_link must not race
+  /// with other readers (concurrent calls on an unmodified network are
+  /// fine — they only read).
+  std::span<const LinkId> incident_links(NcpId j) const {
+    if (j < 0 || j >= static_cast<NcpId>(ncps_.size()))
+      throw std::out_of_range("Network::incident_links: NCP out of range");
+    if (!csr_valid_) rebuild_csr();
+    return {csr_links_.data() + csr_off_[j],
+            static_cast<std::size_t>(csr_off_[j + 1] - csr_off_[j])};
   }
 
   /// The endpoint of link `l` that is not `j`; throws if `j` is not an
@@ -85,10 +97,17 @@ class Network {
   }
 
  private:
+  void rebuild_csr() const;
+
   ResourceSchema schema_ = ResourceSchema::cpu_only();
   std::vector<Ncp> ncps_;
   std::vector<Link> links_;
-  std::vector<std::vector<LinkId>> incident_;
+  // Flat CSR adjacency: csr_off_ has ncp_count()+1 offsets into csr_links_
+  // (each undirected link appears under both endpoints).  Mutable so the
+  // logically-const accessor can rebuild it after add_ncp/add_link.
+  mutable std::vector<std::int32_t> csr_off_;
+  mutable std::vector<LinkId> csr_links_;
+  mutable bool csr_valid_{false};
 };
 
 }  // namespace sparcle

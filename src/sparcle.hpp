@@ -33,6 +33,7 @@
 #include "core/fairness.hpp"
 #include "core/latency.hpp"
 #include "core/local_search.hpp"
+#include "core/parallel.hpp"
 #include "core/prediction.hpp"
 #include "core/provisioning.hpp"
 #include "core/scheduler.hpp"

@@ -36,6 +36,33 @@ TEST(Network, IncidentLinks) {
   EXPECT_EQ(net.incident_links(1).size(), 2u);
 }
 
+TEST(Network, IncidentLinksCsrStaysCoherentAcrossMutations) {
+  // The flat CSR adjacency is rebuilt lazily; interleaving reads with
+  // add_ncp/add_link must always observe the up-to-date, ascending-id
+  // incident lists.
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("a", ResourceVector::scalar(1));
+  net.add_ncp("b", ResourceVector::scalar(1));
+  net.add_link("ab", 0, 1, 10);
+  ASSERT_EQ(net.incident_links(0).size(), 1u);
+  EXPECT_EQ(net.incident_links(0)[0], 0);
+
+  net.add_ncp("c", ResourceVector::scalar(1));
+  EXPECT_TRUE(net.incident_links(2).empty());  // new NCP visible, degree 0
+
+  net.add_link("bc", 1, 2, 20);
+  net.add_link("ca", 2, 0, 30);
+  const auto at0 = net.incident_links(0);
+  ASSERT_EQ(at0.size(), 2u);
+  EXPECT_EQ(at0[0], 0);  // ascending link-id order within each NCP
+  EXPECT_EQ(at0[1], 2);
+  const auto at2 = net.incident_links(2);
+  ASSERT_EQ(at2.size(), 2u);
+  EXPECT_EQ(at2[0], 1);
+  EXPECT_EQ(at2[1], 2);
+  EXPECT_THROW(net.incident_links(5), std::out_of_range);
+}
+
 TEST(Network, OtherEnd) {
   const Network net = make_triangle();
   EXPECT_EQ(net.other_end(0, 0), 1);

@@ -179,5 +179,106 @@ TEST_P(WidestPathRandom, MatchesBruteForceOnStarNetworks) {
 INSTANTIATE_TEST_SUITE_P(Seeds, WidestPathRandom,
                          ::testing::Range(1, 21));
 
+TEST(WidestPathWorkspace, ReusableAcrossCallsAndWeightFunctors) {
+  const Network net = make_diamond_net();
+  WidestPathWorkspace ws;
+
+  // First functor: raw bandwidths.
+  const auto bandwidth = [&](LinkId l) { return net.link(l).bandwidth; };
+  for (int round = 0; round < 3; ++round) {  // reuse must not leak state
+    const auto r = widest_path_buffered(net, 0, 3, bandwidth, ws);
+    ASSERT_TRUE(r.reachable);
+    EXPECT_DOUBLE_EQ(r.width, 10.0);
+    ASSERT_EQ(r.links.size(), 2u);
+    EXPECT_EQ(r.links[0], 0);
+    EXPECT_EQ(r.links[1], 1);
+  }
+
+  // Second functor with a different type and different optimum: inverted
+  // weights make the formerly-worst arm the widest one.
+  struct Inverted {
+    const Network* net;
+    double operator()(LinkId l) const {
+      return 100.0 - net->link(l).bandwidth;
+    }
+  };
+  const auto inv = widest_path_buffered(net, 0, 3, Inverted{&net}, ws);
+  ASSERT_TRUE(inv.reachable);
+  EXPECT_DOUBLE_EQ(inv.width, 90.0);  // 0-1-2-3: min(90, 99, 95)
+  const auto again = widest_path(net, 0, 3, [&](LinkId l) {
+    return 100.0 - net.link(l).bandwidth;
+  });
+  EXPECT_EQ(inv.links, again.links);
+
+  // Same workspace on a *different, larger* network.
+  Network big(ResourceSchema::cpu_only());
+  for (int i = 0; i < 12; ++i)
+    big.add_ncp("m" + std::to_string(i), ResourceVector::scalar(1));
+  for (int i = 0; i + 1 < 12; ++i)
+    big.add_link("c" + std::to_string(i), i, i + 1, 7.0);
+  const auto chain = widest_path_buffered(
+      big, 0, 11, [&](LinkId l) { return big.link(l).bandwidth; }, ws);
+  ASSERT_TRUE(chain.reachable);
+  EXPECT_DOUBLE_EQ(chain.width, 7.0);
+  EXPECT_EQ(chain.links.size(), 11u);
+}
+
+TEST(WidestPathWorkspace, WidthProbeHonorsFloorExactly) {
+  const Network net = make_diamond_net();
+  WidestPathWorkspace ws;
+  const auto bandwidth = [&](LinkId l) { return net.link(l).bandwidth; };
+
+  // Floor below the true width: exact answer, not pruned.
+  auto r = widest_path_width(net, 0, 3, bandwidth, ws, 5.0);
+  EXPECT_TRUE(r.reachable);
+  EXPECT_FALSE(r.pruned);
+  EXPECT_DOUBLE_EQ(r.width, 10.0);
+
+  // Floor at/above the true width: pruned with an upper bound <= floor.
+  r = widest_path_width(net, 0, 3, bandwidth, ws, 10.0);
+  EXPECT_FALSE(r.reachable);
+  EXPECT_TRUE(r.pruned);
+  EXPECT_LE(r.width, 10.0);
+
+  // Unreachable destination is reported as unreachable, never pruned,
+  // when the floor is non-positive.
+  Network cut(ResourceSchema::cpu_only());
+  cut.add_ncp("a", ResourceVector::scalar(1));
+  cut.add_ncp("b", ResourceVector::scalar(1));
+  r = widest_path_width(cut, 0, 1, [](LinkId) { return 1.0; }, ws, 0.0);
+  EXPECT_FALSE(r.reachable);
+  EXPECT_FALSE(r.pruned);
+}
+
+TEST(ShortestHopPath, SkipsDeadLinks) {
+  // A NaN-bandwidth link passes add_link's (<= 0) validation but is
+  // unusable under the widest_path rule; shortest_hop_path must honor the
+  // same rule instead of routing a TT over the dead link.
+  const double dead = std::numeric_limits<double>::quiet_NaN();
+  Network net(ResourceSchema::cpu_only());
+  for (int i = 0; i < 3; ++i)
+    net.add_ncp("n" + std::to_string(i), ResourceVector::scalar(1));
+  net.add_link("dead02", 0, 2, dead);  // direct but dead
+  net.add_link("l01", 0, 1, 5.0);
+  net.add_link("l12", 1, 2, 5.0);
+
+  const auto hop = shortest_hop_path(net, 0, 2);
+  ASSERT_TRUE(hop.reachable);
+  ASSERT_EQ(hop.links.size(), 2u);  // detour 0-1-2, not the dead link
+  EXPECT_EQ(hop.links[0], 1);
+  EXPECT_EQ(hop.links[1], 2);
+  EXPECT_DOUBLE_EQ(hop.width, 5.0);
+
+  // With only the dead link present the endpoints are disconnected.
+  Network only_dead(ResourceSchema::cpu_only());
+  only_dead.add_ncp("a", ResourceVector::scalar(1));
+  only_dead.add_ncp("b", ResourceVector::scalar(1));
+  only_dead.add_link("dead", 0, 1, dead);
+  EXPECT_FALSE(shortest_hop_path(only_dead, 0, 1).reachable);
+  EXPECT_FALSE(widest_path(only_dead, 0, 1, [&](LinkId l) {
+                 return only_dead.link(l).bandwidth;
+               }).reachable);
+}
+
 }  // namespace
 }  // namespace sparcle

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Refreshes the BENCH_assign.json trajectory: runs the assignment
+# microbenchmarks (bench_micro_scaling with SPARCLE_BENCH_JSON set), pulls
+# out the per-size means, and appends one labeled entry to the checked-in
+# trajectory file.
+#
+# Usage: tools/bench_assign.sh <label> [build-dir]
+#   e.g. tools/bench_assign.sh pr7-after build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:?usage: tools/bench_assign.sh <label> [build-dir]}"
+BUILD="${2:-build}"
+SCRATCH="$(mktemp /tmp/sparcle-bench-XXXX.json)"
+trap 'rm -f "${SCRATCH}"' EXIT
+
+cmake --build "${BUILD}" -j "$(nproc 2>/dev/null || echo 2)" \
+      --target bench_micro_scaling >/dev/null
+
+SPARCLE_BENCH_JSON="${SCRATCH}" \
+  "./${BUILD}/bench/bench_micro_scaling" \
+  --benchmark_filter='BM_SparcleAssign|BM_WidestPath' \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+
+python3 - "$SCRATCH" "$LABEL" <<'EOF'
+import json, sys, pathlib
+raw = json.load(open(sys.argv[1]))
+entry = {"label": sys.argv[2], "time_unit": "ns", "benchmarks": {}}
+for b in raw.get("benchmarks", []):
+    if b.get("aggregate_name") != "mean":
+        continue
+    name = b["run_name"]
+    entry["benchmarks"][name] = round(b["real_time"], 1)
+path = pathlib.Path("BENCH_assign.json")
+doc = json.loads(path.read_text()) if path.exists() else {
+    "description": "Assignment hot-path trajectory "
+                   "(mean real time, ns; see docs/perf.md)",
+    "trajectory": [],
+}
+doc["trajectory"].append(entry)
+path.write_text(json.dumps(doc, indent=2) + "\n")
+print(f"appended '{sys.argv[2]}' to {path}")
+EOF

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI-style verification: the tier-1 build + full ctest, then the same under
+# ASan/UBSan (SPARCLE_SANITIZE, see the top-level CMakeLists.txt), with the
+# assignment-equivalence property test called out explicitly since it
+# guards the memoized+parallel fast path.
+#
+# Usage: tools/check.sh [--skip-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== tier-1: configure + build + ctest (build/) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--skip-sanitize" ]]; then
+  echo "=== sanitize pass skipped ==="
+  exit 0
+fi
+
+echo "=== ASan/UBSan: configure + build + ctest (build-asan/) ==="
+cmake -B build-asan -S . -DSPARCLE_SANITIZE=address,undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo "=== equivalence property test under sanitizers ==="
+./build-asan/tests/test_assign_equivalence
+
+echo "OK: tier-1 and sanitized suites passed."
