@@ -17,6 +17,15 @@
 ///   --trace      with --simulate: write the unit-lifecycle event trace
 ///                as CSV to this file
 ///
+/// Observability (docs/observability.md):
+///   --metrics-out FILE   write a metrics snapshot on exit (counters,
+///                        gauges, histograms; JSON, or CSV when FILE ends
+///                        in .csv)
+///   --trace-out FILE     write phase-timer spans as Chrome trace-event
+///                        JSON (open in chrome://tracing or Perfetto)
+///   --decision-log FILE  write every admission/rejection/path-addition
+///                        decision with its reason as CSV
+///
 /// A scenario file example ships in examples/scenarios/.
 
 #include <cstdio>
@@ -28,6 +37,7 @@
 #include "baselines/registry.hpp"
 #include "core/scheduler.hpp"
 #include "model/dot_export.hpp"
+#include "obs/obs.hpp"
 #include "sim/stream_simulator.hpp"
 #include "sim/trace.hpp"
 #include "workload/scenario_io.hpp"
@@ -39,7 +49,9 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <scenario-file> [--assigner NAME] [--max-paths N] "
-               "[--dot PREFIX] [--simulate SECONDS]\n",
+               "[--dot PREFIX] [--simulate SECONDS] [--trace FILE]\n"
+               "       [--metrics-out FILE] [--trace-out FILE] "
+               "[--decision-log FILE]\n",
                argv0);
   return 2;
 }
@@ -54,6 +66,50 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Owns the observability sinks for the whole run and writes the requested
+/// output files on destruction — every exit path (including errors) still
+/// produces the snapshots gathered so far.
+struct ObsSession {
+  sparcle::obs::MetricsRegistry metrics;
+  sparcle::obs::ChromeTraceCollector trace;
+  sparcle::obs::DecisionLog decisions;
+  std::string metrics_path, trace_path, decisions_path;
+
+  bool active() const {
+    return !metrics_path.empty() || !trace_path.empty() ||
+           !decisions_path.empty();
+  }
+
+  void install() {
+    sparcle::obs::Observability o;
+    if (!metrics_path.empty()) o.metrics = &metrics;
+    if (!trace_path.empty()) o.trace = &trace;
+    if (!decisions_path.empty()) o.decisions = &decisions;
+    sparcle::obs::install(o);
+  }
+
+  ~ObsSession() {
+    sparcle::obs::uninstall();
+    if (!metrics_path.empty() &&
+        write_file(metrics_path, ends_with(metrics_path, ".csv")
+                                     ? metrics.to_csv()
+                                     : metrics.to_json()))
+      std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+    if (!trace_path.empty() && write_file(trace_path, trace.to_json()))
+      std::printf("Chrome trace (%zu spans) written to %s\n",
+                  trace.event_count(), trace_path.c_str());
+    if (!decisions_path.empty() &&
+        write_file(decisions_path, decisions.to_csv()))
+      std::printf("decision log (%zu rows) written to %s\n",
+                  decisions.size(), decisions_path.c_str());
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,6 +120,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::size_t max_paths = 4;
   double simulate_seconds = 0;
+  ObsSession obs_session;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,6 +148,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       trace_path = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      obs_session.metrics_path = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      obs_session.trace_path = v;
+    } else if (arg == "--decision-log") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      obs_session.decisions_path = v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage(argv[0]);
@@ -99,6 +168,7 @@ int main(int argc, char** argv) {
     }
   }
   if (scenario_path.empty()) return usage(argv[0]);
+  if (obs_session.active()) obs_session.install();
 
   workload::ScenarioFile scenario;
   try {

@@ -82,6 +82,7 @@ double GreedyEngine::gamma(CtId i, NcpId j, WidestPathWorkspace& ws,
                            double floor) const {
   const TaskGraph& g = graph();
   const CapacitySnapshot& cap = capacities();
+  gamma_evals_.fetch_add(1, std::memory_order_relaxed);
 
   // Node term: min_r C_j^(r) / (a_i^(r) + existing load on j).
   double rate = node_term(i, j);
@@ -95,9 +96,13 @@ double GreedyEngine::gamma(CtId i, NcpId j, WidestPathWorkspace& ws,
     const NcpId jo = placement_.ct_host(other);
     if (jo == j) continue;
     const TtPathWeight weight{&cap, &load_, probe_bits(i, other)};
+    widest_path_calls_.fetch_add(1, std::memory_order_relaxed);
     const WidestWidthResult probe =
         widest_path_width(net(), j, jo, weight, ws, floor);
-    if (probe.pruned) return std::min(rate, probe.width);  // <= floor
+    if (probe.pruned) {
+      bnb_prunes_.fetch_add(1, std::memory_order_relaxed);
+      return std::min(rate, probe.width);  // <= floor
+    }
     if (!probe.reachable) return 0.0;
     rate = std::min(rate, probe.width);
     if (rate <= floor) return rate;
@@ -117,7 +122,10 @@ NcpId GreedyEngine::best_host(CtId i, WidestPathWorkspace& ws,
     // Exact branch-and-bound: γ(i,j) <= node_term(i,j), and a tie goes to
     // the lower NCP id (already the incumbent), so a candidate whose bound
     // cannot *strictly* beat the incumbent is skipped outright.
-    if (best != kInvalidId && node_term(i, j) <= best_gamma) continue;
+    if (best != kInvalidId && node_term(i, j) <= best_gamma) {
+      bnb_prunes_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     const double g = gamma(i, j, ws, best_gamma);
     if (g > best_gamma || (g == best_gamma && j < best)) {
       best_gamma = g;
@@ -144,6 +152,7 @@ CommitEffects GreedyEngine::commit(CtId i, NcpId j) {
       placement_.place_tt(k, {});
       return;
     }
+    widest_path_calls_.fetch_add(1, std::memory_order_relaxed);
     const WidestPathResult path =
         routing_ == Routing::kWidestPath
             ? best_tt_path(net(), capacities(), load_, g.tt(k).bits_per_unit,

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "core/assignment.hpp"
@@ -23,6 +25,16 @@ struct CommitEffects {
   /// At least one TT route added load to at least one link.  When false,
   /// only the host NCP's node load changed.
   bool routed_links{false};
+};
+
+/// Work counters one engine accumulated over its lifetime (snapshot of the
+/// internal relaxed atomics — safe to read while parallel evaluation runs,
+/// exact once the evaluation round joined).  SparcleAssigner flushes these
+/// into the installed obs::MetricsRegistry under `assigner.*`.
+struct EngineStats {
+  std::uint64_t gamma_evals{0};       ///< γ(i,j) evaluations
+  std::uint64_t widest_path_calls{0}; ///< Dijkstra runs (probes + routing)
+  std::uint64_t bnb_prunes{0};        ///< candidates cut by the exact bound
 };
 
 class GreedyEngine {
@@ -95,6 +107,12 @@ class GreedyEngine {
   /// Finalizes: returns the (possibly incomplete) placement and rate.
   AssignmentResult finish() &&;
 
+  EngineStats stats() const {
+    return {gamma_evals_.load(std::memory_order_relaxed),
+            widest_path_calls_.load(std::memory_order_relaxed),
+            bnb_prunes_.load(std::memory_order_relaxed)};
+  }
+
  private:
   /// min_r C_j^(r) / (a_i^(r) + existing load on j) — the node term of
   /// eq. (2) and an upper bound on γ(i,j).
@@ -115,6 +133,11 @@ class GreedyEngine {
   bool probe_warm_{false};
   /// Scratch for the serial gamma()/best_host()/commit() entry points.
   mutable WidestPathWorkspace scratch_;
+  /// Relaxed work counters (see stats()); atomic because the per-round
+  /// candidate evaluation calls gamma()/best_host() from worker threads.
+  mutable std::atomic<std::uint64_t> gamma_evals_{0};
+  mutable std::atomic<std::uint64_t> widest_path_calls_{0};
+  mutable std::atomic<std::uint64_t> bnb_prunes_{0};
 };
 
 }  // namespace sparcle

@@ -8,12 +8,53 @@
 
 #include "core/availability.hpp"
 #include "core/prediction.hpp"
+#include "obs/obs.hpp"
 
 namespace sparcle {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-12;
+
+const char* qoe_name(const Application& app) {
+  return app.qoe.cls == QoeClass::kGuaranteedRate ? "GR" : "BE";
+}
+
+/// Counts the submission outcome and appends the admit/reject row to the
+/// installed decision log (docs/observability.md, "Decision log schema").
+void log_admission(const Application& app, const AdmissionResult& r) {
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("scheduler.submits").add(1);
+    reg->counter(r.admitted ? "scheduler.admitted" : "scheduler.rejected")
+        .add(1);
+  }
+  obs::DecisionLog* log = obs::decision_log();
+  if (log == nullptr) return;
+  std::string reason =
+      r.admitted ? "QoE target met (rate " + std::to_string(r.rate) +
+                       ", availability " + std::to_string(r.availability) +
+                       ", " + std::to_string(r.path_count) + " path(s))"
+                 : r.reason;
+  log->record(r.admitted ? obs::DecisionKind::kAdmit
+                         : obs::DecisionKind::kReject,
+              app.name, qoe_name(app), std::move(reason), r.rate,
+              r.availability, r.path_count);
+}
+
+/// One row per provisioned path, with the availability progress that
+/// justified (or will reject) the addition.
+void log_path_add(const Application& app, std::size_t path_count,
+                  double path_rate, double achieved, double target,
+                  const char* measure) {
+  if (obs::MetricsRegistry* reg = obs::metrics())
+    reg->counter("scheduler.paths_provisioned").add(1);
+  if (obs::DecisionLog* log = obs::decision_log())
+    log->record(obs::DecisionKind::kPathAdd, app.name, qoe_name(app),
+                "path " + std::to_string(path_count) + ": " + measure + " " +
+                    std::to_string(achieved) + " vs target " +
+                    std::to_string(target),
+                path_rate, achieved, path_count);
+}
 }  // namespace
 
 Scheduler::Scheduler(Network net, SchedulerOptions options)
@@ -107,6 +148,9 @@ Scheduler::RebalanceReport Scheduler::rebalance() {
         auto enough = [&](const std::vector<PathInfo>& paths) {
           recovered = 0;
           for (const PathInfo& pi : paths) recovered += pi.standalone_rate;
+          log_path_add(pa.app, pa.paths.size() + paths.size(),
+                       paths.back().standalone_rate, recovered, shortfall,
+                       "rebalance: recovered rate");
           return recovered + kEps >= shortfall;
         };
         std::vector<PathInfo> extra =
@@ -129,6 +173,10 @@ Scheduler::RebalanceReport Scheduler::rebalance() {
       // Best-Effort: top back up to the previous path count; rates come
       // from the PF re-solve below.
       auto enough = [&](const std::vector<PathInfo>& paths) {
+        log_path_add(pa.app, pa.paths.size() + paths.size(),
+                     paths.back().standalone_rate,
+                     static_cast<double>(pa.paths.size() + paths.size()),
+                     static_cast<double>(want), "rebalance: path count");
         return pa.paths.size() + paths.size() >= want;
       };
       std::vector<PathInfo> extra = find_paths(
@@ -228,9 +276,13 @@ std::vector<std::string> Scheduler::degraded_gr_apps() const {
 }
 
 AdmissionResult Scheduler::submit(const Application& app) {
+  const obs::ScopedTimer span("scheduler.submit");
   app.validate();
-  return app.qoe.cls == QoeClass::kBestEffort ? submit_best_effort(app)
-                                              : submit_guaranteed_rate(app);
+  const AdmissionResult result = app.qoe.cls == QoeClass::kBestEffort
+                                     ? submit_best_effort(app)
+                                     : submit_guaranteed_rate(app);
+  log_admission(app, result);
+  return result;
 }
 
 std::vector<PathInfo> Scheduler::find_paths(const Application& app,
@@ -274,6 +326,8 @@ AdmissionResult Scheduler::submit_best_effort(const Application& app) {
     for (const PathInfo& pi : paths) element_sets.push_back(pi.elements);
     const double prev = achieved;
     achieved = availability_any(net_, element_sets);
+    log_path_add(app, paths.size(), paths.back().standalone_rate, achieved,
+                 target, "availability");
     if (achieved + kEps >= target) return true;
     // Stagnation: an extra path that reuses the same elements cannot help.
     return paths.size() > 1 && achieved <= prev + kEps;
@@ -330,9 +384,15 @@ AdmissionResult Scheduler::submit_guaranteed_rate(const Application& app) {
       // Pure rate request: availability is the probability the rate is met
       // assuming everything up, i.e. 1 iff the aggregate reaches R_J.
       achieved = sum + kEps >= min_rate ? 1.0 : 0.0;
+      log_path_add(app, paths.size(), paths.back().standalone_rate, sum,
+                   min_rate, "aggregate rate");
       return achieved > 0;
     }
+    if (obs::MetricsRegistry* reg = obs::metrics())
+      reg->counter("scheduler.gr_subset_sum_evals").add(1);
     achieved = min_rate_availability(net_, element_sets, rates, min_rate);
+    log_path_add(app, paths.size(), paths.back().standalone_rate, achieved,
+                 target, "min-rate availability");
     return achieved + kEps >= target;
   };
   std::vector<PathInfo> paths = find_paths(app, residual_, min_rate, enough);
@@ -376,6 +436,9 @@ AdmissionResult Scheduler::submit_guaranteed_rate(const Application& app) {
 }
 
 bool Scheduler::reallocate_best_effort() {
+  const obs::ScopedTimer span("scheduler.be_resolve");
+  if (obs::MetricsRegistry* reg = obs::metrics())
+    reg->counter("scheduler.be_resolves").add(1);
   // Row layout: NCP j resource r -> j*R + r; link l -> ncp_count*R + l.
   const std::size_t nr = net_.schema().size();
   const std::size_t ncp_rows = net_.ncp_count() * nr;

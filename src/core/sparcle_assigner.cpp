@@ -11,6 +11,7 @@
 #include "core/local_search.hpp"
 #include "core/parallel.hpp"
 #include "core/widest_path.hpp"
+#include "obs/obs.hpp"
 
 namespace sparcle {
 
@@ -26,11 +27,49 @@ struct CachedBest {
   bool valid{false};
 };
 
+/// Memoization counters of one assign() run (see docs/observability.md).
+struct AssignCounters {
+  std::uint64_t rounds{0};
+  std::uint64_t memo_hits{0};
+  std::uint64_t memo_misses{0};
+  std::uint64_t memo_invalidations{0};
+};
+
+/// Flushes the run's counters into the installed registry on every exit
+/// path (including the infeasible early return).  No-op when no registry
+/// is installed.
+class MetricsFlush {
+ public:
+  MetricsFlush(const GreedyEngine& engine, const AssignCounters& counters)
+      : engine_(engine), counters_(counters) {}
+  ~MetricsFlush() {
+    obs::MetricsRegistry* reg = obs::metrics();
+    if (reg == nullptr) return;
+    const EngineStats es = engine_.stats();
+    reg->counter("assigner.assigns").add(1);
+    reg->counter("assigner.ranking_rounds").add(counters_.rounds);
+    reg->counter("assigner.memo.hits").add(counters_.memo_hits);
+    reg->counter("assigner.memo.misses").add(counters_.memo_misses);
+    reg->counter("assigner.memo.invalidations")
+        .add(counters_.memo_invalidations);
+    reg->counter("assigner.gamma_evals").add(es.gamma_evals);
+    reg->counter("assigner.widest_path_calls").add(es.widest_path_calls);
+    reg->counter("assigner.bnb_prunes").add(es.bnb_prunes);
+  }
+
+ private:
+  const GreedyEngine& engine_;
+  const AssignCounters& counters_;
+};
+
 }  // namespace
 
 AssignmentResult SparcleAssigner::assign(
     const AssignmentProblem& problem) const {
   using Ranking = SparcleAssignerOptions::Ranking;
+  // Phase span: in kBestOfBoth mode the two sub-assigns nest their own
+  // spans inside this one, so the Chrome trace shows the recursion.
+  obs::ScopedTimer span("assigner.assign");
   if (options_.ranking == Ranking::kBestOfBoth) {
     SparcleAssignerOptions a = options_, b = options_;
     a.ranking = Ranking::kMostConstrainedFirst;
@@ -65,14 +104,23 @@ AssignmentResult SparcleAssigner::assign(
   std::vector<CtId> stale;
   stale.reserve(total);
 
+  AssignCounters counters;
+  const MetricsFlush flush(engine, counters);
+
   // Recomputes every invalid cache entry of an unplaced CT.  The engine is
   // read-only during evaluation and each item writes only its own slot, so
   // the parallel fan-out is race-free; the (serial) reduction over the
   // cache afterwards makes the outcome bit-identical to a serial run.
   const auto refresh_cache = [&] {
     stale.clear();
-    for (CtId i = 0; i < static_cast<CtId>(total); ++i)
-      if (!engine.placed(i) && !cache[i].valid) stale.push_back(i);
+    for (CtId i = 0; i < static_cast<CtId>(total); ++i) {
+      if (engine.placed(i)) continue;
+      if (cache[i].valid)
+        ++counters.memo_hits;
+      else
+        stale.push_back(i);
+    }
+    counters.memo_misses += stale.size();
     const auto evaluate = [&](std::size_t idx, unsigned worker) {
       const CtId i = stale[idx];
       double gi = -kInf;
@@ -93,6 +141,7 @@ AssignmentResult SparcleAssigner::assign(
   bool order_frozen = false;
 
   while (engine.placed_count() < total) {
+    ++counters.rounds;
     CtId chosen = kInvalidId;
     NcpId chosen_host = kInvalidId;
 
@@ -154,8 +203,10 @@ AssignmentResult SparcleAssigner::assign(
       if (engine.placed(i) || !cache[i].valid) continue;
       if (!options_.memoize_gamma || graph.related(i, chosen) ||
           cache[i].host == chosen_host ||
-          (effects.routed_links && engine.has_placed_relative(i)))
+          (effects.routed_links && engine.has_placed_relative(i))) {
         cache[i].valid = false;
+        ++counters.memo_invalidations;
+      }
     }
   }
 

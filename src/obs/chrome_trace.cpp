@@ -1,0 +1,67 @@
+#include "obs/chrome_trace.hpp"
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+namespace sparcle::obs {
+
+namespace {
+
+/// Small stable per-thread id (hashing thread::id keeps the JSON compact).
+std::uint64_t tid_token() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000;
+}
+
+void json_escape(std::ostream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      default: out << c;
+    }
+  }
+}
+
+}  // namespace
+
+void ChromeTraceCollector::record_complete(std::string name, double ts_us,
+                                           double dur_us) {
+  const std::uint64_t tid = tid_token();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({std::move(name), ts_us, dur_us, tid});
+}
+
+std::size_t ChromeTraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void ChromeTraceCollector::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : events_) {
+    out << (first ? "\n" : ",\n") << "  {\"name\": \"";
+    json_escape(out, e.name);
+    std::ostringstream ts, dur;
+    ts.precision(17);
+    dur.precision(17);
+    ts << e.ts_us;
+    dur << e.dur_us;
+    out << "\", \"cat\": \"sparcle\", \"ph\": \"X\", \"ts\": " << ts.str()
+        << ", \"dur\": " << dur.str() << ", \"pid\": 1, \"tid\": " << e.tid
+        << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n") << "]}\n";
+}
+
+std::string ChromeTraceCollector::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace sparcle::obs

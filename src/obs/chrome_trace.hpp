@@ -1,0 +1,53 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file chrome_trace.hpp
+/// Collects Chrome trace-event "complete" spans (ph "X") and exports the
+/// JSON array format that chrome://tracing and https://ui.perfetto.dev load
+/// directly.  Nesting is implicit: spans on the same thread whose intervals
+/// contain each other render as a flame graph.  Spans are recorded by
+/// obs::ScopedTimer (obs.hpp); this class only stores and serializes them.
+
+namespace sparcle::obs {
+
+class ChromeTraceCollector {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ChromeTraceCollector() : origin_(Clock::now()) {}
+
+  /// Microseconds since the collector was created.
+  double to_origin_us(Clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - origin_).count();
+  }
+
+  /// Records one complete span on the calling thread.
+  void record_complete(std::string name, double ts_us, double dur_us);
+
+  std::size_t event_count() const;
+
+  /// {"traceEvents": [{"name": ..., "ph": "X", "ts": ..., "dur": ...,
+  ///  "pid": 1, "tid": ...}, ...]}
+  std::string to_json() const;
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct Event {
+    std::string name;
+    double ts_us;
+    double dur_us;
+    std::uint64_t tid;
+  };
+
+  Clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace sparcle::obs

@@ -1,0 +1,82 @@
+#include "obs/decision_log.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace sparcle::obs {
+
+namespace {
+
+void csv_field(std::ostream& out, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (char c : s) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+const char* to_string(DecisionKind kind) {
+  switch (kind) {
+    case DecisionKind::kAdmit: return "admit";
+    case DecisionKind::kReject: return "reject";
+    case DecisionKind::kPathAdd: return "path_add";
+  }
+  return "?";
+}
+
+void DecisionLog::record(DecisionKind kind, std::string app, std::string qoe,
+                         std::string reason, double rate, double availability,
+                         std::size_t paths) {
+  if (reason.empty()) reason = "(unspecified)";
+  std::lock_guard<std::mutex> lock(mu_);
+  Decision d;
+  d.seq = rows_.size();
+  d.kind = kind;
+  d.app = std::move(app);
+  d.qoe = std::move(qoe);
+  d.reason = std::move(reason);
+  d.rate = rate;
+  d.availability = availability;
+  d.paths = paths;
+  rows_.push_back(std::move(d));
+}
+
+std::vector<Decision> DecisionLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+std::size_t DecisionLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
+}
+
+void DecisionLog::write_csv(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << kCsvHeader << "\n";
+  for (const Decision& d : rows_) {
+    out << d.seq << ',' << to_string(d.kind) << ',';
+    csv_field(out, d.app);
+    out << ',' << d.qoe << ',';
+    csv_field(out, d.reason);
+    std::ostringstream nums;
+    nums.precision(12);
+    nums << ',' << d.rate << ',' << d.availability << ',' << d.paths;
+    out << nums.str() << "\n";
+  }
+}
+
+std::string DecisionLog::to_csv() const {
+  std::ostringstream os;
+  write_csv(os);
+  return os.str();
+}
+
+}  // namespace sparcle::obs

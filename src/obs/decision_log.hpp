@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file decision_log.hpp
+/// A structured record of every admission-control decision the scheduler
+/// takes: admissions, rejections, and individual path additions, each with
+/// a human-readable reason ("QoE unmet", "no feasible task-assignment
+/// path", ...).  The log is the audit trail that lets an operator answer
+/// "why was this application rejected?" without re-running the scheduler.
+/// Schema is documented in docs/observability.md.
+
+namespace sparcle::obs {
+
+enum class DecisionKind : std::uint8_t {
+  kAdmit,    ///< application admitted
+  kReject,   ///< application rejected
+  kPathAdd,  ///< one task-assignment path provisioned for an application
+};
+
+const char* to_string(DecisionKind kind);
+
+struct Decision {
+  std::uint64_t seq{0};  ///< global decision order (0-based)
+  DecisionKind kind{DecisionKind::kAdmit};
+  std::string app;       ///< application name
+  std::string qoe;       ///< "BE" or "GR"
+  std::string reason;    ///< never empty
+  double rate{0.0};          ///< allocated / standalone rate
+  double availability{0.0};  ///< achieved availability at decision time
+  std::size_t paths{0};      ///< path count at decision time
+};
+
+/// Thread-safe append-only decision record with CSV export.
+class DecisionLog {
+ public:
+  static constexpr const char* kCsvHeader =
+      "seq,kind,app,qoe,reason,rate,availability,paths";
+
+  void record(DecisionKind kind, std::string app, std::string qoe,
+              std::string reason, double rate, double availability,
+              std::size_t paths);
+
+  std::vector<Decision> snapshot() const;
+  std::size_t size() const;
+
+  /// Header plus one row per decision; fields containing commas or quotes
+  /// are double-quote escaped per RFC 4180.
+  void write_csv(std::ostream& out) const;
+  std::string to_csv() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Decision> rows_;
+};
+
+}  // namespace sparcle::obs

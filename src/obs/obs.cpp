@@ -1,0 +1,23 @@
+#include "obs/obs.hpp"
+
+namespace sparcle::obs {
+
+namespace detail {
+
+Globals& globals() {
+  static Globals g;
+  return g;
+}
+
+}  // namespace detail
+
+void install(const Observability& o) {
+  detail::Globals& g = detail::globals();
+  g.metrics.store(o.metrics, std::memory_order_relaxed);
+  g.trace.store(o.trace, std::memory_order_relaxed);
+  g.decisions.store(o.decisions, std::memory_order_relaxed);
+}
+
+void uninstall() { install(Observability{}); }
+
+}  // namespace sparcle::obs

@@ -41,11 +41,15 @@ class EventQueue {
       if (!live_[e.token]) continue;
       live_[e.token] = false;
       now_ = e.when;
+      ++fired_;
       e.cb();
       return true;
     }
     return false;
   }
+
+  /// Number of live events fired so far (cancelled events don't count).
+  std::uint64_t fired() const { return fired_; }
 
   /// Runs until the queue drains or the clock passes `until`.
   void run_until(double until) {
@@ -76,6 +80,7 @@ class EventQueue {
 
   double now_{0.0};
   Token next_token_{0};
+  std::uint64_t fired_{0};
   std::vector<bool> live_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
 };

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace sparcle::sim {
 
 namespace {
@@ -119,6 +121,8 @@ void StreamSimulator::enqueue_unit(std::size_t server_id, double work,
   queue->entries.push_back({work, ref});
   ++s.backlog;
   s.peak_backlog = std::max(s.peak_backlog, s.backlog);
+  if (queue_depth_hist_ != nullptr)
+    queue_depth_hist_->observe(static_cast<double>(s.backlog));
   reschedule(server_id);
 }
 
@@ -321,6 +325,12 @@ SimReport StreamSimulator::run(double duration, double warmup) {
   ran_ = true;
   warmup_ = warmup;
 
+  const obs::ScopedTimer span("sim.run");
+  if (obs::MetricsRegistry* reg = obs::metrics())
+    queue_depth_hist_ = &reg->histogram(
+        "sim.queue_depth",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0});
+
   for (std::size_t i = 0; i < streams_.size(); ++i)
     queue_.schedule(0.0, [this, i] { emit_unit(i); });
   for (std::size_t i = 0; i < failures_.size(); ++i) {
@@ -371,6 +381,20 @@ SimReport StreamSimulator::run(double duration, double warmup) {
     advance(s);
     report.link_utilization.push_back(s.busy_time / duration);
     report.link_peak_backlog.push_back(s.peak_backlog);
+  }
+
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("sim.events_processed").add(queue_.fired());
+    std::uint64_t emitted = 0, delivered = 0;
+    for (const Stream& s : streams_) {
+      emitted += s.next_unit;
+      delivered += s.delivered;
+    }
+    reg->counter("sim.units_emitted").add(emitted);
+    reg->counter("sim.units_delivered").add(delivered);
+    std::size_t peak = 0;
+    for (const Server& s : servers_) peak = std::max(peak, s.peak_backlog);
+    reg->gauge("sim.peak_backlog").max(static_cast<double>(peak));
   }
   return report;
 }

@@ -8,6 +8,7 @@
 #include "model/network.hpp"
 #include "model/placement.hpp"
 #include "model/task_graph.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
 
@@ -216,6 +217,9 @@ class StreamSimulator {
   TraceSink* trace_{nullptr};
   double warmup_{0.0};
   bool ran_{false};
+  /// Queue-depth histogram of the installed registry, cached at run()
+  /// start; nullptr (no per-event work) when no registry is installed.
+  obs::Histogram* queue_depth_hist_{nullptr};
 };
 
 }  // namespace sparcle::sim

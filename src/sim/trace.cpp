@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <map>
 #include <ostream>
 
@@ -19,15 +20,26 @@ const char* kind_name(TraceEvent::Kind k) {
   return "?";
 }
 
+/// Percentile of an unsorted sample vector, idx = p*(n-1) like StreamStats.
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
 }  // namespace
 
 CsvTraceSink::CsvTraceSink(std::ostream& out) : out_(&out) {
-  *out_ << "time,stream,unit,kind,task,hop\n";
+  *out_ << "time,stream,unit,kind,kind_code,task,hop\n";
 }
+
+CsvTraceSink::~CsvTraceSink() { out_->flush(); }
 
 void CsvTraceSink::record(const TraceEvent& e) {
   *out_ << e.time << ',' << e.stream << ',' << e.unit << ','
-        << kind_name(e.kind) << ',' << e.task << ',' << e.hop << '\n';
+        << kind_name(e.kind) << ',' << static_cast<int>(e.kind) << ','
+        << e.task << ',' << e.hop << '\n';
 }
 
 TraceAnalysis analyze_trace(const std::vector<TraceEvent>& events,
@@ -35,8 +47,14 @@ TraceAnalysis analyze_trace(const std::vector<TraceEvent>& events,
   TraceAnalysis out;
   out.ct_mean_sojourn.assign(graph.ct_count(), 0.0);
   out.tt_mean_sojourn.assign(graph.tt_count(), 0.0);
-  std::vector<std::size_t> ct_samples(graph.ct_count(), 0);
-  std::vector<std::size_t> tt_samples(graph.tt_count(), 0);
+  out.ct_samples.assign(graph.ct_count(), 0);
+  out.tt_samples.assign(graph.tt_count(), 0);
+  out.ct_p50_sojourn.assign(graph.ct_count(), 0.0);
+  out.ct_p99_sojourn.assign(graph.ct_count(), 0.0);
+  out.tt_p50_sojourn.assign(graph.tt_count(), 0.0);
+  out.tt_p99_sojourn.assign(graph.tt_count(), 0.0);
+  std::vector<std::vector<double>> ct_sojourns(graph.ct_count());
+  std::vector<std::vector<double>> tt_sojourns(graph.tt_count());
 
   // Start times keyed by (unit, task): CTs enqueue once per unit; TTs may
   // see several packets per unit, so the TT sojourn spans the first
@@ -60,8 +78,7 @@ TraceAnalysis analyze_trace(const std::vector<TraceEvent>& events,
       case TraceEvent::Kind::kCtFinished: {
         const auto it = ct_start.find(key);
         if (it != ct_start.end()) {
-          out.ct_mean_sojourn[e.task] += e.time - it->second;
-          ++ct_samples[e.task];
+          ct_sojourns[e.task].push_back(e.time - it->second);
           ct_start.erase(it);
         }
         break;
@@ -86,16 +103,31 @@ TraceAnalysis analyze_trace(const std::vector<TraceEvent>& events,
   for (const auto& [key, finish] : tt_last_finish) {
     const auto it = tt_start.find(key);
     if (it == tt_start.end()) continue;
-    out.tt_mean_sojourn[key.second] += finish - it->second;
-    ++tt_samples[key.second];
+    tt_sojourns[key.second].push_back(finish - it->second);
   }
 
-  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i)
-    if (ct_samples[i] > 0)
-      out.ct_mean_sojourn[i] /= static_cast<double>(ct_samples[i]);
-  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k)
-    if (tt_samples[k] > 0)
-      out.tt_mean_sojourn[k] /= static_cast<double>(tt_samples[k]);
+  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i) {
+    auto& samples = ct_sojourns[i];
+    out.ct_samples[i] = samples.size();
+    if (samples.empty()) continue;
+    double sum = 0;
+    for (const double s : samples) sum += s;
+    out.ct_mean_sojourn[i] = sum / static_cast<double>(samples.size());
+    std::sort(samples.begin(), samples.end());
+    out.ct_p50_sojourn[i] = percentile(samples, 0.50);
+    out.ct_p99_sojourn[i] = percentile(samples, 0.99);
+  }
+  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k) {
+    auto& samples = tt_sojourns[k];
+    out.tt_samples[k] = samples.size();
+    if (samples.empty()) continue;
+    double sum = 0;
+    for (const double s : samples) sum += s;
+    out.tt_mean_sojourn[k] = sum / static_cast<double>(samples.size());
+    std::sort(samples.begin(), samples.end());
+    out.tt_p50_sojourn[k] = percentile(samples, 0.50);
+    out.tt_p99_sojourn[k] = percentile(samples, 0.99);
+  }
   out.mean_latency = out.delivered_units > 0
                          ? latency_sum /
                                static_cast<double>(out.delivered_units)

@@ -51,11 +51,16 @@ class VectorTraceSink : public TraceSink {
   std::vector<TraceEvent> events_;
 };
 
-/// Streams events as CSV rows: time,stream,unit,kind,task,hop.
+/// Streams events as CSV rows: time,stream,unit,kind,kind_code,task,hop.
+/// `kind` is the symbolic name (e.g. ct_finished); `kind_code` keeps the
+/// raw enum integer for tools that predate the names.
 class CsvTraceSink : public TraceSink {
  public:
   /// `out` must outlive the sink.  Writes the header immediately.
   explicit CsvTraceSink(std::ostream& out);
+  /// Flushes the stream so a sink destroyed before the program's streams
+  /// unwind still leaves a complete file behind.
+  ~CsvTraceSink() override;
   void record(const TraceEvent& event) override;
 
  private:
@@ -69,6 +74,16 @@ struct TraceAnalysis {
   std::vector<double> ct_mean_sojourn;
   /// Mean total transfer sojourn per TT (all hops), indexed by TtId.
   std::vector<double> tt_mean_sojourn;
+  /// Completed sojourn samples per CT / TT (the divisor behind the means —
+  /// a mean over 3 samples deserves less trust than one over 3000).
+  std::vector<std::size_t> ct_samples;
+  std::vector<std::size_t> tt_samples;
+  /// Sojourn percentiles per stage, same indexing and same idx = p*(n-1)
+  /// convention as StreamStats; 0 where no samples exist.
+  std::vector<double> ct_p50_sojourn;
+  std::vector<double> ct_p99_sojourn;
+  std::vector<double> tt_p50_sojourn;
+  std::vector<double> tt_p99_sojourn;
   /// Mean emission-to-delivery latency.
   double mean_latency{0.0};
   std::size_t delivered_units{0};

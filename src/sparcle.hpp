@@ -9,12 +9,16 @@
 ///   using namespace sparcle;
 ///
 /// Layering (see DESIGN.md):
+///   obs/       — metrics registry, phase timers, decision log
 ///   model/     — task graphs, networks, capacities, placements
 ///   core/      — SPARCLE's algorithms and the admission scheduler
 ///   baselines/ — comparator algorithms (pull in via their own headers)
 ///   sim/       — discrete-event simulator
 ///   energy/    — power/efficiency model
 ///   workload/  — generators, scenario files, statistics
+
+// Observability (docs/observability.md).
+#include "obs/obs.hpp"
 
 // Substrate types.
 #include "model/application.hpp"

@@ -77,6 +77,14 @@ TEST(Trace, AnalysisRecoversStageSojourns) {
   EXPECT_NEAR(a.tt_mean_sojourn[0], 2.0, 1e-6);
   EXPECT_NEAR(a.ct_mean_sojourn[1], 0.5, 1e-6);
   EXPECT_NEAR(a.mean_latency, 2.5, 1e-6);
+  // Every sojourn is identical for isolated units, so the distribution is
+  // degenerate: p50 == p99 == mean, and samples == delivered units.
+  EXPECT_EQ(a.ct_samples[1], a.delivered_units);
+  EXPECT_EQ(a.tt_samples[0], a.delivered_units);
+  EXPECT_NEAR(a.tt_p50_sojourn[0], 2.0, 1e-6);
+  EXPECT_NEAR(a.tt_p99_sojourn[0], 2.0, 1e-6);
+  EXPECT_NEAR(a.ct_p50_sojourn[1], 0.5, 1e-6);
+  EXPECT_NEAR(a.ct_p99_sojourn[1], 0.5, 1e-6);
   // Stage sums reconstruct the end-to-end latency for a chain.
   const double sum = a.ct_mean_sojourn[0] + a.ct_mean_sojourn[1] +
                      a.ct_mean_sojourn[2] + a.tt_mean_sojourn[0] +
@@ -94,6 +102,9 @@ TEST(Trace, AnalysisMatchesSimulatorStats) {
   const TraceAnalysis a = analyze_trace(trace.events(), f.graph);
   EXPECT_EQ(a.delivered_units, rep.streams[0].delivered);
   EXPECT_NEAR(a.mean_latency, rep.streams[0].mean_latency, 1e-9);
+  // Under queueing the tail stretches past the median.
+  EXPECT_GE(a.tt_p99_sojourn[0], a.tt_p50_sojourn[0]);
+  EXPECT_GE(a.tt_p99_sojourn[0], a.tt_mean_sojourn[0] - 1e-9);
 }
 
 TEST(Trace, CsvSinkWritesHeaderAndRows) {
@@ -102,9 +113,10 @@ TEST(Trace, CsvSinkWritesHeaderAndRows) {
   csv.record({1.5, 0, 7, TraceEvent::Kind::kCtEnqueued, 2, 0});
   csv.record({2.5, 0, 7, TraceEvent::Kind::kDelivered, -1, 0});
   const std::string text = os.str();
-  EXPECT_NE(text.find("time,stream,unit,kind,task,hop"), std::string::npos);
-  EXPECT_NE(text.find("1.5,0,7,ct_enqueued,2,0"), std::string::npos);
-  EXPECT_NE(text.find("2.5,0,7,delivered,-1,0"), std::string::npos);
+  EXPECT_NE(text.find("time,stream,unit,kind,kind_code,task,hop"),
+            std::string::npos);
+  EXPECT_NE(text.find("1.5,0,7,ct_enqueued,1,2,0"), std::string::npos);
+  EXPECT_NE(text.find("2.5,0,7,delivered,5,-1,0"), std::string::npos);
 }
 
 TEST(Trace, PerStreamFiltering) {
