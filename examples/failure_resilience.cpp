@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/availability.hpp"
+#include "check/invariants.hpp"
 #include "core/scheduler.hpp"
 #include "sim/stream_simulator.hpp"
 #include "workload/task_graphs.hpp"
@@ -49,6 +50,10 @@ Application make_app(double availability) {
 }  // namespace
 
 int main() {
+  // Self-validation: in debug builds every scheduler mutation re-checks
+  // the full invariant set (no-op in release builds).
+  const check::ScopedValidation validation;
+
   const Network net = make_net();
 
   std::printf(

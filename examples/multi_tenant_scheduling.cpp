@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "check/invariants.hpp"
 #include "core/scheduler.hpp"
 #include "workload/task_graphs.hpp"
 #include "workload/topologies.hpp"
@@ -38,6 +39,10 @@ void print_allocations(const Scheduler& sched) {
 }  // namespace
 
 int main() {
+  // Self-validation: in debug builds every scheduler mutation re-checks
+  // the full invariant set (no-op in release builds).
+  const check::ScopedValidation validation;
+
   // A shared edge site: star of 8 heterogeneous NCPs.
   Rng rng(21);
   workload::NetRanges ranges;

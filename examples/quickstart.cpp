@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "check/invariants.hpp"
 #include "core/scheduler.hpp"
 #include "core/sparcle_assigner.hpp"
 #include "sim/stream_simulator.hpp"
@@ -15,6 +16,10 @@
 using namespace sparcle;
 
 int main() {
+  // Self-validation: in debug builds every scheduler mutation re-checks
+  // the full invariant set (no-op in release builds).
+  const check::ScopedValidation validation;
+
   // 1. A small dispersed network: two field devices, an edge server, and a
   //    camera/consumer site, with heterogeneous links (bits/s) and CPU
   //    capacities (megacycles/s).

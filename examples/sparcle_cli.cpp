@@ -16,6 +16,10 @@
 ///                seconds and report delivered throughput
 ///   --trace      with --simulate: write the unit-lifecycle event trace
 ///                as CSV to this file
+///   --validate   run the invariant checker (src/check) after every
+///                scheduler mutation and once more on the final state;
+///                any violation is printed and exits with status 3
+///                (docs/testing.md has the invariant catalog)
 ///
 /// Observability (docs/observability.md):
 ///   --metrics-out FILE   write a metrics snapshot on exit (counters,
@@ -32,9 +36,11 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "baselines/registry.hpp"
+#include "check/invariants.hpp"
 #include "core/scheduler.hpp"
 #include "model/dot_export.hpp"
 #include "obs/obs.hpp"
@@ -51,7 +57,7 @@ int usage(const char* argv0) {
                "usage: %s <scenario-file> [--assigner NAME] [--max-paths N] "
                "[--dot PREFIX] [--simulate SECONDS] [--trace FILE]\n"
                "       [--metrics-out FILE] [--trace-out FILE] "
-               "[--decision-log FILE]\n",
+               "[--decision-log FILE] [--validate]\n",
                argv0);
   return 2;
 }
@@ -120,6 +126,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::size_t max_paths = 4;
   double simulate_seconds = 0;
+  bool validate = false;
   ObsSession obs_session;
 
   for (int i = 1; i < argc; ++i) {
@@ -160,6 +167,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       obs_session.decisions_path = v;
+    } else if (arg == "--validate") {
+      validate = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage(argv[0]);
@@ -192,6 +201,13 @@ int main(int argc, char** argv) {
   }
   Scheduler sched(scenario.net, std::move(assigner), options);
 
+  // With --validate every mutating scheduler call re-checks the full
+  // invariant set (the hook throws std::logic_error on the first
+  // violation, caught per-submit below); in debug builds the hook is
+  // armed even without the flag.
+  std::optional<check::ScopedValidation> validation;
+  if (validate) validation.emplace(/*force=*/true);
+
   if (!dot_prefix.empty())
     write_file(dot_prefix + "_network.dot", network_to_dot(sched.network()));
 
@@ -200,6 +216,12 @@ int main(int argc, char** argv) {
     AdmissionResult r;
     try {
       r = sched.submit(app);
+    } catch (const std::logic_error& e) {
+      // The validation hook found a broken invariant: the state cannot be
+      // trusted past this point, so fail loudly instead of continuing.
+      std::fprintf(stderr, "validation FAILED after submitting %s:\n%s",
+                   app.name.c_str(), e.what());
+      return 3;
     } catch (const std::exception& e) {
       std::printf("  %-16s ERROR: %s\n", app.name.c_str(), e.what());
       continue;
@@ -237,6 +259,17 @@ int main(int argc, char** argv) {
     std::printf("  BE utility: %.4f\n", utility);
   if (sched.total_gr_rate() > 0)
     std::printf("  total GR rate: %.4f\n", sched.total_gr_rate());
+
+  if (validate) {
+    const check::CheckReport report = check::check_scheduler_state(sched);
+    if (!report.ok()) {
+      std::fprintf(stderr, "\nvalidation FAILED on the final state:\n%s",
+                   report.to_string().c_str());
+      return 3;
+    }
+    std::printf("\nvalidation: OK (%zu placed app(s), all invariants hold)\n",
+                sched.placed().size());
+  }
 
   if (simulate_seconds > 0) {
     std::printf("\nsimulating %.0f s at 95%% of allocated rates:\n",

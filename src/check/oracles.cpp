@@ -1,0 +1,423 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "baselines/exhaustive.hpp"
+#include "model/placement.hpp"
+#include "model/task_graph.hpp"
+
+namespace sparcle::check {
+
+namespace {
+
+bool close_rel(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= tol * scale;
+}
+
+Violation make_violation(InvariantCode code, std::string detail,
+                         double slack = 0.0) {
+  Violation v;
+  v.code = code;
+  v.slack = slack;
+  v.detail = std::move(detail);
+  return v;
+}
+
+/// Same hosts and same routes for every CT/TT.
+bool same_placement(const TaskGraph& graph, const Placement& a,
+                    const Placement& b) {
+  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i)
+    if (a.ct_host(i) != b.ct_host(i)) return false;
+  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k)
+    if (a.tt_route(k) != b.tt_route(k)) return false;
+  return true;
+}
+
+/// A structural copy of `graph` with every CT requirement and TT bit count
+/// multiplied by `factor`.
+TaskGraph scale_graph(const TaskGraph& graph, double factor) {
+  TaskGraph scaled(graph.schema());
+  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i) {
+    const ComputeTask& ct = graph.ct(i);
+    scaled.add_ct(ct.name, ct.requirement * factor);
+  }
+  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k) {
+    const TransportTask& tt = graph.tt(k);
+    scaled.add_tt(tt.name, tt.bits_per_unit * factor, tt.src, tt.dst);
+  }
+  scaled.finalize();
+  return scaled;
+}
+
+void scale_capacities(CapacitySnapshot& cap, double factor) {
+  for (NcpId j = 0; j < static_cast<NcpId>(cap.ncp_count()); ++j)
+    cap.ncp(j) *= factor;
+  for (LinkId l = 0; l < static_cast<LinkId>(cap.link_count()); ++l)
+    cap.link(l) *= factor;
+}
+
+/// Every capacity strictly positive: with positive capacities any complete
+/// placement has a positive bottleneck rate, so feasibility reduces to
+/// "pins satisfiable on a connected network" and both solvers must agree.
+bool all_capacities_positive(const CapacitySnapshot& cap) {
+  for (NcpId j = 0; j < static_cast<NcpId>(cap.ncp_count()); ++j)
+    for (std::size_t r = 0; r < cap.ncp(j).size(); ++r)
+      if (!(cap.ncp(j)[r] > 0)) return false;
+  for (LinkId l = 0; l < static_cast<LinkId>(cap.link_count()); ++l)
+    if (!(cap.link(l) > 0)) return false;
+  return true;
+}
+
+}  // namespace
+
+bool unique_route_topology(const Network& net) {
+  if (net.ncp_count() == 0 || !net.connected()) return false;
+  if (net.link_count() != net.ncp_count() - 1) return false;
+  for (LinkId l = 0; l < static_cast<LinkId>(net.link_count()); ++l)
+    if (net.link(l).directed) return false;
+  return true;
+}
+
+bool exhaustively_enumerable(const AssignmentProblem& problem,
+                             const OracleOptions& options) {
+  if (!problem.net || !problem.graph) return false;
+  const std::uint64_t ncps = problem.net->ncp_count();
+  if (ncps == 0) return false;
+  std::uint64_t combos = 1;
+  for (CtId i = 0; i < static_cast<CtId>(problem.graph->ct_count()); ++i) {
+    if (problem.pinned.count(i)) continue;
+    if (combos > options.max_exhaustive_assignments / ncps) return false;
+    combos *= ncps;
+  }
+  return combos <= options.max_exhaustive_assignments;
+}
+
+DifferentialReport differential_vs_exhaustive(const AssignmentProblem& problem,
+                                              const Assigner& assigner,
+                                              const OracleOptions& options) {
+  DifferentialReport out;
+  const AssignmentResult heuristic = assigner.assign(problem);
+  const ExhaustiveAssigner exhaustive(
+      options.max_exhaustive_assignments);
+  const AssignmentResult optimal = exhaustive.assign(problem);
+
+  // Both solutions must satisfy problem (1) on their own terms.
+  for (const auto* r : {&heuristic, &optimal}) {
+    CheckReport solo = check_assignment(problem, *r, options.check);
+    out.report.violations.insert(out.report.violations.end(),
+                                 solo.violations.begin(),
+                                 solo.violations.end());
+  }
+
+  out.heuristic_feasible = heuristic.feasible;
+  out.optimal_feasible = optimal.feasible;
+  out.heuristic_rate = heuristic.rate;
+  out.optimal_rate = optimal.rate;
+
+  // With strictly positive capacities any complete placement has positive
+  // rate, so feasibility is purely structural and must agree; with zeroed
+  // capacities (residual problems) a greedy can legitimately dead-end.
+  const bool positive = all_capacities_positive(problem.capacities);
+  if (positive && optimal.feasible && !heuristic.feasible) {
+    out.report.violations.push_back(make_violation(
+        InvariantCode::kOracleInfeasible,
+        "heuristic found no placement but the exhaustive optimum is " +
+            std::to_string(optimal.rate) + " (" + heuristic.message + ")",
+        -optimal.rate));
+  }
+  if (positive && heuristic.feasible && !optimal.feasible) {
+    out.report.violations.push_back(make_violation(
+        InvariantCode::kOracleSuboptimal,
+        "heuristic claims rate " + std::to_string(heuristic.rate) +
+            " but the exhaustive search found the problem infeasible",
+        -heuristic.rate));
+  }
+  if (heuristic.feasible && optimal.feasible) {
+    const double tol = options.tolerance *
+                       std::max({1.0, heuristic.rate, optimal.rate});
+    if (heuristic.rate > optimal.rate + tol &&
+        unique_route_topology(*problem.net))
+      out.report.violations.push_back(make_violation(
+          InvariantCode::kOracleSuboptimal,
+          "heuristic rate " + std::to_string(heuristic.rate) +
+              " exceeds the enumerated optimum " +
+              std::to_string(optimal.rate) +
+              " on a unique-route topology",
+          optimal.rate - heuristic.rate));
+    out.gap = optimal.rate > 0 ? heuristic.rate / optimal.rate : 1.0;
+  } else if (!heuristic.feasible && !optimal.feasible) {
+    out.gap = 1.0;
+  } else {
+    out.gap = 0.0;
+  }
+  return out;
+}
+
+CheckReport oracle_capacity_monotonicity(const AssignmentProblem& problem,
+                                         const OracleOptions& options) {
+  CheckReport report;
+  const ExhaustiveAssigner exhaustive(
+      options.max_exhaustive_assignments);
+  const AssignmentResult base = exhaustive.assign(problem);
+  const std::size_t nr = problem.net->schema().size();
+  for (NcpId j = 0; j < static_cast<NcpId>(problem.net->ncp_count()); ++j) {
+    for (std::size_t r = 0; r < nr; ++r) {
+      AssignmentProblem raised = problem;
+      raised.capacities.ncp(j)[r] *= 2.0;
+      const AssignmentResult after = exhaustive.assign(raised);
+      if (!base.feasible) continue;  // gaining feasibility is fine
+      const double tol =
+          options.tolerance * std::max({1.0, base.rate, after.rate});
+      if (!after.feasible || after.rate < base.rate - tol) {
+        Violation v = make_violation(
+            InvariantCode::kOracleNotMonotone,
+            "doubling ncp " + std::to_string(j) + " resource " +
+                problem.net->schema().name(r) +
+                " dropped the exhaustive optimum from " +
+                std::to_string(base.rate) + " to " +
+                std::to_string(after.feasible ? after.rate : 0.0),
+            (after.feasible ? after.rate : 0.0) - base.rate);
+        v.element = ElementKey::ncp(j);
+        v.element_scoped = true;
+        report.violations.push_back(v);
+      }
+    }
+  }
+  return report;
+}
+
+CheckReport oracle_scaling(const AssignmentProblem& problem,
+                           const Assigner& assigner, double factor,
+                           const OracleOptions& options) {
+  CheckReport report;
+  if (!(factor > 0) || std::exp2(std::round(std::log2(factor))) != factor) {
+    report.violations.push_back(make_violation(
+        InvariantCode::kOracleScalingBroken,
+        "scaling factor " + std::to_string(factor) +
+            " is not a positive power of two; the exactness argument "
+            "does not apply"));
+    return report;
+  }
+  const AssignmentResult base = assigner.assign(problem);
+  const TaskGraph scaled_graph = scale_graph(*problem.graph, factor);
+
+  struct Variant {
+    const char* what;
+    AssignmentProblem problem;
+    double expected_rate;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant caps{"capacities x f", problem, base.rate * factor};
+    scale_capacities(caps.problem.capacities, factor);
+    variants.push_back(std::move(caps));
+  }
+  {
+    Variant demands{"demands x f", problem, base.rate * (1.0 / factor)};
+    demands.problem.graph = &scaled_graph;
+    variants.push_back(std::move(demands));
+  }
+  {
+    Variant joint{"capacities and demands x f", problem, base.rate};
+    joint.problem.graph = &scaled_graph;
+    scale_capacities(joint.problem.capacities, factor);
+    variants.push_back(std::move(joint));
+  }
+
+  for (const Variant& variant : variants) {
+    const AssignmentResult scaled = assigner.assign(variant.problem);
+    if (scaled.feasible != base.feasible) {
+      report.violations.push_back(make_violation(
+          InvariantCode::kOracleScalingBroken,
+          std::string(variant.what) + " flipped feasibility from " +
+              (base.feasible ? "feasible" : "infeasible") + " to " +
+              (scaled.feasible ? "feasible" : "infeasible")));
+      continue;
+    }
+    if (!base.feasible) continue;
+    if (!same_placement(*problem.graph, base.placement, scaled.placement))
+      report.violations.push_back(make_violation(
+          InvariantCode::kOracleScalingBroken,
+          std::string(variant.what) +
+              " changed the produced placement (uniform scaling must "
+              "preserve every argmax decision)"));
+    if (!close_rel(scaled.rate, variant.expected_rate, options.tolerance))
+      report.violations.push_back(make_violation(
+          InvariantCode::kOracleScalingBroken,
+          std::string(variant.what) + " produced rate " +
+              std::to_string(scaled.rate) + ", expected " +
+              std::to_string(variant.expected_rate),
+          scaled.rate - variant.expected_rate));
+  }
+  return report;
+}
+
+CheckReport oracle_unused_link_removal(const AssignmentProblem& problem,
+                                       const AssignmentResult& result,
+                                       const OracleOptions& /*options*/) {
+  // The rate comparison is exact: unused links contribute no load, so the
+  // bottleneck minimum runs over an identical set of loaded elements.
+  CheckReport report;
+  if (!result.feasible) return report;
+  const Network& net = *problem.net;
+  const TaskGraph& graph = *problem.graph;
+
+  std::set<LinkId> used;
+  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k)
+    for (LinkId l : result.placement.tt_route(k)) used.insert(l);
+  if (used.size() == net.link_count()) return report;  // nothing to drop
+
+  // Rebuild the network with only the used links; NCP ids are stable, so
+  // hosts and pins carry over verbatim.
+  Network reduced(net.schema());
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j) {
+    const Ncp& ncp = net.ncp(j);
+    reduced.add_ncp(ncp.name, ncp.capacity, ncp.fail_prob);
+  }
+  std::map<LinkId, LinkId> link_map;
+  for (LinkId l = 0; l < static_cast<LinkId>(net.link_count()); ++l) {
+    if (!used.count(l)) continue;
+    const Link& link = net.link(l);
+    link_map[l] = link.directed
+                      ? reduced.add_directed_link(link.name, link.a, link.b,
+                                                  link.bandwidth,
+                                                  link.fail_prob)
+                      : reduced.add_link(link.name, link.a, link.b,
+                                         link.bandwidth, link.fail_prob);
+  }
+
+  Placement remapped(graph);
+  for (CtId i = 0; i < static_cast<CtId>(graph.ct_count()); ++i)
+    remapped.place_ct(i, result.placement.ct_host(i));
+  for (TtId k = 0; k < static_cast<TtId>(graph.tt_count()); ++k) {
+    std::vector<LinkId> route;
+    for (LinkId l : result.placement.tt_route(k))
+      route.push_back(link_map.at(l));
+    remapped.place_tt(k, std::move(route));
+  }
+
+  std::string err;
+  if (!remapped.validate(graph, reduced, &err)) {
+    report.violations.push_back(make_violation(
+        InvariantCode::kOracleRemovalVariant,
+        "solution no longer structurally valid after dropping the links "
+        "it does not use: " +
+            err));
+    return report;
+  }
+
+  CapacitySnapshot reduced_cap(reduced);
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j)
+    reduced_cap.ncp(j) = problem.capacities.ncp(j);
+  for (const auto& [old_l, new_l] : link_map)
+    reduced_cap.link(new_l) = problem.capacities.link(old_l);
+
+  const LoadMap load(reduced, graph, remapped);
+  const double rate = bottleneck_rate(reduced_cap, load);
+  if (rate != result.rate)
+    report.violations.push_back(make_violation(
+        InvariantCode::kOracleRemovalVariant,
+        "rate changed from " + std::to_string(result.rate) + " to " +
+            std::to_string(rate) +
+            " after dropping unused links (load accounting depends on "
+            "elements the solution never touches)",
+        rate - result.rate));
+  return report;
+}
+
+CheckReport oracle_arrival_order(const workload::ScenarioFile& scenario,
+                                 const std::vector<std::size_t>& permutation,
+                                 const SchedulerOptions& sched_options,
+                                 const OracleOptions& options) {
+  CheckReport report;
+  const std::size_t n = scenario.apps.size();
+  if (permutation.size() != n) {
+    report.violations.push_back(make_violation(
+        InvariantCode::kOracleOrderDependent,
+        "permutation size does not match the application count"));
+    return report;
+  }
+
+  Scheduler in_order(scenario.net, sched_options);
+  Scheduler permuted(scenario.net, sched_options);
+  std::vector<char> admitted_in_order(n, 0), admitted_permuted(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    admitted_in_order[i] = in_order.submit(scenario.apps[i]).admitted;
+  for (std::size_t i : permutation)
+    admitted_permuted[i] = permuted.submit(scenario.apps[i]).admitted;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& name = scenario.apps[i].name;
+    if (admitted_in_order[i] != admitted_permuted[i]) {
+      Violation v = make_violation(
+          InvariantCode::kOracleOrderDependent,
+          std::string("admission depends on arrival order (Thm 3): ") +
+              (admitted_in_order[i] ? "admitted" : "rejected") +
+              " in file order, " +
+              (admitted_permuted[i] ? "admitted" : "rejected") +
+              " when permuted");
+      v.app = name;
+      report.violations.push_back(v);
+      continue;
+    }
+    if (!admitted_in_order[i]) continue;
+
+    const PlacedApp* a = nullptr;
+    const PlacedApp* b = nullptr;
+    for (const PlacedApp& p : in_order.placed())
+      if (p.app.name == name) a = &p;
+    for (const PlacedApp& p : permuted.placed())
+      if (p.app.name == name) b = &p;
+    if (!a || !b) {
+      Violation v = make_violation(InvariantCode::kOracleOrderDependent,
+                                   "admitted app missing from placed()");
+      v.app = name;
+      report.violations.push_back(v);
+      continue;
+    }
+    if (a->paths.size() != b->paths.size()) {
+      Violation v = make_violation(
+          InvariantCode::kOracleOrderDependent,
+          "path count depends on arrival order: " +
+              std::to_string(a->paths.size()) + " vs " +
+              std::to_string(b->paths.size()));
+      v.app = name;
+      report.violations.push_back(v);
+      continue;
+    }
+    const TaskGraph& graph = *a->app.graph;
+    for (std::size_t p = 0; p < a->paths.size(); ++p)
+      if (!same_placement(graph, a->paths[p].placement,
+                          b->paths[p].placement)) {
+        Violation v = make_violation(
+            InvariantCode::kOracleOrderDependent,
+            "path " + std::to_string(p) +
+                " placement depends on arrival order (pinned CTs on a "
+                "tree admit exactly one route)");
+        v.app = name;
+        report.violations.push_back(v);
+      }
+    if (!close_rel(a->allocated_rate, b->allocated_rate,
+                   options.arrival_rate_tolerance)) {
+      Violation v = make_violation(
+          InvariantCode::kOracleOrderDependent,
+          "allocated rate depends on arrival order: " +
+              std::to_string(a->allocated_rate) + " vs " +
+              std::to_string(b->allocated_rate),
+          a->allocated_rate - b->allocated_rate);
+      v.app = name;
+      report.violations.push_back(v);
+    }
+  }
+  return report;
+}
+
+}  // namespace sparcle::check

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "core/assignment.hpp"
+#include "core/scheduler.hpp"
+#include "workload/scenario_io.hpp"
+
+/// \file oracles.hpp
+/// Cross-checking oracles: properties a correct solver must satisfy that
+/// can be tested *without* knowing the right answer for one run in
+/// isolation.
+///
+/// Two families, matched to where they are sound (docs/testing.md carries
+/// the full matrix):
+///
+///  - **Differential**: on exhaustively-enumerable instances, compare an
+///    assigner against baselines/exhaustive — feasibility must agree and
+///    the heuristic can never beat the enumerated optimum (if it does, the
+///    shared rate accounting is broken).  Capacity monotonicity is also
+///    checked here: raising an *NCP* capacity can never lower the
+///    exhaustive optimum, exactly, because TT routing weighs links only
+///    (widest_path.hpp), so every enumerated assignment keeps its routes
+///    and its rate min_j C_j/Σa_i is monotone in C.  (The same claim for
+///    *link* capacities is not a theorem — a wider link can reroute the
+///    greedy router onto an ultimately narrower path — so it is not
+///    checked.)
+///
+///  - **Metamorphic**: on instances of any size, transform the input and
+///    predict the output exactly.  Scaling all capacities (or all demands,
+///    or both) by a power of two multiplies every γ, path width and
+///    bottleneck rate by that factor exactly in IEEE arithmetic, so the
+///    argmax decisions — and hence the placement — are bit-identical and
+///    the rate scales linearly.  Removing links a solution does not use
+///    cannot change that solution's evaluated rate (load accounting must
+///    not depend on unrelated elements).  And per Thm 3, submitting the
+///    same fully-pinned applications in any arrival order must admit the
+///    same set at the same rates when routes are forced (tree topologies).
+
+namespace sparcle::check {
+
+struct OracleOptions {
+  /// Relative tolerance for comparisons that are exact up to FP noise.
+  double tolerance{1e-9};
+  /// Assignment-enumeration budget handed to ExhaustiveAssigner.
+  std::uint64_t max_exhaustive_assignments{2'000'000};
+  /// Per-app rate tolerance for the arrival-order oracle (two independent
+  /// PF interior-point solves, each stopped at a ~1e-8 duality gap).
+  double arrival_rate_tolerance{1e-4};
+  /// Options for the single-solution checks folded into each oracle.
+  CheckOptions check{};
+};
+
+/// True when the problem is small enough to enumerate: the unpinned CTs
+/// admit at most `max_exhaustive_assignments` host combinations.
+bool exhaustively_enumerable(const AssignmentProblem& problem,
+                             const OracleOptions& options = {});
+
+/// True when the network forces routing: connected, undirected, and a
+/// tree (link_count == ncp_count - 1), so each NCP pair has exactly one
+/// route.  On such instances the exhaustive enumeration is a true optimum
+/// (the per-assignment greedy routing has no choices to get wrong) and
+/// the differential oracle asserts heuristic <= optimum; on general
+/// graphs commit-order routing effects can legitimately put the heuristic
+/// above the topo-order-routed "optimum", so only feasibility agreement
+/// is asserted and the gap is reported.
+bool unique_route_topology(const Network& net);
+
+/// Outcome of the differential oracle (report.ok() == pass).
+struct DifferentialReport {
+  CheckReport report;
+  bool heuristic_feasible{false};
+  bool optimal_feasible{false};
+  double heuristic_rate{0.0};
+  double optimal_rate{0.0};
+  /// heuristic/optimal rate ratio in [0, 1]; 1.0 when both infeasible.
+  double gap{1.0};
+};
+
+/// Runs `assigner` and baselines/exhaustive on the same problem; both
+/// results are invariant-checked, feasibility must agree, and the
+/// heuristic must not exceed the optimum.  Requires
+/// exhaustively_enumerable(problem).
+DifferentialReport differential_vs_exhaustive(const AssignmentProblem& problem,
+                                              const Assigner& assigner,
+                                              const OracleOptions& options = {});
+
+/// Doubles each NCP capacity component in turn and re-runs the exhaustive
+/// search: the optimum must never drop.  Requires
+/// exhaustively_enumerable(problem); cost is (1 + ncps·resources)
+/// exhaustive runs.
+CheckReport oracle_capacity_monotonicity(const AssignmentProblem& problem,
+                                         const OracleOptions& options = {});
+
+/// Metamorphic scaling: re-solves with capacities ×factor, demands
+/// ×factor, and both ×factor.  The placement must be identical in all
+/// three runs and the rate must scale to rate·factor, rate/factor and
+/// rate respectively, exactly within `tolerance`.  `factor` must be a
+/// positive power of two (exactness argument above).
+CheckReport oracle_scaling(const AssignmentProblem& problem,
+                           const Assigner& assigner, double factor,
+                           const OracleOptions& options = {});
+
+/// Metamorphic unused-element removal: rebuilds the network without the
+/// links the (feasible) result does not touch, remaps the placement, and
+/// re-evaluates the bottleneck rate — it must equal result.rate exactly.
+CheckReport oracle_unused_link_removal(const AssignmentProblem& problem,
+                                       const AssignmentResult& result,
+                                       const OracleOptions& options = {});
+
+/// Thm 3 arrival-order invariance: submits `scenario`'s applications in
+/// the given `permutation` and in file order into two fresh Schedulers;
+/// the admitted set, every CT host, and every allocated rate (within
+/// arrival_rate_tolerance, relative) must agree.  Sound when every CT of
+/// every app is pinned and the topology forces unique routes (trees) —
+/// the fuzzer's pinned-tree generator guarantees both.
+CheckReport oracle_arrival_order(const workload::ScenarioFile& scenario,
+                                 const std::vector<std::size_t>& permutation,
+                                 const SchedulerOptions& sched_options = {},
+                                 const OracleOptions& options = {});
+
+}  // namespace sparcle::check

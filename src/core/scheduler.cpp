@@ -55,7 +55,19 @@ void log_path_add(const Application& app, std::size_t path_count,
                     std::to_string(target),
                 path_rate, achieved, path_count);
 }
+/// Installed by check::ScopedValidation; intentionally leaked global state
+/// (the harness uninstalls by passing nullptr).
+Scheduler::ValidationHook g_validation_hook;
+
 }  // namespace
+
+void Scheduler::set_validation_hook(ValidationHook hook) {
+  g_validation_hook = std::move(hook);
+}
+
+void Scheduler::run_validation_hook() const {
+  if (g_validation_hook) g_validation_hook(*this);
+}
 
 Scheduler::Scheduler(Network net, SchedulerOptions options)
     : Scheduler(std::move(net),
@@ -98,6 +110,7 @@ bool Scheduler::remove(const std::string& app_name) {
     placed_.erase(placed_.begin() + static_cast<std::ptrdiff_t>(i));
     rebuild_residual();
     reallocate_best_effort();
+    run_validation_hook();
     return true;
   }
   return false;
@@ -107,12 +120,14 @@ void Scheduler::mark_failed(ElementKey element) {
   if (!failed_.insert(element).second) return;
   rebuild_residual();
   reallocate_best_effort();
+  run_validation_hook();
 }
 
 void Scheduler::mark_recovered(ElementKey element) {
   if (failed_.erase(element) == 0) return;
   rebuild_residual();
   reallocate_best_effort();
+  run_validation_hook();
 }
 
 Scheduler::RebalanceReport Scheduler::rebalance() {
@@ -190,6 +205,7 @@ Scheduler::RebalanceReport Scheduler::rebalance() {
     }
   }
   reallocate_best_effort();
+  run_validation_hook();
   return report;
 }
 
@@ -244,6 +260,7 @@ Scheduler::ReoptimizeReport Scheduler::global_reoptimize(
     reallocate_best_effort();
     report.new_be_utility = report.old_be_utility;
     report.new_gr_rate = report.old_gr_rate;
+    run_validation_hook();
     return report;
   }
 
@@ -259,6 +276,7 @@ Scheduler::ReoptimizeReport Scheduler::global_reoptimize(
   report.adopted = true;
   report.new_be_utility = new_utility;
   report.new_gr_rate = new_gr;
+  run_validation_hook();
   return report;
 }
 
@@ -282,6 +300,7 @@ AdmissionResult Scheduler::submit(const Application& app) {
                                      ? submit_best_effort(app)
                                      : submit_guaranteed_rate(app);
   log_admission(app, result);
+  run_validation_hook();
   return result;
 }
 

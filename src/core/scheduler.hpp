@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -136,6 +137,20 @@ class Scheduler {
   const Network& network() const { return net_; }
   const std::vector<PlacedApp>& placed() const { return placed_; }
 
+  /// Elements currently marked failed (capacity zero; see mark_failed()).
+  const std::set<ElementKey>& failed_elements() const { return failed_; }
+
+  /// Process-global self-validation hook, run after every mutating
+  /// operation (submit / remove / mark_failed / mark_recovered / rebalance
+  /// / global_reoptimize) with the post-operation state.  Installed by the
+  /// correctness harness (`check::ScopedValidation`, src/check) so debug
+  /// builds and fuzz tests validate every intermediate state; pass nullptr
+  /// to uninstall.  The hook may throw to fail the operation loudly; it
+  /// must not mutate the scheduler.  Not thread-safe against concurrent
+  /// scheduler use (the Scheduler itself is thread-compatible only).
+  using ValidationHook = std::function<void(const Scheduler&)>;
+  static void set_validation_hook(ValidationHook hook);
+
   /// Residual capacities after all GR reservations and marked failures
   /// (BE apps do not reserve).
   const CapacitySnapshot& gr_residual_capacities() const { return residual_; }
@@ -169,6 +184,9 @@ class Scheduler {
 
   /// True when every element the path touches is currently alive.
   bool path_alive(const PathInfo& path) const;
+
+  /// Runs the installed validation hook (if any) on *this.
+  void run_validation_hook() const;
 
   Network net_;
   SchedulerOptions options_;

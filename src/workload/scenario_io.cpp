@@ -1,5 +1,6 @@
 #include "workload/scenario_io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -247,6 +248,19 @@ ScenarioFile load_scenario_file(const std::string& path) {
   return parse_scenario(in);
 }
 
+namespace {
+
+/// Shortest decimal string that std::stod parses back to exactly the same
+/// double, so write_scenario -> parse_scenario is lossless (default
+/// ostream printing truncates to 6 significant digits).
+std::string fmt(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
 std::string write_scenario(const ScenarioFile& scenario) {
   std::ostringstream os;
   const Network& net = scenario.net;
@@ -257,38 +271,39 @@ std::string write_scenario(const ScenarioFile& scenario) {
     const Ncp& n = net.ncp(j);
     os << "ncp " << n.name;
     for (std::size_t r = 0; r < n.capacity.size(); ++r)
-      os << " " << n.capacity[r];
-    if (n.fail_prob > 0) os << " fail=" << n.fail_prob;
+      os << " " << fmt(n.capacity[r]);
+    if (n.fail_prob > 0) os << " fail=" << fmt(n.fail_prob);
     os << "\n";
   }
   for (LinkId l = 0; l < static_cast<LinkId>(net.link_count()); ++l) {
     const Link& lk = net.link(l);
     os << (lk.directed ? "dlink " : "link ") << lk.name << " "
        << net.ncp(lk.a).name << " " << net.ncp(lk.b).name << " "
-       << lk.bandwidth;
-    if (lk.fail_prob > 0) os << " fail=" << lk.fail_prob;
+       << fmt(lk.bandwidth);
+    if (lk.fail_prob > 0) os << " fail=" << fmt(lk.fail_prob);
     os << "\n";
   }
   for (const Application& app : scenario.apps) {
     os << "\napp " << app.name << " ";
     if (app.qoe.cls == QoeClass::kBestEffort) {
-      os << "be " << app.qoe.priority;
-      if (app.qoe.availability > 0) os << " " << app.qoe.availability;
+      os << "be " << fmt(app.qoe.priority);
+      if (app.qoe.availability > 0) os << " " << fmt(app.qoe.availability);
     } else {
-      os << "gr " << app.qoe.min_rate << " "
-         << app.qoe.min_rate_availability;
+      os << "gr " << fmt(app.qoe.min_rate) << " "
+         << fmt(app.qoe.min_rate_availability);
     }
     os << "\n";
     const TaskGraph& g = *app.graph;
     for (CtId i = 0; i < static_cast<CtId>(g.ct_count()); ++i) {
       os << "  ct " << g.ct(i).name;
       for (std::size_t r = 0; r < g.ct(i).requirement.size(); ++r)
-        os << " " << g.ct(i).requirement[r];
+        os << " " << fmt(g.ct(i).requirement[r]);
       os << "\n";
     }
     for (TtId k = 0; k < static_cast<TtId>(g.tt_count()); ++k)
-      os << "  tt " << g.tt(k).name << " " << g.tt(k).bits_per_unit << " "
-         << g.ct(g.tt(k).src).name << " " << g.ct(g.tt(k).dst).name << "\n";
+      os << "  tt " << g.tt(k).name << " " << fmt(g.tt(k).bits_per_unit)
+         << " " << g.ct(g.tt(k).src).name << " " << g.ct(g.tt(k).dst).name
+         << "\n";
     for (const auto& [ct, ncp] : app.pinned)
       os << "  pin " << g.ct(ct).name << " " << net.ncp(ncp).name << "\n";
     os << "end\n";

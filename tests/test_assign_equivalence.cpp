@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testutil.hpp"
+
 #include <vector>
 
 #include "core/sparcle_assigner.hpp"
@@ -58,7 +60,7 @@ TEST_P(AssignEquivalence, MemoizedParallelMatchesFreshSerialReference) {
   for (TopologyKind topo : topologies)
     for (GraphKind gk : graphs)
       for (BottleneckCase bc : cases) {
-        Rng rng(seed * 7919 + static_cast<int>(topo) * 31 +
+        Rng rng(testutil::test_seed() + seed * 7919 + static_cast<int>(topo) * 31 +
                 static_cast<int>(gk) * 7 + static_cast<int>(bc));
         ScenarioSpec spec;
         spec.topology = topo;
@@ -96,7 +98,7 @@ TEST_P(AssignEquivalence, MemoizedParallelMatchesFreshSerialReference) {
 
 // Static-ranking ablation path must be unchanged too.
 TEST_P(AssignEquivalence, StaticRankingMatchesReference) {
-  Rng rng(GetParam() + 5000);
+  Rng rng(testutil::test_seed() + GetParam() + 5000);
   ScenarioSpec spec;
   spec.topology = TopologyKind::kFull;
   spec.graph = GraphKind::kDiamond;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "workload/rng.hpp"
+#include "testutil.hpp"
 
 namespace sparcle {
 namespace {
@@ -148,7 +149,7 @@ TEST(Availability, RejectsEmptyInput) {
 class AvailabilityMc : public ::testing::TestWithParam<int> {};
 
 TEST_P(AvailabilityMc, ExactMatchesMonteCarlo) {
-  Rng rng(GetParam());
+  Rng rng(testutil::test_seed() + GetParam());
   std::vector<double> ncp_pf(6);
   for (double& p : ncp_pf) p = rng.uniform(0.0, 0.4);
   std::vector<double> link_pf(4);
@@ -185,6 +186,95 @@ TEST_P(AvailabilityMc, ExactMatchesMonteCarlo) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AvailabilityMc, ::testing::Range(1, 11));
+
+/// Overlap-heavy path system with `n` paths over a small element pool: a
+/// shared backbone NCP plus random extra elements, so inclusion–exclusion
+/// cancellation is maximally stressed near the kMaxExactPaths guard.
+std::vector<std::vector<ElementKey>> overlap_heavy_paths(Rng& rng,
+                                                         std::size_t n) {
+  std::vector<std::vector<ElementKey>> paths;
+  for (std::size_t p = 0; p < n; ++p) {
+    std::vector<ElementKey> path = {ElementKey::ncp(0)};  // shared backbone
+    const int extras = rng.uniform_int(1, 2);
+    for (int e = 0; e < extras; ++e) {
+      if (rng.bernoulli(0.5))
+        path.push_back(
+            ElementKey::ncp(static_cast<NcpId>(rng.uniform_int(1, 5))));
+      else
+        path.push_back(
+            ElementKey::link(static_cast<LinkId>(rng.uniform_int(0, 3))));
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+/// Guard-rail: the exact analyses stay consistent with Monte Carlo right
+/// up to the kMaxExactPaths boundary (n = kMaxExactPaths - 1 and n =
+/// kMaxExactPaths), where the subset enumeration is largest and the
+/// alternating-sign cancellation most delicate.
+class AvailabilityGuardBoundary
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AvailabilityGuardBoundary, McMatchesExactAtGuard) {
+  const std::size_t n = GetParam();
+  ASSERT_LE(n, kMaxExactPaths);
+  Rng rng(testutil::test_seed() + 0xa11 + n);
+  std::vector<double> ncp_pf(6);
+  for (double& p : ncp_pf) p = rng.uniform(0.02, 0.3);
+  std::vector<double> link_pf(4);
+  for (double& p : link_pf) p = rng.uniform(0.02, 0.3);
+  const Network net = make_failure_net(ncp_pf, link_pf);
+  const std::vector<std::vector<ElementKey>> paths =
+      overlap_heavy_paths(rng, n);
+  std::vector<double> rates;
+  for (std::size_t p = 0; p < n; ++p) rates.push_back(rng.uniform(0.3, 2.0));
+
+  const std::size_t trials = 300000;
+  const std::uint64_t mc_seed = testutil::test_seed() + 4242;
+
+  const double exact_any = availability_any(net, paths);
+  EXPECT_GE(exact_any, 0.0);
+  EXPECT_LE(exact_any, 1.0);
+  EXPECT_NEAR(exact_any, availability_any_mc(net, paths, trials, mc_seed),
+              0.01);
+
+  const double target = 1.5;
+  const double exact_mr = min_rate_availability(net, paths, rates, target);
+  EXPECT_GE(exact_mr, 0.0);
+  EXPECT_LE(exact_mr, 1.0);
+  EXPECT_NEAR(exact_mr,
+              min_rate_availability_mc(net, paths, rates, target, trials,
+                                       mc_seed),
+              0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AtGuard, AvailabilityGuardBoundary,
+                         ::testing::Values(kMaxExactPaths - 1,
+                                           kMaxExactPaths));
+
+/// One past the guard the exact analyses must refuse (not silently
+/// overflow the subset enumeration) while the Monte-Carlo estimators keep
+/// working; 13 identical single-element paths make the true availability
+/// analytic (the element's up-probability), so the MC answer is checkable.
+TEST(Availability, BeyondGuardExactThrowsButMcWorks) {
+  const Network net = make_failure_net({0.1, 0.0}, {});
+  const std::vector<std::vector<ElementKey>> paths(kMaxExactPaths + 1,
+                                                   {ElementKey::ncp(0)});
+  const std::vector<double> rates(paths.size(), 1.0);
+
+  EXPECT_THROW(availability_any(net, paths), std::invalid_argument);
+  EXPECT_THROW(min_rate_availability(net, paths, rates, 0.5),
+               std::invalid_argument);
+
+  const std::size_t trials = 200000;
+  const std::uint64_t mc_seed = testutil::test_seed() + 7;
+  EXPECT_NEAR(availability_any_mc(net, paths, trials, mc_seed), 0.9, 0.01);
+  // All 13 paths share fate, so rate 13.0 is available iff ncp(0) is up.
+  EXPECT_NEAR(min_rate_availability_mc(net, paths, rates, 13.0, trials,
+                                       mc_seed),
+              0.9, 0.01);
+}
 
 }  // namespace
 }  // namespace sparcle

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/fuzzer.hpp"
+#include "check/invariants.hpp"
+#include "check/oracles.hpp"
+#include "core/scheduler.hpp"
+#include "core/sparcle_assigner.hpp"
+#include "workload/scenario_io.hpp"
+#include "testutil.hpp"
+
+// The correctness harness's own unit tests: a clean solution passes every
+// check, each invariant wire trips on the specific corruption it guards,
+// the oracles accept the real solver on instances where they are sound,
+// and — the mutation smoke test — a deliberately broken assigner is
+// caught by the checker and minimized into a parseable .scn repro.
+
+namespace sparcle {
+namespace {
+
+struct Tiny {
+  Network net{ResourceSchema::cpu_only()};
+  std::shared_ptr<TaskGraph> graph;
+  Application app;
+  NcpId a{}, b{};
+  CtId src{}, dst{};
+};
+
+Tiny make_tiny() {
+  Tiny t;
+  t.a = t.net.add_ncp("a", ResourceVector::scalar(10));
+  t.b = t.net.add_ncp("b", ResourceVector::scalar(8));
+  t.net.add_link("ab", t.a, t.b, 20);
+  TaskGraph g(ResourceSchema::cpu_only());
+  t.src = g.add_ct("src", ResourceVector::scalar(1));
+  t.dst = g.add_ct("dst", ResourceVector::scalar(2));
+  g.add_tt("t", 4, t.src, t.dst);
+  g.finalize();
+  t.graph = std::make_shared<TaskGraph>(std::move(g));
+  t.app.name = "tiny";
+  t.app.graph = t.graph;
+  t.app.qoe = QoeSpec::best_effort(1.0);
+  t.app.pinned = {{t.src, t.a}, {t.dst, t.b}};
+  return t;
+}
+
+AssignmentProblem problem_for(const Tiny& t) {
+  AssignmentProblem p;
+  p.net = &t.net;
+  p.graph = t.graph.get();
+  p.capacities = CapacitySnapshot(t.net);
+  p.pinned = t.app.pinned;
+  return p;
+}
+
+/// The deliberately broken solver of the mutation smoke test: it solves
+/// the problem with the pin constraints stripped, so it returns complete,
+/// rate-consistent placements that put pinned CTs wherever is fastest.
+class PinIgnoringAssigner : public Assigner {
+ public:
+  std::string name() const override { return "broken-pins"; }
+  AssignmentResult assign(const AssignmentProblem& problem) const override {
+    AssignmentProblem unpinned = problem;
+    unpinned.pinned.clear();
+    return SparcleAssigner().assign(unpinned);
+  }
+};
+
+/// A second mutant: claims double the rate the placement supports.
+class RateInflatingAssigner : public Assigner {
+ public:
+  std::string name() const override { return "broken-rate"; }
+  AssignmentResult assign(const AssignmentProblem& problem) const override {
+    AssignmentResult result = SparcleAssigner().assign(problem);
+    result.rate *= 2.0;
+    return result;
+  }
+};
+
+TEST(CheckAssignment, CleanSparcleResultPasses) {
+  const Tiny t = make_tiny();
+  const AssignmentProblem p = problem_for(t);
+  const AssignmentResult result = SparcleAssigner().assign(p);
+  ASSERT_TRUE(result.feasible) << result.message;
+  const check::CheckReport report = check::check_assignment(p, result);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(CheckAssignment, InfeasibleResultClaimsNothing) {
+  const Tiny t = make_tiny();
+  const AssignmentProblem p = problem_for(t);
+  AssignmentResult result;
+  result.feasible = false;
+  result.rate = -42.0;  // garbage is fine: an infeasible result claims nothing
+  EXPECT_TRUE(check::check_assignment(p, result).ok());
+}
+
+TEST(CheckAssignment, InflatedRateTripsBottleneckWire) {
+  const Tiny t = make_tiny();
+  const AssignmentProblem p = problem_for(t);
+  AssignmentResult result = SparcleAssigner().assign(p);
+  ASSERT_TRUE(result.feasible);
+  result.rate *= 2.0;
+  const check::CheckReport report = check::check_assignment(p, result);
+  EXPECT_TRUE(report.has(check::InvariantCode::kRateNotBottleneck))
+      << report.to_string();
+}
+
+TEST(CheckAssignment, PinViolationTripsPinWire) {
+  const Tiny t = make_tiny();
+  const AssignmentProblem p = problem_for(t);
+  // Host both CTs on b: dst's pin holds, src's pin (-> a) is violated; the
+  // co-located TT legitimately has an empty route, so only the pin trips.
+  Placement placement(*t.graph);
+  placement.place_ct(t.src, t.b);
+  placement.place_ct(t.dst, t.b);
+  placement.place_tt(0, {});
+  AssignmentResult result;
+  result.feasible = true;
+  result.placement = placement;
+  result.rate = bottleneck_rate(t.net, *t.graph, placement, p.capacities);
+  const check::CheckReport report = check::check_assignment(p, result);
+  EXPECT_TRUE(report.has(check::InvariantCode::kPinViolated))
+      << report.to_string();
+  EXPECT_FALSE(report.has(check::InvariantCode::kPlacementStructure));
+}
+
+TEST(CheckAssignment, IncompletePlacementTripsStructureWire) {
+  const Tiny t = make_tiny();
+  const AssignmentProblem p = problem_for(t);
+  AssignmentResult result;
+  result.feasible = true;  // feasible claim with an unplaced graph
+  result.placement = Placement(*t.graph);
+  result.rate = 1.0;
+  const check::CheckReport report = check::check_assignment(p, result);
+  EXPECT_TRUE(report.has(check::InvariantCode::kPlacementStructure))
+      << report.to_string();
+}
+
+TEST(CheckScheduler, CleanStatePasses) {
+  const Tiny t = make_tiny();
+  Scheduler scheduler(t.net);
+  ASSERT_TRUE(scheduler.submit(t.app).admitted);
+  const check::CheckReport report = check::check_scheduler_state(scheduler);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(CheckScheduler, ValidationHookThrowsOnBrokenAssigner) {
+  const Tiny t = make_tiny();
+  check::ScopedValidation validation(/*force=*/true);
+  ASSERT_TRUE(validation.armed());
+  Scheduler broken(t.net, std::make_unique<PinIgnoringAssigner>());
+  // With capacities 10 vs 8 the unpinned solve co-locates away from dst's
+  // pin, so the post-submit hook must reject the state loudly.
+  EXPECT_THROW(broken.submit(t.app), std::logic_error);
+}
+
+TEST(CheckScheduler, ValidationHookUninstallsOnScopeExit) {
+  const Tiny t = make_tiny();
+  {
+    check::ScopedValidation validation(/*force=*/true);
+    ASSERT_TRUE(validation.armed());
+  }
+  Scheduler broken(t.net, std::make_unique<PinIgnoringAssigner>());
+  EXPECT_NO_THROW(broken.submit(t.app));  // hook gone, nothing throws
+}
+
+TEST(Oracles, DifferentialAcceptsSparcleOnTinyTree) {
+  const Tiny t = make_tiny();
+  const AssignmentProblem p = problem_for(t);
+  ASSERT_TRUE(check::exhaustively_enumerable(p));
+  ASSERT_TRUE(check::unique_route_topology(t.net));
+  const check::DifferentialReport d =
+      check::differential_vs_exhaustive(p, SparcleAssigner());
+  EXPECT_TRUE(d.report.ok()) << d.report.to_string();
+  EXPECT_TRUE(d.heuristic_feasible);
+  EXPECT_TRUE(d.optimal_feasible);
+  EXPECT_LE(d.gap, 1.0 + 1e-9);
+  EXPECT_GT(d.gap, 0.0);
+}
+
+TEST(Oracles, DifferentialCatchesInflatedRate) {
+  const Tiny t = make_tiny();
+  const AssignmentProblem p = problem_for(t);
+  const check::DifferentialReport d =
+      check::differential_vs_exhaustive(p, RateInflatingAssigner());
+  EXPECT_FALSE(d.report.ok());
+  // The inflated rate disagrees with the bottleneck formula...
+  EXPECT_TRUE(d.report.has(check::InvariantCode::kRateNotBottleneck))
+      << d.report.to_string();
+  // ...and beats the enumerated optimum on a unique-route topology.
+  EXPECT_TRUE(d.report.has(check::InvariantCode::kOracleSuboptimal))
+      << d.report.to_string();
+}
+
+TEST(Oracles, MonotonicityHoldsForExhaustive) {
+  const Tiny t = make_tiny();
+  const check::CheckReport report =
+      check::oracle_capacity_monotonicity(problem_for(t));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Oracles, ScalingExactForSparcle) {
+  const Tiny t = make_tiny();
+  const check::CheckReport report =
+      check::oracle_scaling(problem_for(t), SparcleAssigner(), 4.0);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Oracles, ScalingRejectsNonPowerOfTwoFactor) {
+  const Tiny t = make_tiny();
+  const check::CheckReport report =
+      check::oracle_scaling(problem_for(t), SparcleAssigner(), 3.0);
+  EXPECT_TRUE(report.has(check::InvariantCode::kOracleScalingBroken));
+}
+
+TEST(Oracles, UnusedLinkRemovalInvariant) {
+  // a -- b directly (wide), plus a narrow a - c - b detour the solver
+  // will not take: dropping the detour must not move the rate.
+  Tiny t = make_tiny();
+  const NcpId c = t.net.add_ncp("c", ResourceVector::scalar(6));
+  t.net.add_link("ac", t.a, c, 1.0);
+  t.net.add_link("cb", c, t.b, 1.0);
+  AssignmentProblem p = problem_for(t);
+  const AssignmentResult result = SparcleAssigner().assign(p);
+  ASSERT_TRUE(result.feasible);
+  const check::CheckReport report =
+      check::oracle_unused_link_removal(p, result);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Oracles, ArrivalOrderInvariantOnPinnedTree) {
+  Rng rng(testutil::test_seed() + 77);
+  check::FuzzOptions options;
+  const workload::ScenarioFile scenario =
+      check::random_pinned_tree_scenario(rng, options);
+  std::vector<std::size_t> reversed(scenario.apps.size());
+  for (std::size_t i = 0; i < reversed.size(); ++i)
+    reversed[i] = reversed.size() - 1 - i;
+  const check::CheckReport report =
+      check::oracle_arrival_order(scenario, reversed);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Fuzzer, GeneratedScenariosAreValidAndSerializable) {
+  check::FuzzOptions options;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(testutil::test_seed() + seed);
+    const workload::ScenarioFile scenario =
+        check::random_scenario(rng, options);
+    EXPECT_GE(scenario.net.ncp_count(), 2u);
+    EXPECT_TRUE(scenario.net.connected());
+    ASSERT_FALSE(scenario.apps.empty());
+    for (const Application& app : scenario.apps)
+      EXPECT_NO_THROW(app.validate());
+    // Serialization round-trips through the parser.
+    const std::string text = workload::write_scenario(scenario);
+    const workload::ScenarioFile reparsed =
+        workload::parse_scenario_text(text);
+    EXPECT_EQ(reparsed.net.ncp_count(), scenario.net.ncp_count());
+    EXPECT_EQ(reparsed.net.link_count(), scenario.net.link_count());
+    EXPECT_EQ(reparsed.apps.size(), scenario.apps.size());
+  }
+}
+
+// The acceptance smoke test: fuzz a deliberately broken assigner; the
+// harness must catch it, shrink the failing scenario, and emit a .scn
+// repro the parser accepts.
+TEST(Fuzzer, MutationSmokeTestCatchesBrokenAssignerAndShrinks) {
+  check::FuzzOptions options;
+  options.seed = testutil::test_seed() + 0xbad;
+  options.iterations = 50;
+  options.max_ncps = 4;
+  options.max_apps = 2;
+  options.repro_dir = ::testing::TempDir();
+  const check::AssignerFactory broken = [] {
+    return std::make_unique<PinIgnoringAssigner>();
+  };
+
+  const check::FuzzOutcome outcome = check::fuzz_scheduler(options, broken);
+  ASSERT_TRUE(outcome.failure.has_value())
+      << "broken assigner survived " << outcome.iterations_run
+      << " fuzz iterations";
+  const check::FuzzFailure& failure = *outcome.failure;
+  EXPECT_TRUE(failure.report.has(check::InvariantCode::kPinViolated))
+      << failure.report.to_string();
+
+  // The shrunk scenario still reproduces the same failure...
+  const check::ScenarioVerdict again =
+      check::run_scenario_checks(failure.shrunk, broken, options);
+  ASSERT_TRUE(again.failed());
+  EXPECT_EQ(again.phase, failure.phase);
+
+  // ...is no bigger than the original...
+  EXPECT_LE(failure.shrunk.apps.size(), failure.scenario.apps.size());
+  EXPECT_LE(failure.shrunk.net.ncp_count(), failure.scenario.net.ncp_count());
+  EXPECT_LE(failure.shrunk.net.link_count(),
+            failure.scenario.net.link_count());
+
+  // ...and the written repro is a parseable scenario file.
+  ASSERT_FALSE(failure.repro_path.empty());
+  const workload::ScenarioFile repro =
+      workload::load_scenario_file(failure.repro_path);
+  EXPECT_EQ(repro.apps.size(), failure.shrunk.apps.size());
+  EXPECT_EQ(repro.net.ncp_count(), failure.shrunk.net.ncp_count());
+}
+
+}  // namespace
+}  // namespace sparcle

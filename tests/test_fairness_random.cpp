@@ -9,6 +9,7 @@
 
 #include "core/fairness.hpp"
 #include "workload/rng.hpp"
+#include "testutil.hpp"
 
 namespace sparcle {
 namespace {
@@ -43,7 +44,7 @@ PfProblem random_problem(Rng& rng, std::size_t apps, std::size_t rows) {
 class FairnessRandom : public ::testing::TestWithParam<int> {};
 
 TEST_P(FairnessRandom, KktConditionsHold) {
-  Rng rng(GetParam());
+  Rng rng(testutil::test_seed() + GetParam());
   const PfProblem p = random_problem(rng, 4, 6);
   const PfSolution s = solve_weighted_pf(p);
   ASSERT_TRUE(s.converged);
@@ -71,7 +72,7 @@ TEST_P(FairnessRandom, KktConditionsHold) {
 }
 
 TEST_P(FairnessRandom, LocalPerturbationsNeverImproveUtility) {
-  Rng rng(GetParam() + 500);
+  Rng rng(testutil::test_seed() + GetParam() + 500);
   const PfProblem p = random_problem(rng, 3, 5);
   const PfSolution s = solve_weighted_pf(p);
   ASSERT_TRUE(s.converged);
@@ -99,7 +100,7 @@ TEST_P(FairnessRandom, LocalPerturbationsNeverImproveUtility) {
 }
 
 TEST_P(FairnessRandom, ScalingCapacitiesScalesRates) {
-  Rng rng(GetParam() + 900);
+  Rng rng(testutil::test_seed() + GetParam() + 900);
   PfProblem p = random_problem(rng, 3, 5);
   const PfSolution s1 = solve_weighted_pf(p);
   for (double& c : p.capacity) c *= 4.0;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testutil.hpp"
+
 #include <functional>
 #include <limits>
 
@@ -78,7 +80,7 @@ double reference_gamma(const GreedyEngine& e, CtId i, NcpId j) {
 class GammaProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(GammaProperty, EngineGammaMatchesEquationTwo) {
-  Rng rng(GetParam());
+  Rng rng(testutil::test_seed() + GetParam());
   workload::ScenarioSpec spec;
   spec.topology = workload::TopologyKind::kStar;
   spec.graph = workload::GraphKind::kDiamond;

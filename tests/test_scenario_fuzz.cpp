@@ -10,6 +10,7 @@
 #include <string>
 
 #include "workload/rng.hpp"
+#include "testutil.hpp"
 #include "workload/scenario_io.hpp"
 
 namespace sparcle {
@@ -57,7 +58,7 @@ TEST(ScenarioFuzz, ValidBaselineParses) {
 class ScenarioFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(ScenarioFuzz, RandomTokenSoupNeverCrashes) {
-  Rng rng(GetParam());
+  Rng rng(testutil::test_seed() + GetParam());
   static const char* kTokens[] = {
       "resources", "cpu",  "memory", "ncp",  "link", "dlink", "app",
       "ct",        "tt",   "pin",    "end",  "be",   "gr",    "a",
@@ -75,7 +76,7 @@ TEST_P(ScenarioFuzz, RandomTokenSoupNeverCrashes) {
 }
 
 TEST_P(ScenarioFuzz, MutatedValidScenarioNeverCrashes) {
-  Rng rng(GetParam() + 1000);
+  Rng rng(testutil::test_seed() + GetParam() + 1000);
   std::string text = kValid;
   const int mutations = static_cast<int>(rng.uniform_int(1, 8));
   for (int m = 0; m < mutations; ++m) {

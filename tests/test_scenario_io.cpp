@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "check/fuzzer.hpp"
 #include "model/dot_export.hpp"
+#include "workload/rng.hpp"
+#include "testutil.hpp"
 
 namespace sparcle {
 namespace {
@@ -109,6 +112,70 @@ TEST(ScenarioIo, RoundTripsThroughWriter) {
   EXPECT_EQ(a.pinned, b.pinned);
   EXPECT_DOUBLE_EQ(a.qoe.priority, b.qoe.priority);
 }
+
+/// Full structural equality of two scenarios, exact on every double: the
+/// writer now emits shortest-round-trip decimals, so nothing may drift.
+void expect_identical(const ScenarioFile& a, const ScenarioFile& b) {
+  ASSERT_EQ(a.net.schema().names(), b.net.schema().names());
+  ASSERT_EQ(a.net.ncp_count(), b.net.ncp_count());
+  for (NcpId j = 0; j < static_cast<NcpId>(a.net.ncp_count()); ++j) {
+    EXPECT_EQ(a.net.ncp(j).name, b.net.ncp(j).name);
+    EXPECT_EQ(a.net.ncp(j).capacity, b.net.ncp(j).capacity);
+    EXPECT_EQ(a.net.ncp(j).fail_prob, b.net.ncp(j).fail_prob);
+  }
+  ASSERT_EQ(a.net.link_count(), b.net.link_count());
+  for (LinkId l = 0; l < static_cast<LinkId>(a.net.link_count()); ++l) {
+    EXPECT_EQ(a.net.link(l).name, b.net.link(l).name);
+    EXPECT_EQ(a.net.link(l).a, b.net.link(l).a);
+    EXPECT_EQ(a.net.link(l).b, b.net.link(l).b);
+    EXPECT_EQ(a.net.link(l).bandwidth, b.net.link(l).bandwidth);
+    EXPECT_EQ(a.net.link(l).fail_prob, b.net.link(l).fail_prob);
+    EXPECT_EQ(a.net.link(l).directed, b.net.link(l).directed);
+  }
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    const Application &x = a.apps[i], &y = b.apps[i];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.qoe.cls, y.qoe.cls);
+    EXPECT_EQ(x.qoe.priority, y.qoe.priority);
+    EXPECT_EQ(x.qoe.availability, y.qoe.availability);
+    EXPECT_EQ(x.qoe.min_rate, y.qoe.min_rate);
+    EXPECT_EQ(x.qoe.min_rate_availability, y.qoe.min_rate_availability);
+    EXPECT_EQ(x.pinned, y.pinned);
+    ASSERT_EQ(x.graph->ct_count(), y.graph->ct_count());
+    for (CtId c = 0; c < static_cast<CtId>(x.graph->ct_count()); ++c) {
+      EXPECT_EQ(x.graph->ct(c).name, y.graph->ct(c).name);
+      EXPECT_EQ(x.graph->ct(c).requirement, y.graph->ct(c).requirement);
+    }
+    ASSERT_EQ(x.graph->tt_count(), y.graph->tt_count());
+    for (TtId k = 0; k < static_cast<TtId>(x.graph->tt_count()); ++k) {
+      EXPECT_EQ(x.graph->tt(k).name, y.graph->tt(k).name);
+      EXPECT_EQ(x.graph->tt(k).bits_per_unit, y.graph->tt(k).bits_per_unit);
+      EXPECT_EQ(x.graph->tt(k).src, y.graph->tt(k).src);
+      EXPECT_EQ(x.graph->tt(k).dst, y.graph->tt(k).dst);
+    }
+  }
+}
+
+/// Property: parse -> write -> parse is the identity (up to ids, which
+/// the parser assigns in file order) on randomly generated scenarios with
+/// non-representable decimals, failure probabilities, directed links, and
+/// both QoE classes; and write is a fixed point (byte-identical on the
+/// second pass).
+class ScenarioRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioRoundTrip, GeneratedScenarioSurvivesExactly) {
+  Rng rng(testutil::test_seed() + GetParam());
+  check::FuzzOptions options;
+  const ScenarioFile scenario = check::random_scenario(rng, options);
+
+  const std::string text = write_scenario(scenario);
+  const ScenarioFile reparsed = parse_scenario_text(text);
+  expect_identical(scenario, reparsed);
+  EXPECT_EQ(write_scenario(reparsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioRoundTrip, ::testing::Range(0, 25));
 
 struct BadCase {
   const char* name;

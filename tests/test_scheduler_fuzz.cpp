@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testutil.hpp"
+
 #include <map>
 #include <set>
 
@@ -73,7 +75,7 @@ void check_failed_paths_carry_nothing(const Scheduler& sched,
 class SchedulerFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(SchedulerFuzz, InvariantsHoldUnderRandomOperations) {
-  Rng rng(GetParam());
+  Rng rng(testutil::test_seed() + GetParam());
   NetRanges ranges;
   ranges.ncp_min = 20;
   ranges.ncp_max = 80;
@@ -158,7 +160,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz, ::testing::Range(1, 13));
 
 TEST(RandomLayeredGraph, ShapeInvariants) {
   for (int seed = 1; seed <= 25; ++seed) {
-    Rng rng(seed);
+    Rng rng(testutil::test_seed() + static_cast<std::uint64_t>(seed));
     const auto g = workload::random_layered_task_graph(
         rng, TaskRanges{}, 3, 4, 0.5);
     EXPECT_EQ(g->sources().size(), 1u) << seed;
@@ -176,7 +178,7 @@ TEST(RandomLayeredGraph, ShapeInvariants) {
 }
 
 TEST(RandomLayeredGraph, RejectsDegenerateParameters) {
-  Rng rng(1);
+  Rng rng(testutil::test_seed() + 1);
   EXPECT_THROW(
       workload::random_layered_task_graph(rng, TaskRanges{}, 0, 3),
       std::invalid_argument);

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+/// \file testutil.hpp
+/// Shared helpers for randomized tests: one env-overridable base seed so
+/// any CI failure reproduces locally with a single variable:
+///
+///     SPARCLE_TEST_SEED=1234 ./build/tests/test_scheduler_fuzz
+///
+/// Every fuzz/property test derives its Rng seeds from test_seed()
+/// (usually `test_seed() + GetParam()`), so the override reaches all of
+/// them; the effective base is logged once per process so the
+/// reproduction command is always visible in CI output.
+
+namespace sparcle::testutil {
+
+/// The base seed offset: SPARCLE_TEST_SEED when set, else 0 (the fixed
+/// default that CI runs).
+inline std::uint64_t test_seed() {
+  static const std::uint64_t seed = [] {
+    const char* env = std::getenv("SPARCLE_TEST_SEED");
+    const std::uint64_t s =
+        (env && *env) ? std::strtoull(env, nullptr, 0) : 0;
+    std::cout << "[ SPARCLE  ] base seed offset " << s
+              << " (override with SPARCLE_TEST_SEED=<n>)" << std::endl;
+    return s;
+  }();
+  return seed;
+}
+
+/// Reads a non-negative integer env knob (e.g. SPARCLE_FUZZ_ITERS),
+/// falling back when unset or empty.
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (!env || !*env) return fallback;
+  return static_cast<std::size_t>(std::strtoull(env, nullptr, 0));
+}
+
+}  // namespace sparcle::testutil

@@ -18,7 +18,11 @@ cd "$(dirname "$0")/.."
 LABEL="${1:?usage: tools/bench_assign.sh <label> [build-dir]}"
 BUILD="${2:-build}"
 SCRATCH="$(mktemp /tmp/sparcle-bench-XXXX.json)"
+# Clean up the scratch file on any exit; on SIGINT/SIGTERM re-raise after
+# cleanup so callers still observe a signal death, not a plain exit.
 trap 'rm -f "${SCRATCH}"' EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 cmake --build "${BUILD}" -j "$(nproc 2>/dev/null || echo 2)" \
       --target bench_micro_scaling >/dev/null

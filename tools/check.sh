@@ -29,4 +29,10 @@ ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 echo "=== equivalence property test under sanitizers ==="
 ./build-asan/tests/test_assign_equivalence
 
+echo "=== invariant fuzz harness under sanitizers ==="
+# The full checker + oracle + shrinking pipeline (docs/testing.md); raise
+# SPARCLE_FUZZ_ITERS for a nightly-length run.
+SPARCLE_FUZZ_ITERS="${SPARCLE_FUZZ_ITERS:-200}" \
+  ./build-asan/tests/test_invariants_fuzz
+
 echo "OK: tier-1 and sanitized suites passed."
