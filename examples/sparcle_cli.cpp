@@ -30,6 +30,16 @@
 ///   --decision-log FILE  write every admission/rejection/path-addition
 ///                        decision with its reason as CSV
 ///
+/// Network churn (docs/churn.md):
+///   --churn-trace FILE   after all arrivals, replay this element
+///                        failure/recovery trace against the scheduler
+///   --churn-gen M,R,H,S  generate a Poisson churn trace instead
+///                        (MTBF, MTTR, horizon, seed) and replay it
+///   --churn-out FILE     record the replayed trace to FILE (exact
+///                        round-trip; feed back via --churn-trace)
+///   --churn-repair MODE  repair policy per event: incremental (default),
+///                        rebalance, or none
+///
 /// A scenario file example ships in examples/scenarios/.
 
 #include <cstdio>
@@ -44,6 +54,7 @@
 #include "core/scheduler.hpp"
 #include "model/dot_export.hpp"
 #include "obs/obs.hpp"
+#include "sim/churn_injector.hpp"
 #include "sim/stream_simulator.hpp"
 #include "sim/trace.hpp"
 #include "workload/scenario_io.hpp"
@@ -57,7 +68,9 @@ int usage(const char* argv0) {
                "usage: %s <scenario-file> [--assigner NAME] [--max-paths N] "
                "[--dot PREFIX] [--simulate SECONDS] [--trace FILE]\n"
                "       [--metrics-out FILE] [--trace-out FILE] "
-               "[--decision-log FILE] [--validate]\n",
+               "[--decision-log FILE] [--validate]\n"
+               "       [--churn-trace FILE | --churn-gen MTBF,MTTR,HORIZON,"
+               "SEED] [--churn-out FILE] [--churn-repair MODE]\n",
                argv0);
   return 2;
 }
@@ -127,6 +140,8 @@ int main(int argc, char** argv) {
   std::size_t max_paths = 4;
   double simulate_seconds = 0;
   bool validate = false;
+  std::string churn_trace_path, churn_gen_spec, churn_out_path;
+  std::string churn_repair = "incremental";
   ObsSession obs_session;
 
   for (int i = 1; i < argc; ++i) {
@@ -169,6 +184,22 @@ int main(int argc, char** argv) {
       obs_session.decisions_path = v;
     } else if (arg == "--validate") {
       validate = true;
+    } else if (arg == "--churn-trace") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      churn_trace_path = v;
+    } else if (arg == "--churn-gen") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      churn_gen_spec = v;
+    } else if (arg == "--churn-out") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      churn_out_path = v;
+    } else if (arg == "--churn-repair") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      churn_repair = v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage(argv[0]);
@@ -269,6 +300,95 @@ int main(int argc, char** argv) {
     }
     std::printf("\nvalidation: OK (%zu placed app(s), all invariants hold)\n",
                 sched.placed().size());
+  }
+
+  if (!churn_trace_path.empty() && !churn_gen_spec.empty()) {
+    std::fprintf(stderr,
+                 "--churn-trace and --churn-gen are mutually exclusive\n");
+    return 2;
+  }
+  if (!churn_trace_path.empty() || !churn_gen_spec.empty()) {
+    sim::ChurnInjectorOptions churn_opts;
+    if (churn_repair == "incremental")
+      churn_opts.repair_mode = sim::RepairMode::kIncremental;
+    else if (churn_repair == "rebalance")
+      churn_opts.repair_mode = sim::RepairMode::kFullRebalance;
+    else if (churn_repair == "none")
+      churn_opts.repair_mode = sim::RepairMode::kNone;
+    else {
+      std::fprintf(stderr, "unknown --churn-repair mode %s\n",
+                   churn_repair.c_str());
+      return 2;
+    }
+
+    sim::ChurnTrace trace;
+    try {
+      if (!churn_gen_spec.empty()) {
+        double mtbf = 0, mttr = 0, horizon = 0, seed = 0;
+        if (std::sscanf(churn_gen_spec.c_str(), "%lf,%lf,%lf,%lf", &mtbf,
+                        &mttr, &horizon, &seed) != 4) {
+          std::fprintf(stderr,
+                       "--churn-gen expects MTBF,MTTR,HORIZON,SEED\n");
+          return 2;
+        }
+        sim::ChurnModel model;
+        model.default_mtbf = mtbf;
+        model.default_mttr = mttr;
+        trace = sim::generate_poisson_churn(
+            scenario.net, model, horizon,
+            static_cast<std::uint64_t>(seed));
+      } else {
+        trace = sim::load_churn_trace_file(churn_trace_path, scenario.net);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "churn trace: %s\n", e.what());
+      return 1;
+    }
+    if (!churn_out_path.empty() &&
+        write_file(churn_out_path,
+                   sim::write_churn_trace(trace, scenario.net)))
+      std::printf("\nchurn trace (%zu events) written to %s\n",
+                  trace.events.size(), churn_out_path.c_str());
+
+    std::printf("\nreplaying %zu churn event(s) (repair: %s):\n",
+                trace.events.size(), churn_repair.c_str());
+    sim::ChurnInjector injector(sched, std::move(trace), churn_opts);
+    try {
+      injector.run_all();
+    } catch (const std::logic_error& e) {
+      std::fprintf(stderr, "validation FAILED during churn replay:\n%s",
+                   e.what());
+      return 3;
+    }
+    const sim::ChurnInjectorStats& cs = injector.stats();
+    std::printf(
+        "  %zu failure(s), %zu recover(y/ies), %zu redundant, %zu repair "
+        "pass(es), %zu fallback(s)\n",
+        cs.failures, cs.recoveries, cs.redundant, cs.repairs, cs.fallbacks);
+    if (churn_opts.repair_mode == sim::RepairMode::kIncremental)
+      std::printf(
+          "  repair touched %zu app(s); %zu path(s) dropped, %zu added, "
+          "%zu retr(y/ies)\n",
+          cs.apps_touched, cs.paths_dropped, cs.paths_added, cs.retries);
+    std::printf("  post-churn: total GR rate %.4f", sched.total_gr_rate());
+    const auto degraded = sched.degraded_gr_apps();
+    if (!degraded.empty()) {
+      std::printf(", %zu GR app(s) degraded:", degraded.size());
+      for (const std::string& name : degraded)
+        std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+    if (validate) {
+      const check::CheckReport report =
+          check::check_scheduler_state(sched, check::CheckOptions{});
+      if (!report.ok()) {
+        std::fprintf(stderr,
+                     "\nvalidation FAILED on the post-churn state:\n%s",
+                     report.to_string().c_str());
+        return 3;
+      }
+      std::printf("  validation: OK after churn replay\n");
+    }
   }
 
   if (simulate_seconds > 0) {

@@ -16,6 +16,7 @@
 #include "model/application.hpp"
 #include "model/network.hpp"
 #include "model/task_graph.hpp"
+#include "sim/churn_injector.hpp"
 
 namespace sparcle::check {
 
@@ -453,12 +454,15 @@ ScenarioVerdict run_scenario_checks(const ScenarioFile& s,
                             : Scheduler(s.net, sched_options);
   CheckOptions pristine = options.check;
   pristine.assume_pristine = true;
-  auto state_ok_with = [&](const CheckOptions& check) {
+  auto state_ok_as = [&](const CheckOptions& check, const char* phase) {
     CheckReport report = check_scheduler_state(scheduler, check);
     if (report.ok()) return true;
-    verdict.phase = "scheduler";
+    verdict.phase = phase;
     verdict.report = std::move(report);
     return false;
+  };
+  auto state_ok_with = [&](const CheckOptions& check) {
+    return state_ok_as(check, "scheduler");
   };
   auto state_ok = [&] { return state_ok_with(options.check); };
 
@@ -477,6 +481,37 @@ ScenarioVerdict run_scenario_checks(const ScenarioFile& s,
     if (!state_ok()) return verdict;
     scheduler.mark_recovered(ElementKey::link(0));
     if (!state_ok()) return verdict;
+  }
+
+  // Churn phase: replay a deterministic generated failure/recovery trace
+  // through the incremental repair path, running the full invariant suite
+  // after every event.  The trace seed is a pure function of the scenario
+  // shape and the fuzz seed, so the shrinker's reproduction predicate
+  // stays deterministic.
+  if (options.churn_events > 0 && s.net.link_count() > 0) {
+    sim::ChurnModel model;
+    model.default_mtbf = 8.0;
+    model.default_mttr = 3.0;
+    const std::uint64_t churn_seed =
+        options.seed ^ (0x9e3779b97f4a7c15ull *
+                        (s.net.ncp_count() + 7 * s.net.link_count() +
+                         31 * s.apps.size() + 1));
+    sim::ChurnTrace trace =
+        sim::generate_poisson_churn(s.net, model, /*horizon=*/40.0,
+                                    churn_seed);
+    if (trace.events.size() > options.churn_events)
+      trace.events.resize(options.churn_events);
+    sim::ChurnInjector injector(scheduler, std::move(trace));
+    while (injector.step())
+      if (!state_ok_as(options.check, "churn")) return verdict;
+    // Heal everything the truncated trace left down, repairing after each
+    // recovery, so the steps below start from an all-alive network.
+    while (!scheduler.failed_elements().empty()) {
+      const ElementKey e = *scheduler.failed_elements().begin();
+      scheduler.mark_recovered(e);
+      scheduler.repair(e);
+      if (!state_ok_as(options.check, "churn")) return verdict;
+    }
   }
   if (!admitted.empty()) {
     scheduler.remove(admitted.front());

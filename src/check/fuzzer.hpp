@@ -15,7 +15,8 @@
 /// \file fuzzer.hpp
 /// The shrinking scenario fuzzer: seeded random scenarios are driven
 /// through the full Scheduler pipeline (submit / fail / rebalance /
-/// recover / remove) with check_scheduler_state after every mutation, and
+/// recover / remove, plus a generated churn trace through the incremental
+/// repair path) with check_scheduler_state after every mutation, and
 /// through the differential + metamorphic oracles where they are sound.
 /// Any failure is greedily minimized — drop applications, NCPs, links and
 /// CTs, round numbers — while it keeps reproducing the *same* violation
@@ -42,6 +43,10 @@ struct FuzzOptions {
   /// Every k-th iteration generates a fully-pinned tree scenario for the
   /// Thm 3 arrival-order oracle instead of a general one (0 = never).
   std::size_t arrival_order_every{4};
+  /// Cap on generated churn-trace events replayed through the incremental
+  /// repair path per scenario, with the full invariant suite after every
+  /// event (0 = skip the churn phase).
+  std::size_t churn_events{8};
   /// Where shrunk `.scn` repros are written ("" = don't write).
   std::string repro_dir{"."};
   /// Cap on candidate evaluations during shrinking.
@@ -62,8 +67,9 @@ workload::ScenarioFile random_pinned_tree_scenario(Rng& rng,
                                                    const FuzzOptions& options);
 
 /// The verdict of one scenario run.  `phase` identifies which harness
-/// stage tripped: "scheduler", "oracle:differential", "oracle:monotonicity",
-/// "oracle:scaling", "oracle:unused-removal", "oracle:arrival-order".
+/// stage tripped: "scheduler", "churn", "oracle:differential",
+/// "oracle:monotonicity", "oracle:scaling", "oracle:unused-removal",
+/// "oracle:arrival-order".
 struct ScenarioVerdict {
   std::string phase;
   CheckReport report;

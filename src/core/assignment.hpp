@@ -19,8 +19,8 @@ namespace sparcle {
 
 /// One invocation of a task-assignment algorithm.
 struct AssignmentProblem {
-  const Network* net{nullptr};
-  const TaskGraph* graph{nullptr};
+  const Network* net{nullptr};      ///< the computing network (non-owning)
+  const TaskGraph* graph{nullptr};  ///< the application DAG (non-owning)
   /// Effective capacities the algorithm may assume available (already net
   /// of GR reservations / previous paths / priority prediction).
   CapacitySnapshot capacities;
@@ -31,9 +31,9 @@ struct AssignmentProblem {
 /// Outcome of a task-assignment attempt.
 struct AssignmentResult {
   bool feasible{false};  ///< complete placement with strictly positive rate
-  Placement placement;
-  double rate{0.0};  ///< bottleneck rate under the problem's capacities
-  std::string message;
+  Placement placement;   ///< the found mapping (meaningful when feasible)
+  double rate{0.0};      ///< bottleneck rate under the problem's capacities
+  std::string message;   ///< human-readable failure reason when infeasible
 };
 
 /// Abstract task-assignment algorithm.
@@ -42,6 +42,7 @@ class Assigner {
   virtual ~Assigner() = default;
   /// Short identifier used in benchmark tables ("SPARCLE", "HEFT", ...).
   virtual std::string name() const = 0;
+  /// Solves one task-assignment problem; never mutates the network.
   virtual AssignmentResult assign(const AssignmentProblem& problem) const = 0;
 };
 

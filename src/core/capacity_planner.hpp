@@ -13,12 +13,14 @@
 
 namespace sparcle {
 
+/// Outcome of a plan_capacity() scan.
 struct PlanningResult {
   /// Largest n such that n interleaved copies of the whole mix are all
   /// admitted by a fresh scheduler.
   std::size_t max_copies{0};
-  /// Allocation metrics at max_copies (0 when max_copies == 0).
+  /// Aggregate GR rate at max_copies (0 when max_copies == 0).
   double total_gr_rate{0.0};
+  /// Proportional-fair BE utility at max_copies (0 when max_copies == 0).
   double be_utility{0.0};
   /// The admission result of the first failing application at
   /// max_copies + 1 (why the next copy does not fit).

@@ -26,8 +26,9 @@ struct PfProblem {
 
   /// Sparse column: (row index, per-unit load) pairs.
   struct Column {
-    std::vector<std::pair<std::size_t, double>> entries;
+    std::vector<std::pair<std::size_t, double>> entries;  ///< sparse loads
   };
+  /// One sparse load column per path variable.
   std::vector<Column> columns;
 
   /// Which application each path variable belongs to.
@@ -35,17 +36,21 @@ struct PfProblem {
   /// Priority P_i of each application (all strictly positive).
   std::vector<double> app_priority;
 
+  /// Number of applications.
   std::size_t app_count() const { return app_priority.size(); }
+  /// Number of path-rate variables.
   std::size_t var_count() const { return columns.size(); }
 };
 
+/// Solver knobs for solve_weighted_pf().
 struct PfOptions {
   double duality_gap_tol{1e-8};  ///< stop when m*μ (scaled) drops below this
-  int max_newton_steps{400};
+  int max_newton_steps{400};     ///< hard cap on Newton iterations
 };
 
+/// The allocation returned by solve_weighted_pf().
 struct PfSolution {
-  bool converged{false};
+  bool converged{false};  ///< duality gap reached tolerance within the cap
   std::vector<double> path_rate;  ///< one per variable
   std::vector<double> app_rate;   ///< Σ of the app's path rates
   double utility{0.0};            ///< Σ P_i log(app_rate_i)

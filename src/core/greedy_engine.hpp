@@ -37,6 +37,7 @@ struct EngineStats {
   std::uint64_t bnb_prunes{0};        ///< candidates cut by the exact bound
 };
 
+/// Incremental commit engine for one-CT-at-a-time assignment.
 class GreedyEngine {
  public:
   /// How commit() routes TTs between hosts.
@@ -50,13 +51,20 @@ class GreedyEngine {
                         bool probe_with_min_bits_tt = true,
                         Routing routing = Routing::kWidestPath);
 
+  /// The bound problem's network.
   const Network& net() const { return *problem_->net; }
+  /// The bound problem's task graph.
   const TaskGraph& graph() const { return *problem_->graph; }
+  /// The bound problem's effective capacities.
   const CapacitySnapshot& capacities() const { return problem_->capacities; }
 
+  /// True once CT `i` has been committed.
   bool placed(CtId i) const { return placed_[i] != 0; }
+  /// Number of committed CTs.
   std::size_t placed_count() const { return placed_count_; }
+  /// Host of committed CT `i` (kInvalidId otherwise).
   NcpId host(CtId i) const { return placement_.ct_host(i); }
+  /// Per-unit loads of everything committed so far.
   const LoadMap& load() const { return load_; }
 
   /// γ_{i,j} (eq. (2)): the bottleneck rate placing CT i on NCP j would
@@ -107,6 +115,7 @@ class GreedyEngine {
   /// Finalizes: returns the (possibly incomplete) placement and rate.
   AssignmentResult finish() &&;
 
+  /// Snapshot of the work counters (see EngineStats).
   EngineStats stats() const {
     return {gamma_evals_.load(std::memory_order_relaxed),
             widest_path_calls_.load(std::memory_order_relaxed),

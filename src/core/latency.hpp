@@ -24,6 +24,7 @@
 
 namespace sparcle {
 
+/// Breakdown returned by estimate_latency().
 struct LatencyEstimate {
   /// False when some element would be at or beyond capacity (ρ >= 1); the
   /// sojourn fields are then meaningless and total is +infinity.
@@ -34,8 +35,9 @@ struct LatencyEstimate {
   std::vector<double> ct_sojourn;
   /// Estimated sojourn of each TT summed over its route hops (seconds).
   std::vector<double> tt_sojourn;
-  /// The most utilized element and its utilization at this rate.
+  /// The most utilized element at this rate.
   ElementKey bottleneck{};
+  /// Utilization ρ of that element.
   double bottleneck_utilization{0.0};
 };
 

@@ -16,6 +16,7 @@
 
 namespace sparcle {
 
+/// Knobs for refine_placement().
 struct LocalSearchOptions {
   /// Maximum improvement rounds (each round scans all CT/host moves).
   int max_rounds{8};

@@ -19,16 +19,18 @@
 
 namespace sparcle {
 
+/// Persistent pool of worker threads with an atomic work-claiming run().
 class WorkerPool {
  public:
   /// A pool that runs work on `threads` workers total (the calling thread
   /// participates, so `threads - 1` OS threads are spawned).  threads <= 1
   /// means run() executes inline.
   explicit WorkerPool(unsigned threads);
+  /// Joins all workers (any in-flight run() must have returned).
   ~WorkerPool();
 
-  WorkerPool(const WorkerPool&) = delete;
-  WorkerPool& operator=(const WorkerPool&) = delete;
+  WorkerPool(const WorkerPool&) = delete;             ///< non-copyable
+  WorkerPool& operator=(const WorkerPool&) = delete;  ///< non-copyable
 
   /// Total workers, including the calling thread.
   unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }

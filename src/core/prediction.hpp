@@ -22,7 +22,7 @@ namespace sparcle {
 
 /// A previously placed BE application's footprint.
 struct BePresence {
-  double priority{1.0};
+  double priority{1.0};  ///< its weight P_{J'} in the share denominator
   /// Every element any of its task-assignment paths uses.
   std::vector<ElementKey> elements;
 };

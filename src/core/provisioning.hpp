@@ -23,7 +23,7 @@ namespace sparcle {
 
 /// One committed task-assignment path of an application.
 struct PathInfo {
-  Placement placement;
+  Placement placement;          ///< the complete CT/TT mapping
   LoadMap load;                 ///< per-unit loads of this path
   double standalone_rate{0.0};  ///< bottleneck rate when the path was found
   std::vector<ElementKey> elements;  ///< distinct elements (availability)
@@ -35,8 +35,10 @@ enum class PathDiversity {
   kPenalizeOverlap,  ///< extension: also scale used elements' capacities
 };
 
+/// Knobs for provision_paths().
 struct ProvisioningOptions {
-  std::size_t max_paths{4};
+  std::size_t max_paths{4};  ///< stop after this many paths
+  /// How later searches treat elements used by earlier paths.
   PathDiversity diversity{PathDiversity::kResidualOnly};
   /// Capacity multiplier applied (during the search only) to elements
   /// already used by earlier paths, in kPenalizeOverlap mode.

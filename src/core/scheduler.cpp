@@ -55,6 +55,17 @@ void log_path_add(const Application& app, std::size_t path_count,
                     std::to_string(target),
                 path_rate, achieved, path_count);
 }
+/// "ncp:<name>" / "link:<name>" for decision-log rows about an element.
+std::string element_label(const Network& net, ElementKey e) {
+  if (e.kind == ElementKey::Kind::kNcp)
+    return e.index >= 0 && e.index < static_cast<NcpId>(net.ncp_count())
+               ? "ncp:" + net.ncp(e.index).name
+               : "ncp:?";
+  return e.index >= 0 && e.index < static_cast<LinkId>(net.link_count())
+             ? "link:" + net.link(e.index).name
+             : "link:?";
+}
+
 /// Installed by check::ScopedValidation; intentionally leaked global state
 /// (the harness uninstalls by passing nullptr).
 Scheduler::ValidationHook g_validation_hook;
@@ -99,6 +110,27 @@ bool Scheduler::path_alive(const PathInfo& path) const {
   return true;
 }
 
+void Scheduler::ensure_usage_index() const {
+  if (usage_valid_) return;
+  usage_.clear();
+  for (std::size_t i = 0; i < placed_.size(); ++i)
+    for (std::size_t k = 0; k < placed_[i].paths.size(); ++k)
+      usage_.add_path(i, k, placed_[i].paths[k].elements);
+  usage_valid_ = true;
+}
+
+void Scheduler::index_new_app() {
+  if (!usage_valid_) return;
+  const std::size_t i = placed_.size() - 1;
+  for (std::size_t k = 0; k < placed_[i].paths.size(); ++k)
+    usage_.add_path(i, k, placed_[i].paths[k].elements);
+}
+
+const ElementUsageIndex& Scheduler::element_usage() const {
+  ensure_usage_index();
+  return usage_;
+}
+
 bool Scheduler::remove(const std::string& app_name) {
   for (std::size_t i = 0; i < placed_.size(); ++i) {
     if (placed_[i].app.name != app_name) continue;
@@ -108,8 +140,10 @@ bool Scheduler::remove(const std::string& app_name) {
         gr_reserved_.add_scaled(pa.paths[k].load, -pa.path_rates[k]);
     }
     placed_.erase(placed_.begin() + static_cast<std::ptrdiff_t>(i));
+    usage_valid_ = false;  // placed indices shifted
     rebuild_residual();
     reallocate_best_effort();
+    healthy_rate_ = global_rate();
     run_validation_hook();
     return true;
   }
@@ -131,6 +165,9 @@ void Scheduler::mark_recovered(ElementKey element) {
 }
 
 Scheduler::RebalanceReport Scheduler::rebalance() {
+  const obs::ScopedTimer span("scheduler.rebalance");
+  if (obs::MetricsRegistry* reg = obs::metrics())
+    reg->counter("scheduler.rebalances").add(1);
   RebalanceReport report;
   for (PlacedApp& pa : placed_) {
     // Partition the app's paths into alive and dead.
@@ -205,6 +242,8 @@ Scheduler::RebalanceReport Scheduler::rebalance() {
     }
   }
   reallocate_best_effort();
+  usage_valid_ = false;  // path sets changed
+  healthy_rate_ = global_rate();
   run_validation_hook();
   return report;
 }
@@ -236,6 +275,7 @@ Scheduler::ReoptimizeReport Scheduler::global_reoptimize(
 
   placed_.clear();
   gr_reserved_ = LoadMap::zeros(net_);
+  usage_valid_ = false;  // nested submits must not append to a stale index
   rebuild_residual();
 
   bool all_admitted = true;
@@ -260,6 +300,8 @@ Scheduler::ReoptimizeReport Scheduler::global_reoptimize(
     reallocate_best_effort();
     report.new_be_utility = report.old_be_utility;
     report.new_gr_rate = report.old_gr_rate;
+    usage_valid_ = false;
+    healthy_rate_ = global_rate();
     run_validation_hook();
     return report;
   }
@@ -276,7 +318,230 @@ Scheduler::ReoptimizeReport Scheduler::global_reoptimize(
   report.adopted = true;
   report.new_be_utility = new_utility;
   report.new_gr_rate = new_gr;
+  usage_valid_ = false;
+  healthy_rate_ = global_rate();
   run_validation_hook();
+  return report;
+}
+
+Scheduler::RepairReport Scheduler::repair(ElementKey element) {
+  const obs::ScopedTimer span("scheduler.repair");
+  obs::MetricsRegistry* reg = obs::metrics();
+  if (reg) reg->counter("scheduler.repairs").add(1);
+
+  RepairReport report;
+  report.global_rate_before = healthy_rate_;
+
+  // Which placed apps need attention?  Users of the triggering element and
+  // of every still-failed element, plus apps already degraded by earlier
+  // events (a recovery restores capacity they can reclaim).
+  ensure_usage_index();
+  std::set<std::size_t> affected;
+  auto collect = [&](const ElementKey& e) {
+    for (const ElementUsageIndex::PathRef& ref : usage_.users(e))
+      affected.insert(ref.app);
+  };
+  collect(element);
+  for (const ElementKey& dead : failed_) collect(dead);
+  for (std::size_t i = 0; i < placed_.size(); ++i) {
+    const PlacedApp& pa = placed_[i];
+    if (pa.app.qoe.cls == QoeClass::kGuaranteedRate) {
+      double alive_rate = 0;
+      for (std::size_t k = 0; k < pa.paths.size(); ++k)
+        if (path_alive(pa.paths[k])) alive_rate += pa.path_rates[k];
+      if (alive_rate + kEps < pa.app.qoe.min_rate) affected.insert(i);
+    } else if (pa.paths.empty()) {
+      affected.insert(i);  // BE app shed down to zero paths earlier
+    }
+  }
+  report.apps_touched = affected.size();
+  if (reg)
+    reg->counter("scheduler.repair.apps_touched").add(affected.size());
+
+  // Nothing placed crosses the trigger or any failed element and no app is
+  // degraded: the index proves there is nothing to shed or restore, so skip
+  // the residual rebuild and the PF re-solve and keep the warm index.
+  if (affected.empty()) {
+    report.global_rate_after = healthy_rate_;
+    return report;
+  }
+
+  // Pass 1: shed dead paths.  GR reservations on dead paths are released
+  // so the freed capacity is visible to the restore pass; BE paths are
+  // simply dropped (graceful shedding -- the app itself is never evicted).
+  for (std::size_t pi : affected) {
+    PlacedApp& pa = placed_[pi];
+    std::vector<PathInfo> alive;
+    std::vector<double> alive_rates;
+    for (std::size_t k = 0; k < pa.paths.size(); ++k) {
+      if (path_alive(pa.paths[k])) {
+        alive.push_back(std::move(pa.paths[k]));
+        alive_rates.push_back(pa.path_rates[k]);
+      } else {
+        ++report.paths_dropped;
+        if (pa.app.qoe.cls == QoeClass::kGuaranteedRate)
+          gr_reserved_.add_scaled(pa.paths[k].load, -pa.path_rates[k]);
+      }
+    }
+    pa.paths = std::move(alive);
+    pa.path_rates = std::move(alive_rates);
+    if (pa.app.qoe.cls == QoeClass::kGuaranteedRate) {
+      pa.allocated_rate = 0;
+      for (double r : pa.path_rates) pa.allocated_rate += r;
+    }
+  }
+  rebuild_residual();
+
+  // Pass 2: restore, GR first (largest guarantee first), then BE
+  // (descending priority); ties break on placed order so a replayed trace
+  // reproduces the same state bit for bit.
+  std::vector<std::size_t> order(affected.begin(), affected.end());
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const PlacedApp& pa = placed_[a];
+                     const PlacedApp& pb = placed_[b];
+                     const bool ga = pa.app.qoe.cls == QoeClass::kGuaranteedRate;
+                     const bool gb = pb.app.qoe.cls == QoeClass::kGuaranteedRate;
+                     if (ga != gb) return ga;
+                     if (ga) return pa.app.qoe.min_rate > pb.app.qoe.min_rate;
+                     return pa.app.qoe.priority > pb.app.qoe.priority;
+                   });
+
+  for (std::size_t pi : order) {
+    PlacedApp& pa = placed_[pi];
+    if (pa.app.qoe.cls == QoeClass::kGuaranteedRate) {
+      const double shortfall = pa.app.qoe.min_rate - pa.allocated_rate;
+      if (shortfall <= kEps) continue;  // guarantee still covered
+      // Retry with geometrically shrinking targets: a transient admission
+      // failure at the full shortfall often succeeds at a partial target,
+      // and a partial restore beats none (steady-state invariants accept
+      // an acknowledged shortfall).
+      bool restored = false;
+      for (std::size_t attempt = 0;
+           attempt <= options_.repair.max_retries && !restored; ++attempt) {
+        const double target =
+            shortfall * std::pow(options_.repair.retry_backoff,
+                                 static_cast<double>(attempt));
+        if (target <= kEps) break;
+        double recovered = 0;
+        auto enough = [&](const std::vector<PathInfo>& paths) {
+          recovered = 0;
+          for (const PathInfo& p : paths) recovered += p.standalone_rate;
+          return recovered + kEps >= target;
+        };
+        std::vector<PathInfo> extra =
+            find_paths(pa.app, residual_, target, enough);
+        const bool last = attempt == options_.repair.max_retries;
+        if (recovered + kEps >= target || (last && !extra.empty())) {
+          for (PathInfo& p : extra) {
+            gr_reserved_.add_scaled(p.load, p.standalone_rate);
+            pa.path_rates.push_back(p.standalone_rate);
+            pa.allocated_rate += p.standalone_rate;
+            pa.paths.push_back(std::move(p));
+            ++report.paths_added;
+          }
+          rebuild_residual();
+          restored = pa.allocated_rate + kEps >= pa.app.qoe.min_rate;
+        } else if (!last) {
+          ++report.retries;
+          if (reg) reg->counter("scheduler.repair.retries").add(1);
+        }
+      }
+      if (pa.allocated_rate + kEps >= pa.app.qoe.min_rate)
+        report.repaired.push_back(pa.app.name);
+      else
+        report.still_degraded.push_back(pa.app.name);
+    } else if (pa.paths.empty()) {
+      // BE app with no service left: re-provision one path against the
+      // priority-share prediction (eq. (6)); rates come from the PF
+      // re-solve below.  On failure the app stays placed with zero paths.
+      std::vector<BePresence> presences;
+      for (std::size_t qi = 0; qi < placed_.size(); ++qi) {
+        if (qi == pi) continue;
+        const PlacedApp& other = placed_[qi];
+        if (other.app.qoe.cls != QoeClass::kBestEffort) continue;
+        BePresence pres;
+        pres.priority = other.app.qoe.priority;
+        for (const PathInfo& p : other.paths)
+          pres.elements.insert(pres.elements.end(), p.elements.begin(),
+                               p.elements.end());
+        presences.push_back(std::move(pres));
+      }
+      const CapacitySnapshot effective =
+          options_.use_prediction
+              ? predict_capacities(residual_, presences, pa.app.qoe.priority)
+              : residual_;
+      auto enough = [](const std::vector<PathInfo>& paths) {
+        return !paths.empty();
+      };
+      std::vector<PathInfo> extra = find_paths(pa.app, effective, kInf, enough);
+      if (!extra.empty()) {
+        for (PathInfo& p : extra) {
+          pa.path_rates.push_back(0.0);
+          pa.paths.push_back(std::move(p));
+          ++report.paths_added;
+        }
+        report.repaired.push_back(pa.app.name);
+      } else {
+        report.still_degraded.push_back(pa.app.name);
+      }
+    }
+    // BE apps that still hold alive paths only need the PF re-solve.
+  }
+  reallocate_best_effort();
+  if (reg) {
+    reg->counter("scheduler.repair.paths_dropped").add(report.paths_dropped);
+    reg->counter("scheduler.repair.paths_added").add(report.paths_added);
+  }
+
+  // Fallback: if the incremental result degraded the global carried rate
+  // past the configured bound relative to the last healthy state, escalate
+  // to the stop-the-world rebalance.
+  report.global_rate_after = global_rate();
+  const double floor =
+      (1.0 - options_.repair.max_rate_degradation) * report.global_rate_before;
+  if (options_.repair.allow_fallback && report.global_rate_before > kEps &&
+      report.global_rate_after + kEps < floor) {
+    report.fell_back = true;
+    if (reg) reg->counter("scheduler.repair.fallbacks").add(1);
+    (void)rebalance();  // resets usage/healthy itself
+    // rebalance() only reports apps whose dead paths *it* shed — the
+    // incremental pass already shed them — so recompute the outcome lists
+    // from live state: still degraded = GR below guarantee or BE with no
+    // paths left; repaired = every other touched app.
+    report.still_degraded = degraded_gr_apps();
+    for (const PlacedApp& pa : placed_)
+      if (pa.app.qoe.cls == QoeClass::kBestEffort && pa.paths.empty())
+        report.still_degraded.push_back(pa.app.name);
+    report.repaired.clear();
+    for (std::size_t pi : order) {
+      const std::string& name = placed_[pi].app.name;
+      if (std::find(report.still_degraded.begin(),
+                    report.still_degraded.end(),
+                    name) == report.still_degraded.end())
+        report.repaired.push_back(name);
+    }
+    report.global_rate_after = global_rate();
+  }
+
+  if (obs::DecisionLog* log = obs::decision_log()) {
+    const std::string elem = element_label(net_, element);
+    for (std::size_t pi : order) {
+      const PlacedApp& pa = placed_[pi];
+      const bool ok =
+          std::find(report.still_degraded.begin(), report.still_degraded.end(),
+                    pa.app.name) == report.still_degraded.end();
+      log->record(obs::DecisionKind::kRepair, pa.app.name, qoe_name(pa.app),
+                  "repair after " + elem + ": " +
+                      (ok ? "restored" : "still degraded") +
+                      (report.fell_back ? " (fell back to rebalance)" : ""),
+                  pa.allocated_rate, 0.0, pa.paths.size());
+    }
+  }
+
+  usage_valid_ = false;  // touched apps' path lists changed
+  healthy_rate_ = report.global_rate_after;
+  if (!report.fell_back) run_validation_hook();  // rebalance() already ran it
   return report;
 }
 
@@ -300,6 +565,10 @@ AdmissionResult Scheduler::submit(const Application& app) {
                                      ? submit_best_effort(app)
                                      : submit_guaranteed_rate(app);
   log_admission(app, result);
+  if (result.admitted) {
+    index_new_app();  // keep the element->path index warm for repair()
+    healthy_rate_ = global_rate();
+  }
   run_validation_hook();
   return result;
 }
@@ -552,6 +821,13 @@ double Scheduler::total_gr_rate() const {
   for (const PlacedApp& pa : placed_)
     if (pa.app.qoe.cls == QoeClass::kGuaranteedRate)
       total += pa.allocated_rate;
+  return total;
+}
+
+double Scheduler::total_be_rate() const {
+  double total = 0;
+  for (const PlacedApp& pa : placed_)
+    if (pa.app.qoe.cls == QoeClass::kBestEffort) total += pa.allocated_rate;
   return total;
 }
 

@@ -33,8 +33,8 @@ namespace sparcle {
 
 /// A placed application and its allocation.
 struct PlacedApp {
-  Application app;
-  std::vector<PathInfo> paths;
+  Application app;              ///< the admitted request
+  std::vector<PathInfo> paths;  ///< its committed task-assignment paths
   /// Total allocated processing rate: the PF solution for BE apps (updated
   /// on every admission), the reserved rate for GR apps.
   double allocated_rate{0.0};
@@ -44,13 +44,35 @@ struct PlacedApp {
 
 /// Outcome of a submit() call.
 struct AdmissionResult {
-  bool admitted{false};
-  std::string reason;
-  std::size_t path_count{0};
+  bool admitted{false};       ///< the application was placed
+  std::string reason;         ///< human-readable rejection reason
+  std::size_t path_count{0};  ///< committed task-assignment paths
   double rate{0.0};          ///< allocated (GR: reserved) total rate
   double availability{0.0};  ///< achieved (min-rate) availability estimate
 };
 
+/// Policy knobs for the incremental failure-repair path (repair()).
+/// docs/churn.md is the operator runbook for tuning these.
+struct RepairPolicy {
+  /// Fallback bound: after an incremental repair, if the global carried
+  /// rate (GR reserved + BE allocated) falls below
+  /// `(1 - max_rate_degradation)` times the last healthy rate, the
+  /// scheduler escalates to a full rebalance() pass.
+  double max_rate_degradation{0.05};
+  /// Extra re-provisioning attempts per GR application when the full
+  /// shortfall cannot be restored (transient admission failures while
+  /// several repairs contend for the same residuals).
+  std::size_t max_retries{2};
+  /// Backoff factor applied to the requested restore target on each
+  /// retry: attempt k asks for `shortfall * retry_backoff^k`, trading a
+  /// partial restoration for repair progress.
+  double retry_backoff{0.5};
+  /// Escalate to rebalance() when the degradation bound trips.  Benchmarks
+  /// disable this to measure the pure incremental path.
+  bool allow_fallback{true};
+};
+
+/// Configuration of the admission-control scheduler.
 struct SchedulerOptions {
   /// Cap on task-assignment paths per application.
   std::size_t max_paths{4};
@@ -60,7 +82,11 @@ struct SchedulerOptions {
   /// How additional paths are searched (§IV-D residual loop, or the
   /// overlap-penalizing diversity extension — see provisioning.hpp).
   PathDiversity path_diversity{PathDiversity::kResidualOnly};
+  /// Capacity multiplier for already-used elements in kPenalizeOverlap
+  /// diversity mode (see ProvisioningOptions::overlap_penalty).
   double overlap_penalty{0.3};
+  /// Policy for the incremental failure-repair path (repair()).
+  RepairPolicy repair{};
   /// Options forwarded to the default SPARCLE assigner.
   SparcleAssignerOptions assigner_options{};
 };
@@ -115,11 +141,62 @@ class Scheduler {
   /// their previous path count.  Finishes with a fresh PF allocation.
   RebalanceReport rebalance();
 
+  /// Outcome of a repair() pass.
+  struct RepairReport {
+    /// Apps that had dead paths replaced (GR: guarantee restored, possibly
+    /// after retries; BE: re-provisioned from zero alive paths).
+    std::vector<std::string> repaired;
+    /// GR apps still below their guarantee after the pass.
+    std::vector<std::string> still_degraded;
+    /// Applications whose paths crossed a failed element (the repair
+    /// working set — everything else was left untouched).
+    std::size_t apps_touched{0};
+    std::size_t paths_dropped{0};  ///< dead paths shed across all apps
+    std::size_t paths_added{0};    ///< replacement paths committed
+    std::size_t retries{0};        ///< backoff retries spent on GR restores
+    /// True when the degradation bound tripped and the pass escalated to a
+    /// full rebalance().
+    bool fell_back{false};
+    /// Global carried rate (GR reserved + BE allocated) of the last
+    /// healthy state — the baseline the fallback bound compares against.
+    double global_rate_before{0.0};
+    /// Global carried rate after the pass.
+    double global_rate_after{0.0};
+  };
+
+  /// Incremental failure repair — the churn-resilient counterpart of
+  /// rebalance().  Where rebalance() walks *every* placed application,
+  /// repair() consults a reverse `element → {app, path}` usage index and
+  /// touches only the applications whose task-assignment paths actually
+  /// cross a currently-failed element:
+  ///
+  ///  1. dead paths are shed and their GR reservations released;
+  ///  2. GR apps are re-provisioned first (largest guarantee first) on the
+  ///     residual capacities, with retry-and-backoff
+  ///     (RepairPolicy::max_retries / retry_backoff) accepting a partial
+  ///     restore when the full shortfall is not placeable;
+  ///  3. BE apps shed dead paths gracefully — they are never evicted —
+  ///     and are re-provisioned (against the eq. (6) predicted capacities)
+  ///     only when no alive path remains;
+  ///  4. one Best-Effort PF re-solve finishes the pass; if the global
+  ///     carried rate degraded beyond RepairPolicy::max_rate_degradation
+  ///     relative to the last healthy state, the pass escalates to a full
+  ///     rebalance() (RepairReport::fell_back).
+  ///
+  /// `element` names the element whose failure triggered the pass (used
+  /// for the decision log); the pass repairs damage from *all* currently
+  /// failed elements.  Typical call pattern: `mark_failed(e); repair(e);`
+  /// — sim::ChurnInjector automates it.  Deterministic for identical
+  /// call sequences.
+  RepairReport repair(ElementKey element);
+
   /// Outcome of a global_reoptimize() attempt.
   struct ReoptimizeReport {
-    bool adopted{false};
-    double old_be_utility{0.0}, new_be_utility{0.0};
-    double old_gr_rate{0.0}, new_gr_rate{0.0};
+    bool adopted{false};           ///< the new plan replaced the old one
+    double old_be_utility{0.0};    ///< BE utility before
+    double new_be_utility{0.0};    ///< BE utility of the candidate plan
+    double old_gr_rate{0.0};       ///< total GR rate before
+    double new_gr_rate{0.0};       ///< total GR rate of the candidate plan
     /// CTs whose host changed between the old and new first paths.
     std::size_t migrated_cts{0};
   };
@@ -134,7 +211,9 @@ class Scheduler {
   /// counts that cost so operators can weigh it.
   ReoptimizeReport global_reoptimize(double min_utility_gain = 0.0);
 
+  /// The (copied-in) network this scheduler manages.
   const Network& network() const { return net_; }
+  /// All currently placed applications, in admission order.
   const std::vector<PlacedApp>& placed() const { return placed_; }
 
   /// Elements currently marked failed (capacity zero; see mark_failed()).
@@ -149,6 +228,7 @@ class Scheduler {
   /// must not mutate the scheduler.  Not thread-safe against concurrent
   /// scheduler use (the Scheduler itself is thread-compatible only).
   using ValidationHook = std::function<void(const Scheduler&)>;
+  /// Installs (or, with nullptr, removes) the process-global hook.
   static void set_validation_hook(ValidationHook hook);
 
   /// Residual capacities after all GR reservations and marked failures
@@ -161,6 +241,15 @@ class Scheduler {
 
   /// Total reserved rate over admitted GR applications.
   double total_gr_rate() const;
+
+  /// Total allocated rate over placed BE applications.
+  double total_be_rate() const;
+
+  /// The reverse `element → {app, path}` usage index over the current
+  /// placed paths (rebuilt lazily after mutations that reshuffle path
+  /// indices).  Exposed for tests and diagnostics; repair() is the
+  /// production consumer.
+  const ElementUsageIndex& element_usage() const;
 
  private:
   AdmissionResult submit_best_effort(const Application& app);
@@ -188,6 +277,16 @@ class Scheduler {
   /// Runs the installed validation hook (if any) on *this.
   void run_validation_hook() const;
 
+  /// Rebuilds usage_ from placed_ when a mutation invalidated it.
+  void ensure_usage_index() const;
+
+  /// Registers the freshly admitted app at the back of placed_ in the
+  /// usage index (cheap incremental update on the churn hot path).
+  void index_new_app();
+
+  /// GR reserved + BE allocated rate (the fallback-bound measure).
+  double global_rate() const { return total_gr_rate() + total_be_rate(); }
+
   Network net_;
   SchedulerOptions options_;
   std::unique_ptr<Assigner> assigner_;
@@ -195,6 +294,13 @@ class Scheduler {
   std::set<ElementKey> failed_;
   CapacitySnapshot residual_;  ///< see rebuild_residual()
   std::vector<PlacedApp> placed_;
+  /// Reverse element → {app, path} index over placed_ (lazily rebuilt;
+  /// mutable so const accessors can refresh it).
+  mutable ElementUsageIndex usage_;
+  mutable bool usage_valid_{false};
+  /// Global carried rate after the last healthy (fully repaired or
+  /// failure-free) state — the baseline for RepairPolicy's fallback bound.
+  double healthy_rate_{0.0};
 };
 
 }  // namespace sparcle

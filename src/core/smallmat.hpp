@@ -15,15 +15,21 @@ namespace sparcle {
 /// Row-major dense matrix of doubles.
 class Matrix {
  public:
+  /// An empty 0x0 matrix.
   Matrix() = default;
+  /// A rows x cols matrix with every entry set to `fill`.
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
+  /// Number of rows.
   std::size_t rows() const { return rows_; }
+  /// Number of columns.
   std::size_t cols() const { return cols_; }
+  /// Entry (r, c), unchecked.
   double operator()(std::size_t r, std::size_t c) const {
     return data_[r * cols_ + c];
   }
+  /// Mutable entry (r, c), unchecked.
   double& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];
   }

@@ -41,7 +41,7 @@ struct SparcleAssignerOptions {
     kLeastConstrainedFirst,  ///< the §IV-B prose (argmax)
     kBestOfBoth,             ///< run both, keep the higher rate
   };
-  Ranking ranking{Ranking::kBestOfBoth};
+  Ranking ranking{Ranking::kBestOfBoth};  ///< the commit rule in use
   /// Hill-climbing refinement rounds applied after the greedy (extension;
   /// 0 = the paper's algorithm).  See core/local_search.hpp.
   int local_search_rounds{0};
@@ -61,9 +61,12 @@ struct SparcleAssignerOptions {
   int eval_threads{0};
 };
 
+/// Algorithm 2 as an Assigner.
 class SparcleAssigner : public Assigner {
  public:
+  /// Assigner with the paper-default options.
   SparcleAssigner() = default;
+  /// Assigner with explicit options (ablations, perf knobs).
   explicit SparcleAssigner(SparcleAssignerOptions options)
       : options_(options) {}
 

@@ -31,7 +31,7 @@ namespace sparcle {
 
 /// Result of a widest (maximum-bottleneck) path query.
 struct WidestPathResult {
-  bool reachable{false};
+  bool reachable{false};  ///< a usable path exists
   /// The max-min weight along the path; +infinity when from == to.
   double width{0.0};
   /// Links from source to destination, in hop order; empty when from == to.
@@ -46,7 +46,7 @@ struct WidestWidthResult {
   /// floor; `width` then holds an upper bound (<= floor) on the true
   /// width, and `reachable` is false even if a path <= floor exists.
   bool pruned{false};
-  double width{0.0};
+  double width{0.0};  ///< exact width, or the upper bound when pruned
 };
 
 /// Caller-owned scratch buffers for the Dijkstra kernel.  Buffers are
@@ -73,16 +73,22 @@ class WidestPathWorkspace {
   }
 
   // Kernel state, valid for nodes whose stamp equals the current epoch.
+
+  /// Best width reaching `v` this epoch (-infinity when untouched).
   double phi(NcpId v) const { return stamp_[v] == epoch_ ? phi_[v] : -kInf_; }
+  /// The link `v` was best reached through (kInvalidId when untouched).
   LinkId prev(NcpId v) const {
     return stamp_[v] == epoch_ ? prev_[v] : kInvalidId;
   }
+  /// Records width `width` reaching `v` via link `via`.
   void relax(NcpId v, double width, LinkId via) {
     phi_[v] = width;
     prev_[v] = via;
     stamp_[v] = epoch_;
   }
+  /// True once `v` was settled this epoch.
   bool done(NcpId v) const { return done_[v] == epoch_; }
+  /// Settles `v` for this epoch.
   void mark_done(NcpId v) { done_[v] = epoch_; }
 
   /// Max-heap keyed by (width desc, node id asc): among equal widths the
@@ -91,7 +97,9 @@ class WidestPathWorkspace {
     heap_.push_back({width, v});
     std::push_heap(heap_.begin(), heap_.end(), HeapLess{});
   }
+  /// True when the frontier heap is empty.
   bool heap_empty() const { return heap_.empty(); }
+  /// Pops the widest (width, node) frontier entry.
   std::pair<double, NcpId> pop() {
     std::pop_heap(heap_.begin(), heap_.end(), HeapLess{});
     const Entry e = heap_.back();
@@ -237,9 +245,10 @@ WidestWidthResult widest_path_width(const Network& net, NcpId from, NcpId to,
 /// `tt_bits` would see on link l given residual capacities and the bits
 /// already routed over l.
 struct TtPathWeight {
-  const CapacitySnapshot* cap;
-  const LoadMap* load;
-  double tt_bits;
+  const CapacitySnapshot* cap;  ///< residual capacities (non-owning)
+  const LoadMap* load;          ///< bits already routed per link (non-owning)
+  double tt_bits;               ///< a_k^(b) of the TT being routed
+  /// The rate the TT would see crossing link `l`.
   double operator()(LinkId l) const {
     const double denom = tt_bits + load->link_load(l);
     if (denom <= 0)

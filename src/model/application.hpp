@@ -24,7 +24,7 @@ enum class QoeClass {
 
 /// The QoE contract an application requests.
 struct QoeSpec {
-  QoeClass cls{QoeClass::kBestEffort};
+  QoeClass cls{QoeClass::kBestEffort};  ///< which service class applies
 
   // Best-Effort fields.
   double priority{1.0};          ///< P_j, relative weight among BE apps
@@ -34,6 +34,7 @@ struct QoeSpec {
   double min_rate{0.0};              ///< R_j, data units per second
   double min_rate_availability{0.0}; ///< A_j, required P(rate >= R_j)
 
+  /// A Best-Effort contract with relative weight `priority`.
   static QoeSpec best_effort(double priority, double availability = 0.0) {
     QoeSpec q;
     q.cls = QoeClass::kBestEffort;
@@ -41,6 +42,8 @@ struct QoeSpec {
     q.availability = availability;
     return q;
   }
+  /// A Guaranteed-Rate contract: `min_rate` sustained with probability
+  /// at least `min_rate_availability`.
   static QoeSpec guaranteed_rate(double min_rate,
                                  double min_rate_availability) {
     QoeSpec q;
@@ -54,9 +57,9 @@ struct QoeSpec {
 /// An application request.  The task graph is shared (several scheduler
 /// components hold references to it while paths accumulate).
 struct Application {
-  std::string name;
-  std::shared_ptr<const TaskGraph> graph;
-  QoeSpec qoe;
+  std::string name;                        ///< unique label among submissions
+  std::shared_ptr<const TaskGraph> graph;  ///< finalized processing DAG
+  QoeSpec qoe;                             ///< requested service contract
   /// Predetermined hosts: typically every source CT (camera/sensor site)
   /// and every sink CT (result consumer) must appear here.
   std::map<CtId, NcpId> pinned;

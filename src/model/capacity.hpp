@@ -20,17 +20,24 @@ class LoadMap;  // placement.hpp
 /// Per-element residual capacities, index-compatible with a Network.
 class CapacitySnapshot {
  public:
+  /// An empty snapshot (no elements); assign from a populated one.
   CapacitySnapshot() = default;
 
   /// Snapshot holding the full capacities of `net`.
   explicit CapacitySnapshot(const Network& net);
 
+  /// Number of nodes covered by the snapshot.
   std::size_t ncp_count() const { return ncp_.size(); }
+  /// Number of links covered by the snapshot.
   std::size_t link_count() const { return link_.size(); }
 
+  /// Residual resource vector of node `j`.
   const ResourceVector& ncp(NcpId j) const { return ncp_.at(j); }
+  /// Mutable residual resource vector of node `j`.
   ResourceVector& ncp(NcpId j) { return ncp_.at(j); }
+  /// Residual bandwidth of link `l`.
   double link(LinkId l) const { return link_.at(l); }
+  /// Mutable residual bandwidth of link `l`.
   double& link(LinkId l) { return link_.at(l); }
 
   /// Capacity of resource `r` on element `e` (for links, `r` is ignored —

@@ -13,6 +13,7 @@
 /// "unassigned".  ElementKey unifies NCPs and links where the paper treats
 /// them uniformly (load vectors, failure analysis, bottleneck search).
 
+/// All SPARCLE library types and algorithms.
 namespace sparcle {
 
 using CtId = std::int32_t;    ///< computation-task index within a TaskGraph
@@ -20,6 +21,7 @@ using TtId = std::int32_t;    ///< transport-task index within a TaskGraph
 using NcpId = std::int32_t;   ///< computing-node index within a Network
 using LinkId = std::int32_t;  ///< link index within a Network
 
+/// Sentinel index: "no task/node/link assigned".
 inline constexpr std::int32_t kInvalidId = -1;
 
 /// A computing-network element: either an NCP or a link.
@@ -27,22 +29,32 @@ inline constexpr std::int32_t kInvalidId = -1;
 /// The paper's capacity constraint `Rx <= C` runs over the concatenation
 /// N ∪ L of nodes and links; ElementKey is that concatenated index space.
 struct ElementKey {
-  enum class Kind : std::uint8_t { kNcp, kLink };
+  /// Which index space the key addresses.
+  enum class Kind : std::uint8_t {
+    kNcp,   ///< a computing node
+    kLink,  ///< a communication link
+  };
 
-  Kind kind{Kind::kNcp};
-  std::int32_t index{kInvalidId};
+  Kind kind{Kind::kNcp};          ///< node or link
+  std::int32_t index{kInvalidId};  ///< index within the owning Network
 
+  /// Key addressing NCP `id`.
   static constexpr ElementKey ncp(NcpId id) { return {Kind::kNcp, id}; }
+  /// Key addressing link `id`.
   static constexpr ElementKey link(LinkId id) { return {Kind::kLink, id}; }
 
+  /// Keys are equal when kind and index both match.
   friend bool operator==(const ElementKey&, const ElementKey&) = default;
+  /// Lexicographic (kind, index) order, so NCPs sort before links.
   friend auto operator<=>(const ElementKey&, const ElementKey&) = default;
 };
 
 }  // namespace sparcle
 
+/// Hash support so ElementKey works in unordered containers.
 template <>
 struct std::hash<sparcle::ElementKey> {
+  /// Packs (index, kind) into one size_t.
   std::size_t operator()(const sparcle::ElementKey& k) const noexcept {
     return (static_cast<std::size_t>(k.index) << 1) |
            static_cast<std::size_t>(k.kind);

@@ -18,9 +18,9 @@ namespace sparcle {
 
 /// A computing node with multi-type computation capacity C_j^(r).
 struct Ncp {
-  std::string name;
-  ResourceVector capacity;
-  double fail_prob{0.0};
+  std::string name;         ///< unique label within the Network
+  ResourceVector capacity;  ///< per-resource-type capacity C_j^(r)
+  double fail_prob{0.0};    ///< independent failure probability P_f
 };
 
 /// A communication link with bandwidth capacity C_j^(b).  Undirected by
@@ -28,20 +28,23 @@ struct Ncp {
 /// carries traffic only from `a` to `b` (footnote 2 of the paper: model
 /// as a directed graph when per-direction bandwidth is not shared).
 struct Link {
-  std::string name;
+  std::string name;       ///< unique label within the Network
   double bandwidth{0.0};  ///< bits per second
-  NcpId a{kInvalidId};
-  NcpId b{kInvalidId};
-  double fail_prob{0.0};
-  bool directed{false};
+  NcpId a{kInvalidId};    ///< first endpoint (source when directed)
+  NcpId b{kInvalidId};    ///< second endpoint (sink when directed)
+  double fail_prob{0.0};  ///< independent failure probability P_f
+  bool directed{false};   ///< traffic only flows a -> b when set
 };
 
 /// Immutable-after-build network graph.
 class Network {
  public:
+  /// An empty network with the default cpu-only schema.
   Network() = default;
+  /// An empty network whose nodes will use `schema` for capacities.
   explicit Network(ResourceSchema schema) : schema_(std::move(schema)) {}
 
+  /// Adds a node; its capacity vector must match the schema size.
   NcpId add_ncp(std::string name, ResourceVector capacity,
                 double fail_prob = 0.0);
   /// Adds an undirected link (bandwidth shared across both directions).
@@ -52,10 +55,15 @@ class Network {
   LinkId add_directed_link(std::string name, NcpId from, NcpId to,
                            double bandwidth, double fail_prob = 0.0);
 
+  /// The resource schema every node capacity vector follows.
   const ResourceSchema& schema() const { return schema_; }
+  /// Number of nodes.
   std::size_t ncp_count() const { return ncps_.size(); }
+  /// Number of links.
   std::size_t link_count() const { return links_.size(); }
+  /// Node `j`, bounds-checked.
   const Ncp& ncp(NcpId j) const { return ncps_.at(j); }
+  /// Link `l`, bounds-checked.
   const Link& link(LinkId l) const { return links_.at(l); }
 
   /// Links incident to NCP `j`, in insertion (ascending link-id) order.

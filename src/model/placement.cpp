@@ -105,6 +105,27 @@ void LoadMap::add_scaled(const LoadMap& other, double scale) {
     link_[l] += other.link_load(l) * scale;
 }
 
+void ElementUsageIndex::add_path(std::size_t app, std::size_t path,
+                                 const std::vector<ElementKey>& elements) {
+  const PathRef ref{app, path};
+  for (const ElementKey& e : elements) {
+    std::vector<PathRef>& refs = map_[e];
+    // PathInfo::elements is already distinct, but tolerate duplicates so
+    // callers can feed raw element lists too.
+    if (!refs.empty() && refs.back() == ref) continue;
+    refs.push_back(ref);
+  }
+}
+
+const std::vector<ElementUsageIndex::PathRef>& ElementUsageIndex::users(
+    const ElementKey& e) const {
+  static const std::vector<PathRef> kEmpty;
+  const auto it = map_.find(e);
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+void ElementUsageIndex::clear() { map_.clear(); }
+
 double bottleneck_rate(const CapacitySnapshot& cap, const LoadMap& load) {
   double rate = std::numeric_limits<double>::infinity();
   for (NcpId j = 0; j < static_cast<NcpId>(load.ncp_count()); ++j) {

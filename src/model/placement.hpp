@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "model/capacity.hpp"
@@ -22,24 +23,34 @@ namespace sparcle {
 /// with `tt_placed[k] == true` means the endpoints are co-located.
 class Placement {
  public:
+  /// An empty placement (zero tasks); assign from a sized one.
   Placement() = default;
+  /// An all-unplaced placement shaped like `graph`.
   explicit Placement(const TaskGraph& graph)
       : ct_host_(graph.ct_count(), kInvalidId),
         tt_route_(graph.tt_count()),
         tt_placed_(graph.tt_count(), false) {}
 
+  /// Host of CT `i` (kInvalidId while unplaced).
   NcpId ct_host(CtId i) const { return ct_host_.at(i); }
+  /// True once CT `i` has a host.
   bool ct_placed(CtId i) const { return ct_host_.at(i) != kInvalidId; }
+  /// Assigns CT `i` to NCP `j`.
   void place_ct(CtId i, NcpId j) { ct_host_.at(i) = j; }
 
+  /// Ordered links TT `k` crosses (empty when co-located or unplaced).
   const std::vector<LinkId>& tt_route(TtId k) const { return tt_route_.at(k); }
+  /// True once TT `k` has a route (possibly the empty co-located one).
   bool tt_placed(TtId k) const { return tt_placed_.at(k); }
+  /// Assigns TT `k` the link sequence `route` (empty = co-located).
   void place_tt(TtId k, std::vector<LinkId> route) {
     tt_route_.at(k) = std::move(route);
     tt_placed_.at(k) = true;
   }
 
+  /// Number of CT slots (matches the graph it was built from).
   std::size_t ct_count() const { return ct_host_.size(); }
+  /// Number of TT slots (matches the graph it was built from).
   std::size_t tt_count() const { return tt_route_.size(); }
 
   /// True when every CT and TT has been placed.
@@ -71,19 +82,25 @@ class Placement {
 /// gives the consumed capacity.
 class LoadMap {
  public:
+  /// An empty (zero-element) load map; assign from a shaped one.
   LoadMap() = default;
+  /// The per-unit loads `placement` induces on `net`.
   LoadMap(const Network& net, const TaskGraph& graph,
           const Placement& placement);
 
   /// Empty load map shaped like `net` (for incremental accumulation).
   static LoadMap zeros(const Network& net);
 
+  /// Per-unit computation load on node `j`.
   const ResourceVector& ncp_load(NcpId j) const { return ncp_.at(j); }
+  /// Per-unit bandwidth load on link `l`.
   double link_load(LinkId l) const { return link_.at(l); }
 
+  /// Accumulates CT `i`'s requirement onto node `j`.
   void add_ct(const TaskGraph& graph, CtId i, NcpId j) {
     ncp_.at(j) += graph.ct(i).requirement;
   }
+  /// Accumulates TT `k`'s bits-per-unit onto link `l`.
   void add_tt(const TaskGraph& graph, TtId k, LinkId l) {
     link_.at(l) += graph.tt(k).bits_per_unit;
   }
@@ -91,12 +108,55 @@ class LoadMap {
   /// Adds `scale` times another load map (aggregating multiple paths).
   void add_scaled(const LoadMap& other, double scale);
 
+  /// Number of nodes covered.
   std::size_t ncp_count() const { return ncp_.size(); }
+  /// Number of links covered.
   std::size_t link_count() const { return link_.size(); }
 
  private:
   std::vector<ResourceVector> ncp_;
   std::vector<double> link_;
+};
+
+/// Reverse index from network element to the task-assignment paths that
+/// traverse it: `element → {(app, path), ...}`.
+///
+/// The admission scheduler maintains one of these over its placed
+/// applications so that, when an element fails, the set of applications
+/// that actually need repair is a single hash lookup instead of a scan of
+/// every placed path — the localized-repair primitive behind
+/// `Scheduler::repair()`.  Entries are identified by caller-chosen dense
+/// indices (the scheduler uses positions in its placed-apps vector), so
+/// the index must be rebuilt when those indices shift (e.g. after a
+/// removal); `clear()` + re-adding is the supported way to do that.
+class ElementUsageIndex {
+ public:
+  /// One path of one application, by the owner's dense indices.
+  struct PathRef {
+    std::size_t app{0};   ///< owner application index
+    std::size_t path{0};  ///< path index within that application
+    /// Refs are equal when both indices match.
+    friend bool operator==(const PathRef&, const PathRef&) = default;
+  };
+
+  /// Registers path `path` of application `app` as touching `elements`
+  /// (typically `PathInfo::elements` — hosts, route links, transit NCPs).
+  /// Duplicate elements in the list are tolerated (indexed once).
+  void add_path(std::size_t app, std::size_t path,
+                const std::vector<ElementKey>& elements);
+
+  /// The paths traversing `e`, in registration order (deterministic).
+  /// Returns an empty list for untouched elements.
+  const std::vector<PathRef>& users(const ElementKey& e) const;
+
+  /// Drops every entry.
+  void clear();
+
+  /// Number of distinct elements with at least one registered path.
+  std::size_t element_count() const { return map_.size(); }
+
+ private:
+  std::unordered_map<ElementKey, std::vector<PathRef>> map_;
 };
 
 /// The paper's stable-rate bound:

@@ -20,7 +20,9 @@ namespace sparcle {
 /// exactly `size()` entries, in schema order.
 class ResourceSchema {
  public:
+  /// Defaults to the single-type {"cpu"} schema.
   ResourceSchema() = default;
+  /// Builds a schema from explicit type names, in order.
   explicit ResourceSchema(std::vector<std::string> names)
       : names_(std::move(names)) {}
 
@@ -31,10 +33,14 @@ class ResourceSchema {
     return ResourceSchema({"cpu", "memory"});
   }
 
+  /// Number of resource types.
   std::size_t size() const { return names_.size(); }
+  /// Name of resource type `r` (bounds-checked).
   const std::string& name(std::size_t r) const { return names_.at(r); }
+  /// All type names in schema order.
   const std::vector<std::string>& names() const { return names_; }
 
+  /// Schemas are equal when their name lists are equal.
   friend bool operator==(const ResourceSchema&,
                          const ResourceSchema&) = default;
 
@@ -46,40 +52,52 @@ class ResourceSchema {
 /// arithmetic helpers cover the load-accounting needs of the algorithms.
 class ResourceVector {
  public:
+  /// An empty (zero-type) vector.
   ResourceVector() = default;
+  /// A vector of `n` components, all set to `fill`.
   explicit ResourceVector(std::size_t n, double fill = 0.0)
       : v_(n, fill) {}
+  /// A vector from an explicit component list.
   ResourceVector(std::initializer_list<double> init) : v_(init) {}
 
   /// Single-type helper: a vector {q} for cpu-only schemas.
   static ResourceVector scalar(double q) { return ResourceVector{q}; }
 
+  /// Number of components (must match the scenario schema's size()).
   std::size_t size() const { return v_.size(); }
+  /// Component `r`, bounds-checked.
   double operator[](std::size_t r) const { return v_.at(r); }
+  /// Mutable component `r`, bounds-checked.
   double& operator[](std::size_t r) { return v_.at(r); }
 
+  /// Element-wise addition; sizes must match.
   ResourceVector& operator+=(const ResourceVector& o) {
     check_same_size(o);
     for (std::size_t r = 0; r < v_.size(); ++r) v_[r] += o.v_[r];
     return *this;
   }
+  /// Element-wise subtraction; sizes must match.
   ResourceVector& operator-=(const ResourceVector& o) {
     check_same_size(o);
     for (std::size_t r = 0; r < v_.size(); ++r) v_[r] -= o.v_[r];
     return *this;
   }
+  /// Uniform scaling of every component.
   ResourceVector& operator*=(double s) {
     for (double& x : v_) x *= s;
     return *this;
   }
+  /// Element-wise sum of two vectors.
   friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
     a += b;
     return a;
   }
+  /// Element-wise difference of two vectors.
   friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) {
     a -= b;
     return a;
   }
+  /// A copy of `a` with every component scaled by `s`.
   friend ResourceVector operator*(ResourceVector a, double s) {
     a *= s;
     return a;
@@ -99,6 +117,7 @@ class ResourceVector {
       if (x < 0) x = 0;
   }
 
+  /// Largest component (0 for vectors with no positive component).
   double max_component() const {
     double m = 0;
     for (double x : v_)
@@ -106,6 +125,7 @@ class ResourceVector {
     return m;
   }
 
+  /// Exact element-wise equality.
   friend bool operator==(const ResourceVector&,
                          const ResourceVector&) = default;
 

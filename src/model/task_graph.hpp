@@ -20,17 +20,17 @@ namespace sparcle {
 
 /// A computation task (vertex of the task DAG).
 struct ComputeTask {
-  std::string name;
+  std::string name;            ///< unique label within the TaskGraph
   ResourceVector requirement;  ///< a_i^(r), per data unit
 };
 
 /// A transport task (edge of the task DAG): the traffic between the hosts
 /// of two consecutive CTs.
 struct TransportTask {
-  std::string name;
+  std::string name;         ///< unique label within the TaskGraph
   double bits_per_unit{0};  ///< a_i^(b), bits per data unit
-  CtId src{kInvalidId};
-  CtId dst{kInvalidId};
+  CtId src{kInvalidId};     ///< producing CT
+  CtId dst{kInvalidId};     ///< consuming CT
 };
 
 /// Immutable-after-build DAG of CTs and TTs.
@@ -40,7 +40,9 @@ struct TransportTask {
 /// query methods require a finalized graph.
 class TaskGraph {
  public:
+  /// An empty graph with the default cpu-only schema.
   TaskGraph() = default;
+  /// An empty graph whose CT requirements will use `schema`.
   explicit TaskGraph(ResourceSchema schema) : schema_(std::move(schema)) {}
 
   /// Adds a CT; `requirement` must match the graph's resource schema.
@@ -53,15 +55,23 @@ class TaskGraph {
   /// Validates the graph (DAG, connected endpoints) and freezes it.
   /// Throws std::invalid_argument on a malformed graph.
   void finalize();
+  /// True once finalize() has succeeded.
   bool finalized() const { return finalized_; }
 
+  /// The resource schema every CT requirement follows.
   const ResourceSchema& schema() const { return schema_; }
+  /// Number of computation tasks.
   std::size_t ct_count() const { return cts_.size(); }
+  /// Number of transport tasks.
   std::size_t tt_count() const { return tts_.size(); }
+  /// CT `i`, bounds-checked.
   const ComputeTask& ct(CtId i) const { return cts_.at(i); }
+  /// TT `k`, bounds-checked.
   const TransportTask& tt(TtId k) const { return tts_.at(k); }
 
+  /// TTs leaving CT `i`, in insertion order.
   const std::vector<TtId>& out_tts(CtId i) const { return out_.at(i); }
+  /// TTs entering CT `i`, in insertion order.
   const std::vector<TtId>& in_tts(CtId i) const { return in_.at(i); }
 
   /// CTs with no incoming TT (data sources).

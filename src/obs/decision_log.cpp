@@ -27,6 +27,7 @@ const char* to_string(DecisionKind kind) {
     case DecisionKind::kAdmit: return "admit";
     case DecisionKind::kReject: return "reject";
     case DecisionKind::kPathAdd: return "path_add";
+    case DecisionKind::kRepair: return "repair";
   }
   return "?";
 }

@@ -20,8 +20,11 @@ enum class DecisionKind : std::uint8_t {
   kAdmit,    ///< application admitted
   kReject,   ///< application rejected
   kPathAdd,  ///< one task-assignment path provisioned for an application
+  kRepair,   ///< one application touched by a failure-repair pass
 };
 
+/// Symbolic name of a decision kind (`admit`, `reject`, `path_add`,
+/// `repair`) as written into the CSV `kind` column.
 const char* to_string(DecisionKind kind);
 
 struct Decision {

@@ -46,6 +46,7 @@
 
 // Validation substrate.
 #include "energy/energy_model.hpp"
+#include "sim/churn_injector.hpp"
 #include "sim/stream_simulator.hpp"
 
 // Workload tooling.
