@@ -1,0 +1,232 @@
+/// \file bench_service.cpp
+/// Load generator for the placement service (src/service): measures
+/// sustained admission throughput and enqueue-to-reply latency on a
+/// 64-node dispersed site as a function of the scheduler batch size and
+/// the number of client threads.
+///
+/// Two drive modes:
+///
+///   - burst (open loop): every client thread enqueues its whole request
+///     list without waiting, then the run drains.  This is the regime
+///     batching is built for — the queue stays deep, so each weighted-PF
+///     re-solve (the per-admission cost that grows with the number of
+///     placed BE apps) is amortized over up to `max_batch` admissions.
+///   - closed loop: every client waits for each future before sending the
+///     next request, so queue depth ≤ thread count.  This bounds the
+///     latency a lone interactive client sees.
+///
+/// With SPARCLE_BENCH_JSON=<path> set, a flat JSON results map is written
+/// for tools/bench_service.sh, which appends a labeled entry to the
+/// checked-in BENCH_service.json trajectory and gates regressions.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "service/scheduler_service.hpp"
+
+using namespace sparcle;
+using bench::fmt;
+using bench::Table;
+
+namespace {
+
+/// 64-NCP dispersed site: src/dst anchors plus a two-tier relay pool
+/// (16 capable relays, 46 weak edge nodes) — the bench_churn topology at
+/// the scenario size the acceptance gate names.
+Network make_site64() {
+  constexpr int kBig = 16, kSmall = 46;
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("src", ResourceVector::scalar(1.0));
+  net.add_ncp("dst", ResourceVector::scalar(1.0));
+  for (int r = 0; r < kBig + kSmall; ++r)
+    net.add_ncp("relay" + std::to_string(r),
+                ResourceVector::scalar(r < kBig ? 40.0 : 4.0));
+  for (int r = 0; r < kBig + kSmall; ++r) {
+    net.add_link("s" + std::to_string(r), 0, 2 + r, 1000.0);
+    net.add_link("d" + std::to_string(r), 2 + r, 1, 1000.0);
+  }
+  return net;
+}
+
+/// Deterministic arrival mix: 3-CT chains anchored src->dst, mostly BE
+/// with varied priorities, every 8th GR with a small guarantee.
+std::vector<Application> make_arrivals(std::size_t n) {
+  auto g = std::make_shared<TaskGraph>(ResourceSchema::cpu_only());
+  const CtId s = g->add_ct("source", ResourceVector::scalar(0));
+  const CtId m = g->add_ct("mid", ResourceVector::scalar(1.0));
+  const CtId t = g->add_ct("sink", ResourceVector::scalar(0));
+  g->add_tt("sm", 1.0, s, m);
+  g->add_tt("mt", 1.0, m, t);
+  g->finalize();
+  std::vector<Application> apps;
+  apps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Application app;
+    app.name = "app" + std::to_string(i);
+    app.graph = g;
+    app.qoe = (i % 8 == 7)
+                  ? QoeSpec::guaranteed_rate(0.1 + 0.05 * (i % 3), 0.0)
+                  : QoeSpec::best_effort(1.0 + static_cast<double>(i % 4));
+    app.pinned = {{0, 0}, {2, 1}};
+    apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  return v[lo] + (v[hi] - v[lo]) * (idx - static_cast<double>(lo));
+}
+
+struct RunResult {
+  double admissions_per_s{0.0};  ///< completed requests / wall second
+  double p50_us{0.0};
+  double p99_us{0.0};
+  std::size_t admitted{0};
+  std::size_t rejected{0};
+  std::uint64_t batches{0};
+  std::uint64_t resolves_saved{0};
+};
+
+/// One configuration: fresh service, `threads` clients submitting
+/// `arrivals` split round-robin, burst or closed-loop.
+RunResult run_config(const Network& net, const std::vector<Application>& arrivals,
+                     std::size_t max_batch, std::size_t threads, bool burst) {
+  service::ServiceOptions options;
+  options.max_batch = max_batch;
+  options.queue_capacity = arrivals.size() + threads;  // never backpressure
+  service::SchedulerService svc(net, SchedulerOptions{}, options);
+
+  std::vector<std::vector<double>> latencies(threads);
+  std::vector<std::size_t> admitted(threads, 0), rejected(threads, 0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<std::future<service::ServiceResult>> pending;
+      for (std::size_t i = t; i < arrivals.size(); i += threads) {
+        auto future = svc.submit(arrivals[i]);
+        if (burst) {
+          pending.push_back(std::move(future));
+          continue;
+        }
+        const service::ServiceResult r = future.get();
+        latencies[t].push_back(r.latency_us);
+        ++(r.ok() ? admitted[t] : rejected[t]);
+      }
+      for (auto& future : pending) {
+        const service::ServiceResult r = future.get();
+        latencies[t].push_back(r.latency_us);
+        ++(r.ok() ? admitted[t] : rejected[t]);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RunResult result;
+  std::vector<double> all;
+  for (std::size_t t = 0; t < threads; ++t) {
+    all.insert(all.end(), latencies[t].begin(), latencies[t].end());
+    result.admitted += admitted[t];
+    result.rejected += rejected[t];
+  }
+  result.admissions_per_s = static_cast<double>(all.size()) / wall_s;
+  result.p50_us = percentile(all, 0.50);
+  result.p99_us = percentile(all, 0.99);
+  const service::ServiceStats stats = svc.stats();
+  result.batches = stats.batches;
+  result.resolves_saved = stats.resolves_saved;
+  svc.stop();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const Network net = make_site64();
+  const std::vector<Application> arrivals = make_arrivals(192);
+  std::map<std::string, double> json;
+
+  bench::section("burst (open loop): 192 arrivals, 8 client threads, "
+                 "64-NCP site");
+  bench::note(
+      "Each client enqueues its share without waiting; deep queues let the\n"
+      "scheduling thread amortize one weighted-PF re-solve over max_batch\n"
+      "admissions.  batch=1 is the classic per-call pipeline.");
+  Table burst_table({"max_batch", "admissions/s", "speedup", "p50 us",
+                     "p99 us", "admitted", "batches", "resolves saved"});
+  double base_throughput = 0.0;
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{16}, std::size_t{64}}) {
+    const RunResult r = run_config(net, arrivals, batch, 8, /*burst=*/true);
+    if (batch == 1) base_throughput = r.admissions_per_s;
+    const double speedup = r.admissions_per_s / base_throughput;
+    burst_table.add_row({std::to_string(batch), fmt(r.admissions_per_s, 0),
+                         fmt(speedup, 2), fmt(r.p50_us, 0), fmt(r.p99_us, 0),
+                         std::to_string(r.admitted),
+                         std::to_string(r.batches),
+                         std::to_string(r.resolves_saved)});
+    const std::string key = "batch" + std::to_string(batch);
+    json["admissions_per_s/" + key] = r.admissions_per_s;
+    json["speedup/" + key] = speedup;
+    json["p50_us/" + key] = r.p50_us;
+    json["p99_us/" + key] = r.p99_us;
+  }
+  burst_table.print();
+
+  bench::section("closed loop: 192 arrivals, max_batch=16");
+  bench::note(
+      "Clients wait for each reply before the next request, so queue depth\n"
+      "is bounded by the thread count: the single-client row is the\n"
+      "interactive-latency floor, the 8-client row shows batching picking\n"
+      "up as concurrency rises.");
+  Table closed_table({"client threads", "admissions/s", "p50 us", "p99 us",
+                      "batches", "resolves saved"});
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    const RunResult r = run_config(net, arrivals, 16, threads,
+                                   /*burst=*/false);
+    closed_table.add_row({std::to_string(threads), fmt(r.admissions_per_s, 0),
+                          fmt(r.p50_us, 0), fmt(r.p99_us, 0),
+                          std::to_string(r.batches),
+                          std::to_string(r.resolves_saved)});
+    const std::string key = "threads" + std::to_string(threads);
+    json["closed_admissions_per_s/" + key] = r.admissions_per_s;
+    json["closed_p50_us/" + key] = r.p50_us;
+    json["closed_p99_us/" + key] = r.p99_us;
+  }
+  closed_table.print();
+
+  if (const char* path = std::getenv("SPARCLE_BENCH_JSON")) {
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmarks\": {\n");
+    bool first = true;
+    for (const auto& [key, value] : json) {
+      std::fprintf(out, "%s    \"%s\": %.1f", first ? "" : ",\n", key.c_str(),
+                   value);
+      first = false;
+    }
+    std::fprintf(out, "\n  }\n}\n");
+    std::fclose(out);
+    std::printf("\nresults written to %s\n", path);
+  }
+  return 0;
+}

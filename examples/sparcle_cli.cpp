@@ -7,7 +7,14 @@
 /// Usage:
 ///   sparcle_cli <scenario-file> [--assigner NAME] [--max-paths N]
 ///               [--dot PREFIX] [--simulate SECONDS]
+///   sparcle_cli <scenario-file> --connect HOST:PORT
 ///
+///   --connect    client mode: instead of scheduling locally, submit the
+///                scenario's applications to a running sparcle_serve
+///                daemon over the NDJSON wire protocol (docs/service.md)
+///                and print each response.  The scenario's network section
+///                must describe the daemon's network (pins resolve by NCP
+///                name).  All other options are local-mode only.
 ///   --assigner   SPARCLE (default), GS, GRand, Random, T-Storm, VNE, HEFT
 ///   --max-paths  cap on task-assignment paths per app (default 4)
 ///   --dot        write PREFIX_<app>.dot for each admitted app, plus
@@ -54,6 +61,7 @@
 #include "core/scheduler.hpp"
 #include "model/dot_export.hpp"
 #include "obs/obs.hpp"
+#include "service/client.hpp"
 #include "sim/churn_injector.hpp"
 #include "sim/stream_simulator.hpp"
 #include "sim/trace.hpp"
@@ -70,9 +78,54 @@ int usage(const char* argv0) {
                "       [--metrics-out FILE] [--trace-out FILE] "
                "[--decision-log FILE] [--validate]\n"
                "       [--churn-trace FILE | --churn-gen MTBF,MTTR,HORIZON,"
-               "SEED] [--churn-out FILE] [--churn-repair MODE]\n",
-               argv0);
+               "SEED] [--churn-out FILE] [--churn-repair MODE]\n"
+               "       %s <scenario-file> --connect HOST:PORT\n",
+               argv0, argv0);
   return 2;
+}
+
+/// Client mode: submit the scenario's applications to a sparcle_serve
+/// daemon at `endpoint` ("HOST:PORT") and print each wire response.
+int run_connect_mode(const workload::ScenarioFile& scenario,
+                     const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    std::fprintf(stderr, "--connect expects HOST:PORT, got '%s'\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "--connect: bad port in '%s'\n", endpoint.c_str());
+    return 2;
+  }
+  try {
+    service::TcpClient client(host, static_cast<std::uint16_t>(port));
+    std::printf("submitting %zu application(s) to %s:\n",
+                scenario.apps.size(), endpoint.c_str());
+    for (const Application& app : scenario.apps) {
+      const auto response = client.submit_app_text(
+          workload::write_app_text(app, scenario.net));
+      const auto status = response.find("status");
+      const auto reason = response.find("reason");
+      const auto rate = response.find("rate");
+      std::printf("  %-16s %s%s%s%s%s\n", app.name.c_str(),
+                  status != response.end() ? status->second.c_str() : "?",
+                  rate != response.end() ? "  rate=" : "",
+                  rate != response.end() ? rate->second.c_str() : "",
+                  reason != response.end() ? "  " : "",
+                  reason != response.end() ? reason->second.c_str() : "");
+    }
+    std::printf("\nserver state after drain:\n ");
+    for (const auto& [key, value] : client.drain())
+      std::printf(" %s=%s", key.c_str(), value.c_str());
+    std::printf("\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -142,6 +195,7 @@ int main(int argc, char** argv) {
   bool validate = false;
   std::string churn_trace_path, churn_gen_spec, churn_out_path;
   std::string churn_repair = "incremental";
+  std::string connect_endpoint;
   ObsSession obs_session;
 
   for (int i = 1; i < argc; ++i) {
@@ -200,6 +254,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       churn_repair = v;
+    } else if (arg == "--connect") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      connect_endpoint = v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage(argv[0]);
@@ -220,6 +278,9 @@ int main(int argc, char** argv) {
   std::printf("scenario: %zu NCPs, %zu links, %zu application(s)\n",
               scenario.net.ncp_count(), scenario.net.link_count(),
               scenario.apps.size());
+
+  if (!connect_endpoint.empty())
+    return run_connect_mode(scenario, connect_endpoint);
 
   SchedulerOptions options;
   options.max_paths = max_paths;

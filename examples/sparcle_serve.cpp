@@ -1,0 +1,234 @@
+/// \file sparcle_serve.cpp
+/// The placement daemon: load a scenario file, keep its network as the
+/// managed dispersed-computing fabric, pre-admit the scenario's
+/// applications, and serve placement requests over newline-delimited JSON
+/// on TCP until interrupted (docs/service.md documents the protocol).
+///
+/// Usage:
+///   sparcle_serve <scenario-file> [--port P] [--bind ADDR]
+///                 [--max-batch N] [--queue-capacity N] [--deadline-ms N]
+///                 [--threads N] [--validate] [--oneshot]
+///                 [--metrics-out FILE] [--decision-log FILE]
+///
+///   --port           TCP port (default 7411; 0 picks an ephemeral port)
+///   --bind           bind address (default 127.0.0.1, loopback only)
+///   --max-batch      admission requests coalesced per scheduler batch
+///   --queue-capacity bound on queued requests (backpressure beyond it)
+///   --deadline-ms    default per-request deadline (0 = none)
+///   --threads        worker threads for candidate evaluation (also
+///                    settable via SPARCLE_THREADS; 0 = auto)
+///   --validate       run the invariant checker after every batch
+///   --oneshot        start, loop a submit/query/remove round trip back
+///                    through a TCP client, print the transcript, exit
+///                    (the self-test mode CI exercises)
+///   --metrics-out    write a metrics snapshot on exit (JSON / .csv)
+///   --decision-log   write the decision log as CSV on exit (includes
+///                    queue_reject rows for backpressure bounces)
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "obs/obs.hpp"
+#include "service/client.hpp"
+#include "service/scheduler_service.hpp"
+#include "service/tcp_server.hpp"
+#include "workload/scenario_io.hpp"
+
+using namespace sparcle;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop.store(true); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <scenario-file> [--port P] [--bind ADDR] "
+               "[--max-batch N] [--queue-capacity N] [--deadline-ms N]\n"
+               "       [--threads N] [--validate] [--oneshot] "
+               "[--metrics-out FILE] [--decision-log FILE]\n",
+               argv0);
+  return 2;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void print_fields(const char* label,
+                  const std::map<std::string, std::string>& fields) {
+  std::printf("%-10s", label);
+  for (const auto& [key, value] : fields)
+    std::printf(" %s=%s", key.c_str(), value.c_str());
+  std::printf("\n");
+}
+
+/// The --oneshot self-test: talk to our own daemon through the real TCP
+/// stack, exercising every verb once.  Returns an exit status.
+int oneshot(service::TcpServer& server, const workload::ScenarioFile& scenario,
+            const Network& net) {
+  service::TcpClient client("127.0.0.1", server.port());
+  print_fields("query", client.query());
+  if (!scenario.apps.empty()) {
+    // Resubmit a copy of the first scenario app under a fresh name: the
+    // exact text a remote client would put on the wire.
+    Application probe = scenario.apps.front();
+    probe.name = "oneshot_probe";
+    const std::string block = workload::write_app_text(probe, net);
+    const auto submitted = client.submit_app_text(block);
+    print_fields("submit", submitted);
+    if (const auto it = submitted.find("status");
+        it == submitted.end() ||
+        (it->second != "admitted" && it->second != "rejected")) {
+      std::fprintf(stderr, "oneshot: unexpected submit response\n");
+      return 1;
+    }
+    print_fields("query", client.query("oneshot_probe"));
+    print_fields("remove", client.remove("oneshot_probe"));
+  }
+  print_fields("drain", client.drain());
+  std::printf("oneshot: OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_path;
+  service::TcpServerOptions tcp_options;
+  tcp_options.port = 7411;
+  service::ServiceOptions svc_options;
+  SchedulerOptions sched_options;
+  bool run_oneshot = false;
+  std::string metrics_path, decisions_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      tcp_options.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--bind") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      tcp_options.bind_address = v;
+    } else if (arg == "--max-batch") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      svc_options.max_batch = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--queue-capacity") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      svc_options.queue_capacity = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      svc_options.default_deadline = std::chrono::milliseconds(std::atoi(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      sched_options.assigner_options.eval_threads = std::atoi(v);
+    } else if (arg == "--validate") {
+      svc_options.validate_batches = true;
+    } else if (arg == "--oneshot") {
+      run_oneshot = true;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      metrics_path = v;
+    } else if (arg == "--decision-log") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      decisions_path = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      scenario_path = arg;
+    }
+  }
+  if (scenario_path.empty()) return usage(argv[0]);
+
+  obs::MetricsRegistry metrics;
+  obs::DecisionLog decisions;
+  obs::Observability sinks;
+  if (!metrics_path.empty()) sinks.metrics = &metrics;
+  if (!decisions_path.empty()) sinks.decisions = &decisions;
+  if (sinks.metrics != nullptr || sinks.decisions != nullptr)
+    obs::install(sinks);
+
+  workload::ScenarioFile scenario;
+  try {
+    scenario = workload::load_scenario_file(scenario_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  int status = 0;
+  {
+    service::SchedulerService svc(scenario.net, sched_options, svc_options);
+
+    // Pre-admit the scenario's arrival sequence through the same queue a
+    // remote client would use.
+    service::LocalClient local(svc);
+    std::size_t admitted = 0;
+    for (const Application& app : scenario.apps)
+      if (local.submit(app).status == service::ServiceResult::Status::kAdmitted)
+        ++admitted;
+
+    service::TcpServer server(svc, tcp_options);
+    try {
+      server.start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      obs::uninstall();
+      return 1;
+    }
+    std::printf(
+        "sparcle_serve: %zu NCPs, %zu/%zu scenario app(s) admitted; "
+        "listening on %s:%u (max_batch=%zu queue_capacity=%zu)\n",
+        scenario.net.ncp_count(), admitted, scenario.apps.size(),
+        tcp_options.bind_address.c_str(), server.port(),
+        svc_options.max_batch, svc_options.queue_capacity);
+    std::fflush(stdout);
+
+    if (run_oneshot) {
+      status = oneshot(server, scenario, svc.network());
+    } else {
+      std::signal(SIGINT, handle_signal);
+      std::signal(SIGTERM, handle_signal);
+      while (!g_stop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::printf("sparcle_serve: shutting down\n");
+    }
+    server.stop();
+    svc.stop();
+  }
+
+  obs::uninstall();
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << (ends_with(metrics_path, ".csv") ? metrics.to_csv()
+                                            : metrics.to_json());
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+  }
+  if (!decisions_path.empty()) {
+    std::ofstream out(decisions_path);
+    out << decisions.to_csv();
+    std::printf("decision log (%zu rows) written to %s\n", decisions.size(),
+                decisions_path.c_str());
+  }
+  return status;
+}

@@ -1,6 +1,7 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace sparcle {
 
@@ -22,8 +23,12 @@ WorkerPool::~WorkerPool() {
 
 unsigned WorkerPool::resolve_threads(int requested, unsigned cap) {
   if (requested > 0) return static_cast<unsigned>(requested);
-  const unsigned hw = std::thread::hardware_concurrency();
-  return std::clamp(hw, 1u, cap);
+  if (const char* env = std::getenv("SPARCLE_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return cap == 0 ? hw : std::min(hw, cap);
 }
 
 void WorkerPool::work(unsigned worker) {

@@ -43,9 +43,13 @@ class WorkerPool {
   void run(std::size_t count,
            const std::function<void(std::size_t item, unsigned worker)>& fn);
 
-  /// Maps a user-facing thread-count knob to a concrete pool size:
-  /// requested <= 0 means auto (hardware concurrency, capped at `cap`).
-  static unsigned resolve_threads(int requested, unsigned cap = 4);
+  /// Maps a user-facing thread-count knob to a concrete pool size.
+  /// `requested > 0` wins outright.  Otherwise (auto) the `SPARCLE_THREADS`
+  /// environment variable is consulted (a positive integer overrides
+  /// everything else — the operator knob documented in the README), and
+  /// failing that the hardware concurrency is used, clamped to `cap` when
+  /// `cap` is non-zero (`cap == 0` means "no cap beyond the hardware").
+  static unsigned resolve_threads(int requested, unsigned cap = 0);
 
  private:
   void work(unsigned worker);

@@ -77,7 +77,63 @@ void Scheduler::set_validation_hook(ValidationHook hook) {
 }
 
 void Scheduler::run_validation_hook() const {
+  if (batch_active_) return;  // deferred: end_batch() validates the batch
   if (g_validation_hook) g_validation_hook(*this);
+}
+
+void Scheduler::begin_batch() {
+  if (batch_active_)
+    throw std::logic_error("Scheduler::begin_batch: a batch is already open");
+  batch_active_ = true;
+  batch_dirty_ = false;
+  batch_deferred_ = 0;
+  batch_added_be_.clear();
+}
+
+bool Scheduler::maybe_reallocate() {
+  if (batch_active_) {
+    batch_dirty_ = true;
+    ++batch_deferred_;
+    return true;
+  }
+  return reallocate_best_effort();
+}
+
+Scheduler::BatchReport Scheduler::end_batch() {
+  if (!batch_active_)
+    throw std::logic_error("Scheduler::end_batch: no batch is open");
+  BatchReport report;
+  report.deferred_resolves = batch_deferred_;
+  batch_active_ = false;
+  if (batch_dirty_) {
+    // One solve covers every deferred re-solve.  If it fails (numerically
+    // degenerate instance), shed the batch's own BE admissions newest
+    // first — the per-call path would have rejected them with "resource
+    // allocation failed" — until the solve goes through.
+    while (!reallocate_best_effort() && !batch_added_be_.empty()) {
+      const std::string victim = std::move(batch_added_be_.back());
+      batch_added_be_.pop_back();
+      for (std::size_t i = placed_.size(); i-- > 0;) {
+        if (placed_[i].app.name != victim) continue;
+        placed_.erase(placed_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      usage_valid_ = false;  // placed indices shifted
+      report.evicted.push_back(victim);
+    }
+    if (obs::MetricsRegistry* reg = obs::metrics()) {
+      reg->counter("scheduler.batches").add(1);
+      if (report.deferred_resolves > 1)
+        reg->counter("scheduler.batch.resolves_saved")
+            .add(report.deferred_resolves - 1);
+    }
+  }
+  batch_dirty_ = false;
+  batch_deferred_ = 0;
+  batch_added_be_.clear();
+  healthy_rate_ = global_rate();
+  run_validation_hook();
+  return report;
 }
 
 Scheduler::Scheduler(Network net, SchedulerOptions options)
@@ -142,7 +198,7 @@ bool Scheduler::remove(const std::string& app_name) {
     placed_.erase(placed_.begin() + static_cast<std::ptrdiff_t>(i));
     usage_valid_ = false;  // placed indices shifted
     rebuild_residual();
-    reallocate_best_effort();
+    maybe_reallocate();
     healthy_rate_ = global_rate();
     run_validation_hook();
     return true;
@@ -153,14 +209,14 @@ bool Scheduler::remove(const std::string& app_name) {
 void Scheduler::mark_failed(ElementKey element) {
   if (!failed_.insert(element).second) return;
   rebuild_residual();
-  reallocate_best_effort();
+  maybe_reallocate();
   run_validation_hook();
 }
 
 void Scheduler::mark_recovered(ElementKey element) {
   if (failed_.erase(element) == 0) return;
   rebuild_residual();
-  reallocate_best_effort();
+  maybe_reallocate();
   run_validation_hook();
 }
 
@@ -638,12 +694,13 @@ AdmissionResult Scheduler::submit_best_effort(const Application& app) {
   placed.paths = std::move(paths);
   placed.path_rates.assign(placed.paths.size(), 0.0);
   placed_.push_back(std::move(placed));
-  if (!reallocate_best_effort()) {
+  if (!maybe_reallocate()) {
     placed_.pop_back();
     reallocate_best_effort();  // restore previous rates
     result.reason = "resource allocation failed";
     return result;
   }
+  if (batch_active_) batch_added_be_.push_back(app.name);
 
   const PlacedApp& committed = placed_.back();
   result.admitted = true;
@@ -714,7 +771,7 @@ AdmissionResult Scheduler::submit_guaranteed_rate(const Application& app) {
   rebuild_residual();
 
   // The BE pool shrank: re-run the PF allocation over the survivors.
-  reallocate_best_effort();
+  maybe_reallocate();
 
   result.admitted = true;
   result.path_count = placed_.back().paths.size();

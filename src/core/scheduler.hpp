@@ -106,6 +106,41 @@ class Scheduler {
   /// Admits or rejects one arriving application.
   AdmissionResult submit(const Application& app);
 
+  /// Outcome of an end_batch() call (see begin_batch()).
+  struct BatchReport {
+    /// Weighted-PF re-solves that were coalesced into the single solve at
+    /// batch end (each would have run separately outside a batch).
+    std::size_t deferred_resolves{0};
+    /// Best-Effort applications admitted during the batch that had to be
+    /// evicted because the final PF solve failed (the per-call equivalent
+    /// of the "resource allocation failed" rejection).  Rare: the solver
+    /// only fails on numerically degenerate instances.
+    std::vector<std::string> evicted;
+  };
+
+  /// Opens a batch: until the matching end_batch(), submit() and remove()
+  /// defer the weighted proportional-fair re-solve of problem (4) and the
+  /// validation hook, so a burst of admissions pays for ONE re-solve
+  /// instead of one per call.  Admission *decisions* are unaffected (they
+  /// depend on residual capacities and the eq. (6) prediction, both kept
+  /// current mid-batch) — but AdmissionResult::rate for Best-Effort apps
+  /// admitted mid-batch reads 0 until end_batch() publishes the solved
+  /// allocation (read it back via placed()).  The batched admission path
+  /// of service::SchedulerService is the production consumer.  Throws
+  /// std::logic_error if a batch is already open.  rebalance(), repair()
+  /// and global_reoptimize() must not be called inside a batch.
+  void begin_batch();
+
+  /// Closes the batch opened by begin_batch(): runs the single deferred
+  /// PF re-solve (evicting batch-admitted BE apps, newest first, in the
+  /// unlikely case the solve fails), refreshes the healthy-rate baseline,
+  /// and runs the validation hook once on the settled state.  Throws
+  /// std::logic_error if no batch is open.
+  BatchReport end_batch();
+
+  /// True between begin_batch() and end_batch().
+  bool in_batch() const { return batch_active_; }
+
   /// Removes a placed application (it finished or departed).  GR
   /// reservations are released and the Best-Effort allocation is re-solved
   /// over the survivors.  Returns false if no app with that name is placed.
@@ -267,6 +302,10 @@ class Scheduler {
   /// their allocated rates.  Returns false if the solve failed.
   bool reallocate_best_effort();
 
+  /// reallocate_best_effort(), unless a batch is open — then the re-solve
+  /// is deferred to end_batch() and this reports success.
+  bool maybe_reallocate();
+
   /// Recomputes residual_ = full capacities - GR reservations, with the
   /// failed elements zeroed.
   void rebuild_residual();
@@ -301,6 +340,12 @@ class Scheduler {
   /// Global carried rate after the last healthy (fully repaired or
   /// failure-free) state — the baseline for RepairPolicy's fallback bound.
   double healthy_rate_{0.0};
+  bool batch_active_{false};  ///< between begin_batch() and end_batch()
+  bool batch_dirty_{false};   ///< a PF re-solve was deferred this batch
+  std::size_t batch_deferred_{0};  ///< re-solves coalesced this batch
+  /// BE apps admitted during the open batch, in admission order (eviction
+  /// candidates if the final PF solve fails).
+  std::vector<std::string> batch_added_be_;
 };
 
 }  // namespace sparcle

@@ -56,8 +56,9 @@ struct SparcleAssignerOptions {
   /// (their γ has link terms).  Off = the fresh-per-round reference.
   bool memoize_gamma{true};
   /// Worker threads for the per-round candidate evaluation.  0 = auto
-  /// (hardware concurrency, capped at 4); 1 = serial.  The reduction is
-  /// deterministic, so the result is bit-identical for any value.
+  /// (the SPARCLE_THREADS environment variable when set, otherwise the
+  /// hardware concurrency); 1 = serial.  The reduction is deterministic,
+  /// so the result is bit-identical for any value.
   int eval_threads{0};
 };
 

@@ -28,6 +28,7 @@ const char* to_string(DecisionKind kind) {
     case DecisionKind::kReject: return "reject";
     case DecisionKind::kPathAdd: return "path_add";
     case DecisionKind::kRepair: return "repair";
+    case DecisionKind::kQueueReject: return "queue_reject";
   }
   return "?";
 }

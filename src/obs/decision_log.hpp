@@ -21,10 +21,16 @@ enum class DecisionKind : std::uint8_t {
   kReject,   ///< application rejected
   kPathAdd,  ///< one task-assignment path provisioned for an application
   kRepair,   ///< one application touched by a failure-repair pass
+  /// A request bounced at the placement-service queue *before* reaching the
+  /// scheduler: the bounded queue was full (reason `queue_full ...`) or the
+  /// request's deadline passed while it waited (reason
+  /// `deadline_exceeded ...`).  docs/service.md covers the backpressure
+  /// semantics.
+  kQueueReject,
 };
 
 /// Symbolic name of a decision kind (`admit`, `reject`, `path_add`,
-/// `repair`) as written into the CSV `kind` column.
+/// `repair`, `queue_reject`) as written into the CSV `kind` column.
 const char* to_string(DecisionKind kind);
 
 struct Decision {

@@ -1,0 +1,121 @@
+#include "service/client.hpp"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "service/wire.hpp"
+
+namespace sparcle::service {
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &results);
+  if (rc != 0)
+    throw std::runtime_error("TcpClient: resolve " + host + ": " +
+                             ::gai_strerror(rc));
+  int last_errno = 0;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      fd_ = fd;
+      break;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  if (fd_ < 0)
+    throw std::runtime_error("TcpClient: connect " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(last_errno));
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string TcpClient::request(const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(fd_, out.data() + off, out.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("TcpClient: send: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!response.empty() && response.back() == '\r') response.pop_back();
+      return response;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0)
+      throw std::runtime_error("TcpClient: connection closed by server");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::map<std::string, std::string> TcpClient::request_fields(
+    const std::string& line) {
+  return wire::parse_line(request(line));
+}
+
+std::map<std::string, std::string> TcpClient::submit_app_text(
+    const std::string& app_block) {
+  std::map<std::string, std::string> req;
+  req["verb"] = "submit";
+  req["app"] = app_block;
+  return request_fields(wire::to_line(req));
+}
+
+std::map<std::string, std::string> TcpClient::remove(const std::string& name) {
+  std::map<std::string, std::string> req;
+  req["verb"] = "remove";
+  req["name"] = name;
+  return request_fields(wire::to_line(req));
+}
+
+std::map<std::string, std::string> TcpClient::query(const std::string& name) {
+  std::map<std::string, std::string> req;
+  req["verb"] = "query";
+  if (!name.empty()) req["name"] = name;
+  return request_fields(wire::to_line(req));
+}
+
+std::map<std::string, std::string> TcpClient::drain() {
+  std::map<std::string, std::string> req;
+  req["verb"] = "drain";
+  return request_fields(wire::to_line(req));
+}
+
+}  // namespace sparcle::service

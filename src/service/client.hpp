@@ -1,0 +1,77 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "service/scheduler_service.hpp"
+
+/// \file client.hpp
+/// Client-side access to the placement service: LocalClient wraps an
+/// in-process SchedulerService behind the same verbs the wire protocol
+/// exposes (tests and embedders skip the socket), and TcpClient speaks
+/// the NDJSON protocol to a remote sparcle_serve daemon.
+
+namespace sparcle::service {
+
+/// Synchronous in-process client: each call enqueues through the service
+/// and blocks on the future.  Thread-safe (the service is).
+class LocalClient {
+ public:
+  /// Borrows `service`; the caller keeps it alive.
+  explicit LocalClient(SchedulerService& service) : service_(service) {}
+
+  /// Submits one application and waits for the batch containing it.
+  ServiceResult submit(Application app) {
+    return service_.submit(std::move(app)).get();
+  }
+  /// Removes a placed application and waits.
+  ServiceResult remove(std::string name) {
+    return service_.remove(std::move(name)).get();
+  }
+  /// The latest published snapshot (never blocks on the scheduler).
+  std::shared_ptr<const ServiceSnapshot> query() const {
+    return service_.snapshot();
+  }
+  /// Blocks until the service queue is empty.
+  void drain() { service_.drain(); }
+
+ private:
+  SchedulerService& service_;
+};
+
+/// Blocking NDJSON-over-TCP client for sparcle_serve.  One connection,
+/// one outstanding request at a time; NOT thread-safe (use one client
+/// per thread — the daemon handles each connection independently).
+class TcpClient {
+ public:
+  /// Connects to `host:port`; throws std::runtime_error on failure.
+  TcpClient(const std::string& host, std::uint16_t port);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Sends one request line (newline appended) and returns the response
+  /// line.  Throws std::runtime_error if the connection drops.
+  std::string request(const std::string& line);
+
+  /// request() plus response parsing into the flat field map.
+  std::map<std::string, std::string> request_fields(const std::string& line);
+
+  /// Submits an application serialized as a scenario `app ... end` block
+  /// (see workload::write_app_text) and returns the parsed response.
+  std::map<std::string, std::string> submit_app_text(
+      const std::string& app_block);
+  /// Removes `name` on the server and returns the parsed response.
+  std::map<std::string, std::string> remove(const std::string& name);
+  /// Queries the snapshot summary (or one app when `name` is non-empty).
+  std::map<std::string, std::string> query(const std::string& name = "");
+  /// Asks the server to drain its queue; returns the settled summary.
+  std::map<std::string, std::string> drain();
+
+ private:
+  int fd_{-1};
+  std::string buffer_;  ///< bytes received past the last response line
+};
+
+}  // namespace sparcle::service

@@ -1,0 +1,419 @@
+#include "service/scheduler_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "check/invariants.hpp"
+#include "obs/obs.hpp"
+
+namespace sparcle::service {
+namespace {
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+double elapsed_us(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Logs a queue-level bounce to the installed decision log and counts it
+/// in the metrics registry.
+void log_queue_reject(const char* reason_head, const std::string& app,
+                      bool guaranteed, const std::string& detail) {
+  if (obs::DecisionLog* log = obs::decision_log()) {
+    log->record(obs::DecisionKind::kQueueReject, app, guaranteed ? "GR" : "BE",
+                detail.empty() ? std::string(reason_head)
+                               : std::string(reason_head) + " " + detail,
+                0.0, 0.0, 0);
+  }
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter(std::string("service.rejected.") + reason_head).add(1);
+  }
+}
+
+}  // namespace
+
+const char* to_string(ServiceResult::Status status) {
+  switch (status) {
+    case ServiceResult::Status::kAdmitted: return "admitted";
+    case ServiceResult::Status::kRejected: return "rejected";
+    case ServiceResult::Status::kRemoved: return "removed";
+    case ServiceResult::Status::kNotFound: return "not_found";
+    case ServiceResult::Status::kQueueFull: return "queue_full";
+    case ServiceResult::Status::kDeadlineExceeded: return "deadline_exceeded";
+    case ServiceResult::Status::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+const AppView* ServiceSnapshot::find(const std::string& name) const {
+  for (const AppView& view : apps)
+    if (view.name == name) return &view;
+  return nullptr;
+}
+
+SchedulerService::SchedulerService(Network net, SchedulerOptions sched_options,
+                                   ServiceOptions options)
+    : net_(net),
+      scheduler_(std::move(net), std::move(sched_options)),
+      options_(options),
+      paused_(options.start_paused) {
+  // Publish the empty version-0 snapshot so snapshot() never returns null.
+  auto snap = std::make_shared<ServiceSnapshot>();
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    snap_ = std::move(snap);
+  }
+  scheduler_thread_ = std::thread([this] { scheduling_loop(); });
+}
+
+SchedulerService::~SchedulerService() { stop(); }
+
+std::future<ServiceResult> SchedulerService::submit(Application app) {
+  const auto deadline =
+      options_.default_deadline.count() > 0
+          ? std::chrono::steady_clock::now() + options_.default_deadline
+          : kNoDeadline;
+  return submit(std::move(app), deadline);
+}
+
+std::future<ServiceResult> SchedulerService::submit(
+    Application app, std::chrono::steady_clock::time_point deadline) {
+  const bool gr = app.qoe.cls == QoeClass::kGuaranteedRate;
+  Request req;
+  req.verb = Request::Verb::kSubmit;
+  req.app = std::move(app);
+  return enqueue(std::move(req), gr ? kGr : kBe, deadline);
+}
+
+std::future<ServiceResult> SchedulerService::remove(std::string app_name) {
+  const auto deadline =
+      options_.default_deadline.count() > 0
+          ? std::chrono::steady_clock::now() + options_.default_deadline
+          : kNoDeadline;
+  return remove(std::move(app_name), deadline);
+}
+
+std::future<ServiceResult> SchedulerService::remove(
+    std::string app_name, std::chrono::steady_clock::time_point deadline) {
+  Request req;
+  req.verb = Request::Verb::kRemove;
+  req.name = std::move(app_name);
+  return enqueue(std::move(req), kControl, deadline);
+}
+
+std::future<ServiceResult> SchedulerService::enqueue(
+    Request req, std::size_t cls,
+    std::chrono::steady_clock::time_point deadline) {
+  req.enqueued = std::chrono::steady_clock::now();
+  req.deadline = deadline;
+  std::future<ServiceResult> future = req.promise.get_future();
+
+  const std::string& label =
+      req.verb == Request::Verb::kSubmit ? req.app.name : req.name;
+  const bool gr = req.verb == Request::Verb::kSubmit &&
+                  req.app.qoe.cls == QoeClass::kGuaranteedRate;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ServiceResult result;
+      result.status = ServiceResult::Status::kShutdown;
+      result.reason = "service is stopping";
+      req.promise.set_value(std::move(result));
+      return future;
+    }
+    const std::size_t depth = queued_unlocked();
+    if (depth >= options_.queue_capacity) {
+      ++stats_.queue_full;
+      ServiceResult result;
+      result.status = ServiceResult::Status::kQueueFull;
+      result.reason = "queue_full: " + std::to_string(depth) + "/" +
+                      std::to_string(options_.queue_capacity) +
+                      " requests queued";
+      log_queue_reject("queue_full", label, gr, result.reason);
+      req.promise.set_value(std::move(result));
+      return future;
+    }
+    if (req.verb == Request::Verb::kSubmit)
+      ++stats_.submits;
+    else
+      ++stats_.removes;
+    queues_[cls].push_back(std::move(req));
+    if (obs::MetricsRegistry* reg = obs::metrics()) {
+      reg->counter("service.enqueued").add(1);
+      reg->gauge("service.queue.depth").set(static_cast<double>(depth + 1));
+    }
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+std::size_t SchedulerService::queued_unlocked() const {
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue.size();
+  return total;
+}
+
+std::size_t SchedulerService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_unlocked();
+}
+
+ServiceStats SchedulerService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::shared_ptr<const ServiceSnapshot> SchedulerService::snapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return snap_;
+}
+
+void SchedulerService::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void SchedulerService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void SchedulerService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return (queued_unlocked() == 0 && !processing_) || stopping_;
+  });
+}
+
+void SchedulerService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    paused_ = false;  // a paused service still drains its queue on stop
+  }
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+  if (scheduler_thread_.joinable()) scheduler_thread_.join();
+}
+
+void SchedulerService::scheduling_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && queued_unlocked() > 0);
+      });
+      if (queued_unlocked() == 0 && stopping_) return;
+      // Pop up to max_batch requests, higher classes first, FIFO within
+      // each class.
+      for (std::size_t cls = 0; cls < kClasses; ++cls) {
+        while (batch.size() < options_.max_batch && !queues_[cls].empty()) {
+          batch.push_back(std::move(queues_[cls].front()));
+          queues_[cls].pop_front();
+        }
+      }
+      processing_ = true;
+      if (obs::MetricsRegistry* reg = obs::metrics()) {
+        reg->gauge("service.queue.depth")
+            .set(static_cast<double>(queued_unlocked()));
+      }
+    }
+
+    process_batch(batch);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      processing_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void SchedulerService::process_batch(std::vector<Request>& batch) {
+  obs::ScopedTimer timer("service.batch");
+  const auto now = std::chrono::steady_clock::now();
+
+  // Reject expired requests up front; the survivors form the scheduler
+  // batch.  Index into `batch` per survivor so results can be patched.
+  std::vector<std::size_t> live;
+  live.reserve(batch.size());
+  std::vector<ServiceResult> results(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Request& req = batch[i];
+    if (req.deadline < now) {
+      const bool submit = req.verb == Request::Verb::kSubmit;
+      const std::string& label = submit ? req.app.name : req.name;
+      results[i].status = ServiceResult::Status::kDeadlineExceeded;
+      results[i].reason =
+          "deadline_exceeded: waited " +
+          std::to_string(
+              static_cast<long long>(elapsed_us(req.enqueued, now))) +
+          "us in queue";
+      log_queue_reject("deadline_exceeded", label,
+                       submit && req.app.qoe.cls == QoeClass::kGuaranteedRate,
+                       results[i].reason);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.deadline_expired;
+      continue;
+    }
+    live.push_back(i);
+  }
+
+  std::size_t admitted = 0, rejected = 0, resolves_saved = 0;
+  if (!live.empty()) {
+    scheduler_.begin_batch();
+    for (std::size_t i : live) {
+      Request& req = batch[i];
+      if (req.verb == Request::Verb::kRemove) {
+        const bool found = scheduler_.remove(req.name);
+        results[i].status = found ? ServiceResult::Status::kRemoved
+                                  : ServiceResult::Status::kNotFound;
+        if (!found) results[i].reason = "no placed app named '" + req.name + "'";
+        continue;
+      }
+      // Names key remove and query, so the service (unlike the bare
+      // Scheduler) rejects duplicate submissions instead of placing two
+      // apps that later become indistinguishable.
+      bool duplicate = false;
+      for (const PlacedApp& placed : scheduler_.placed())
+        if (placed.app.name == req.app.name) {
+          duplicate = true;
+          break;
+        }
+      if (duplicate) {
+        results[i].status = ServiceResult::Status::kRejected;
+        results[i].reason =
+            "an app named '" + req.app.name + "' is already placed";
+        ++rejected;
+        continue;
+      }
+      // A malformed application (Application::validate throws) must
+      // reject the one request, not kill the scheduling thread.
+      AdmissionResult admission;
+      try {
+        admission = scheduler_.submit(req.app);
+      } catch (const std::exception& e) {
+        admission.admitted = false;
+        admission.reason = std::string("invalid application: ") + e.what();
+      }
+      results[i].status = admission.admitted
+                              ? ServiceResult::Status::kAdmitted
+                              : ServiceResult::Status::kRejected;
+      results[i].reason = admission.reason;
+      results[i].rate = admission.rate;
+      results[i].availability = admission.availability;
+      results[i].paths = admission.path_count;
+      if (admission.admitted)
+        ++admitted;
+      else
+        ++rejected;
+    }
+    const Scheduler::BatchReport report = scheduler_.end_batch();
+    if (report.deferred_resolves > 1)
+      resolves_saved = report.deferred_resolves - 1;
+
+    // Patch the batch results with post-solve state: BE apps admitted
+    // mid-batch carried rate 0 until the deferred PF solve ran, and the
+    // solve may (rarely) have evicted some of them.
+    for (std::size_t i : live) {
+      Request& req = batch[i];
+      if (req.verb != Request::Verb::kSubmit ||
+          results[i].status != ServiceResult::Status::kAdmitted)
+        continue;
+      if (std::find(report.evicted.begin(), report.evicted.end(),
+                    req.app.name) != report.evicted.end()) {
+        results[i].status = ServiceResult::Status::kRejected;
+        results[i].reason = "resource allocation failed (evicted at batch end)";
+        results[i].rate = 0.0;
+        --admitted;
+        ++rejected;
+        continue;
+      }
+      if (req.app.qoe.cls == QoeClass::kBestEffort) {
+        for (const PlacedApp& placed : scheduler_.placed()) {
+          if (placed.app.name == req.app.name) {
+            results[i].rate = placed.allocated_rate;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  if (options_.validate_batches && !live.empty()) {
+    const check::CheckReport report = check::check_scheduler_state(scheduler_);
+    if (!report.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.invariant_violations;
+      if (stats_.first_violation.empty())
+        stats_.first_violation = report.to_string();
+    }
+  }
+
+  publish_snapshot();
+
+  // Fulfill the promises only after the snapshot is visible, so a client
+  // that observes its future ready and immediately queries sees a state
+  // that includes its own request.
+  const auto done = std::chrono::steady_clock::now();
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->histogram("service.batch.size", {1, 2, 4, 8, 16, 32, 64, 128})
+        .observe(static_cast<double>(batch.size()));
+    if (admitted > 0) reg->counter("service.admitted").add(admitted);
+    if (rejected > 0) reg->counter("service.rejected").add(rejected);
+    if (resolves_saved > 0)
+      reg->counter("service.resolves_saved").add(resolves_saved);
+    auto& latency = reg->histogram("service.admission_latency.us",
+                                   obs::default_time_bounds_us());
+    for (const Request& req : batch)
+      latency.observe(elapsed_us(req.enqueued, done));
+  }
+  {
+    // Counters must be current before any promise resolves: a client that
+    // sees its future ready may immediately read stats().
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.admitted += admitted;
+    stats_.rejected += rejected;
+    stats_.resolves_saved += resolves_saved;
+    ++stats_.batches;
+    stats_.max_batch_seen =
+        std::max<std::uint64_t>(stats_.max_batch_seen, batch.size());
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    results[i].latency_us = elapsed_us(batch[i].enqueued, done);
+    batch[i].promise.set_value(std::move(results[i]));
+  }
+}
+
+void SchedulerService::publish_snapshot() {
+  auto snap = std::make_shared<ServiceSnapshot>();
+  snap->total_gr_rate = scheduler_.total_gr_rate();
+  snap->total_be_rate = scheduler_.total_be_rate();
+  snap->be_utility = scheduler_.be_utility();
+  snap->apps.reserve(scheduler_.placed().size());
+  for (const PlacedApp& placed : scheduler_.placed()) {
+    AppView view;
+    view.name = placed.app.name;
+    view.guaranteed = placed.app.qoe.cls == QoeClass::kGuaranteedRate;
+    view.allocated_rate = placed.allocated_rate;
+    view.paths = placed.paths.size();
+    view.priority = view.guaranteed ? 0.0 : placed.app.qoe.priority;
+    view.min_rate = view.guaranteed ? placed.app.qoe.min_rate : 0.0;
+    snap->apps.push_back(std::move(view));
+  }
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    snap->version = snap_->version + 1;
+    snap_ = std::move(snap);
+  }
+  if (obs::MetricsRegistry* reg = obs::metrics())
+    reg->counter("service.snapshots").add(1);
+}
+
+}  // namespace sparcle::service

@@ -1,0 +1,237 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "model/application.hpp"
+#include "model/network.hpp"
+
+/// \file scheduler_service.hpp
+/// The long-running placement controller: a thread-safe admission daemon
+/// wrapping one Scheduler.  Every entry point before this (CLI, benches,
+/// examples) built a Scheduler, ran one batch of submits, and exited;
+/// the service turns the same admission pipeline into something that
+/// *serves* placement traffic continuously — the paper's own arrival
+/// model (§IV-C/D: GR and BE applications arriving over time, admission
+/// control per arrival) played forward as an online system.
+///
+/// Architecture (docs/service.md):
+///
+///   - producers (TCP connections, in-process clients) enqueue submit /
+///     remove requests into a *bounded* queue with three priority classes
+///     — control (removes, they only free capacity), Guaranteed-Rate
+///     submits, Best-Effort submits — FIFO within each class;
+///   - one scheduling thread pops up to `max_batch` requests (higher
+///     classes first), applies them inside a Scheduler batch
+///     (begin_batch/end_batch), so the whole batch pays for ONE weighted
+///     proportional-fair re-solve instead of one per request;
+///   - backpressure: a full queue rejects at enqueue (`queue_full`), and a
+///     request whose deadline passed while queued is rejected at dequeue
+///     (`deadline_exceeded`) — both logged as DecisionKind::kQueueReject;
+///   - reads never touch the scheduling thread: after every batch the
+///     service publishes an immutable ServiceSnapshot, and snapshot() /
+///     queries return the latest published one.
+
+namespace sparcle::service {
+
+/// Tuning knobs of the admission daemon (docs/service.md has the
+/// operator guidance).
+struct ServiceOptions {
+  /// Bound on queued requests across all classes; enqueueing onto a full
+  /// queue rejects immediately with ServiceResult::Status::kQueueFull.
+  std::size_t queue_capacity{1024};
+  /// Most requests applied per scheduler batch (one PF re-solve each).
+  /// 1 reproduces the classic per-call pipeline.
+  std::size_t max_batch{16};
+  /// Deadline applied to requests submitted without an explicit one;
+  /// zero means "no deadline".  A request whose deadline has passed by
+  /// the time the scheduling thread picks it up is rejected unprocessed.
+  std::chrono::milliseconds default_deadline{0};
+  /// Run the invariant checker (check::check_scheduler_state) on the
+  /// scheduler state behind every published snapshot; violations are
+  /// counted in ServiceStats::invariant_violations and the first report
+  /// is kept (ServiceStats::first_violation).  Stress tests and canary
+  /// deployments enable this; it re-solves problem (4) per batch.
+  bool validate_batches{false};
+  /// Start with the scheduling thread paused (resume() arms it).  Lets
+  /// tests and load generators stage a queue deterministically.
+  bool start_paused{false};
+};
+
+/// Terminal outcome of one service request.
+struct ServiceResult {
+  enum class Status {
+    kAdmitted,          ///< submit: application placed
+    kRejected,          ///< submit: admission control said no
+    kRemoved,           ///< remove: application found and removed
+    kNotFound,          ///< remove: no such placed application
+    kQueueFull,         ///< bounced at enqueue: bounded queue at capacity
+    kDeadlineExceeded,  ///< bounced at dequeue: deadline passed in queue
+    kShutdown,          ///< bounced: the service is stopping
+  };
+  Status status{Status::kRejected};
+  std::string reason;        ///< human-readable detail (rejections)
+  double rate{0.0};          ///< allocated rate (admitted submits)
+  double availability{0.0};  ///< achieved availability (admitted submits)
+  std::size_t paths{0};      ///< committed path count (admitted submits)
+  /// Time the request spent from enqueue to reply, in microseconds.
+  double latency_us{0.0};
+
+  bool ok() const {
+    return status == Status::kAdmitted || status == Status::kRemoved;
+  }
+};
+
+/// Symbolic name of a result status (`admitted`, `rejected`, `removed`,
+/// `not_found`, `queue_full`, `deadline_exceeded`, `shutdown`) — the wire
+/// protocol's `status` field.
+const char* to_string(ServiceResult::Status status);
+
+/// One placed application inside a published snapshot.
+struct AppView {
+  std::string name;
+  bool guaranteed{false};     ///< GR (true) or BE (false)
+  double allocated_rate{0.0};
+  std::size_t paths{0};
+  double priority{0.0};       ///< BE weight (0 for GR)
+  double min_rate{0.0};       ///< GR guarantee (0 for BE)
+};
+
+/// Immutable state published by the scheduling thread after every batch.
+/// Readers hold a shared_ptr to it, so a reader can never block — or be
+/// blocked by — admission work.
+struct ServiceSnapshot {
+  std::uint64_t version{0};       ///< batch sequence number, starts at 1
+  double total_gr_rate{0.0};      ///< Σ reserved GR rate
+  double total_be_rate{0.0};      ///< Σ allocated BE rate
+  double be_utility{0.0};         ///< Σ P_i log x_i over placed BE apps
+  std::vector<AppView> apps;      ///< placed apps, admission order
+
+  /// The view of `name`, or nullptr.
+  const AppView* find(const std::string& name) const;
+};
+
+/// Monotone counters describing the service's lifetime (mutex-snapshotted
+/// copy; see also the service.* instruments in docs/observability.md).
+struct ServiceStats {
+  std::uint64_t submits{0};          ///< submit requests accepted into the queue
+  std::uint64_t removes{0};          ///< remove requests accepted into the queue
+  std::uint64_t admitted{0};         ///< submits admitted by the scheduler
+  std::uint64_t rejected{0};         ///< submits rejected by the scheduler
+  std::uint64_t queue_full{0};       ///< requests bounced at enqueue
+  std::uint64_t deadline_expired{0}; ///< requests bounced at dequeue
+  std::uint64_t batches{0};          ///< scheduler batches executed
+  std::uint64_t max_batch_seen{0};   ///< largest batch actually popped
+  std::uint64_t resolves_saved{0};   ///< PF re-solves amortized away
+  std::uint64_t invariant_violations{0};  ///< validate_batches failures
+  std::string first_violation;       ///< first checker report, if any
+};
+
+/// The concurrent admission daemon.  All public methods are thread-safe;
+/// the wrapped Scheduler is touched only by the internal scheduling
+/// thread.  Destruction stops the service (pending requests are answered
+/// with kShutdown).
+class SchedulerService {
+ public:
+  /// Serves placement over `net` using SPARCLE's own assignment algorithm.
+  SchedulerService(Network net, SchedulerOptions sched_options = {},
+                   ServiceOptions options = {});
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Enqueues an admission request; the future resolves when the batch
+  /// containing it completes (or immediately on queue_full/shutdown).
+  /// GR submissions queue ahead of BE submissions.
+  std::future<ServiceResult> submit(Application app);
+  /// submit() with an explicit deadline: if the scheduling thread picks
+  /// the request up after `deadline`, it is rejected unprocessed.
+  std::future<ServiceResult> submit(
+      Application app, std::chrono::steady_clock::time_point deadline);
+
+  /// Enqueues a removal (control class: served before submits).
+  std::future<ServiceResult> remove(std::string app_name);
+  std::future<ServiceResult> remove(
+      std::string app_name, std::chrono::steady_clock::time_point deadline);
+
+  /// The latest published snapshot — never null after construction (an
+  /// empty version-0 snapshot is published at start), never blocks.
+  std::shared_ptr<const ServiceSnapshot> snapshot() const;
+
+  /// Blocks until every request enqueued before the call has been
+  /// answered and its snapshot published.  Does not stop the service.
+  void drain();
+
+  /// Graceful drain-and-stop: stop accepting new requests, process
+  /// everything already queued, then join the scheduling thread.
+  /// Requests that arrive after stop() begins resolve to kShutdown.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// Pauses the scheduling thread after the in-flight batch (see
+  /// ServiceOptions::start_paused).
+  void pause();
+  /// Resumes a paused scheduling thread.
+  void resume();
+
+  /// Snapshot of the lifetime counters.
+  ServiceStats stats() const;
+
+  /// Requests currently queued (all classes).
+  std::size_t queue_depth() const;
+
+  /// The network this service places onto.  Immutable for the service's
+  /// lifetime; connection threads use it to resolve NCP names in wire
+  /// submissions.
+  const Network& network() const { return net_; }
+
+ private:
+  struct Request {
+    enum class Verb { kSubmit, kRemove } verb{Verb::kSubmit};
+    Application app;        ///< submit payload
+    std::string name;       ///< remove payload
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  ///< max() = none
+    std::promise<ServiceResult> promise;
+  };
+  /// Queue class index: lower pops first.
+  enum : std::size_t { kControl = 0, kGr = 1, kBe = 2, kClasses = 3 };
+
+  std::future<ServiceResult> enqueue(
+      Request req, std::size_t cls,
+      std::chrono::steady_clock::time_point deadline);
+  void scheduling_loop();
+  void process_batch(std::vector<Request>& batch);
+  void publish_snapshot();
+  std::size_t queued_unlocked() const;
+
+  Network net_;               ///< immutable reference copy for readers
+  Scheduler scheduler_;       ///< touched only by the scheduling thread
+  ServiceOptions options_;
+
+  mutable std::mutex mu_;     ///< guards queues_, stats_, flags
+  std::condition_variable work_cv_;   ///< wakes the scheduling thread
+  std::condition_variable idle_cv_;   ///< wakes drain()ers
+  std::deque<Request> queues_[kClasses];
+  ServiceStats stats_;
+  bool paused_{false};
+  bool stopping_{false};
+  bool processing_{false};    ///< a batch is being applied right now
+
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const ServiceSnapshot> snap_;
+
+  std::thread scheduler_thread_;  ///< last member: joins before teardown
+};
+
+}  // namespace sparcle::service

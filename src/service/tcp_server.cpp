@@ -1,0 +1,219 @@
+#include "service/tcp_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "service/wire.hpp"
+#include "workload/scenario_io.hpp"
+
+namespace sparcle::service {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("TcpServer: " + what + ": " +
+                           std::strerror(errno));
+}
+
+/// Writes the whole buffer, retrying on short writes / EINTR.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(SchedulerService& service, TcpServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    throw std::runtime_error("TcpServer: bad bind address '" +
+                             options_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    throw_errno("bind " + options_.bind_address + ":" +
+                std::to_string(options_.port));
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(fd);
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void TcpServer::stop() {
+  if (stopping_.exchange(true)) return;
+  // Closing the listener unblocks accept(); once the accept thread is
+  // joined no new connection threads can appear, so the shutdown sweep
+  // below sees them all.
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int conn_fd : conn_fds_)
+      if (conn_fd >= 0) ::shutdown(conn_fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+}
+
+void TcpServer::accept_loop() {
+  for (;;) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    if (stopping_.load()) {
+      ::close(conn);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] { serve_connection(conn); });
+  }
+}
+
+void TcpServer::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed, or stop() shut the socket down
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > options_.max_line_bytes) {
+      write_all(fd, wire::error_line("request line exceeds " +
+                                     std::to_string(options_.max_line_bytes) +
+                                     " bytes") +
+                        "\n");
+      break;
+    }
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (!write_all(fd, handle_line(line) + "\n")) {
+        open = false;
+        break;
+      }
+    }
+  }
+  // Deregister before closing so stop() never shuts down a recycled fd
+  // number that a newer connection now owns.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int& conn_fd : conn_fds_)
+      if (conn_fd == fd) {
+        conn_fd = -1;
+        break;
+      }
+  }
+  ::close(fd);
+}
+
+std::string TcpServer::handle_line(const std::string& line) {
+  std::map<std::string, std::string> req;
+  try {
+    req = wire::parse_line(line);
+  } catch (const std::exception& e) {
+    return wire::error_line(e.what());
+  }
+  const auto verb_it = req.find("verb");
+  if (verb_it == req.end()) return wire::error_line("missing 'verb'");
+  const std::string& verb = verb_it->second;
+
+  try {
+    if (verb == "submit") {
+      const auto app_it = req.find("app");
+      if (app_it == req.end())
+        return wire::error_line("submit: missing 'app' block");
+      // The connection thread parses against the immutable network copy;
+      // only the scheduling thread ever touches the Scheduler.
+      std::vector<Application> apps = workload::parse_apps_text(
+          app_it->second, service_.network(), "<submit>");
+      if (apps.size() != 1)
+        return wire::error_line(
+            "submit: expected exactly one app block, got " +
+            std::to_string(apps.size()));
+      return wire::result_line(service_.submit(std::move(apps.front())).get());
+    }
+    if (verb == "remove") {
+      const auto name_it = req.find("name");
+      if (name_it == req.end())
+        return wire::error_line("remove: missing 'name'");
+      return wire::result_line(service_.remove(name_it->second).get());
+    }
+    if (verb == "query") {
+      const std::shared_ptr<const ServiceSnapshot> snap = service_.snapshot();
+      const auto name_it = req.find("name");
+      if (name_it != req.end()) return wire::app_line(*snap, name_it->second);
+      return wire::snapshot_line(*snap);
+    }
+    if (verb == "drain") {
+      service_.drain();
+      return wire::snapshot_line(*service_.snapshot());
+    }
+  } catch (const std::exception& e) {
+    return wire::error_line(e.what());
+  }
+  return wire::error_line("unknown verb '" + verb + "'");
+}
+
+}  // namespace sparcle::service

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/scheduler_service.hpp"
+
+/// \file tcp_server.hpp
+/// Newline-delimited-JSON front end for the placement service: POSIX
+/// sockets only, loopback by default, one thread per connection (the
+/// service's bounded queue — not the socket layer — is the concurrency
+/// limit that matters).  Protocol in wire.hpp / docs/service.md.
+
+namespace sparcle::service {
+
+/// Listener configuration.
+struct TcpServerOptions {
+  /// Address to bind; the default keeps the daemon loopback-only.
+  std::string bind_address{"127.0.0.1"};
+  /// Port to bind; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port{0};
+  /// Hard cap on one request line, bytes; longer lines get an error
+  /// response and the connection is closed (defends the line buffer).
+  std::size_t max_line_bytes{1 << 20};
+};
+
+/// Serves a SchedulerService over TCP.  The server borrows the service —
+/// the caller keeps it alive until stop() returns.  start() spawns the
+/// accept loop; each accepted connection gets a thread that reads one
+/// request line at a time, dispatches it, and writes one response line.
+class TcpServer {
+ public:
+  TcpServer(SchedulerService& service, TcpServerOptions options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop.  Throws
+  /// std::runtime_error (with errno text) if the socket cannot be set up.
+  void start();
+
+  /// Closes the listener, wakes every connection, joins all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// The bound port (after start(); resolves ephemeral port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Dispatches one already-parsed request line and returns the response
+  /// line (no trailing newline).  The connection threads call this; tests
+  /// call it directly to exercise the protocol without sockets.
+  std::string handle_line(const std::string& line);
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  SchedulerService& service_;
+  TcpServerOptions options_;
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_{0};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;               ///< guards conn_threads_ / conn_fds_
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;        ///< open connection sockets (for stop())
+};
+
+}  // namespace sparcle::service

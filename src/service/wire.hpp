@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "service/scheduler_service.hpp"
+
+/// \file wire.hpp
+/// The placement service's dependency-free wire protocol: one request per
+/// line, one response per line, each line a *flat* JSON object (string,
+/// number, or boolean values only — no nesting, no arrays).  The subset is
+/// small enough to parse with a hand-rolled scanner, which keeps the
+/// service free of third-party JSON dependencies.  docs/service.md is the
+/// protocol reference; requests:
+///
+///     {"verb":"submit","app":"app a be 2\n  ct f 4\n  ...\nend"}
+///     {"verb":"remove","name":"a"}
+///     {"verb":"query"}              — snapshot summary
+///     {"verb":"query","name":"a"}   — one application's view
+///     {"verb":"drain"}              — block until the queue empties
+///
+/// The `app` payload of submit is a scenario-format `app ... end` block
+/// (workload::parse_apps_text / write_app_text) — the same text format
+/// scenario files use, embedded as one JSON string.
+
+namespace sparcle::service::wire {
+
+/// Escapes `s` as the body of a JSON string (quotes, backslashes, control
+/// characters; UTF-8 passes through).
+std::string escape(const std::string& s);
+
+/// Renders a flat string→string map as one JSON object line (values that
+/// are valid JSON numbers or `true`/`false` are emitted unquoted).
+std::string to_line(const std::map<std::string, std::string>& fields);
+
+/// Parses one flat JSON object line into a string→string map (numbers and
+/// booleans arrive as their raw text).  Throws std::runtime_error naming
+/// the offending position on malformed input.
+std::map<std::string, std::string> parse_line(const std::string& line);
+
+/// Renders a ServiceResult as a response line:
+/// `{"status":"admitted","rate":...,"availability":...,"paths":...,
+///   "latency_us":...}` plus `"reason"` when non-empty.
+std::string result_line(const ServiceResult& result);
+
+/// Renders a snapshot summary response:
+/// `{"status":"ok","version":...,"apps":...,"total_gr_rate":...,
+///   "total_be_rate":...,"be_utility":...}`.
+std::string snapshot_line(const ServiceSnapshot& snap);
+
+/// Renders one application's snapshot view, or
+/// `{"status":"not_found","name":...}` when absent.
+std::string app_line(const ServiceSnapshot& snap, const std::string& name);
+
+/// Renders an error response: `{"status":"error","reason":...}`.
+std::string error_line(const std::string& reason);
+
+}  // namespace sparcle::service::wire

@@ -25,8 +25,9 @@
 ///     end
 ///
 /// NCPs and links must precede applications; every `app` block ends with
-/// `end`; names are unique within their kind.  parse errors carry the
-/// offending line number.
+/// `end`; names are unique within their kind.  Parse errors carry a
+/// `<source>:<line>: ...` prefix (the file path for load_scenario_file)
+/// and quote the offending token.
 
 namespace sparcle::workload {
 
@@ -37,18 +38,35 @@ struct ScenarioFile {
 };
 
 /// Parses a scenario from a stream.  Throws std::runtime_error with a
-/// "line N: ..." message on malformed input.
-ScenarioFile parse_scenario(std::istream& in);
+/// "<source>:<line>: ..." message (quoting the offending token) on
+/// malformed input; `source` is only used for those messages.
+ScenarioFile parse_scenario(std::istream& in,
+                            const std::string& source = "<scenario>");
 
 /// Parses a scenario from a string (convenience for tests).
-ScenarioFile parse_scenario_text(const std::string& text);
+ScenarioFile parse_scenario_text(const std::string& text,
+                                 const std::string& source = "<scenario>");
 
 /// Loads a scenario from a file path; throws std::runtime_error if the
-/// file cannot be opened.
+/// file cannot be opened.  Parse errors are prefixed "<path>:<line>: ".
 ScenarioFile load_scenario_file(const std::string& path);
+
+/// Parses one or more `app ... end` blocks against an already-built
+/// network: NCP names in `pin` lines resolve into `net`, and network
+/// directives (resources/ncp/link/dlink) are rejected.  This is the wire
+/// format the placement service's submit verb carries (docs/service.md);
+/// the text is exactly the app-block portion of a scenario file.
+std::vector<Application> parse_apps_text(
+    const std::string& text, const Network& net,
+    const std::string& source = "<app>");
 
 /// Serializes a scenario back to the text format (round-trips through
 /// parse_scenario up to comment/whitespace differences).
 std::string write_scenario(const ScenarioFile& scenario);
+
+/// Serializes one application as an `app ... end` block resolving pins
+/// against `net` — the inverse of parse_apps_text, used by service
+/// clients to put an Application on the wire.
+std::string write_app_text(const Application& app, const Network& net);
 
 }  // namespace sparcle::workload

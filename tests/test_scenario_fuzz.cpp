@@ -44,8 +44,10 @@ void expect_parse_or_runtime_error(const std::string& text) {
     const auto sf = workload::parse_scenario_text(text);
     (void)sf;
   } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
-        << "error lacks a line number: " << e.what();
+    // Every parse error carries the compiler-style "<source>:<line>:"
+    // prefix (the default source name here).
+    EXPECT_EQ(std::string(e.what()).rfind("<scenario>:", 0), 0u)
+        << "error lacks a source:line prefix: " << e.what();
   }
   // Any other exception type escapes and fails the test.
 }

@@ -10,8 +10,10 @@
 namespace sparcle {
 namespace {
 
+using workload::parse_apps_text;
 using workload::parse_scenario_text;
 using workload::ScenarioFile;
+using workload::write_app_text;
 using workload::write_scenario;
 
 const char* kBasic = R"(
@@ -233,13 +235,65 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
-TEST(ScenarioIo, ErrorsCarryLineNumbers) {
+TEST(ScenarioIo, ErrorsCarryFileAndLine) {
   try {
     parse_scenario_text("ncp a 1\nncp b 2\nbogus\n");
     FAIL();
   } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    // Default source name, then ":<line>:" in compiler-style format.
+    EXPECT_NE(std::string(e.what()).find("<scenario>:3:"), std::string::npos)
+        << "actual error: " << e.what();
   }
+}
+
+TEST(ScenarioIo, ErrorsUseCallerSuppliedSourceName) {
+  try {
+    parse_scenario_text("ncp a 1\nncp a 2\n", "edge.scn");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("edge.scn:2:"), std::string::npos)
+        << "actual error: " << e.what();
+  }
+}
+
+TEST(ScenarioIo, ErrorsQuoteTheOffendingToken) {
+  try {
+    parse_scenario_text("ncp a 1\napp x vip 1\n");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("<scenario>:2:"), std::string::npos) << what;
+    EXPECT_NE(what.find("'vip'"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioIo, ParseAppsTextResolvesAgainstExistingNetwork) {
+  const ScenarioFile sf = parse_scenario_text(kBasic);
+  const std::string block = write_app_text(sf.apps.at(0), sf.net);
+  const std::vector<Application> apps =
+      parse_apps_text(block, sf.net, "wire");
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0].name, sf.apps[0].name);
+  EXPECT_EQ(apps[0].pinned, sf.apps[0].pinned);
+  EXPECT_EQ(write_app_text(apps[0], sf.net), block);
+}
+
+TEST(ScenarioIo, ParseAppsTextRejectsNetworkDirectives) {
+  const ScenarioFile sf = parse_scenario_text(kBasic);
+  try {
+    parse_apps_text("ncp rogue 5\n", sf.net, "wire");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("wire:1:"), std::string::npos) << what;
+    EXPECT_NE(what.find("network is fixed"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioIo, ParseAppsTextRequiresAnAppBlock) {
+  const ScenarioFile sf = parse_scenario_text(kBasic);
+  EXPECT_THROW(parse_apps_text("# just a comment\n", sf.net),
+               std::runtime_error);
 }
 
 TEST(ScenarioIo, MissingFileThrows) {

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Refreshes the BENCH_service.json trajectory: runs the placement-service
+# load generator (bench_service with SPARCLE_BENCH_JSON set) and appends
+# one labeled entry to the checked-in trajectory file.
+#
+# Usage: tools/bench_service.sh <label> [build-dir]
+#   e.g. tools/bench_service.sh pr6-after build
+#
+# After appending, the script gates two things:
+#   1. regression: if the new admissions_per_s/batch16 falls more than 3%
+#      below the previous trajectory entry's, exit 1.  Override the budget
+#      with SPARCLE_BENCH_TOLERANCE (a fraction, default 0.03).
+#   2. amortization: batched throughput (speedup/batch16) must stay at
+#      least 2x the batch=1 pipeline — the service's reason to exist.
+#      Override with SPARCLE_SERVICE_MIN_SPEEDUP (default 2.0).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:?usage: tools/bench_service.sh <label> [build-dir]}"
+BUILD="${2:-build}"
+SCRATCH="$(mktemp /tmp/sparcle-bench-XXXX.json)"
+# Clean up the scratch file on any exit; on SIGINT/SIGTERM re-raise after
+# cleanup so callers still observe a signal death, not a plain exit.
+trap 'rm -f "${SCRATCH}"' EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
+
+cmake --build "${BUILD}" -j "$(nproc 2>/dev/null || echo 2)" \
+      --target bench_service >/dev/null
+
+SPARCLE_BENCH_JSON="${SCRATCH}" "./${BUILD}/bench/bench_service"
+
+python3 - "$SCRATCH" "$LABEL" "${SPARCLE_BENCH_TOLERANCE:-0.03}" \
+    "${SPARCLE_SERVICE_MIN_SPEEDUP:-2.0}" <<'EOF'
+import json, sys, pathlib
+raw = json.load(open(sys.argv[1]))
+tolerance = float(sys.argv[3])
+min_speedup = float(sys.argv[4])
+entry = {"label": sys.argv[2], "time_unit": "us",
+         "benchmarks": dict(raw["benchmarks"])}
+path = pathlib.Path("BENCH_service.json")
+doc = json.loads(path.read_text()) if path.exists() else {
+    "description": "Placement-service load generator: admissions/sec and "
+                   "enqueue-to-reply latency on the 64-NCP site, 192 "
+                   "arrivals, vs scheduler batch size and client threads "
+                   "(bench_service; see docs/service.md)",
+    "trajectory": [],
+}
+prev = doc["trajectory"][-1] if doc["trajectory"] else None
+doc["trajectory"].append(entry)
+path.write_text(json.dumps(doc, indent=2) + "\n")
+print(f"appended '{sys.argv[2]}' to {path}")
+
+GATE = "admissions_per_s/batch16"
+if prev and GATE in prev["benchmarks"] and GATE in entry["benchmarks"]:
+    base, now = prev["benchmarks"][GATE], entry["benchmarks"][GATE]
+    drop = 1.0 - now / base
+    print(f"{GATE}: {base:.0f}/s ({prev['label']}) -> {now:.0f}/s "
+          f"({-drop:+.2%}, budget -{tolerance:.0%})")
+    if drop > tolerance:
+        print(f"FAIL: {GATE} regressed {drop:.2%} vs '{prev['label']}' "
+              f"— over the {tolerance:.0%} budget", file=sys.stderr)
+        sys.exit(1)
+
+SPEEDUP = "speedup/batch16"
+speedup = entry["benchmarks"].get(SPEEDUP, 0.0)
+print(f"{SPEEDUP}: {speedup:.2f}x (floor {min_speedup:.1f}x)")
+if speedup < min_speedup:
+    print(f"FAIL: batched admission only {speedup:.2f}x the batch=1 "
+          f"pipeline — below the {min_speedup:.1f}x floor", file=sys.stderr)
+    sys.exit(1)
+EOF
