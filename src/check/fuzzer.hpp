@@ -47,6 +47,11 @@ struct FuzzOptions {
   /// repair path per scenario, with the full invariant suite after every
   /// event (0 = skip the churn phase).
   std::size_t churn_events{8};
+  /// Alternate the scheduler's PF warm start on/off across churn events,
+  /// so every scenario exercises both solver paths under repair (warm
+  /// starting must be behaviorally invisible; the per-event invariant
+  /// suite's PF-optimality re-solve is the oracle).
+  bool alternate_pf_warm{true};
   /// Where shrunk `.scn` repros are written ("" = don't write).
   std::string repro_dir{"."};
   /// Cap on candidate evaluations during shrinking.

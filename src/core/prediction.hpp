@@ -1,5 +1,6 @@
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "model/capacity.hpp"
@@ -32,5 +33,18 @@ struct BePresence {
 CapacitySnapshot predict_capacities(const CapacitySnapshot& base,
                                     const std::vector<BePresence>& placed_be,
                                     double new_priority);
+
+/// In-place counterpart of predict_capacities() for callers that maintain
+/// the per-element competing-priority totals incrementally (the scheduler's
+/// admission hot path): scales each element of `competing` in `scratch` by
+/// the eq. (6) share of an arriving application with `new_priority`, and
+/// appends every scaled element to `touched` so the caller can restore
+/// `scratch` to its base with a sparse copy instead of a full snapshot.
+/// Elements are scaled independently, so the (unordered) map's iteration
+/// order does not affect the resulting capacities.
+void apply_priority_shares(
+    CapacitySnapshot& scratch,
+    const std::unordered_map<ElementKey, double>& competing,
+    double new_priority, std::vector<ElementKey>& touched);
 
 }  // namespace sparcle

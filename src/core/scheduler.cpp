@@ -119,6 +119,7 @@ Scheduler::BatchReport Scheduler::end_batch() {
         break;
       }
       usage_valid_ = false;  // placed indices shifted
+      competing_valid_ = false;
       report.evicted.push_back(victim);
     }
     if (obs::MetricsRegistry* reg = obs::metrics()) {
@@ -158,6 +159,39 @@ void Scheduler::rebuild_residual() {
   residual_.subtract_scaled(gr_reserved_, 1.0);
   std::vector<ElementKey> dead(failed_.begin(), failed_.end());
   residual_.scale_elements(dead, 0.0);
+  predict_scratch_valid_ = false;  // scratch no longer mirrors residual_
+}
+
+void Scheduler::recompute_residual_element(const ElementKey& e) {
+  if (e.kind == ElementKey::Kind::kNcp) {
+    ResourceVector v = net_.ncp(e.index).capacity;
+    v -= gr_reserved_.ncp_load(e.index);
+    v.clamp_nonnegative();
+    if (failed_.contains(e)) v *= 0.0;
+    residual_.ncp(e.index) = std::move(v);
+  } else {
+    double c = net_.link(e.index).bandwidth - gr_reserved_.link_load(e.index);
+    if (c < 0 || failed_.contains(e)) c = 0;
+    residual_.link(e.index) = c;
+  }
+  if (predict_scratch_valid_) {
+    if (e.kind == ElementKey::Kind::kNcp)
+      predict_scratch_.ncp(e.index) = residual_.ncp(e.index);
+    else
+      predict_scratch_.link(e.index) = residual_.link(e.index);
+  }
+}
+
+void Scheduler::apply_gr_delta(const PathInfo& path, double rate_delta) {
+  gr_reserved_.add_scaled_at(path.elements, path.load, rate_delta);
+  for (const ElementKey& e : path.elements) recompute_residual_element(e);
+}
+
+bool Scheduler::element_touches_be(const ElementKey& e) const {
+  ensure_usage_index();
+  for (const ElementUsageIndex::PathRef& ref : usage_.users(e))
+    if (placed_[ref.app].app.qoe.cls == QoeClass::kBestEffort) return true;
+  return false;
 }
 
 bool Scheduler::path_alive(const PathInfo& path) const {
@@ -176,10 +210,11 @@ void Scheduler::ensure_usage_index() const {
 }
 
 void Scheduler::index_new_app() {
-  if (!usage_valid_) return;
   const std::size_t i = placed_.size() - 1;
-  for (std::size_t k = 0; k < placed_[i].paths.size(); ++k)
-    usage_.add_path(i, k, placed_[i].paths[k].elements);
+  if (usage_valid_)
+    for (std::size_t k = 0; k < placed_[i].paths.size(); ++k)
+      usage_.add_path(i, k, placed_[i].paths[k].elements);
+  competing_add_app(placed_[i]);
 }
 
 const ElementUsageIndex& Scheduler::element_usage() const {
@@ -187,17 +222,57 @@ const ElementUsageIndex& Scheduler::element_usage() const {
   return usage_;
 }
 
+void Scheduler::competing_add_app(const PlacedApp& pa) const {
+  if (!competing_valid_) return;
+  if (pa.app.qoe.cls != QoeClass::kBestEffort) return;
+  // An app competes once per element, however many of its paths use it
+  // (same distinct-set semantics as predict_capacities()).
+  std::set<ElementKey> distinct;
+  for (const PathInfo& p : pa.paths)
+    distinct.insert(p.elements.begin(), p.elements.end());
+  for (const ElementKey& e : distinct)
+    be_competing_[e] += pa.app.qoe.priority;
+}
+
+void Scheduler::ensure_competing_index() const {
+  if (competing_valid_) return;
+  be_competing_.clear();
+  competing_valid_ = true;
+  for (const PlacedApp& pa : placed_) competing_add_app(pa);
+}
+
+const CapacitySnapshot& Scheduler::predicted_capacities(
+    double priority) const {
+  ensure_competing_index();
+  if (!predict_scratch_valid_) {
+    predict_scratch_ = residual_;
+    predict_touched_.clear();
+    predict_scratch_valid_ = true;
+  } else {
+    // Undo the previous prediction's scaling: only the touched elements
+    // diverge from residual_ (mutations patch the scratch in place).
+    predict_scratch_.copy_elements_from(residual_, predict_touched_);
+    predict_touched_.clear();
+  }
+  apply_priority_shares(predict_scratch_, be_competing_, priority,
+                        predict_touched_);
+  return predict_scratch_;
+}
+
 bool Scheduler::remove(const std::string& app_name) {
   for (std::size_t i = 0; i < placed_.size(); ++i) {
     if (placed_[i].app.name != app_name) continue;
     const PlacedApp& pa = placed_[i];
     if (pa.app.qoe.cls == QoeClass::kGuaranteedRate) {
+      // Release the reservations incrementally: only the departing paths'
+      // own elements change, so a full residual rebuild is unnecessary.
       for (std::size_t k = 0; k < pa.paths.size(); ++k)
-        gr_reserved_.add_scaled(pa.paths[k].load, -pa.path_rates[k]);
+        apply_gr_delta(pa.paths[k], -pa.path_rates[k]);
+    } else {
+      competing_valid_ = false;  // a BE footprint left the eq. (6) pool
     }
     placed_.erase(placed_.begin() + static_cast<std::ptrdiff_t>(i));
     usage_valid_ = false;  // placed indices shifted
-    rebuild_residual();
     maybe_reallocate();
     healthy_rate_ = global_rate();
     run_validation_hook();
@@ -208,15 +283,20 @@ bool Scheduler::remove(const std::string& app_name) {
 
 void Scheduler::mark_failed(ElementKey element) {
   if (!failed_.insert(element).second) return;
-  rebuild_residual();
-  maybe_reallocate();
+  // Only the failed element's capacity changes; re-solving problem (4) is
+  // needed only when a placed BE path actually crosses it (rows no column
+  // loads never enter the solve).
+  const bool resolve = element_touches_be(element);
+  recompute_residual_element(element);
+  if (resolve) maybe_reallocate();
   run_validation_hook();
 }
 
 void Scheduler::mark_recovered(ElementKey element) {
   if (failed_.erase(element) == 0) return;
-  rebuild_residual();
-  maybe_reallocate();
+  const bool resolve = element_touches_be(element);
+  recompute_residual_element(element);
+  if (resolve) maybe_reallocate();
   run_validation_hook();
 }
 
@@ -299,6 +379,7 @@ Scheduler::RebalanceReport Scheduler::rebalance() {
   }
   reallocate_best_effort();
   usage_valid_ = false;  // path sets changed
+  competing_valid_ = false;
   healthy_rate_ = global_rate();
   run_validation_hook();
   return report;
@@ -313,6 +394,7 @@ Scheduler::ReoptimizeReport Scheduler::global_reoptimize(
   // Snapshot for rollback.
   const std::vector<PlacedApp> saved_placed = placed_;
   const LoadMap saved_reserved = gr_reserved_;
+  const std::vector<double> saved_dual = pf_last_dual_;
 
   // Re-admission order: GR by descending guarantee, then BE by descending
   // priority (the order the prediction machinery assumes favours).
@@ -332,6 +414,7 @@ Scheduler::ReoptimizeReport Scheduler::global_reoptimize(
   placed_.clear();
   gr_reserved_ = LoadMap::zeros(net_);
   usage_valid_ = false;  // nested submits must not append to a stale index
+  competing_valid_ = false;
   rebuild_residual();
 
   bool all_admitted = true;
@@ -350,13 +433,18 @@ Scheduler::ReoptimizeReport Scheduler::global_reoptimize(
                                            min_utility_gain - kEps &&
                         new_utility > report.old_be_utility + kEps;
   if (!improves) {
+    // The snapshot holds the exact pre-reoptimize allocation (rates
+    // included), so restoring it needs no PF re-solve — and re-solving
+    // would land within tolerance but not bit-identically once warm
+    // starts are in play.  The dual state is rolled back with it.
     placed_ = saved_placed;
     gr_reserved_ = saved_reserved;
     rebuild_residual();
-    reallocate_best_effort();
+    pf_last_dual_ = saved_dual;
     report.new_be_utility = report.old_be_utility;
     report.new_gr_rate = report.old_gr_rate;
     usage_valid_ = false;
+    competing_valid_ = false;
     healthy_rate_ = global_rate();
     run_validation_hook();
     return report;
@@ -375,6 +463,7 @@ Scheduler::ReoptimizeReport Scheduler::global_reoptimize(
   report.new_be_utility = new_utility;
   report.new_gr_rate = new_gr;
   usage_valid_ = false;
+  competing_valid_ = false;
   healthy_rate_ = global_rate();
   run_validation_hook();
   return report;
@@ -436,7 +525,9 @@ Scheduler::RepairReport Scheduler::repair(ElementKey element) {
       } else {
         ++report.paths_dropped;
         if (pa.app.qoe.cls == QoeClass::kGuaranteedRate)
-          gr_reserved_.add_scaled(pa.paths[k].load, -pa.path_rates[k]);
+          // Incremental release: residual_ is refreshed on the dead
+          // path's own elements only (no full rebuild on this hot path).
+          apply_gr_delta(pa.paths[k], -pa.path_rates[k]);
       }
     }
     pa.paths = std::move(alive);
@@ -446,7 +537,7 @@ Scheduler::RepairReport Scheduler::repair(ElementKey element) {
       for (double r : pa.path_rates) pa.allocated_rate += r;
     }
   }
-  rebuild_residual();
+  competing_valid_ = false;  // shed BE paths shrank eq. (6) footprints
 
   // Pass 2: restore, GR first (largest guarantee first), then BE
   // (descending priority); ties break on placed order so a replayed trace
@@ -490,13 +581,12 @@ Scheduler::RepairReport Scheduler::repair(ElementKey element) {
         const bool last = attempt == options_.repair.max_retries;
         if (recovered + kEps >= target || (last && !extra.empty())) {
           for (PathInfo& p : extra) {
-            gr_reserved_.add_scaled(p.load, p.standalone_rate);
+            apply_gr_delta(p, p.standalone_rate);
             pa.path_rates.push_back(p.standalone_rate);
             pa.allocated_rate += p.standalone_rate;
             pa.paths.push_back(std::move(p));
             ++report.paths_added;
           }
-          rebuild_residual();
           restored = pa.allocated_rate + kEps >= pa.app.qoe.min_rate;
         } else if (!last) {
           ++report.retries;
@@ -511,21 +601,11 @@ Scheduler::RepairReport Scheduler::repair(ElementKey element) {
       // BE app with no service left: re-provision one path against the
       // priority-share prediction (eq. (6)); rates come from the PF
       // re-solve below.  On failure the app stays placed with zero paths.
-      std::vector<BePresence> presences;
-      for (std::size_t qi = 0; qi < placed_.size(); ++qi) {
-        if (qi == pi) continue;
-        const PlacedApp& other = placed_[qi];
-        if (other.app.qoe.cls != QoeClass::kBestEffort) continue;
-        BePresence pres;
-        pres.priority = other.app.qoe.priority;
-        for (const PathInfo& p : other.paths)
-          pres.elements.insert(pres.elements.end(), p.elements.begin(),
-                               p.elements.end());
-        presences.push_back(std::move(pres));
-      }
-      const CapacitySnapshot effective =
+      // The app itself has an empty footprint right now, so the cached
+      // competing-priority index already excludes it.
+      const CapacitySnapshot& effective =
           options_.use_prediction
-              ? predict_capacities(residual_, presences, pa.app.qoe.priority)
+              ? predicted_capacities(pa.app.qoe.priority)
               : residual_;
       auto enough = [](const std::vector<PathInfo>& paths) {
         return !paths.empty();
@@ -537,6 +617,7 @@ Scheduler::RepairReport Scheduler::repair(ElementKey element) {
           pa.paths.push_back(std::move(p));
           ++report.paths_added;
         }
+        competing_add_app(pa);  // later restores see the new footprint
         report.repaired.push_back(pa.app.name);
       } else {
         report.still_degraded.push_back(pa.app.name);
@@ -596,6 +677,7 @@ Scheduler::RepairReport Scheduler::repair(ElementKey element) {
   }
 
   usage_valid_ = false;  // touched apps' path lists changed
+  competing_valid_ = false;
   healthy_rate_ = report.global_rate_after;
   if (!report.fell_back) run_validation_hook();  // rebalance() already ran it
   return report;
@@ -646,21 +728,12 @@ AdmissionResult Scheduler::submit_best_effort(const Application& app) {
   AdmissionResult result;
 
   // Step 1 (Fig. 3): predict the capacities this app's priority earns it,
-  // on top of what GR reservations left behind.
-  std::vector<BePresence> presences;
-  for (const PlacedApp& pa : placed_) {
-    if (pa.app.qoe.cls != QoeClass::kBestEffort) continue;
-    BePresence pres;
-    pres.priority = pa.app.qoe.priority;
-    for (const PathInfo& pi : pa.paths)
-      pres.elements.insert(pres.elements.end(), pi.elements.begin(),
-                           pi.elements.end());
-    presences.push_back(std::move(pres));
-  }
-  const CapacitySnapshot effective =
-      options_.use_prediction
-          ? predict_capacities(residual_, presences, app.qoe.priority)
-          : residual_;
+  // on top of what GR reservations left behind.  The competing-priority
+  // totals are cached and extended incrementally per admission, so batch
+  // member k only touches the elements member k-1 actually changed.
+  const CapacitySnapshot& effective =
+      options_.use_prediction ? predicted_capacities(app.qoe.priority)
+                              : residual_;
 
   // Steps 2-3: add task-assignment paths until the availability target.
   const double target = app.qoe.availability;
@@ -762,13 +835,14 @@ AdmissionResult Scheduler::submit_guaranteed_rate(const Application& app) {
   placed.app = app;
   placed.allocated_rate = 0;
   for (PathInfo& pi : paths) {
-    gr_reserved_.add_scaled(pi.load, pi.standalone_rate);
+    // Incremental reservation: residual_ is refreshed on the committed
+    // path's own elements only.
+    apply_gr_delta(pi, pi.standalone_rate);
     placed.path_rates.push_back(pi.standalone_rate);
     placed.allocated_rate += pi.standalone_rate;
   }
   placed.paths = std::move(paths);
   placed_.push_back(std::move(placed));
-  rebuild_residual();
 
   // The BE pool shrank: re-run the PF allocation over the survivors.
   maybe_reallocate();
@@ -780,10 +854,18 @@ AdmissionResult Scheduler::submit_guaranteed_rate(const Application& app) {
   return result;
 }
 
+namespace {
+/// Bucket bounds of the per-solve Newton-iteration histogram
+/// (`scheduler.solver.newton_iters`, docs/observability.md).
+std::vector<double> newton_iter_bounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+}
+}  // namespace
+
 bool Scheduler::reallocate_best_effort() {
   const obs::ScopedTimer span("scheduler.be_resolve");
-  if (obs::MetricsRegistry* reg = obs::metrics())
-    reg->counter("scheduler.be_resolves").add(1);
+  obs::MetricsRegistry* reg = obs::metrics();
+  if (reg) reg->counter("scheduler.be_resolves").add(1);
   // Row layout: NCP j resource r -> j*R + r; link l -> ncp_count*R + l.
   const std::size_t nr = net_.schema().size();
   const std::size_t ncp_rows = net_.ncp_count() * nr;
@@ -803,13 +885,14 @@ bool Scheduler::reallocate_best_effort() {
   };
   std::vector<VarRef> var_refs;
   std::vector<std::size_t> app_of_placed(placed_.size(), SIZE_MAX);
+  // The previous solve's rates, captured per variable while building the
+  // columns (before any reset) — the warm-start primal point.
+  PfWarmStart warm;
 
   for (std::size_t pi = 0; pi < placed_.size(); ++pi) {
     PlacedApp& pa = placed_[pi];
     if (pa.app.qoe.cls != QoeClass::kBestEffort) continue;
-    // Reset; surviving variables are written back after the solve.
-    pa.allocated_rate = 0;
-    std::fill(pa.path_rates.begin(), pa.path_rates.end(), 0.0);
+    pa.allocated_rate = 0;  // surviving paths are written back post-solve
 
     bool app_has_variable = false;
     for (std::size_t k = 0; k < pa.paths.size(); ++k) {
@@ -818,20 +901,34 @@ bool Scheduler::reallocate_best_effort() {
       // transit NCPs, which carry no load but must forward the stream.
       bool blocked = !path_alive(pa.paths[k]);
       const LoadMap& load = pa.paths[k].load;
-      for (NcpId j = 0; j < static_cast<NcpId>(net_.ncp_count()); ++j)
-        for (std::size_t r = 0; r < nr; ++r) {
-          const double a = load.ncp_load(j)[r];
+      // The load is supported on the path's own element list, so the
+      // column can be built from it instead of sweeping the network.
+      for (const ElementKey& e : pa.paths[k].elements) {
+        if (e.kind == ElementKey::Kind::kNcp) {
+          const ResourceVector& a = load.ncp_load(e.index);
+          for (std::size_t r = 0; r < nr; ++r) {
+            if (a[r] <= 0) continue;
+            const std::size_t row =
+                static_cast<std::size_t>(e.index) * nr + r;
+            if (pf.capacity[row] <= 0) blocked = true;
+            col.entries.emplace_back(row, a[r]);
+          }
+        } else {
+          const double a = load.link_load(e.index);
           if (a <= 0) continue;
-          if (pf.capacity[j * nr + r] <= 0) blocked = true;
-          col.entries.emplace_back(j * nr + r, a);
+          const std::size_t row = ncp_rows + static_cast<std::size_t>(e.index);
+          if (pf.capacity[row] <= 0) blocked = true;
+          col.entries.emplace_back(row, a);
         }
-      for (LinkId l = 0; l < static_cast<LinkId>(net_.link_count()); ++l) {
-        const double a = load.link_load(l);
-        if (a <= 0) continue;
-        if (pf.capacity[ncp_rows + l] <= 0) blocked = true;
-        col.entries.emplace_back(ncp_rows + l, a);
       }
-      if (blocked) continue;  // a GR reservation starved this path: rate 0
+      if (blocked) {  // a failure or GR reservation starved this path
+        pa.path_rates[k] = 0.0;
+        continue;
+      }
+      // Keep the historical NCP-rows-then-links entry order (element lists
+      // are unordered; rows within a path are distinct).
+      std::sort(col.entries.begin(), col.entries.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
       if (!app_has_variable) {
         app_of_placed[pi] = pf.app_priority.size();
         pf.app_priority.push_back(pa.app.qoe.priority);
@@ -839,19 +936,77 @@ bool Scheduler::reallocate_best_effort() {
       }
       pf.columns.push_back(std::move(col));
       pf.var_app.push_back(app_of_placed[pi]);
+      warm.path_rate.push_back(pa.path_rates[k]);
       var_refs.push_back({pi, k});
     }
   }
 
-  if (pf.columns.empty()) return true;  // no BE paths to allocate
+  // On any failure below, leave the same state the historical code did:
+  // every BE allocation zeroed (callers re-solve after rolling back).
+  auto zero_be_rates = [&] {
+    for (PlacedApp& pa : placed_) {
+      if (pa.app.qoe.cls != QoeClass::kBestEffort) continue;
+      pa.allocated_rate = 0;
+      std::fill(pa.path_rates.begin(), pa.path_rates.end(), 0.0);
+    }
+  };
+
+  if (pf.columns.empty()) {
+    zero_be_rates();  // only blocked paths (if any) — all rates are 0
+    return true;
+  }
+
+  PfOptions popt;
+  popt.warm_newton_budget = options_.pf_warm_newton_budget;
+  bool warm_usable = options_.pf_warm_start && !pf_last_dual_.empty();
+  if (warm_usable) {
+    // A warm point needs at least one positive previous rate; a start of
+    // all-cold defaults would just be a worse cold solve.
+    warm_usable = std::any_of(warm.path_rate.begin(), warm.path_rate.end(),
+                              [](double r) { return r > 0; });
+  }
+  if (warm_usable) {
+    warm.dual = pf_last_dual_;
+    popt.warm = &warm;
+  }
 
   PfSolution sol;
   try {
-    sol = solve_weighted_pf(pf);
+    sol = solve_weighted_pf(pf, popt);
   } catch (const std::exception&) {
+    zero_be_rates();
     return false;
   }
-  if (sol.max_violation > 1e-6) return false;
+
+  ++solver_stats_.solves;
+  solver_stats_.newton_iters += static_cast<std::uint64_t>(sol.newton_iters);
+  solver_stats_.last_newton_iters = sol.newton_iters;
+  if (sol.warm_started)
+    ++solver_stats_.warm_hits;
+  else if (sol.warm_fallback)
+    ++solver_stats_.warm_fallbacks;
+  else
+    ++solver_stats_.warm_misses;
+  if (reg) {
+    reg->counter(sol.warm_started    ? "scheduler.solver.warm_start_hits"
+                 : sol.warm_fallback ? "scheduler.solver.warm_start_fallbacks"
+                                     : "scheduler.solver.warm_start_misses")
+        .add(1);
+    reg->histogram("scheduler.solver.newton_iters", newton_iter_bounds())
+        .observe(static_cast<double>(sol.newton_iters));
+  }
+
+  if (sol.max_violation > 1e-6) {
+    pf_last_dual_.clear();
+    zero_be_rates();
+    return false;
+  }
+  // Persist the dual point for the next solve's warm start (the primal
+  // lives in path_rates until then).
+  if (sol.converged)
+    pf_last_dual_ = std::move(sol.dual);
+  else
+    pf_last_dual_.clear();
 
   for (std::size_t v = 0; v < var_refs.size(); ++v) {
     PlacedApp& pa = placed_[var_refs[v].placed_index];

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/assignment.hpp"
@@ -89,6 +91,15 @@ struct SchedulerOptions {
   RepairPolicy repair{};
   /// Options forwarded to the default SPARCLE assigner.
   SparcleAssignerOptions assigner_options{};
+  /// Warm-start the weighted-PF re-solve of problem (4) from the previous
+  /// solve's primal/dual point when the BE path set changed by a small
+  /// delta (admission, removal, repair).  The solver falls back to a cold
+  /// solve whenever the warm attempt misses its budget, so this trades
+  /// iterations, never correctness — docs/perf.md, "Warm-started PF".
+  bool pf_warm_start{true};
+  /// Newton-iteration budget of a warm attempt before the cold fallback
+  /// (forwarded to PfOptions::warm_newton_budget).
+  int pf_warm_newton_budget{160};
 };
 
 /// The admission-control scheduler.  Thread-compatible (external
@@ -286,6 +297,27 @@ class Scheduler {
   /// production consumer.
   const ElementUsageIndex& element_usage() const;
 
+  /// Cumulative weighted-PF solver telemetry, mirroring the
+  /// `scheduler.solver.*` metrics (docs/observability.md) for callers
+  /// without a metrics registry installed (tests, service stats).
+  struct PfSolverStats {
+    std::uint64_t solves{0};          ///< PF solves actually run
+    std::uint64_t warm_hits{0};       ///< warm attempts accepted
+    std::uint64_t warm_misses{0};     ///< solves with no usable warm state
+    std::uint64_t warm_fallbacks{0};  ///< warm attempts that went cold
+    std::uint64_t newton_iters{0};    ///< Newton iterations, all solves
+    int last_newton_iters{0};         ///< iterations of the latest solve
+  };
+  /// Telemetry of the PF re-solves this scheduler has run.
+  const PfSolverStats& pf_solver_stats() const { return solver_stats_; }
+
+  /// Toggles the warm-start policy at runtime.  Operators can switch a
+  /// misbehaving instance to always-cold without a restart; the fuzzer
+  /// alternates it under churn to cross-check warm against cold solves.
+  void set_pf_warm_start(bool on) { options_.pf_warm_start = on; }
+  /// Current warm-start policy (see SchedulerOptions::pf_warm_start).
+  bool pf_warm_start() const { return options_.pf_warm_start; }
+
  private:
   AdmissionResult submit_best_effort(const Application& app);
   AdmissionResult submit_guaranteed_rate(const Application& app);
@@ -309,6 +341,36 @@ class Scheduler {
   /// Recomputes residual_ = full capacities - GR reservations, with the
   /// failed elements zeroed.
   void rebuild_residual();
+
+  /// Recomputes residual_ for one element from net_ capacity minus the
+  /// accumulated gr_reserved_ (zero if failed) — the O(1) building block
+  /// of the incremental residual bookkeeping.  Produces exactly the value
+  /// a full rebuild_residual() would, and patches the prediction scratch
+  /// when it is live.
+  void recompute_residual_element(const ElementKey& e);
+
+  /// Applies a GR reservation change of one path (`rate_delta` > 0
+  /// reserves, < 0 releases): updates gr_reserved_ and refreshes residual_
+  /// on the path's own elements only.
+  void apply_gr_delta(const PathInfo& path, double rate_delta);
+
+  /// True when any placed Best-Effort path crosses `e` — the condition
+  /// under which a failure/recovery of `e` changes the PF problem (4) and
+  /// a re-solve is actually needed.
+  bool element_touches_be(const ElementKey& e) const;
+
+  /// Rebuilds be_competing_ from placed_ when a mutation invalidated it.
+  void ensure_competing_index() const;
+
+  /// Adds a placed BE app's distinct element footprint to be_competing_
+  /// (no-op while the index is invalid or for GR apps).
+  void competing_add_app(const PlacedApp& pa) const;
+
+  /// eq. (6) effective capacities for an arriving (or re-provisioned) BE
+  /// app with `priority`: the prediction scratch, restored to residual_ on
+  /// the previously-scaled elements and re-scaled by the current
+  /// competing-priority totals.  Valid until the next scheduler mutation.
+  const CapacitySnapshot& predicted_capacities(double priority) const;
 
   /// True when every element the path touches is currently alive.
   bool path_alive(const PathInfo& path) const;
@@ -337,6 +399,21 @@ class Scheduler {
   /// mutable so const accessors can refresh it).
   mutable ElementUsageIndex usage_;
   mutable bool usage_valid_{false};
+  /// eq. (6) prediction cache: per-element Σ priority over placed BE apps
+  /// (lazily rebuilt like usage_, extended incrementally on admission) ...
+  mutable std::unordered_map<ElementKey, double> be_competing_;
+  mutable bool competing_valid_{false};
+  /// ... and a scratch snapshot that diverges from residual_ only on
+  /// predict_touched_, so each prediction restores + re-scales a handful
+  /// of elements instead of copying the whole network.
+  mutable CapacitySnapshot predict_scratch_;
+  mutable std::vector<ElementKey> predict_touched_;
+  mutable bool predict_scratch_valid_{false};
+  /// Duals of the previous PF solve (row layout of
+  /// reallocate_best_effort()), seeding the next warm start; cleared when
+  /// the previous solve did not converge.
+  std::vector<double> pf_last_dual_;
+  PfSolverStats solver_stats_;
   /// Global carried rate after the last healthy (fully repaired or
   /// failure-free) state — the baseline for RepairPolicy's fallback bound.
   double healthy_rate_{0.0};

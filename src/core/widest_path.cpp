@@ -8,17 +8,28 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
+namespace {
+/// Scratch for the legacy (non-buffered) entry points.  Constructing a
+/// WidestPathWorkspace per call costs four vector allocations — measurable
+/// on BM_WidestPath — so the wrappers share one workspace per thread.  The
+/// kernel is not re-entrant (prepare() invalidates in-flight state), so a
+/// weight functor must not call back into these wrappers; the buffered
+/// entry points have the same constraint on their caller-owned workspace.
+WidestPathWorkspace& legacy_workspace() {
+  thread_local WidestPathWorkspace ws;
+  return ws;
+}
+}  // namespace
+
 WidestPathResult widest_path(const Network& net, NcpId from, NcpId to,
                              const std::function<double(LinkId)>& weight) {
-  WidestPathWorkspace ws;
-  return widest_path_buffered(net, from, to, weight, ws);
+  return widest_path_buffered(net, from, to, weight, legacy_workspace());
 }
 
 WidestPathResult best_tt_path(const Network& net, const CapacitySnapshot& cap,
                               const LoadMap& load, double tt_bits, NcpId from,
                               NcpId to) {
-  WidestPathWorkspace ws;
-  return best_tt_path(net, cap, load, tt_bits, from, to, ws);
+  return best_tt_path(net, cap, load, tt_bits, from, to, legacy_workspace());
 }
 
 WidestPathResult best_tt_path(const Network& net, const CapacitySnapshot& cap,

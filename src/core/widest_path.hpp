@@ -51,20 +51,36 @@ struct WidestWidthResult {
 
 /// Caller-owned scratch buffers for the Dijkstra kernel.  Buffers are
 /// epoch-stamped: reset between queries is O(1) (a counter bump), and only
-/// nodes actually touched by a query are ever written.  One workspace may
-/// be reused across networks of different sizes and across different
-/// weight functors; it must not be shared by concurrent queries.
+/// nodes actually touched by a query are ever written.  Networks of at
+/// most 64 nodes — the common dispersed-site size — take a faster route:
+/// touched/settled state lives in two uint64_t bitmasks instead of the
+/// stamp arrays, so the membership tests in the relax loop are single-bit
+/// probes.  One workspace may be reused across networks of different
+/// sizes and across different weight functors; it must not be shared by
+/// concurrent queries.
+///
+/// The frontier is a flat 4-ary max-heap keyed by (width desc, node id
+/// asc).  Because a node is only re-pushed with a strictly larger width,
+/// every live (width, node) entry is distinct, and the key order is total;
+/// any valid heap therefore pops entries in exactly the same sequence as
+/// the binary std::push_heap it replaced — the arity is a constant-factor
+/// change (shallower tree, sibling scan over one cache line), not a
+/// behavioral one.
 class WidestPathWorkspace {
  public:
   /// Sizes the buffers for an `n`-node network and opens a new epoch.
   void prepare(std::size_t n) {
+    small_ = n <= 64;
     if (phi_.size() < n) {
       phi_.resize(n);
       prev_.resize(n);
       stamp_.assign(n, 0);
       done_.assign(n, 0);
     }
-    if (++epoch_ == 0) {  // epoch counter wrapped: hard-reset the stamps
+    if (small_) {
+      touched_mask_ = 0;
+      done_mask_ = 0;
+    } else if (++epoch_ == 0) {  // epoch counter wrapped: hard-reset stamps
       std::fill(stamp_.begin(), stamp_.end(), 0);
       std::fill(done_.begin(), done_.end(), 0);
       epoch_ = 1;
@@ -72,39 +88,69 @@ class WidestPathWorkspace {
     heap_.clear();
   }
 
-  // Kernel state, valid for nodes whose stamp equals the current epoch.
+  // Kernel state, valid for nodes touched since the last prepare().
 
   /// Best width reaching `v` this epoch (-infinity when untouched).
-  double phi(NcpId v) const { return stamp_[v] == epoch_ ? phi_[v] : -kInf_; }
+  double phi(NcpId v) const { return touched(v) ? phi_[v] : -kInf_; }
   /// The link `v` was best reached through (kInvalidId when untouched).
-  LinkId prev(NcpId v) const {
-    return stamp_[v] == epoch_ ? prev_[v] : kInvalidId;
-  }
+  LinkId prev(NcpId v) const { return touched(v) ? prev_[v] : kInvalidId; }
   /// Records width `width` reaching `v` via link `via`.
   void relax(NcpId v, double width, LinkId via) {
     phi_[v] = width;
     prev_[v] = via;
-    stamp_[v] = epoch_;
+    if (small_)
+      touched_mask_ |= std::uint64_t{1} << v;
+    else
+      stamp_[v] = epoch_;
   }
   /// True once `v` was settled this epoch.
-  bool done(NcpId v) const { return done_[v] == epoch_; }
+  bool done(NcpId v) const {
+    return small_ ? ((done_mask_ >> v) & 1u) != 0 : done_[v] == epoch_;
+  }
   /// Settles `v` for this epoch.
-  void mark_done(NcpId v) { done_[v] = epoch_; }
+  void mark_done(NcpId v) {
+    if (small_)
+      done_mask_ |= std::uint64_t{1} << v;
+    else
+      done_[v] = epoch_;
+  }
 
-  /// Max-heap keyed by (width desc, node id asc): among equal widths the
-  /// lower NCP id is settled first — the deterministic tie-break rule.
+  /// Pushes a frontier entry (sift-up over the 4-ary heap).
   void push(double width, NcpId v) {
     heap_.push_back({width, v});
-    std::push_heap(heap_.begin(), heap_.end(), HeapLess{});
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t p = (i - 1) >> 2;
+      if (!less(heap_[p], heap_[i])) break;
+      std::swap(heap_[p], heap_[i]);
+      i = p;
+    }
   }
   /// True when the frontier heap is empty.
   bool heap_empty() const { return heap_.empty(); }
-  /// Pops the widest (width, node) frontier entry.
+  /// Pops the widest (width, node) frontier entry (sift-down, scanning the
+  /// up-to-four children of each hole for the best successor).
   std::pair<double, NcpId> pop() {
-    std::pop_heap(heap_.begin(), heap_.end(), HeapLess{});
-    const Entry e = heap_.back();
+    const Entry top = heap_.front();
+    const Entry last = heap_.back();
     heap_.pop_back();
-    return {e.width, e.node};
+    if (!heap_.empty()) {
+      const std::size_t n = heap_.size();
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t c0 = (i << 2) + 1;
+        if (c0 >= n) break;
+        std::size_t best = c0;
+        const std::size_t cend = c0 + 4 < n ? c0 + 4 : n;
+        for (std::size_t c = c0 + 1; c < cend; ++c)
+          if (less(heap_[best], heap_[c])) best = c;
+        if (!less(last, heap_[best])) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = last;
+    }
+    return {top.width, top.node};
   }
 
  private:
@@ -112,12 +158,15 @@ class WidestPathWorkspace {
     double width;
     NcpId node;
   };
-  struct HeapLess {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.width != b.width) return a.width < b.width;
-      return a.node > b.node;
-    }
-  };
+  /// Max-heap order: wider first; among equal widths the lower NCP id is
+  /// settled first — the deterministic tie-break rule.
+  static bool less(const Entry& a, const Entry& b) {
+    if (a.width != b.width) return a.width < b.width;
+    return a.node > b.node;
+  }
+  bool touched(NcpId v) const {
+    return small_ ? ((touched_mask_ >> v) & 1u) != 0 : stamp_[v] == epoch_;
+  }
   static constexpr double kInf_ = std::numeric_limits<double>::infinity();
 
   std::vector<double> phi_;
@@ -126,6 +175,9 @@ class WidestPathWorkspace {
   std::vector<std::uint32_t> done_;
   std::vector<Entry> heap_;
   std::uint32_t epoch_{0};
+  std::uint64_t touched_mask_{0};
+  std::uint64_t done_mask_{0};
+  bool small_{false};
 };
 
 namespace detail {
@@ -152,14 +204,23 @@ int run_widest_dijkstra(const Network& net, NcpId from, NcpId to,
     }
     ws.mark_done(v);
     if (v == to) return 1;
+    // `w` is phi(v): the first non-settled pop of a node always carries its
+    // current (largest) label, so re-reading the array is redundant.  The
+    // CSR row guarantees v is an endpoint of every incident link, so the
+    // other end is the branch-free `a ^ b ^ v` and can_traverse() reduces
+    // to the directed-arrow test — one bounds-checked Link fetch per edge
+    // instead of two.  The remaining usability tests are fused into one
+    // flag so the compiler can keep the min and both comparisons
+    // branch-free over the row; `lw > 0` doubles as the NaN filter (NaN
+    // compares false).
     for (LinkId l : net.incident_links(v)) {
-      if (!net.can_traverse(l, v)) continue;
+      const Link& lk = net.link(l);
+      if (lk.directed && lk.a != v) continue;  // against the arrow
       const double lw = weight(l);
-      if (!(lw > 0)) continue;  // unusable (zero, negative, or NaN)
-      const NcpId u = net.other_end(l, v);
-      if (ws.done(u)) continue;
-      const double cand = std::min(ws.phi(v), lw);
-      if (cand > ws.phi(u)) {
+      const NcpId u = lk.a ^ lk.b ^ v;
+      const double cand = lw < w ? lw : w;
+      const bool improves = (lw > 0) & !ws.done(u) & (cand > ws.phi(u));
+      if (improves) {
         ws.relax(u, cand, l);
         ws.push(cand, u);
       }

@@ -108,6 +108,21 @@ class LoadMap {
   /// Adds `scale` times another load map (aggregating multiple paths).
   void add_scaled(const LoadMap& other, double scale);
 
+  /// Sparse add_scaled(): accumulates only the listed elements.  Exact
+  /// equivalent of add_scaled() when `other` carries no load outside
+  /// `elements` — true for a task-assignment path's LoadMap over its own
+  /// element list, which is how the scheduler keeps GR reservation updates
+  /// O(path) instead of O(network).
+  void add_scaled_at(const std::vector<ElementKey>& elements,
+                     const LoadMap& other, double scale) {
+    for (const ElementKey& e : elements) {
+      if (e.kind == ElementKey::Kind::kNcp)
+        ncp_.at(e.index) += other.ncp_load(e.index) * scale;
+      else
+        link_.at(e.index) += other.link_load(e.index) * scale;
+    }
+  }
+
   /// Number of nodes covered.
   std::size_t ncp_count() const { return ncp_.size(); }
   /// Number of links covered.

@@ -377,6 +377,7 @@ void SchedulerService::process_batch(std::vector<Request>& batch) {
   {
     // Counters must be current before any promise resolves: a client that
     // sees its future ready may immediately read stats().
+    const Scheduler::PfSolverStats pf = scheduler_.pf_solver_stats();
     std::lock_guard<std::mutex> lock(mu_);
     stats_.admitted += admitted;
     stats_.rejected += rejected;
@@ -384,6 +385,10 @@ void SchedulerService::process_batch(std::vector<Request>& batch) {
     ++stats_.batches;
     stats_.max_batch_seen =
         std::max<std::uint64_t>(stats_.max_batch_seen, batch.size());
+    stats_.pf_solves = pf.solves;
+    stats_.pf_warm_hits = pf.warm_hits;
+    stats_.pf_warm_fallbacks = pf.warm_fallbacks;
+    stats_.pf_newton_iters = pf.newton_iters;
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     results[i].latency_us = elapsed_us(batch[i].enqueued, done);

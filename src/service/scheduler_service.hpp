@@ -134,6 +134,12 @@ struct ServiceStats {
   std::uint64_t resolves_saved{0};   ///< PF re-solves amortized away
   std::uint64_t invariant_violations{0};  ///< validate_batches failures
   std::string first_violation;       ///< first checker report, if any
+  // Snapshot of the wrapped scheduler's PF solver telemetry (see
+  // Scheduler::PfSolverStats), refreshed after every batch.
+  std::uint64_t pf_solves{0};          ///< weighted-PF solves actually run
+  std::uint64_t pf_warm_hits{0};       ///< solves converged from a warm start
+  std::uint64_t pf_warm_fallbacks{0};  ///< warm attempts that went cold
+  std::uint64_t pf_newton_iters{0};    ///< Newton iterations, all solves
 };
 
 /// The concurrent admission daemon.  All public methods are thread-safe;

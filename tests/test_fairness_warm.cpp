@@ -1,0 +1,252 @@
+/// \file test_fairness_warm.cpp
+/// Warm-start property sweep: a warm-started PF solve must land on the
+/// same allocation a cold solve finds — warm starting is a speed
+/// optimization, never a correctness knob.  Exercised at two levels:
+///  - solver-level, on randomized problems under randomized small deltas
+///    (capacity drift, priority drift, path removal, path addition);
+///  - scheduler-level, driving a warm and a cold Scheduler through the
+///    same admission / removal / failure / repair sequence and comparing
+///    every allocated rate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "core/fairness.hpp"
+#include "core/scheduler.hpp"
+#include "testutil.hpp"
+#include "workload/rng.hpp"
+#include "workload/task_graphs.hpp"
+
+namespace sparcle {
+namespace {
+
+PfProblem random_problem(Rng& rng, std::size_t apps, std::size_t rows) {
+  PfProblem p;
+  p.capacity.resize(rows);
+  for (double& c : p.capacity) c = rng.uniform(10, 100);
+  for (std::size_t a = 0; a < apps; ++a) {
+    const std::size_t paths = static_cast<std::size_t>(rng.uniform_int(1, 2));
+    p.app_priority.push_back(rng.uniform(0.5, 4.0));
+    for (std::size_t k = 0; k < paths; ++k) {
+      PfProblem::Column col;
+      const std::size_t touches =
+          static_cast<std::size_t>(rng.uniform_int(1, 3));
+      std::vector<char> used(rows, 0);
+      for (std::size_t t = 0; t < touches; ++t) {
+        const std::size_t row = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(rows) - 1));
+        if (used[row]) continue;
+        used[row] = 1;
+        col.entries.emplace_back(row, rng.uniform(0.5, 5.0));
+      }
+      p.columns.push_back(std::move(col));
+      p.var_app.push_back(a);
+    }
+  }
+  return p;
+}
+
+/// Applies one random small delta of the kinds the scheduler produces:
+/// capacity drift (repair / partial failure), priority drift (workload
+/// change), path removal (app removed), path addition (app admitted).
+void perturb(Rng& rng, PfProblem& p, PfWarmStart& warm) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0:  // capacity drift on a random row
+      p.capacity[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(p.capacity.size()) - 1))] *=
+          rng.uniform(0.6, 1.4);
+      break;
+    case 1:  // priority drift on a random app
+      p.app_priority[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(p.app_count()) - 1))] *= rng.uniform(0.5, 2.0);
+      break;
+    case 2: {  // drop the last app (all its variables), if one would remain
+      if (p.app_count() < 2) break;
+      const std::size_t gone = p.app_count() - 1;
+      while (!p.var_app.empty() && p.var_app.back() == gone) {
+        p.var_app.pop_back();
+        p.columns.pop_back();
+        warm.path_rate.pop_back();
+      }
+      p.app_priority.pop_back();
+      break;
+    }
+    default: {  // admit a new single-path app touching one random row
+      PfProblem::Column col;
+      col.entries.emplace_back(
+          static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(p.capacity.size()) - 1)),
+          rng.uniform(0.5, 5.0));
+      p.columns.push_back(std::move(col));
+      p.var_app.push_back(p.app_count());
+      p.app_priority.push_back(rng.uniform(0.5, 4.0));
+      warm.path_rate.push_back(0.0);  // unseen path: cold default kicks in
+      break;
+    }
+  }
+}
+
+class FairnessWarm : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairnessWarm, WarmMatchesColdAcrossRandomDeltas) {
+  Rng rng(testutil::test_seed() + GetParam());
+  PfProblem p = random_problem(rng, 4, 6);
+  PfSolution prev = solve_weighted_pf(p);
+  ASSERT_TRUE(prev.converged);
+
+  // A chain of small deltas, each warm-started from the previous solve —
+  // exactly the scheduler's steady-state pattern.
+  for (int step = 0; step < 4; ++step) {
+    PfWarmStart warm;
+    warm.path_rate = prev.path_rate;
+    warm.dual = prev.dual;
+    perturb(rng, p, warm);
+
+    PfOptions warm_opt;
+    warm_opt.warm = &warm;
+    const PfSolution hot = solve_weighted_pf(p, warm_opt);
+    const PfSolution cold = solve_weighted_pf(p);
+    ASSERT_TRUE(hot.converged) << "seed " << GetParam() << " step " << step;
+    ASSERT_TRUE(cold.converged);
+    ASSERT_LE(hot.max_violation, 1e-6);
+
+    // Both runs reached the duality-gap tolerance, so their utilities and
+    // per-app rates must agree to within that tolerance's slack.
+    EXPECT_NEAR(hot.utility, cold.utility, 1e-5)
+        << "seed " << GetParam() << " step " << step;
+    ASSERT_EQ(hot.app_rate.size(), cold.app_rate.size());
+    for (std::size_t a = 0; a < cold.app_rate.size(); ++a)
+      EXPECT_NEAR(hot.app_rate[a], cold.app_rate[a],
+                  1e-4 * std::max(1.0, cold.app_rate[a]))
+          << "seed " << GetParam() << " step " << step << " app " << a;
+    prev = hot;
+  }
+}
+
+TEST_P(FairnessWarm, WarmAttemptIsAcceptedOnTinyDeltas) {
+  // On a pure capacity drift the previous point is nearly optimal: the
+  // warm attempt must be kept (no fallback) and spend fewer Newton
+  // iterations than the cold μ-schedule.
+  Rng rng(testutil::test_seed() + GetParam() + 1000);
+  PfProblem p = random_problem(rng, 4, 6);
+  const PfSolution prev = solve_weighted_pf(p);
+  ASSERT_TRUE(prev.converged);
+
+  p.capacity[0] *= 1.02;
+  PfWarmStart warm;
+  warm.path_rate = prev.path_rate;
+  warm.dual = prev.dual;
+  PfOptions warm_opt;
+  warm_opt.warm = &warm;
+  const PfSolution hot = solve_weighted_pf(p, warm_opt);
+  const PfSolution cold = solve_weighted_pf(p);
+  ASSERT_TRUE(hot.converged);
+  EXPECT_TRUE(hot.warm_started) << "seed " << GetParam();
+  EXPECT_FALSE(hot.warm_fallback);
+  EXPECT_LT(hot.newton_iters, cold.newton_iters) << "seed " << GetParam();
+  EXPECT_NEAR(hot.utility, cold.utility, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FairnessWarm, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// Scheduler-level mirror: warm and cold schedulers must stay rate-identical
+// through the whole admission / failure / repair / removal lifecycle.
+
+Network make_mesh_net() {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("src", ResourceVector::scalar(1.0));
+  net.add_ncp("r1", ResourceVector::scalar(12.0), 0.05);
+  net.add_ncp("r2", ResourceVector::scalar(8.0), 0.05);
+  net.add_ncp("r3", ResourceVector::scalar(10.0), 0.05);
+  net.add_ncp("dst", ResourceVector::scalar(1.0));
+  net.add_link("s1", 0, 1, 1000.0);
+  net.add_link("s2", 0, 2, 1000.0);
+  net.add_link("s3", 0, 3, 1000.0);
+  net.add_link("1d", 1, 4, 1000.0);
+  net.add_link("2d", 2, 4, 1000.0);
+  net.add_link("3d", 3, 4, 1000.0);
+  return net;
+}
+
+Application make_be_app(const std::string& name, double priority) {
+  Application app;
+  app.name = name;
+  auto g = std::make_shared<TaskGraph>(ResourceSchema::cpu_only());
+  const CtId s = g->add_ct("source", ResourceVector::scalar(0));
+  const CtId m = g->add_ct("mid", ResourceVector::scalar(4));
+  const CtId t = g->add_ct("sink", ResourceVector::scalar(0));
+  g->add_tt("sm", 1.0, s, m);
+  g->add_tt("mt", 1.0, m, t);
+  g->finalize();
+  app.graph = std::move(g);
+  app.qoe = QoeSpec::best_effort(priority);
+  app.pinned = {{0, 0}, {2, 4}};
+  return app;
+}
+
+void expect_same_rates(const Scheduler& warm, const Scheduler& cold,
+                       const char* where) {
+  ASSERT_EQ(warm.placed().size(), cold.placed().size()) << where;
+  for (std::size_t i = 0; i < warm.placed().size(); ++i) {
+    const PlacedApp& w = warm.placed()[i];
+    const PlacedApp& c = cold.placed()[i];
+    ASSERT_EQ(w.app.name, c.app.name) << where;
+    EXPECT_NEAR(w.allocated_rate, c.allocated_rate,
+                1e-5 * std::max(1.0, c.allocated_rate))
+        << where << " app " << w.app.name;
+  }
+}
+
+TEST(SchedulerWarmStart, MirroredLifecycleStaysRateIdentical) {
+  Rng rng(testutil::test_seed());
+  SchedulerOptions warm_opt;
+  warm_opt.pf_warm_start = true;
+  SchedulerOptions cold_opt;
+  cold_opt.pf_warm_start = false;
+  Scheduler warm(make_mesh_net(), warm_opt);
+  Scheduler cold(make_mesh_net(), cold_opt);
+
+  // Admissions with randomized priorities.
+  for (int i = 0; i < 6; ++i) {
+    const double prio = rng.uniform(0.5, 4.0);
+    const Application app = make_be_app("app" + std::to_string(i), prio);
+    const AdmissionResult rw = warm.submit(app);
+    const AdmissionResult rc = cold.submit(app);
+    ASSERT_EQ(rw.admitted, rc.admitted) << "app " << i;
+    expect_same_rates(warm, cold, "admission");
+  }
+
+  // Fail a relay, repair, recover, repair — the localized-repair path.
+  const ElementKey relay = ElementKey::ncp(2);
+  warm.mark_failed(relay);
+  cold.mark_failed(relay);
+  expect_same_rates(warm, cold, "failure");
+  warm.repair(relay);
+  cold.repair(relay);
+  expect_same_rates(warm, cold, "repair");
+  warm.mark_recovered(relay);
+  cold.mark_recovered(relay);
+  warm.repair(relay);
+  cold.repair(relay);
+  expect_same_rates(warm, cold, "recovery");
+
+  // Removal re-solves over the survivors.
+  ASSERT_TRUE(warm.remove("app2"));
+  ASSERT_TRUE(cold.remove("app2"));
+  expect_same_rates(warm, cold, "removal");
+
+  // The warm scheduler actually warm-started, and its final state passes
+  // the full invariant suite (including the PF-optimality re-solve).
+  EXPECT_GT(warm.pf_solver_stats().warm_hits, 0u);
+  EXPECT_EQ(cold.pf_solver_stats().warm_hits, 0u);
+  const check::CheckReport report = check::check_scheduler_state(warm);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace sparcle

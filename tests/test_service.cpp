@@ -197,6 +197,9 @@ TEST(SchedulerService, BatchedBestEffortResultsCarrySolvedRates) {
   EXPECT_EQ(stats.batches, 1u);
   EXPECT_EQ(stats.max_batch_seen, 4u);
   EXPECT_EQ(stats.resolves_saved, 3u);  // 4 deferred re-solves, 1 paid
+  // The PF solver telemetry snapshot rode along with the batch counters.
+  EXPECT_GT(stats.pf_solves, 0u);
+  EXPECT_GT(stats.pf_newton_iters, 0u);
   EXPECT_EQ(svc.snapshot()->version, 1u);
 }
 

@@ -6,13 +6,17 @@
 # Usage: tools/bench_service.sh <label> [build-dir]
 #   e.g. tools/bench_service.sh pr6-after build
 #
-# After appending, the script gates two things:
+# After appending, the script gates three things:
 #   1. regression: if the new admissions_per_s/batch16 falls more than 3%
 #      below the previous trajectory entry's, exit 1.  Override the budget
 #      with SPARCLE_BENCH_TOLERANCE (a fraction, default 0.03).
 #   2. amortization: batched throughput (speedup/batch16) must stay at
 #      least 2x the batch=1 pipeline — the service's reason to exist.
 #      Override with SPARCLE_SERVICE_MIN_SPEEDUP (default 2.0).
+#   3. admission latency: closed-loop p50 (closed_p50_us/threads1 — one
+#      client, so no queue-wait noise) must stay within 1.25x the latest
+#      checked-in entry that recorded it.  Override the multiplier with
+#      SPARCLE_SERVICE_P50_BUDGET (default 1.25).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,11 +35,13 @@ cmake --build "${BUILD}" -j "$(nproc 2>/dev/null || echo 2)" \
 SPARCLE_BENCH_JSON="${SCRATCH}" "./${BUILD}/bench/bench_service"
 
 python3 - "$SCRATCH" "$LABEL" "${SPARCLE_BENCH_TOLERANCE:-0.03}" \
-    "${SPARCLE_SERVICE_MIN_SPEEDUP:-2.0}" <<'EOF'
+    "${SPARCLE_SERVICE_MIN_SPEEDUP:-2.0}" \
+    "${SPARCLE_SERVICE_P50_BUDGET:-1.25}" <<'EOF'
 import json, sys, pathlib
 raw = json.load(open(sys.argv[1]))
 tolerance = float(sys.argv[3])
 min_speedup = float(sys.argv[4])
+p50_budget = float(sys.argv[5])
 entry = {"label": sys.argv[2], "time_unit": "us",
          "benchmarks": dict(raw["benchmarks"])}
 path = pathlib.Path("BENCH_service.json")
@@ -69,4 +75,17 @@ if speedup < min_speedup:
     print(f"FAIL: batched admission only {speedup:.2f}x the batch=1 "
           f"pipeline — below the {min_speedup:.1f}x floor", file=sys.stderr)
     sys.exit(1)
+
+P50 = "closed_p50_us/threads1"
+baseline = next((e for e in reversed(doc["trajectory"][:-1])
+                 if P50 in e["benchmarks"]), None)
+if baseline and P50 in entry["benchmarks"]:
+    base, now = baseline["benchmarks"][P50], entry["benchmarks"][P50]
+    print(f"{P50}: {base:.0f}us ({baseline['label']}) -> {now:.0f}us "
+          f"(budget {p50_budget:.2f}x)")
+    if now > p50_budget * base:
+        print(f"FAIL: closed-loop admission p50 {now:.0f}us is over "
+              f"{p50_budget:.2f}x the '{baseline['label']}' baseline "
+              f"({base:.0f}us)", file=sys.stderr)
+        sys.exit(1)
 EOF

@@ -29,6 +29,11 @@ ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 echo "=== equivalence property test under sanitizers ==="
 ./build-asan/tests/test_assign_equivalence
 
+echo "=== PF warm-start property test under sanitizers ==="
+# Warm vs cold solver equality across randomized delta chains; the warm
+# path touches saved duals, so run it where use-after-free would show.
+./build-asan/tests/test_fairness_warm
+
 echo "=== invariant fuzz harness under sanitizers ==="
 # The full checker + oracle + shrinking pipeline (docs/testing.md); raise
 # SPARCLE_FUZZ_ITERS for a nightly-length run.
