@@ -94,6 +94,12 @@ struct RunResult {
   double admissions_per_s{0.0};  ///< completed requests / wall second
   double p50_us{0.0};
   double p99_us{0.0};
+  // Per-stage breakdown (RequestTimeline): where enqueue-to-reply time
+  // actually goes — queue wait, the request's own scheduler call, and the
+  // batch's shared PF solve.
+  double queue_p50_us{0.0}, queue_p99_us{0.0};
+  double apply_p50_us{0.0}, apply_p99_us{0.0};
+  double solve_p50_us{0.0}, solve_p99_us{0.0};
   std::size_t admitted{0};
   std::size_t rejected{0};
   std::uint64_t batches{0};
@@ -109,12 +115,20 @@ RunResult run_config(const Network& net, const std::vector<Application>& arrival
   options.queue_capacity = arrivals.size() + threads;  // never backpressure
   service::SchedulerService svc(net, SchedulerOptions{}, options);
 
-  std::vector<std::vector<double>> latencies(threads);
+  std::vector<std::vector<double>> latencies(threads), queue_stage(threads),
+      apply_stage(threads), solve_stage(threads);
   std::vector<std::size_t> admitted(threads, 0), rejected(threads, 0);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   for (std::size_t t = 0; t < threads; ++t) {
     clients.emplace_back([&, t] {
+      auto settle = [&](service::ServiceResult r) {
+        latencies[t].push_back(r.latency_us);
+        queue_stage[t].push_back(r.timeline.queue_us);
+        apply_stage[t].push_back(r.timeline.apply_us);
+        solve_stage[t].push_back(r.timeline.solve_us);
+        ++(r.ok() ? admitted[t] : rejected[t]);
+      };
       std::vector<std::future<service::ServiceResult>> pending;
       for (std::size_t i = t; i < arrivals.size(); i += threads) {
         auto future = svc.submit(arrivals[i]);
@@ -122,15 +136,9 @@ RunResult run_config(const Network& net, const std::vector<Application>& arrival
           pending.push_back(std::move(future));
           continue;
         }
-        const service::ServiceResult r = future.get();
-        latencies[t].push_back(r.latency_us);
-        ++(r.ok() ? admitted[t] : rejected[t]);
+        settle(future.get());
       }
-      for (auto& future : pending) {
-        const service::ServiceResult r = future.get();
-        latencies[t].push_back(r.latency_us);
-        ++(r.ok() ? admitted[t] : rejected[t]);
-      }
+      for (auto& future : pending) settle(future.get());
     });
   }
   for (auto& c : clients) c.join();
@@ -139,15 +147,27 @@ RunResult run_config(const Network& net, const std::vector<Application>& arrival
           .count();
 
   RunResult result;
-  std::vector<double> all;
+  std::vector<double> all, queue_all, apply_all, solve_all;
   for (std::size_t t = 0; t < threads; ++t) {
     all.insert(all.end(), latencies[t].begin(), latencies[t].end());
+    queue_all.insert(queue_all.end(), queue_stage[t].begin(),
+                     queue_stage[t].end());
+    apply_all.insert(apply_all.end(), apply_stage[t].begin(),
+                     apply_stage[t].end());
+    solve_all.insert(solve_all.end(), solve_stage[t].begin(),
+                     solve_stage[t].end());
     result.admitted += admitted[t];
     result.rejected += rejected[t];
   }
   result.admissions_per_s = static_cast<double>(all.size()) / wall_s;
   result.p50_us = percentile(all, 0.50);
   result.p99_us = percentile(all, 0.99);
+  result.queue_p50_us = percentile(queue_all, 0.50);
+  result.queue_p99_us = percentile(queue_all, 0.99);
+  result.apply_p50_us = percentile(apply_all, 0.50);
+  result.apply_p99_us = percentile(apply_all, 0.99);
+  result.solve_p50_us = percentile(solve_all, 0.50);
+  result.solve_p99_us = percentile(solve_all, 0.99);
   const service::ServiceStats stats = svc.stats();
   result.batches = stats.batches;
   result.resolves_saved = stats.resolves_saved;
@@ -169,7 +189,8 @@ int main() {
       "scheduling thread amortize one weighted-PF re-solve over max_batch\n"
       "admissions.  batch=1 is the classic per-call pipeline.");
   Table burst_table({"max_batch", "admissions/s", "speedup", "p50 us",
-                     "p99 us", "admitted", "batches", "resolves saved"});
+                     "p99 us", "queue p99", "solve p99", "admitted",
+                     "batches", "resolves saved"});
   double base_throughput = 0.0;
   for (const std::size_t batch : {std::size_t{1}, std::size_t{4},
                                   std::size_t{16}, std::size_t{64}}) {
@@ -178,6 +199,7 @@ int main() {
     const double speedup = r.admissions_per_s / base_throughput;
     burst_table.add_row({std::to_string(batch), fmt(r.admissions_per_s, 0),
                          fmt(speedup, 2), fmt(r.p50_us, 0), fmt(r.p99_us, 0),
+                         fmt(r.queue_p99_us, 0), fmt(r.solve_p99_us, 0),
                          std::to_string(r.admitted),
                          std::to_string(r.batches),
                          std::to_string(r.resolves_saved)});
@@ -186,6 +208,12 @@ int main() {
     json["speedup/" + key] = speedup;
     json["p50_us/" + key] = r.p50_us;
     json["p99_us/" + key] = r.p99_us;
+    json["stage_queue_p50_us/" + key] = r.queue_p50_us;
+    json["stage_queue_p99_us/" + key] = r.queue_p99_us;
+    json["stage_apply_p50_us/" + key] = r.apply_p50_us;
+    json["stage_apply_p99_us/" + key] = r.apply_p99_us;
+    json["stage_solve_p50_us/" + key] = r.solve_p50_us;
+    json["stage_solve_p99_us/" + key] = r.solve_p99_us;
   }
   burst_table.print();
 

@@ -7,23 +7,37 @@
 /// Usage:
 ///   sparcle_serve <scenario-file> [--port P] [--bind ADDR]
 ///                 [--max-batch N] [--queue-capacity N] [--deadline-ms N]
-///                 [--threads N] [--validate] [--oneshot]
-///                 [--metrics-out FILE] [--decision-log FILE]
+///                 [--threads N] [--window-seconds N] [--validate]
+///                 [--oneshot] [--metrics-out FILE] [--decision-log FILE]
+///                 [--trace-out FILE] [--trace-capacity N]
+///                 [--decision-capacity N]
 ///
-///   --port           TCP port (default 7411; 0 picks an ephemeral port)
-///   --bind           bind address (default 127.0.0.1, loopback only)
-///   --max-batch      admission requests coalesced per scheduler batch
-///   --queue-capacity bound on queued requests (backpressure beyond it)
-///   --deadline-ms    default per-request deadline (0 = none)
-///   --threads        worker threads for candidate evaluation (also
-///                    settable via SPARCLE_THREADS; 0 = auto)
-///   --validate       run the invariant checker after every batch
-///   --oneshot        start, loop a submit/query/remove round trip back
-///                    through a TCP client, print the transcript, exit
-///                    (the self-test mode CI exercises)
-///   --metrics-out    write a metrics snapshot on exit (JSON / .csv)
-///   --decision-log   write the decision log as CSV on exit (includes
-///                    queue_reject rows for backpressure bounces)
+///   --port            TCP port (default 7411; 0 picks an ephemeral port)
+///   --bind            bind address (default 127.0.0.1, loopback only)
+///   --max-batch       admission requests coalesced per scheduler batch
+///   --queue-capacity  bound on queued requests (backpressure beyond it)
+///   --deadline-ms     default per-request deadline (0 = none)
+///   --threads         worker threads for candidate evaluation (also
+///                     settable via SPARCLE_THREADS; 0 = auto)
+///   --window-seconds  live telemetry window width (default 60)
+///   --validate        run the invariant checker after every batch
+///   --oneshot         start, loop a submit/query/remove round trip back
+///                     through a TCP client, scrape and validate the
+///                     stats/metrics ops verbs, print the transcript, exit
+///                     (the self-test mode CI exercises)
+///   --metrics-out     write a metrics snapshot on exit (JSON / .csv)
+///   --decision-log    write the decision log as CSV on exit (includes
+///                     queue_reject rows for backpressure bounces, each
+///                     tagged with the originating request's trace id)
+///   --trace-out       write a Chrome trace (chrome://tracing /
+///                     ui.perfetto.dev) on exit; service requests appear
+///                     as flow-linked spans keyed by trace id
+///   --trace-capacity  cap on buffered trace events (oldest dropped)
+///   --decision-capacity  cap on buffered decision rows (oldest dropped)
+///
+/// The daemon's own metrics registry (SchedulerService::registry()) is
+/// installed as the process-global sink, so scheduler.* / assigner.*
+/// instruments land in the same registry the `metrics` ops verb exposes.
 
 #include <atomic>
 #include <chrono>
@@ -31,10 +45,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/obs.hpp"
+#include "obs/prometheus.hpp"
 #include "service/client.hpp"
 #include "service/scheduler_service.hpp"
 #include "service/tcp_server.hpp"
@@ -51,8 +68,10 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <scenario-file> [--port P] [--bind ADDR] "
                "[--max-batch N] [--queue-capacity N] [--deadline-ms N]\n"
-               "       [--threads N] [--validate] [--oneshot] "
-               "[--metrics-out FILE] [--decision-log FILE]\n",
+               "       [--threads N] [--window-seconds N] [--validate] "
+               "[--oneshot] [--metrics-out FILE] [--decision-log FILE]\n"
+               "       [--trace-out FILE] [--trace-capacity N] "
+               "[--decision-capacity N]\n",
                argv0);
   return 2;
 }
@@ -70,12 +89,41 @@ void print_fields(const char* label,
   std::printf("\n");
 }
 
+/// Scrapes the `metrics` verb, validates the exposition structurally, and
+/// returns the samples.  Throws std::runtime_error on any violation.
+std::vector<obs::ExpositionSample> scrape_metrics(service::TcpClient& client) {
+  const auto response = client.request_fields("{\"verb\":\"metrics\"}");
+  const auto body_it = response.find("body");
+  if (body_it == response.end())
+    throw std::runtime_error("metrics response has no 'body' field");
+  return obs::validate_exposition(body_it->second);
+}
+
+double sample_value(const std::vector<obs::ExpositionSample>& samples,
+                    const std::string& name) {
+  for (const obs::ExpositionSample& s : samples)
+    if (s.name == name && s.labels.empty()) return s.value;
+  return -1.0;
+}
+
 /// The --oneshot self-test: talk to our own daemon through the real TCP
-/// stack, exercising every verb once.  Returns an exit status.
+/// stack, exercising every verb once — including a double scrape of the
+/// ops endpoint with exposition validation and counter-monotonicity
+/// checks.  Returns an exit status.
 int oneshot(service::TcpServer& server, const workload::ScenarioFile& scenario,
             const Network& net) {
   service::TcpClient client("127.0.0.1", server.port());
   print_fields("query", client.query());
+
+  std::vector<obs::ExpositionSample> first;
+  try {
+    first = scrape_metrics(client);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "oneshot: first metrics scrape failed: %s\n",
+                 e.what());
+    return 1;
+  }
+
   if (!scenario.apps.empty()) {
     // Resubmit a copy of the first scenario app under a fresh name: the
     // exact text a remote client would put on the wire.
@@ -90,11 +138,56 @@ int oneshot(service::TcpServer& server, const workload::ScenarioFile& scenario,
       std::fprintf(stderr, "oneshot: unexpected submit response\n");
       return 1;
     }
+    if (submitted.find("trace_id") == submitted.end() ||
+        submitted.find("queue_us") == submitted.end() ||
+        submitted.find("solve_us") == submitted.end()) {
+      std::fprintf(stderr, "oneshot: submit response lacks the stage "
+                           "breakdown (trace_id/queue_us/solve_us)\n");
+      return 1;
+    }
     print_fields("query", client.query("oneshot_probe"));
     print_fields("remove", client.remove("oneshot_probe"));
   }
   print_fields("drain", client.drain());
-  std::printf("oneshot: OK\n");
+
+  const auto health = client.request_fields("{\"verb\":\"stats\"}");
+  print_fields("stats", health);
+  const auto slo_it = health.find("slo_state");
+  if (slo_it == health.end() ||
+      (slo_it->second != "ok" && slo_it->second != "degraded" &&
+       slo_it->second != "breached")) {
+    std::fprintf(stderr, "oneshot: stats response lacks a valid slo_state\n");
+    return 1;
+  }
+
+  std::vector<obs::ExpositionSample> second;
+  try {
+    second = scrape_metrics(client);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "oneshot: second metrics scrape failed: %s\n",
+                 e.what());
+    return 1;
+  }
+  // Counters must be monotone between the two scrapes.
+  for (const obs::ExpositionSample& s : first) {
+    if (!ends_with(s.name, "_total") || !s.labels.empty()) continue;
+    const double later = sample_value(second, s.name);
+    if (later >= 0.0 && later + 1e-9 < s.value) {
+      std::fprintf(stderr, "oneshot: counter %s went backwards (%g -> %g)\n",
+                   s.name.c_str(), s.value, later);
+      return 1;
+    }
+  }
+  // The admission-latency histogram family must be present and populated.
+  const double lat_count =
+      sample_value(second, "sparcle_service_admission_latency_us_count");
+  if (lat_count <= 0.0) {
+    std::fprintf(stderr,
+                 "oneshot: admission latency histogram missing or empty\n");
+    return 1;
+  }
+  std::printf("oneshot: OK (%zu -> %zu exposition samples)\n", first.size(),
+              second.size());
   return 0;
 }
 
@@ -107,7 +200,8 @@ int main(int argc, char** argv) {
   service::ServiceOptions svc_options;
   SchedulerOptions sched_options;
   bool run_oneshot = false;
-  std::string metrics_path, decisions_path;
+  std::string metrics_path, decisions_path, trace_path;
+  std::size_t trace_capacity = 0, decision_capacity = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -139,6 +233,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       sched_options.assigner_options.eval_threads = std::atoi(v);
+    } else if (arg == "--window-seconds") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      svc_options.window_seconds = static_cast<std::size_t>(std::atoi(v));
     } else if (arg == "--validate") {
       svc_options.validate_batches = true;
     } else if (arg == "--oneshot") {
@@ -151,6 +249,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       decisions_path = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      trace_path = v;
+    } else if (arg == "--trace-capacity") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      trace_capacity = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--decision-capacity") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      decision_capacity = static_cast<std::size_t>(std::atoi(v));
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage(argv[0]);
@@ -160,14 +270,6 @@ int main(int argc, char** argv) {
   }
   if (scenario_path.empty()) return usage(argv[0]);
 
-  obs::MetricsRegistry metrics;
-  obs::DecisionLog decisions;
-  obs::Observability sinks;
-  if (!metrics_path.empty()) sinks.metrics = &metrics;
-  if (!decisions_path.empty()) sinks.decisions = &decisions;
-  if (sinks.metrics != nullptr || sinks.decisions != nullptr)
-    obs::install(sinks);
-
   workload::ScenarioFile scenario;
   try {
     scenario = workload::load_scenario_file(scenario_path);
@@ -176,9 +278,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  obs::DecisionLog decisions;
+  obs::ChromeTraceCollector trace;
+  if (trace_capacity > 0) trace.set_capacity(trace_capacity);
+  if (decision_capacity > 0) decisions.set_capacity(decision_capacity);
+
   int status = 0;
   {
     service::SchedulerService svc(scenario.net, sched_options, svc_options);
+
+    // Unify the sinks: the service's own registry becomes the global one,
+    // so scheduler.* / assigner.* / trace.dropped instruments are scraped
+    // by the same ops endpoint that serves the service.* families.
+    obs::Observability sinks;
+    sinks.metrics = &svc.registry();
+    sinks.decisions = &decisions;
+    if (!trace_path.empty() || run_oneshot) sinks.trace = &trace;
+    obs::install(sinks);
 
     // Pre-admit the scenario's arrival sequence through the same queue a
     // remote client would use.
@@ -198,14 +314,20 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "sparcle_serve: %zu NCPs, %zu/%zu scenario app(s) admitted; "
-        "listening on %s:%u (max_batch=%zu queue_capacity=%zu)\n",
+        "listening on %s:%u (max_batch=%zu queue_capacity=%zu window=%zus)\n",
         scenario.net.ncp_count(), admitted, scenario.apps.size(),
         tcp_options.bind_address.c_str(), server.port(),
-        svc_options.max_batch, svc_options.queue_capacity);
+        svc_options.max_batch, svc_options.queue_capacity,
+        svc_options.window_seconds);
     std::fflush(stdout);
 
     if (run_oneshot) {
-      status = oneshot(server, scenario, svc.network());
+      try {
+        status = oneshot(server, scenario, svc.network());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "oneshot: %s\n", e.what());
+        status = 1;
+      }
     } else {
       std::signal(SIGINT, handle_signal);
       std::signal(SIGTERM, handle_signal);
@@ -215,20 +337,32 @@ int main(int argc, char** argv) {
     }
     server.stop();
     svc.stop();
+
+    // Write sink dumps while the service (and its registry) is alive.
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      out << (ends_with(metrics_path, ".csv") ? svc.registry().to_csv()
+                                              : svc.registry().to_json());
+      std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+    }
+    obs::uninstall();
   }
 
-  obs::uninstall();
-  if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    out << (ends_with(metrics_path, ".csv") ? metrics.to_csv()
-                                            : metrics.to_json());
-    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
-  }
   if (!decisions_path.empty()) {
     std::ofstream out(decisions_path);
     out << decisions.to_csv();
-    std::printf("decision log (%zu rows) written to %s\n", decisions.size(),
+    std::printf("decision log (%zu rows, %llu dropped) written to %s\n",
+                decisions.size(),
+                static_cast<unsigned long long>(decisions.dropped()),
                 decisions_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    trace.write_json(out);
+    std::printf("chrome trace (%zu events, %llu dropped) written to %s\n",
+                trace.event_count(),
+                static_cast<unsigned long long>(trace.dropped()),
+                trace_path.c_str());
   }
   return status;
 }

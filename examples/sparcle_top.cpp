@@ -1,0 +1,130 @@
+/// \file sparcle_top.cpp
+/// Live operator view of a running sparcle_serve daemon: polls the
+/// `stats` ops verb and prints one line per interval — queue depth,
+/// window rates, admission latency percentiles, and SLO state — the
+/// placement-plane equivalent of `top`.
+///
+/// Usage:
+///   sparcle_top [--host H] [--port P] [--interval-ms N] [--count N]
+///
+///   --host         daemon address (default 127.0.0.1)
+///   --port         daemon port (default 7411)
+///   --interval-ms  poll period (default 1000)
+///   --count        lines to print before exiting (0 = until killed);
+///                  CI smokes use --count 1 as a connectivity probe
+///
+/// Output columns:
+///   time   seconds since sparcle_top started
+///   slo    worst objective state (ok / degraded / breached)
+///   q      current queue depth
+///   arr/s  arrivals per second over the daemon's window
+///   adm/s  admissions per second
+///   rej/s  rejections (queue + scheduler) per second
+///   p50/p99  admission latency percentiles over the window, µs
+///   burn   highest burn rate across objectives
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "service/client.hpp"
+
+using namespace sparcle;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--interval-ms N] "
+               "[--count N]\n",
+               argv0);
+  return 2;
+}
+
+double field_num(const std::map<std::string, std::string>& fields,
+                 const std::string& key) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? 0.0 : std::atof(it->second.c_str());
+}
+
+std::string field_str(const std::map<std::string, std::string>& fields,
+                      const std::string& key, const char* fallback) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7411;
+  int interval_ms = 1000;
+  long count = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--interval-ms") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      interval_ms = std::atoi(v);
+    } else if (arg == "--count") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      count = std::atol(v);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    service::TcpClient client(host, port);
+    const auto start = std::chrono::steady_clock::now();
+    std::printf("%6s %-9s %5s %8s %8s %8s %9s %9s %6s\n", "time", "slo", "q",
+                "arr/s", "adm/s", "rej/s", "p50us", "p99us", "burn");
+    for (long line = 0; count == 0 || line < count; ++line) {
+      if (line > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      const auto fields = client.request_fields("{\"verb\":\"stats\"}");
+      double worst_burn = 0.0;
+      for (const auto& [key, value] : fields) {
+        if (key.size() > 5 && key.compare(0, 4, "slo.") == 0 &&
+            key.compare(key.size() - 5, 5, ".burn") == 0) {
+          const double burn = std::atof(value.c_str());
+          if (burn > worst_burn) worst_burn = burn;
+        }
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      std::printf("%6.1f %-9s %5.0f %8.2f %8.2f %8.2f %9.0f %9.0f %6.2f\n",
+                  elapsed, field_str(fields, "slo_state", "?").c_str(),
+                  field_num(fields, "queue_depth"),
+                  field_num(fields, "arrivals_per_second"),
+                  field_num(fields, "admitted_per_second"),
+                  field_num(fields, "rejected_per_second"),
+                  field_num(fields, "admission_p50_us"),
+                  field_num(fields, "admission_p99_us"), worst_burn);
+      std::fflush(stdout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sparcle_top: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

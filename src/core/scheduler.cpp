@@ -102,6 +102,7 @@ bool Scheduler::maybe_reallocate() {
 Scheduler::BatchReport Scheduler::end_batch() {
   if (!batch_active_)
     throw std::logic_error("Scheduler::end_batch: no batch is open");
+  const obs::ScopedTimer span("scheduler.end_batch");
   BatchReport report;
   report.deferred_resolves = batch_deferred_;
   batch_active_ = false;

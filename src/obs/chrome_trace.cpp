@@ -5,6 +5,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace sparcle::obs {
 
 namespace {
@@ -26,11 +28,65 @@ void json_escape(std::ostream& out, const std::string& s) {
 
 }  // namespace
 
+void ChromeTraceCollector::push_locked(Event e) {
+  std::uint64_t newly_dropped = 0;
+  if (capacity_ == 0) {
+    newly_dropped = 1;
+  } else {
+    while (events_.size() >= capacity_) {
+      events_.pop_front();
+      ++newly_dropped;
+    }
+    events_.push_back(std::move(e));
+  }
+  dropped_ += newly_dropped;
+  if (newly_dropped > 0) {
+    if (MetricsRegistry* reg = metrics(); reg != nullptr)
+      reg->counter("trace.dropped").add(newly_dropped);
+  }
+}
+
 void ChromeTraceCollector::record_complete(std::string name, double ts_us,
-                                           double dur_us) {
+                                           double dur_us,
+                                           std::uint64_t flow_id) {
   const std::uint64_t tid = tid_token();
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back({std::move(name), ts_us, dur_us, tid});
+  push_locked({std::move(name), ts_us, dur_us, tid, flow_id, 'X'});
+}
+
+void ChromeTraceCollector::record_flow(std::string name, double ts_us,
+                                       bool start, std::uint64_t flow_id) {
+  if (flow_id == 0) return;
+  const std::uint64_t tid = tid_token();
+  std::lock_guard<std::mutex> lock(mu_);
+  push_locked({std::move(name), ts_us, 0.0, tid, flow_id, start ? 's' : 'f'});
+}
+
+void ChromeTraceCollector::set_capacity(std::size_t cap) {
+  std::uint64_t newly_dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = cap;
+    while (events_.size() > capacity_) {
+      events_.pop_front();
+      ++newly_dropped;
+    }
+    dropped_ += newly_dropped;
+  }
+  if (newly_dropped > 0) {
+    if (MetricsRegistry* reg = metrics(); reg != nullptr)
+      reg->counter("trace.dropped").add(newly_dropped);
+  }
+}
+
+std::size_t ChromeTraceCollector::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::uint64_t ChromeTraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 std::size_t ChromeTraceCollector::event_count() const {
@@ -50,9 +106,21 @@ void ChromeTraceCollector::write_json(std::ostream& out) const {
     dur.precision(17);
     ts << e.ts_us;
     dur << e.dur_us;
-    out << "\", \"cat\": \"sparcle\", \"ph\": \"X\", \"ts\": " << ts.str()
-        << ", \"dur\": " << dur.str() << ", \"pid\": 1, \"tid\": " << e.tid
-        << "}";
+    out << "\", \"cat\": \"sparcle\", \"ph\": \"" << e.ph
+        << "\", \"ts\": " << ts.str();
+    if (e.ph == 'X') out << ", \"dur\": " << dur.str();
+    out << ", \"pid\": 1, \"tid\": " << e.tid;
+    if (e.flow != 0) {
+      // Flow markers need "id"; a finish marker binds to the enclosing
+      // slice ("bp": "e").  Complete events carry the id in args so an
+      // operator can filter one request's spans by trace id.
+      if (e.ph == 'X')
+        out << ", \"args\": {\"trace_id\": " << e.flow << "}";
+      else
+        out << ", \"id\": " << e.flow
+            << (e.ph == 'f' ? ", \"bp\": \"e\"" : "");
+    }
+    out << "}";
     first = false;
   }
   out << (first ? "" : "\n") << "]}\n";

@@ -2,23 +2,35 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <mutex>
 #include <string>
-#include <vector>
 
 /// \file chrome_trace.hpp
-/// Collects Chrome trace-event "complete" spans (ph "X") and exports the
-/// JSON array format that chrome://tracing and https://ui.perfetto.dev load
-/// directly.  Nesting is implicit: spans on the same thread whose intervals
-/// contain each other render as a flame graph.  Spans are recorded by
-/// obs::ScopedTimer (obs.hpp); this class only stores and serializes them.
+/// Collects Chrome trace-event "complete" spans (ph "X") and flow
+/// start/finish markers (ph "s"/"f") and exports the JSON array format that
+/// chrome://tracing and https://ui.perfetto.dev load directly.  Nesting is
+/// implicit: spans on the same thread whose intervals contain each other
+/// render as a flame graph; spans carrying the same flow id are joined by
+/// flow arrows across threads, which is how one service request's
+/// queue-wait → batch → solve → reply stages read as a single causal chain.
+/// Spans are recorded by obs::ScopedTimer (obs.hpp); this class only
+/// stores and serializes them.
+///
+/// Storage is bounded: set_capacity() caps the event count and recording
+/// past the cap drops the *oldest* event (a long-running daemon keeps the
+/// most recent window).  Drops are counted locally (dropped()) and, when a
+/// global metrics registry is installed, on the `trace.dropped` counter.
 
 namespace sparcle::obs {
 
 class ChromeTraceCollector {
  public:
   using Clock = std::chrono::steady_clock;
+
+  /// Default event capacity (spans + flow markers) before oldest-drop.
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;
 
   ChromeTraceCollector() : origin_(Clock::now()) {}
 
@@ -27,13 +39,29 @@ class ChromeTraceCollector {
     return std::chrono::duration<double, std::micro>(t - origin_).count();
   }
 
-  /// Records one complete span on the calling thread.
-  void record_complete(std::string name, double ts_us, double dur_us);
+  /// Records one complete span on the calling thread.  A non-zero
+  /// `flow_id` tags the span (args.trace_id) and binds it to the flow of
+  /// the same id.
+  void record_complete(std::string name, double ts_us, double dur_us,
+                       std::uint64_t flow_id = 0);
+
+  /// Records a flow start (ph "s") or finish (ph "f") marker.  `flow_id`
+  /// must be non-zero; zero is silently ignored (no flow to join).
+  void record_flow(std::string name, double ts_us, bool start,
+                   std::uint64_t flow_id);
+
+  /// Caps stored events; excess recordings drop the oldest event.  A cap
+  /// of 0 means "drop everything" (size stays 0).  Shrinks eagerly.
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const;
+  /// Events discarded so far by the capacity cap.
+  std::uint64_t dropped() const;
 
   std::size_t event_count() const;
 
   /// {"traceEvents": [{"name": ..., "ph": "X", "ts": ..., "dur": ...,
-  ///  "pid": 1, "tid": ...}, ...]}
+  ///  "pid": 1, "tid": ...}, ...]}; flow markers serialize as ph "s"/"f"
+  /// with "id" and "bp": "e".
   std::string to_json() const;
   void write_json(std::ostream& out) const;
 
@@ -43,11 +71,17 @@ class ChromeTraceCollector {
     double ts_us;
     double dur_us;
     std::uint64_t tid;
+    std::uint64_t flow;  ///< 0 = not part of a flow
+    char ph;             ///< 'X' complete, 's' flow start, 'f' flow finish
   };
+
+  void push_locked(Event e);
 
   Clock::time_point origin_;
   mutable std::mutex mu_;
-  std::vector<Event> events_;
+  std::deque<Event> events_;
+  std::size_t capacity_{kDefaultCapacity};
+  std::uint64_t dropped_{0};
 };
 
 }  // namespace sparcle::obs

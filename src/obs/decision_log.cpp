@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace sparcle::obs {
 
 namespace {
@@ -37,22 +39,67 @@ void DecisionLog::record(DecisionKind kind, std::string app, std::string qoe,
                          std::string reason, double rate, double availability,
                          std::size_t paths) {
   if (reason.empty()) reason = "(unspecified)";
+  const std::uint64_t trace = current_trace();
+  std::uint64_t newly_dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Decision d;
+    d.seq = seq_++;
+    d.kind = kind;
+    d.app = std::move(app);
+    d.qoe = std::move(qoe);
+    d.reason = std::move(reason);
+    d.rate = rate;
+    d.availability = availability;
+    d.paths = paths;
+    d.trace = trace;
+    if (capacity_ == 0) {
+      newly_dropped = 1;
+    } else {
+      while (rows_.size() >= capacity_) {
+        rows_.pop_front();
+        ++newly_dropped;
+      }
+      rows_.push_back(std::move(d));
+    }
+    dropped_ += newly_dropped;
+  }
+  if (newly_dropped > 0) {
+    if (MetricsRegistry* reg = metrics(); reg != nullptr)
+      reg->counter("decision_log.dropped").add(newly_dropped);
+  }
+}
+
+void DecisionLog::set_capacity(std::size_t cap) {
+  std::uint64_t newly_dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = cap;
+    while (rows_.size() > capacity_) {
+      rows_.pop_front();
+      ++newly_dropped;
+    }
+    dropped_ += newly_dropped;
+  }
+  if (newly_dropped > 0) {
+    if (MetricsRegistry* reg = metrics(); reg != nullptr)
+      reg->counter("decision_log.dropped").add(newly_dropped);
+  }
+}
+
+std::size_t DecisionLog::capacity() const {
   std::lock_guard<std::mutex> lock(mu_);
-  Decision d;
-  d.seq = rows_.size();
-  d.kind = kind;
-  d.app = std::move(app);
-  d.qoe = std::move(qoe);
-  d.reason = std::move(reason);
-  d.rate = rate;
-  d.availability = availability;
-  d.paths = paths;
-  rows_.push_back(std::move(d));
+  return capacity_;
+}
+
+std::uint64_t DecisionLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 std::vector<Decision> DecisionLog::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return rows_;
+  return {rows_.begin(), rows_.end()};
 }
 
 std::size_t DecisionLog::size() const {
@@ -70,7 +117,8 @@ void DecisionLog::write_csv(std::ostream& out) const {
     csv_field(out, d.reason);
     std::ostringstream nums;
     nums.precision(12);
-    nums << ',' << d.rate << ',' << d.availability << ',' << d.paths;
+    nums << ',' << d.rate << ',' << d.availability << ',' << d.paths << ','
+         << d.trace;
     out << nums.str() << "\n";
   }
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <mutex>
 #include <string>
@@ -13,6 +14,13 @@
 /// path", ...).  The log is the audit trail that lets an operator answer
 /// "why was this application rejected?" without re-running the scheduler.
 /// Schema is documented in docs/observability.md.
+///
+/// Rows recorded while a request trace id is active on the calling thread
+/// (obs::ScopedTrace) carry that id in the trailing `trace` column, tying
+/// the decision back to the service request that caused it.  Storage is
+/// bounded by set_capacity(): past the cap the *oldest* row is dropped (a
+/// long-running daemon keeps the recent audit window); seq stays globally
+/// monotone across drops so gaps are detectable.
 
 namespace sparcle::obs {
 
@@ -34,7 +42,7 @@ enum class DecisionKind : std::uint8_t {
 const char* to_string(DecisionKind kind);
 
 struct Decision {
-  std::uint64_t seq{0};  ///< global decision order (0-based)
+  std::uint64_t seq{0};  ///< global decision order (0-based, drop-proof)
   DecisionKind kind{DecisionKind::kAdmit};
   std::string app;       ///< application name
   std::string qoe;       ///< "BE" or "GR"
@@ -42,17 +50,32 @@ struct Decision {
   double rate{0.0};          ///< allocated / standalone rate
   double availability{0.0};  ///< achieved availability at decision time
   std::size_t paths{0};      ///< path count at decision time
+  std::uint64_t trace{0};    ///< originating request trace id (0 = none)
 };
 
 /// Thread-safe append-only decision record with CSV export.
 class DecisionLog {
  public:
   static constexpr const char* kCsvHeader =
-      "seq,kind,app,qoe,reason,rate,availability,paths";
+      "seq,kind,app,qoe,reason,rate,availability,paths,trace";
 
+  /// Default row capacity before oldest-drop.
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
+  /// Appends one row, stamping it with the calling thread's active trace
+  /// id (obs::current_trace(); 0 when no request scope is open).
   void record(DecisionKind kind, std::string app, std::string qoe,
               std::string reason, double rate, double availability,
               std::size_t paths);
+
+  /// Caps stored rows; excess recordings drop the oldest row.  A cap of 0
+  /// drops everything.  Shrinks eagerly.  Drops are counted locally
+  /// (dropped()) and on the global `decision_log.dropped` counter when a
+  /// metrics registry is installed.
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const;
+  /// Rows discarded so far by the capacity cap.
+  std::uint64_t dropped() const;
 
   std::vector<Decision> snapshot() const;
   std::size_t size() const;
@@ -64,7 +87,10 @@ class DecisionLog {
 
  private:
   mutable std::mutex mu_;
-  std::vector<Decision> rows_;
+  std::deque<Decision> rows_;
+  std::uint64_t seq_{0};
+  std::size_t capacity_{kDefaultCapacity};
+  std::uint64_t dropped_{0};
 };
 
 }  // namespace sparcle::obs

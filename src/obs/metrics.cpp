@@ -96,6 +96,34 @@ const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+std::uint64_t MetricsSnapshot::counter_or(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge_or(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.buckets.reserve(h->bucket_count());
+    for (std::size_t i = 0; i < h->bucket_count(); ++i)
+      hs.buckets.push_back(h->bucket(i));
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms.emplace(name, std::move(hs));
+  }
+  return snap;
+}
+
 void MetricsRegistry::write_json(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
   out << "{\n  \"counters\": {";

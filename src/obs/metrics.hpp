@@ -82,6 +82,30 @@ class Histogram {
 /// (1 µs .. 10 s, one bucket per decade).
 std::vector<double> default_time_bounds_us();
 
+/// Point-in-time copy of one histogram's state.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+  std::uint64_t count{0};
+  double sum{0.0};
+};
+
+/// Point-in-time copy of a whole registry (plus any derived gauges a
+/// caller merges in).  This is the single input of the Prometheus
+/// exposition writer (prometheus.hpp) and the centralized source of the
+/// placement service's ServiceStats, so a newly registered instrument can
+/// never silently miss a snapshot path.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter value by name (0 when absent).
+  std::uint64_t counter_or(const std::string& name) const;
+  /// Gauge value by name (0.0 when absent).
+  double gauge_or(const std::string& name) const;
+};
+
 /// Named instrument registry.  Instrument references stay valid for the
 /// registry's lifetime (instruments are never removed).
 class MetricsRegistry {
@@ -93,6 +117,11 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
   /// The histogram if it exists, else nullptr (no creation).
   const Histogram* find_histogram(std::string_view name) const;
+
+  /// Structured copy of every registered instrument (export layers and
+  /// the service stats path consume this instead of touching instruments
+  /// field by field).
+  MetricsSnapshot snapshot() const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
   /// {"bounds": [...], "buckets": [...], "count": N, "sum": S}}}

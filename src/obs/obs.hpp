@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <string>
 
 #include "obs/chrome_trace.hpp"
@@ -38,7 +39,32 @@ struct Globals {
   std::atomic<DecisionLog*> decisions{nullptr};
 };
 Globals& globals();
+/// The request trace id active on this thread (0 = none).  Thread-local so
+/// sinks can stamp rows/spans without threading an id through every call.
+inline thread_local std::uint64_t t_trace_id = 0;
 }  // namespace detail
+
+/// The service-request trace id active on the calling thread, or 0 when no
+/// request scope is open.  DecisionLog::record and ScopedTimer read this to
+/// tag rows and spans automatically.
+inline std::uint64_t current_trace() { return detail::t_trace_id; }
+inline void set_current_trace(std::uint64_t id) { detail::t_trace_id = id; }
+
+/// RAII trace scope: makes `id` the calling thread's active trace id for
+/// the enclosing block, restoring the previous id (usually 0) on exit.
+/// Scopes nest; the innermost id wins.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(std::uint64_t id) : prev_(current_trace()) {
+    set_current_trace(id);
+  }
+  ~ScopedTrace() { set_current_trace(prev_); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
 
 /// Installs (replaces) the process-wide sinks.
 void install(const Observability& o);
@@ -89,7 +115,8 @@ class ScopedTimer {
     const double dur_us =
         std::chrono::duration<double, std::micro>(end - start_).count();
     if (trace_ != nullptr)
-      trace_->record_complete(name_, trace_->to_origin_us(start_), dur_us);
+      trace_->record_complete(name_, trace_->to_origin_us(start_), dur_us,
+                              current_trace());
     if (metrics_ != nullptr)
       metrics_->histogram(std::string(name_) + ".us",
                           default_time_bounds_us())

@@ -1,0 +1,234 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sparcle::obs {
+
+namespace {
+
+/// Shortest representation of a double that round-trips.
+std::string fmt(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
+}
+
+bool valid_name_char(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':')
+    return true;
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+[[noreturn]] void fail_line(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("prometheus: line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 1);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (valid_name_char(c, /*first=*/false))
+      out += c;
+    else
+      out += '_';
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0])))
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prometheus_label_value(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snap,
+                      std::string_view prefix) {
+  const std::string pfx =
+      prefix.empty() ? std::string() : prometheus_name(prefix) + "_";
+  for (const auto& [raw, value] : snap.counters) {
+    const std::string name = pfx + prometheus_name(raw) + "_total";
+    out << "# HELP " << name << " SPARCLE counter " << raw << "\n";
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [raw, value] : snap.gauges) {
+    const std::string name = pfx + prometheus_name(raw);
+    out << "# HELP " << name << " SPARCLE gauge " << raw << "\n";
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << fmt(value) << "\n";
+  }
+  for (const auto& [raw, h] : snap.histograms) {
+    const std::string name = pfx + prometheus_name(raw);
+    out << "# HELP " << name << " SPARCLE histogram " << raw << "\n";
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += i < h.buckets.size() ? h.buckets[i] : 0;
+      out << name << "_bucket{le=\"" << fmt(h.bounds[i]) << "\"} " << cum
+          << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << name << "_sum " << fmt(h.sum) << "\n";
+    out << name << "_count " << h.count << "\n";
+  }
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap,
+                          std::string_view prefix) {
+  std::ostringstream os;
+  write_prometheus(os, snap, prefix);
+  return os.str();
+}
+
+std::vector<ExpositionSample> parse_exposition(const std::string& text) {
+  std::vector<ExpositionSample> samples;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only HELP/TYPE comments are produced; tolerate any comment.
+      continue;
+    }
+    std::size_t i = 0;
+    ExpositionSample sample;
+    while (i < line.size() && valid_name_char(line[i], i == 0)) {
+      sample.name += line[i];
+      ++i;
+    }
+    if (sample.name.empty()) fail_line(line_no, "expected a metric name");
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        std::string key;
+        while (i < line.size() && valid_name_char(line[i], key.empty())) {
+          key += line[i];
+          ++i;
+        }
+        if (key.empty()) fail_line(line_no, "expected a label name");
+        if (i >= line.size() || line[i] != '=')
+          fail_line(line_no, "expected '=' after label '" + key + "'");
+        ++i;
+        if (i >= line.size() || line[i] != '"')
+          fail_line(line_no, "label value of '" + key + "' must be quoted");
+        ++i;
+        std::string value;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            ++i;
+            if (i >= line.size()) fail_line(line_no, "dangling escape");
+            value += line[i] == 'n' ? '\n' : line[i];
+          } else {
+            value += line[i];
+          }
+          ++i;
+        }
+        if (i >= line.size()) fail_line(line_no, "unterminated label value");
+        ++i;  // closing quote
+        sample.labels[key] = std::move(value);
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size()) fail_line(line_no, "unterminated label set");
+      ++i;  // closing brace
+    }
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i >= line.size()) fail_line(line_no, "missing sample value");
+    const std::string value_text = line.substr(i);
+    if (value_text == "+Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else {
+      char* end = nullptr;
+      sample.value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0')
+        fail_line(line_no, "bad sample value '" + value_text + "'");
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+std::vector<ExpositionSample> validate_exposition(const std::string& text) {
+  std::vector<ExpositionSample> samples = parse_exposition(text);
+  // Group histogram families by base name, in sample order (the writer
+  // emits buckets by ascending le, so order-checking covers cumulation).
+  std::map<std::string, std::vector<const ExpositionSample*>> buckets;
+  std::map<std::string, double> sums, counts;
+  for (const ExpositionSample& s : samples) {
+    const auto ends_with = [&](const char* suffix) {
+      const std::string_view sv(suffix);
+      return s.name.size() > sv.size() &&
+             s.name.compare(s.name.size() - sv.size(), sv.size(), sv) == 0;
+    };
+    if (ends_with("_bucket") && s.labels.count("le"))
+      buckets[s.name.substr(0, s.name.size() - 7)].push_back(&s);
+    else if (ends_with("_sum"))
+      sums[s.name.substr(0, s.name.size() - 4)] = s.value;
+    else if (ends_with("_count"))
+      counts[s.name.substr(0, s.name.size() - 6)] = s.value;
+  }
+  for (const auto& [base, series] : buckets) {
+    if (!sums.count(base))
+      throw std::runtime_error("prometheus: histogram '" + base +
+                               "' has buckets but no _sum");
+    if (!counts.count(base))
+      throw std::runtime_error("prometheus: histogram '" + base +
+                               "' has buckets but no _count");
+    double prev = -1.0;
+    double prev_le = -std::numeric_limits<double>::infinity();
+    bool saw_inf = false;
+    for (const ExpositionSample* s : series) {
+      const std::string& le = s->labels.at("le");
+      const double le_value = le == "+Inf"
+                                  ? std::numeric_limits<double>::infinity()
+                                  : std::strtod(le.c_str(), nullptr);
+      if (le_value <= prev_le)
+        throw std::runtime_error("prometheus: histogram '" + base +
+                                 "' buckets not ascending at le=\"" + le +
+                                 "\"");
+      if (s->value + 1e-9 < prev)
+        throw std::runtime_error("prometheus: histogram '" + base +
+                                 "' buckets not cumulative at le=\"" + le +
+                                 "\"");
+      prev = s->value;
+      prev_le = le_value;
+      if (le == "+Inf") {
+        saw_inf = true;
+        if (std::abs(s->value - counts[base]) > 1e-9)
+          throw std::runtime_error("prometheus: histogram '" + base +
+                                   "' +Inf bucket != _count");
+      }
+    }
+    if (!saw_inf)
+      throw std::runtime_error("prometheus: histogram '" + base +
+                               "' missing the +Inf bucket");
+  }
+  return samples;
+}
+
+}  // namespace sparcle::obs

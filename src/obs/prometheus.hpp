@@ -1,0 +1,67 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+/// \file prometheus.hpp
+/// Prometheus text exposition (format version 0.0.4) from a
+/// MetricsSnapshot, plus a strict parser used by tests and the
+/// `sparcle_serve --oneshot` smoke to validate what the ops endpoint
+/// serves.  Mapping rules:
+///
+///   - metric names are `<prefix>_<name>` with every character outside
+///     `[a-zA-Z0-9_:]` (dots, dashes) replaced by `_`; counters get the
+///     conventional `_total` suffix;
+///   - histograms follow the native histogram contract: **cumulative**
+///     `_bucket{le="..."}` series (the registry's per-bucket counts are
+///     summed), a closing `le="+Inf"` bucket equal to `_count`, plus
+///     `_sum` and `_count`;
+///   - output ordering is deterministic: counters, then gauges, then
+///     histograms, each sorted by name — diffable scrape-to-scrape.
+
+namespace sparcle::obs {
+
+/// `raw` sanitized into a valid Prometheus metric name: characters
+/// outside [a-zA-Z0-9_:] become '_', and a leading digit is prefixed
+/// with '_'.
+std::string prometheus_name(std::string_view raw);
+
+/// `raw` escaped as a label value body: backslash, double quote, and
+/// newline get backslash escapes.
+std::string prometheus_label_value(std::string_view raw);
+
+/// Writes `snap` as text exposition; every metric name is prefixed with
+/// `<prefix>_`.
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snap,
+                      std::string_view prefix = "sparcle");
+std::string to_prometheus(const MetricsSnapshot& snap,
+                          std::string_view prefix = "sparcle");
+
+/// One sample line of an exposition (`name{labels} value`).
+struct ExpositionSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value{0.0};
+};
+
+/// Parses text exposition into samples, skipping `# HELP` / `# TYPE`
+/// comment lines.  Throws std::runtime_error naming the offending line on
+/// malformed input (bad metric/label characters, missing value, unquoted
+/// label values).
+std::vector<ExpositionSample> parse_exposition(const std::string& text);
+
+/// Structural validation of an exposition: parses it, then checks the
+/// histogram contract for every `*_bucket` family — buckets cumulative
+/// (non-decreasing by `le`), a `+Inf` bucket present and equal to
+/// `_count`, `_sum` and `_count` series present.  Throws
+/// std::runtime_error describing the first violation.  Returns the
+/// samples for further checks (the oneshot smoke compares two scrapes for
+/// counter monotonicity).
+std::vector<ExpositionSample> validate_exposition(const std::string& text);
+
+}  // namespace sparcle::obs

@@ -1,0 +1,102 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace sparcle::obs {
+
+const char* to_string(SloState state) {
+  switch (state) {
+    case SloState::kOk: return "ok";
+    case SloState::kDegraded: return "degraded";
+    case SloState::kBreached: return "breached";
+  }
+  return "?";
+}
+
+const SloEvaluation* SloReport::find(const std::string& name) const {
+  for (const SloEvaluation& eval : targets)
+    if (eval.name == name) return &eval;
+  return nullptr;
+}
+
+void SloTracker::add(SloSpec spec) {
+  if (spec.target <= 0.0) return;  // disabled objective
+  if (spec.breach_burn <= 1.0) spec.breach_burn = 2.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.push_back(std::move(spec));
+}
+
+std::size_t SloTracker::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return specs_.size();
+}
+
+SloReport SloTracker::evaluate(const TimeSeriesWindow& window,
+                               TimeSeriesWindow::Clock::time_point now) const {
+  std::vector<SloSpec> specs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    specs = specs_;
+  }
+  SloReport report;
+  report.targets.reserve(specs.size());
+  for (const SloSpec& spec : specs) {
+    SloEvaluation eval;
+    eval.name = spec.name;
+    eval.series = spec.series;
+    eval.target = spec.target;
+    switch (spec.aggregate) {
+      case SloSpec::Aggregate::kP50:
+      case SloSpec::Aggregate::kP99:
+      case SloSpec::Aggregate::kMean: {
+        const TimeSeriesWindow::ValueStats v =
+            window.values_at(spec.series, now);
+        eval.samples = v.count;
+        eval.observed = spec.aggregate == SloSpec::Aggregate::kP50   ? v.p50
+                        : spec.aggregate == SloSpec::Aggregate::kP99 ? v.p99
+                                                                     : v.mean;
+        break;
+      }
+      case SloSpec::Aggregate::kRatePerSecond: {
+        const TimeSeriesWindow::RateStats r = window.rate_at(spec.series, now);
+        eval.samples = r.samples;
+        eval.observed = r.per_second;
+        break;
+      }
+      case SloSpec::Aggregate::kRatio: {
+        const TimeSeriesWindow::RateStats num =
+            window.rate_at(spec.series, now);
+        const TimeSeriesWindow::RateStats den =
+            window.rate_at(spec.denominator, now);
+        eval.samples = den.samples;
+        eval.observed = den.total > 0.0 ? num.total / den.total : 0.0;
+        break;
+      }
+    }
+    eval.burn = eval.observed / spec.target;
+    if (eval.samples < spec.min_samples || eval.burn <= 1.0)
+      eval.state = SloState::kOk;
+    else if (eval.burn < spec.breach_burn)
+      eval.state = SloState::kDegraded;
+    else
+      eval.state = SloState::kBreached;
+    report.worst = std::max(report.worst, eval.state);
+    report.targets.push_back(std::move(eval));
+  }
+  return report;
+}
+
+void SloTracker::export_to(const SloReport& report, MetricsSnapshot& snap) {
+  snap.gauges["slo.state"] = static_cast<double>(report.worst);
+  for (const SloEvaluation& eval : report.targets) {
+    const std::string base = "slo." + eval.name;
+    snap.gauges[base + ".observed"] = eval.observed;
+    snap.gauges[base + ".target"] = eval.target;
+    snap.gauges[base + ".burn"] = eval.burn;
+    snap.gauges[base + ".state"] = static_cast<double>(eval.state);
+  }
+}
+
+}  // namespace sparcle::obs

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/time_series.hpp"
+
+/// \file slo.hpp
+/// Declarative service-level objectives evaluated over a
+/// TimeSeriesWindow.  Each SloSpec names a window series, an aggregate
+/// (p50/p99/mean/rate/ratio), and a ceiling; evaluation reports the
+/// observed value, the **burn rate** (observed / target — how fast the
+/// error budget is being consumed; 1.0 = exactly on target), and a
+/// three-state health verdict:
+///
+///   - `ok`        burn <= 1 (within target), or too few samples to judge
+///   - `degraded`  1 < burn < breach_burn (over target, budget burning)
+///   - `breached`  burn >= breach_burn (default 2x: budget gone)
+///
+/// The placement service installs two default objectives (admission p99
+/// latency, reject-rate ceiling — ServiceOptions) and surfaces the worst
+/// state in its health document and `slo.*` exposition family; see
+/// docs/observability.md.
+
+namespace sparcle::obs {
+
+enum class SloState : std::uint8_t { kOk, kDegraded, kBreached };
+
+/// Symbolic name of an SLO state (`ok`, `degraded`, `breached`).
+const char* to_string(SloState state);
+
+/// One declarative objective over a window series.
+struct SloSpec {
+  /// Aggregate of the window series the target constrains.
+  enum class Aggregate {
+    kP50,            ///< value series p50
+    kP99,            ///< value series p99
+    kMean,           ///< value series mean
+    kRatePerSecond,  ///< rate series events/second
+    kRatio,          ///< rate series total / `denominator` series total
+  };
+
+  std::string name;          ///< objective name (`admission_p99_us`)
+  std::string series;        ///< window series the aggregate reads
+  Aggregate aggregate{Aggregate::kP99};
+  std::string denominator;   ///< kRatio only: denominator rate series
+  double target{0.0};        ///< ceiling; breach when observed exceeds it
+  double breach_burn{2.0};   ///< burn at/over this => kBreached
+  std::uint64_t min_samples{1};  ///< below this the verdict is kOk (no data)
+};
+
+/// Evaluation of one objective at a point in time.
+struct SloEvaluation {
+  std::string name;
+  std::string series;
+  double observed{0.0};
+  double target{0.0};
+  double burn{0.0};          ///< observed / target
+  std::uint64_t samples{0};  ///< window samples the aggregate saw
+  SloState state{SloState::kOk};
+};
+
+/// Evaluation of every tracked objective; `worst` aggregates the states.
+struct SloReport {
+  SloState worst{SloState::kOk};
+  std::vector<SloEvaluation> targets;
+
+  /// The evaluation named `name`, or nullptr.
+  const SloEvaluation* find(const std::string& name) const;
+};
+
+/// Holds the objective set and evaluates it against a window.  add() at
+/// setup, evaluate() from any thread.
+class SloTracker {
+ public:
+  /// Registers an objective.  Specs with target <= 0 are ignored (the
+  /// service options use 0 as "objective disabled").
+  void add(SloSpec spec);
+
+  std::size_t size() const;
+
+  /// Evaluates every objective against `window` at `now`.
+  SloReport evaluate(const TimeSeriesWindow& window,
+                     TimeSeriesWindow::Clock::time_point now =
+                         TimeSeriesWindow::Clock::now()) const;
+
+  /// Materializes `report` into `snap` as gauges `slo.<name>.observed` /
+  /// `.target` / `.burn` / `.state` (0=ok 1=degraded 2=breached) plus the
+  /// aggregate `slo.state`.
+  static void export_to(const SloReport& report, MetricsSnapshot& snap);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SloSpec> specs_;
+};
+
+}  // namespace sparcle::obs

@@ -1,0 +1,212 @@
+#include "obs/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace sparcle::obs {
+
+namespace {
+
+/// Interpolated quantile from merged per-bucket counts (bucket i counts
+/// observations <= bounds[i]; the last slot is the overflow bucket).
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts,
+                       std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double prev = cum;
+    cum += static_cast<double>(counts[i]);
+    if (cum + 1e-12 < target) continue;
+    if (i >= bounds.size()) return bounds.back();  // overflow bucket
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    if (counts[i] == 0) return upper;
+    const double frac = (target - prev) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds.back();
+}
+
+}  // namespace
+
+const std::vector<double>& window_value_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double v = 1.0; v <= 16777216.0; v *= 2.0) b.push_back(v);
+    return b;
+  }();
+  return bounds;
+}
+
+TimeSeriesWindow::TimeSeriesWindow(std::size_t seconds,
+                                   Clock::time_point origin)
+    : seconds_(seconds == 0 ? 1 : seconds), origin_(origin) {}
+
+std::int64_t TimeSeriesWindow::effective_second(Clock::time_point now) const {
+  const std::int64_t sec = std::max<std::int64_t>(
+      0, std::chrono::duration_cast<std::chrono::seconds>(now - origin_)
+             .count());
+  // Monotone guard: a time-point behind the newest second ever seen is
+  // clamped forward, so a regressing clock cannot reopen closed buckets.
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  high_second_ = std::max(high_second_, sec);
+  return high_second_;
+}
+
+TimeSeriesWindow::Series& TimeSeriesWindow::series(std::string_view name,
+                                                   bool values_kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    auto s = std::make_unique<Series>(values_kind);
+    s->ring.resize(seconds_);
+    if (values_kind)
+      for (Bucket& b : s->ring)
+        b.hist.assign(window_value_bounds().size() + 1, 0);
+    it = series_.emplace(std::string(name), std::move(s)).first;
+  }
+  return *it->second;
+}
+
+const TimeSeriesWindow::Series* TimeSeriesWindow::find(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+void TimeSeriesWindow::add(std::string_view name, double v) {
+  add_at(name, v, Clock::now());
+}
+
+void TimeSeriesWindow::add_at(std::string_view name, double v,
+                              Clock::time_point now) {
+  const std::int64_t sec = effective_second(now);
+  Series& s = series(name, /*values_kind=*/false);
+  std::lock_guard<std::mutex> lock(s.mu);
+  Bucket& b = s.ring[static_cast<std::size_t>(sec) % seconds_];
+  if (b.second != sec) {  // lazy recycle of a previous-lap bucket
+    b.second = sec;
+    b.count = 0;
+    b.sum = 0.0;
+  }
+  ++b.count;
+  b.sum += v;
+}
+
+void TimeSeriesWindow::observe(std::string_view name, double v) {
+  observe_at(name, v, Clock::now());
+}
+
+void TimeSeriesWindow::observe_at(std::string_view name, double v,
+                                  Clock::time_point now) {
+  const std::int64_t sec = effective_second(now);
+  Series& s = series(name, /*values_kind=*/true);
+  std::lock_guard<std::mutex> lock(s.mu);
+  Bucket& b = s.ring[static_cast<std::size_t>(sec) % seconds_];
+  if (b.second != sec) {
+    b.second = sec;
+    b.count = 0;
+    b.sum = 0.0;
+    std::fill(b.hist.begin(), b.hist.end(), 0);
+  }
+  ++b.count;
+  b.sum += v;
+  const auto& bounds = window_value_bounds();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  ++b.hist[static_cast<std::size_t>(it - bounds.begin())];
+}
+
+TimeSeriesWindow::RateStats TimeSeriesWindow::rate(
+    std::string_view name) const {
+  return rate_at(name, Clock::now());
+}
+
+TimeSeriesWindow::RateStats TimeSeriesWindow::rate_at(
+    std::string_view name, Clock::time_point now) const {
+  RateStats out;
+  const Series* s = find(name);
+  if (s == nullptr) return out;
+  const std::int64_t now_sec = effective_second(now);
+  const std::int64_t oldest = now_sec - static_cast<std::int64_t>(seconds_) + 1;
+  std::lock_guard<std::mutex> lock(s->mu);
+  for (const Bucket& b : s->ring) {
+    if (b.second < oldest || b.second > now_sec) continue;  // idle-gap skip
+    out.total += b.sum;
+    out.samples += b.count;
+  }
+  // The denominator is the window span actually covered: a process 3s old
+  // divides by 3, not 60, so early rates aren't underestimated.
+  const double covered = static_cast<double>(
+      std::min<std::int64_t>(static_cast<std::int64_t>(seconds_),
+                             now_sec + 1));
+  out.per_second = covered > 0.0 ? out.total / covered : 0.0;
+  return out;
+}
+
+TimeSeriesWindow::ValueStats TimeSeriesWindow::values(
+    std::string_view name) const {
+  return values_at(name, Clock::now());
+}
+
+TimeSeriesWindow::ValueStats TimeSeriesWindow::values_at(
+    std::string_view name, Clock::time_point now) const {
+  ValueStats out;
+  const Series* s = find(name);
+  if (s == nullptr || !s->values) return out;
+  const std::int64_t now_sec = effective_second(now);
+  const std::int64_t oldest = now_sec - static_cast<std::int64_t>(seconds_) + 1;
+  std::vector<std::uint64_t> merged(window_value_bounds().size() + 1, 0);
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (const Bucket& b : s->ring) {
+      if (b.second < oldest || b.second > now_sec) continue;
+      out.count += b.count;
+      out.sum += b.sum;
+      for (std::size_t i = 0; i < merged.size(); ++i) merged[i] += b.hist[i];
+    }
+  }
+  if (out.count > 0) {
+    out.mean = out.sum / static_cast<double>(out.count);
+    out.p50 = bucket_quantile(window_value_bounds(), merged, out.count, 0.50);
+    out.p99 = bucket_quantile(window_value_bounds(), merged, out.count, 0.99);
+  }
+  return out;
+}
+
+std::vector<std::string> TimeSeriesWindow::series_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, s] : series_) names.push_back(name);
+  return names;
+}
+
+bool TimeSeriesWindow::is_value_series(std::string_view name) const {
+  const Series* s = find(name);
+  return s != nullptr && s->values;
+}
+
+void TimeSeriesWindow::export_to(MetricsSnapshot& snap,
+                                 const std::string& prefix,
+                                 Clock::time_point now) const {
+  for (const std::string& name : series_names()) {
+    if (is_value_series(name)) {
+      const ValueStats v = values_at(name, now);
+      snap.gauges[prefix + name + ".count"] = static_cast<double>(v.count);
+      snap.gauges[prefix + name + ".mean"] = v.mean;
+      snap.gauges[prefix + name + ".p50"] = v.p50;
+      snap.gauges[prefix + name + ".p99"] = v.p99;
+    } else {
+      const RateStats r = rate_at(name, now);
+      snap.gauges[prefix + name + ".total"] = r.total;
+      snap.gauges[prefix + name + ".per_second"] = r.per_second;
+    }
+  }
+}
+
+}  // namespace sparcle::obs

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file time_series.hpp
+/// A sliding window of per-second buckets, so rates and latency
+/// percentiles are queryable *live* ("what is the service doing right
+/// now?") instead of only at process exit like the cumulative
+/// MetricsRegistry.  Two series kinds share the same ring:
+///
+///   - rate series (`add`): per-second event counts — arrivals, admits,
+///     rejects — queried as totals and per-second rates over the window;
+///   - value series (`observe`): per-second {count, sum, log-bucket
+///     histogram} — latencies, batch occupancy, queue depth — queried as
+///     mean and interpolated p50/p99 over the window.
+///
+/// Buckets recycle lazily: writing into a bucket whose stamp belongs to a
+/// previous lap resets it, and queries skip buckets whose stamp has fallen
+/// out of the window, so idle gaps cost nothing and never leak stale data
+/// back into a rate.  Timestamps are monotone-guarded: a time-point before
+/// the newest one ever seen is clamped forward, so a (buggy or mocked)
+/// backwards clock can never corrupt a bucket that is already closed.
+///
+/// Lock discipline: the series map takes a registry-style mutex on first
+/// use of a name; each series then has its own mutex held only for the
+/// few-word bucket update.  docs/observability.md documents the
+/// `service.window.*` metric family this feeds.
+
+namespace sparcle::obs {
+
+struct MetricsSnapshot;
+
+/// Bucket bounds shared by every value series: powers of two from 1 to
+/// 2^24 (≈16.8M), 25 bounds plus one overflow bucket.  Tuned for
+/// microsecond latencies (1µs .. ~16.8s) but unit-agnostic.
+const std::vector<double>& window_value_bounds();
+
+class TimeSeriesWindow {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A window of `seconds` one-second buckets (default 60).  `origin` is
+  /// the time bucket 0 starts at; tests pass an explicit origin so the
+  /// `*_at` overloads land in deterministic buckets.
+  explicit TimeSeriesWindow(std::size_t seconds = 60,
+                            Clock::time_point origin = Clock::now());
+
+  // --- recording -----------------------------------------------------
+
+  /// Counts `v` into rate series `series` at the current second.
+  void add(std::string_view series, double v = 1.0);
+  /// add() with an explicit time-point (tests; replayed traces).
+  void add_at(std::string_view series, double v, Clock::time_point now);
+
+  /// Observes sample `v` into value series `series` at the current second.
+  void observe(std::string_view series, double v);
+  /// observe() with an explicit time-point.
+  void observe_at(std::string_view series, double v, Clock::time_point now);
+
+  // --- queries -------------------------------------------------------
+
+  struct RateStats {
+    double total{0.0};        ///< Σ over the live buckets
+    double per_second{0.0};   ///< total / seconds the window covers
+    std::uint64_t samples{0}; ///< add() calls contributing
+  };
+  /// Rate stats for `series` over the window ending now.  Unknown series
+  /// read as all-zero.
+  RateStats rate(std::string_view series) const;
+  RateStats rate_at(std::string_view series, Clock::time_point now) const;
+
+  struct ValueStats {
+    std::uint64_t count{0};
+    double sum{0.0};
+    double mean{0.0};
+    double p50{0.0};  ///< interpolated within the matching log bucket
+    double p99{0.0};
+  };
+  /// Value stats for `series` over the window ending now.  Unknown series
+  /// read as all-zero.
+  ValueStats values(std::string_view series) const;
+  ValueStats values_at(std::string_view series, Clock::time_point now) const;
+
+  /// Registered series names, sorted (rate and value series together).
+  std::vector<std::string> series_names() const;
+  /// True if `series` exists and was registered by observe().
+  bool is_value_series(std::string_view series) const;
+
+  std::size_t window_seconds() const { return seconds_; }
+
+  /// Materializes the window into `snap` as gauges named
+  /// `<prefix><series>.total` / `.per_second` (rate series) and
+  /// `<prefix><series>.count` / `.mean` / `.p50` / `.p99` (value series),
+  /// evaluated at `now`.  The ops endpoint uses prefix
+  /// `service.window.`.
+  void export_to(MetricsSnapshot& snap, const std::string& prefix,
+                 Clock::time_point now = Clock::now()) const;
+
+ private:
+  struct Bucket {
+    std::int64_t second{-1};  ///< stamp; -1 = never written
+    std::uint64_t count{0};
+    double sum{0.0};
+    std::vector<std::uint64_t> hist;  ///< value series only
+  };
+  struct Series {
+    explicit Series(bool values_kind) : values(values_kind) {}
+    const bool values;
+    mutable std::mutex mu;
+    std::vector<Bucket> ring;
+  };
+
+  Series& series(std::string_view name, bool values_kind);
+  const Series* find(std::string_view name) const;
+  /// Seconds since origin, clamped monotone (never before the newest
+  /// second any recording or query has seen).
+  std::int64_t effective_second(Clock::time_point now) const;
+
+  const std::size_t seconds_;
+  const Clock::time_point origin_;
+  mutable std::mutex mu_;  ///< guards series_ (name registration)
+  std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
+  mutable std::mutex clock_mu_;  ///< guards high_second_
+  mutable std::int64_t high_second_{0};
+};
+
+}  // namespace sparcle::obs

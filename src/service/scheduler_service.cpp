@@ -1,10 +1,12 @@
 #include "service/scheduler_service.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <utility>
 
 #include "check/invariants.hpp"
 #include "obs/obs.hpp"
+#include "obs/prometheus.hpp"
 
 namespace sparcle::service {
 namespace {
@@ -16,19 +18,12 @@ double elapsed_us(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
-/// Logs a queue-level bounce to the installed decision log and counts it
-/// in the metrics registry.
-void log_queue_reject(const char* reason_head, const std::string& app,
-                      bool guaranteed, const std::string& detail) {
-  if (obs::DecisionLog* log = obs::decision_log()) {
-    log->record(obs::DecisionKind::kQueueReject, app, guaranteed ? "GR" : "BE",
-                detail.empty() ? std::string(reason_head)
-                               : std::string(reason_head) + " " + detail,
-                0.0, 0.0, 0);
-  }
-  if (obs::MetricsRegistry* reg = obs::metrics()) {
-    reg->counter(std::string("service.rejected.") + reason_head).add(1);
-  }
+/// Shortest representation of a double that round-trips.
+std::string fmt(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
 }
 
 }  // namespace
@@ -57,7 +52,24 @@ SchedulerService::SchedulerService(Network net, SchedulerOptions sched_options,
     : net_(net),
       scheduler_(std::move(net), std::move(sched_options)),
       options_(options),
+      window_(options.window_seconds == 0 ? 1 : options.window_seconds),
       paused_(options.start_paused) {
+  // Default objectives; target 0 disables (SloTracker::add drops them).
+  obs::SloSpec p99;
+  p99.name = "admission_p99_us";
+  p99.series = "admission_latency_us";
+  p99.aggregate = obs::SloSpec::Aggregate::kP99;
+  p99.target = options_.slo_admission_p99_us;
+  slo_.add(std::move(p99));
+  obs::SloSpec rej;
+  rej.name = "reject_ratio";
+  rej.series = "rejected_any";
+  rej.aggregate = obs::SloSpec::Aggregate::kRatio;
+  rej.denominator = "arrivals";
+  rej.target = options_.slo_reject_ratio;
+  slo_.add(std::move(rej));
+  for (const obs::SloSpec& spec : options_.slos) slo_.add(spec);
+
   // Publish the empty version-0 snapshot so snapshot() never returns null.
   auto snap = std::make_shared<ServiceSnapshot>();
   {
@@ -68,6 +80,33 @@ SchedulerService::SchedulerService(Network net, SchedulerOptions sched_options,
 }
 
 SchedulerService::~SchedulerService() { stop(); }
+
+void SchedulerService::bump(const char* name, std::uint64_t n) {
+  registry_.counter(name).add(n);
+  if (obs::MetricsRegistry* reg = obs::metrics();
+      reg != nullptr && reg != &registry_)
+    reg->counter(name).add(n);
+}
+
+void SchedulerService::gauge_set(const char* name, double v) {
+  registry_.gauge(name).set(v);
+  if (obs::MetricsRegistry* reg = obs::metrics();
+      reg != nullptr && reg != &registry_)
+    reg->gauge(name).set(v);
+}
+
+void SchedulerService::log_queue_reject(const char* reason_head,
+                                        const std::string& app,
+                                        bool guaranteed,
+                                        const std::string& detail) {
+  if (obs::DecisionLog* log = obs::decision_log()) {
+    log->record(obs::DecisionKind::kQueueReject, app, guaranteed ? "GR" : "BE",
+                detail.empty() ? std::string(reason_head)
+                               : std::string(reason_head) + " " + detail,
+                0.0, 0.0, 0);
+  }
+  bump((std::string("service.rejected.") + reason_head).c_str());
+}
 
 std::future<ServiceResult> SchedulerService::submit(Application app) {
   const auto deadline =
@@ -123,9 +162,11 @@ std::future<ServiceResult> SchedulerService::enqueue(
       req.promise.set_value(std::move(result));
       return future;
     }
+    window_.add("arrivals");
     const std::size_t depth = queued_unlocked();
     if (depth >= options_.queue_capacity) {
-      ++stats_.queue_full;
+      window_.add("queue_rejected");
+      window_.add("rejected_any");
       ServiceResult result;
       result.status = ServiceResult::Status::kQueueFull;
       result.reason = "queue_full: " + std::to_string(depth) + "/" +
@@ -135,15 +176,16 @@ std::future<ServiceResult> SchedulerService::enqueue(
       req.promise.set_value(std::move(result));
       return future;
     }
-    if (req.verb == Request::Verb::kSubmit)
-      ++stats_.submits;
-    else
-      ++stats_.removes;
+    bump(req.verb == Request::Verb::kSubmit ? "service.submits"
+                                            : "service.removes");
+    req.trace = next_trace_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::ChromeTraceCollector* trace = obs::trace_collector())
+      trace->record_flow("service.request", trace->to_origin_us(req.enqueued),
+                         /*start=*/true, req.trace);
     queues_[cls].push_back(std::move(req));
-    if (obs::MetricsRegistry* reg = obs::metrics()) {
-      reg->counter("service.enqueued").add(1);
-      reg->gauge("service.queue.depth").set(static_cast<double>(depth + 1));
-    }
+    bump("service.enqueued");
+    gauge_set("service.queue.depth", static_cast<double>(depth + 1));
+    window_.observe("queue_depth", static_cast<double>(depth + 1));
   }
   work_cv_.notify_one();
   return future;
@@ -161,8 +203,82 @@ std::size_t SchedulerService::queue_depth() const {
 }
 
 ServiceStats SchedulerService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  const obs::MetricsSnapshot snap = registry_.snapshot();
+  ServiceStats s;
+  s.submits = snap.counter_or("service.submits");
+  s.removes = snap.counter_or("service.removes");
+  s.admitted = snap.counter_or("service.admitted");
+  s.rejected = snap.counter_or("service.rejected");
+  s.queue_full = snap.counter_or("service.rejected.queue_full");
+  s.deadline_expired = snap.counter_or("service.rejected.deadline_exceeded");
+  s.batches = snap.counter_or("service.batches");
+  s.max_batch_seen =
+      static_cast<std::uint64_t>(snap.gauge_or("service.batch.max_seen"));
+  s.resolves_saved = snap.counter_or("service.resolves_saved");
+  s.invariant_violations = snap.counter_or("service.invariant_violations");
+  s.pf_solves = snap.counter_or("service.pf.solves");
+  s.pf_warm_hits = snap.counter_or("service.pf.warm_hits");
+  s.pf_warm_fallbacks = snap.counter_or("service.pf.warm_fallbacks");
+  s.pf_newton_iters = snap.counter_or("service.pf.newton_iters");
+  for (const auto& [name, value] : snap.counters)
+    s.metrics[name] = static_cast<double>(value);
+  for (const auto& [name, value] : snap.gauges) s.metrics[name] = value;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.first_violation = first_violation_;
+  }
+  return s;
+}
+
+obs::SloReport SchedulerService::slo_report() const {
+  return slo_.evaluate(window_);
+}
+
+obs::MetricsSnapshot SchedulerService::telemetry_snapshot(
+    obs::SloReport* report_out) const {
+  obs::MetricsSnapshot snap = registry_.snapshot();
+  const auto now = obs::TimeSeriesWindow::Clock::now();
+  window_.export_to(snap, "service.window.", now);
+  const obs::SloReport report = slo_.evaluate(window_, now);
+  obs::SloTracker::export_to(report, snap);
+  if (report_out != nullptr) *report_out = report;
+  return snap;
+}
+
+std::string SchedulerService::prometheus_text() const {
+  return obs::to_prometheus(telemetry_snapshot(nullptr));
+}
+
+std::map<std::string, std::string> SchedulerService::health_fields() const {
+  obs::SloReport report;
+  const obs::MetricsSnapshot snap = telemetry_snapshot(&report);
+  const std::shared_ptr<const ServiceSnapshot> view = snapshot();
+
+  std::map<std::string, std::string> fields;
+  fields["status"] = "ok";
+  fields["slo_state"] = obs::to_string(report.worst);
+  fields["version"] = std::to_string(view->version);
+  fields["apps"] = std::to_string(view->apps.size());
+  fields["queue_depth"] = std::to_string(queue_depth());
+  fields["window_seconds"] = std::to_string(window_.window_seconds());
+  fields["arrivals_per_second"] =
+      fmt(snap.gauge_or("service.window.arrivals.per_second"));
+  fields["admitted_per_second"] =
+      fmt(snap.gauge_or("service.window.admitted.per_second"));
+  fields["rejected_per_second"] =
+      fmt(snap.gauge_or("service.window.rejected_any.per_second"));
+  fields["admission_p50_us"] =
+      fmt(snap.gauge_or("service.window.admission_latency_us.p50"));
+  fields["admission_p99_us"] =
+      fmt(snap.gauge_or("service.window.admission_latency_us.p99"));
+  for (const obs::SloEvaluation& eval : report.targets) {
+    const std::string base = "slo." + eval.name;
+    fields[base + ".state"] = obs::to_string(eval.state);
+    fields[base + ".burn"] = fmt(eval.burn);
+    fields[base + ".observed"] = fmt(eval.observed);
+    fields[base + ".target"] = fmt(eval.target);
+  }
+  return fields;
 }
 
 std::shared_ptr<const ServiceSnapshot> SchedulerService::snapshot() const {
@@ -219,10 +335,8 @@ void SchedulerService::scheduling_loop() {
         }
       }
       processing_ = true;
-      if (obs::MetricsRegistry* reg = obs::metrics()) {
-        reg->gauge("service.queue.depth")
-            .set(static_cast<double>(queued_unlocked()));
-      }
+      gauge_set("service.queue.depth",
+                static_cast<double>(queued_unlocked()));
     }
 
     process_batch(batch);
@@ -237,7 +351,7 @@ void SchedulerService::scheduling_loop() {
 
 void SchedulerService::process_batch(std::vector<Request>& batch) {
   obs::ScopedTimer timer("service.batch");
-  const auto now = std::chrono::steady_clock::now();
+  const auto popped = std::chrono::steady_clock::now();
 
   // Reject expired requests up front; the survivors form the scheduler
   // batch.  Index into `batch` per survivor so results can be patched.
@@ -246,35 +360,51 @@ void SchedulerService::process_batch(std::vector<Request>& batch) {
   std::vector<ServiceResult> results(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Request& req = batch[i];
-    if (req.deadline < now) {
+    results[i].timeline.trace_id = req.trace;
+    results[i].timeline.queue_us = elapsed_us(req.enqueued, popped);
+    if (req.deadline < popped) {
       const bool submit = req.verb == Request::Verb::kSubmit;
       const std::string& label = submit ? req.app.name : req.name;
       results[i].status = ServiceResult::Status::kDeadlineExceeded;
       results[i].reason =
           "deadline_exceeded: waited " +
           std::to_string(
-              static_cast<long long>(elapsed_us(req.enqueued, now))) +
+              static_cast<long long>(elapsed_us(req.enqueued, popped))) +
           "us in queue";
+      const obs::ScopedTrace trace_scope(req.trace);
       log_queue_reject("deadline_exceeded", label,
                        submit && req.app.qoe.cls == QoeClass::kGuaranteedRate,
                        results[i].reason);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.deadline_expired;
+      window_.add("queue_rejected");
+      window_.add("rejected_any");
       continue;
     }
     live.push_back(i);
   }
 
-  std::size_t admitted = 0, rejected = 0, resolves_saved = 0;
+  // Per-request apply intervals; the gaps around them are batch assembly.
+  std::vector<std::chrono::steady_clock::time_point> apply_start(
+      batch.size(), popped),
+      apply_end(batch.size(), popped);
+  auto solve_start = popped, solve_end = popped;
+
+  std::size_t admitted = 0, rejected = 0, removed = 0, resolves_saved = 0;
   if (!live.empty()) {
     scheduler_.begin_batch();
     for (std::size_t i : live) {
       Request& req = batch[i];
+      // The trace scope tags every decision-log row and span the
+      // scheduler emits while applying this request.
+      const obs::ScopedTrace trace_scope(req.trace);
+      const obs::ScopedTimer apply_span("service.apply");
+      apply_start[i] = std::chrono::steady_clock::now();
       if (req.verb == Request::Verb::kRemove) {
         const bool found = scheduler_.remove(req.name);
         results[i].status = found ? ServiceResult::Status::kRemoved
                                   : ServiceResult::Status::kNotFound;
         if (!found) results[i].reason = "no placed app named '" + req.name + "'";
+        if (found) ++removed;
+        apply_end[i] = std::chrono::steady_clock::now();
         continue;
       }
       // Names key remove and query, so the service (unlike the bare
@@ -291,6 +421,7 @@ void SchedulerService::process_batch(std::vector<Request>& batch) {
         results[i].reason =
             "an app named '" + req.app.name + "' is already placed";
         ++rejected;
+        apply_end[i] = std::chrono::steady_clock::now();
         continue;
       }
       // A malformed application (Application::validate throws) must
@@ -313,8 +444,11 @@ void SchedulerService::process_batch(std::vector<Request>& batch) {
         ++admitted;
       else
         ++rejected;
+      apply_end[i] = std::chrono::steady_clock::now();
     }
+    solve_start = std::chrono::steady_clock::now();
     const Scheduler::BatchReport report = scheduler_.end_batch();
+    solve_end = std::chrono::steady_clock::now();
     if (report.deferred_resolves > 1)
       resolves_saved = report.deferred_resolves - 1;
 
@@ -349,10 +483,9 @@ void SchedulerService::process_batch(std::vector<Request>& batch) {
   if (options_.validate_batches && !live.empty()) {
     const check::CheckReport report = check::check_scheduler_state(scheduler_);
     if (!report.ok()) {
+      bump("service.invariant_violations");
       std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.invariant_violations;
-      if (stats_.first_violation.empty())
-        stats_.first_violation = report.to_string();
+      if (first_violation_.empty()) first_violation_ = report.to_string();
     }
   }
 
@@ -362,36 +495,98 @@ void SchedulerService::process_batch(std::vector<Request>& batch) {
   // that observes its future ready and immediately queries sees a state
   // that includes its own request.
   const auto done = std::chrono::steady_clock::now();
-  if (obs::MetricsRegistry* reg = obs::metrics()) {
-    reg->histogram("service.batch.size", {1, 2, 4, 8, 16, 32, 64, 128})
-        .observe(static_cast<double>(batch.size()));
-    if (admitted > 0) reg->counter("service.admitted").add(admitted);
-    if (rejected > 0) reg->counter("service.rejected").add(rejected);
-    if (resolves_saved > 0)
-      reg->counter("service.resolves_saved").add(resolves_saved);
-    auto& latency = reg->histogram("service.admission_latency.us",
-                                   obs::default_time_bounds_us());
-    for (const Request& req : batch)
-      latency.observe(elapsed_us(req.enqueued, done));
-  }
-  {
-    // Counters must be current before any promise resolves: a client that
-    // sees its future ready may immediately read stats().
-    const Scheduler::PfSolverStats pf = scheduler_.pf_solver_stats();
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.admitted += admitted;
-    stats_.rejected += rejected;
-    stats_.resolves_saved += resolves_saved;
-    ++stats_.batches;
-    stats_.max_batch_seen =
-        std::max<std::uint64_t>(stats_.max_batch_seen, batch.size());
-    stats_.pf_solves = pf.solves;
-    stats_.pf_warm_hits = pf.warm_hits;
-    stats_.pf_warm_fallbacks = pf.warm_fallbacks;
-    stats_.pf_newton_iters = pf.newton_iters;
+  const double solve_us = elapsed_us(solve_start, solve_end);
+  for (std::size_t i : live) {
+    RequestTimeline& t = results[i].timeline;
+    t.batch_us = elapsed_us(popped, apply_start[i]) +
+                 elapsed_us(apply_end[i], solve_start);
+    t.apply_us = elapsed_us(apply_start[i], apply_end[i]);
+    t.solve_us = solve_us;
+    t.reply_us = elapsed_us(solve_end, done);
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     results[i].latency_us = elapsed_us(batch[i].enqueued, done);
+    if (results[i].status == ServiceResult::Status::kDeadlineExceeded)
+      results[i].timeline.reply_us = elapsed_us(popped, done);
+  }
+
+  // Counters, window feeds, and trace flows must all be current before
+  // any promise resolves: a client that sees its future ready may
+  // immediately read stats(), scrape the ops endpoint, or export traces.
+  {
+    registry_.histogram("service.batch.size", {1, 2, 4, 8, 16, 32, 64, 128})
+        .observe(static_cast<double>(batch.size()));
+    auto& latency = registry_.histogram("service.admission_latency.us",
+                                        obs::default_time_bounds_us());
+    for (const ServiceResult& result : results)
+      latency.observe(result.latency_us);
+    if (obs::MetricsRegistry* reg = obs::metrics();
+        reg != nullptr && reg != &registry_) {
+      reg->histogram("service.batch.size", {1, 2, 4, 8, 16, 32, 64, 128})
+          .observe(static_cast<double>(batch.size()));
+      auto& mirror = reg->histogram("service.admission_latency.us",
+                                    obs::default_time_bounds_us());
+      for (const ServiceResult& result : results)
+        mirror.observe(result.latency_us);
+    }
+  }
+  if (admitted > 0) bump("service.admitted", admitted);
+  if (rejected > 0) bump("service.rejected", rejected);
+  if (resolves_saved > 0) bump("service.resolves_saved", resolves_saved);
+  bump("service.batches");
+  registry_.gauge("service.batch.max_seen")
+      .max(static_cast<double>(batch.size()));
+  if (obs::MetricsRegistry* reg = obs::metrics();
+      reg != nullptr && reg != &registry_)
+    reg->gauge("service.batch.max_seen").max(static_cast<double>(batch.size()));
+  {
+    const Scheduler::PfSolverStats pf = scheduler_.pf_solver_stats();
+    if (pf.solves > prev_pf_.solves)
+      bump("service.pf.solves", pf.solves - prev_pf_.solves);
+    if (pf.warm_hits > prev_pf_.warm_hits)
+      bump("service.pf.warm_hits", pf.warm_hits - prev_pf_.warm_hits);
+    if (pf.warm_fallbacks > prev_pf_.warm_fallbacks)
+      bump("service.pf.warm_fallbacks",
+           pf.warm_fallbacks - prev_pf_.warm_fallbacks);
+    if (pf.newton_iters > prev_pf_.newton_iters)
+      bump("service.pf.newton_iters", pf.newton_iters - prev_pf_.newton_iters);
+    if (pf.solves > prev_pf_.solves)
+      window_.add("pf_solves",
+                  static_cast<double>(pf.solves - prev_pf_.solves));
+    if (pf.warm_hits > prev_pf_.warm_hits)
+      window_.add("pf_warm_hits",
+                  static_cast<double>(pf.warm_hits - prev_pf_.warm_hits));
+    prev_pf_ = pf;
+  }
+  window_.add("batches");
+  window_.observe("batch_occupancy", static_cast<double>(batch.size()));
+  if (admitted > 0) window_.add("admitted", static_cast<double>(admitted));
+  if (removed > 0) window_.add("removes", static_cast<double>(removed));
+  if (rejected > 0) {
+    window_.add("rejected", static_cast<double>(rejected));
+    window_.add("rejected_any", static_cast<double>(rejected));
+  }
+  for (const ServiceResult& result : results)
+    window_.observe("admission_latency_us", result.latency_us);
+  for (std::size_t i : live) {
+    const RequestTimeline& t = results[i].timeline;
+    window_.observe("stage_queue_us", t.queue_us);
+    window_.observe("stage_apply_us", t.apply_us);
+    window_.observe("stage_solve_us", t.solve_us);
+  }
+
+  obs::ChromeTraceCollector* trace = obs::trace_collector();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (trace != nullptr && batch[i].trace != 0) {
+      // One complete span per request (enqueue → reply) joined to the
+      // enqueue-side flow start, so the viewer renders each request as a
+      // causally-linked chain across threads.
+      trace->record_complete("service.request",
+                             trace->to_origin_us(batch[i].enqueued),
+                             results[i].latency_us, batch[i].trace);
+      trace->record_flow("service.request", trace->to_origin_us(done),
+                         /*start=*/false, batch[i].trace);
+    }
     batch[i].promise.set_value(std::move(results[i]));
   }
 }
@@ -417,8 +612,7 @@ void SchedulerService::publish_snapshot() {
     snap->version = snap_->version + 1;
     snap_ = std::move(snap);
   }
-  if (obs::MetricsRegistry* reg = obs::metrics())
-    reg->counter("service.snapshots").add(1);
+  bump("service.snapshots");
 }
 
 }  // namespace sparcle::service

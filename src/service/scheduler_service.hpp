@@ -1,10 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -14,6 +16,9 @@
 #include "core/scheduler.hpp"
 #include "model/application.hpp"
 #include "model/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/time_series.hpp"
 
 /// \file scheduler_service.hpp
 /// The long-running placement controller: a thread-safe admission daemon
@@ -65,6 +70,44 @@ struct ServiceOptions {
   /// Start with the scheduling thread paused (resume() arms it).  Lets
   /// tests and load generators stage a queue deterministically.
   bool start_paused{false};
+  /// Width of the live telemetry window (per-second buckets) behind
+  /// window(), the `service.window.*` exposition family, and SLO
+  /// evaluation.
+  std::size_t window_seconds{60};
+  /// Default SLO: admission latency p99 ceiling over the window, in
+  /// microseconds.  0 disables the objective.
+  double slo_admission_p99_us{100000.0};
+  /// Default SLO: ceiling on (queue + scheduler) rejections as a fraction
+  /// of arrivals over the window.  0 disables the objective.
+  double slo_reject_ratio{0.25};
+  /// Extra operator-defined objectives over the window series
+  /// (docs/observability.md lists the series names).
+  std::vector<obs::SloSpec> slos;
+};
+
+/// Per-stage latency breakdown of one request's journey through the
+/// admission pipeline.  The stages partition enqueue→reply, so they sum
+/// to ServiceResult::latency_us (within clock-read jitter):
+///
+///   queue  waiting in the bounded priority queue (enqueue → batch pop)
+///   batch  batch assembly around this request's own turn (pop → its
+///          scheduler call, plus the gap until the shared solve starts)
+///   apply  this request's own scheduler submit/remove call
+///   solve  the batch's shared deferred PF re-solve (end_batch); every
+///          request in the batch reports the same value — that is the
+///          cost amortization made visible
+///   reply  post-solve bookkeeping until the promise resolves
+struct RequestTimeline {
+  std::uint64_t trace_id{0};  ///< non-zero once the request is queued
+  double queue_us{0.0};
+  double batch_us{0.0};
+  double apply_us{0.0};
+  double solve_us{0.0};
+  double reply_us{0.0};
+
+  double total_us() const {
+    return queue_us + batch_us + apply_us + solve_us + reply_us;
+  }
 };
 
 /// Terminal outcome of one service request.
@@ -85,6 +128,9 @@ struct ServiceResult {
   std::size_t paths{0};      ///< committed path count (admitted submits)
   /// Time the request spent from enqueue to reply, in microseconds.
   double latency_us{0.0};
+  /// Trace id plus the per-stage breakdown of latency_us.  trace_id is 0
+  /// only for requests bounced before queueing (queue_full, shutdown).
+  RequestTimeline timeline;
 
   bool ok() const {
     return status == Status::kAdmitted || status == Status::kRemoved;
@@ -120,8 +166,11 @@ struct ServiceSnapshot {
   const AppView* find(const std::string& name) const;
 };
 
-/// Monotone counters describing the service's lifetime (mutex-snapshotted
-/// copy; see also the service.* instruments in docs/observability.md).
+/// Monotone counters describing the service's lifetime.  Every numeric
+/// field is *derived* from the service's own metrics registry (the same
+/// source the ops endpoint exposes), so a counter can never drift from
+/// what a scrape reports; `metrics` carries the full registry snapshot —
+/// counters and gauges by instrument name (docs/observability.md).
 struct ServiceStats {
   std::uint64_t submits{0};          ///< submit requests accepted into the queue
   std::uint64_t removes{0};          ///< remove requests accepted into the queue
@@ -140,6 +189,9 @@ struct ServiceStats {
   std::uint64_t pf_warm_hits{0};       ///< solves converged from a warm start
   std::uint64_t pf_warm_fallbacks{0};  ///< warm attempts that went cold
   std::uint64_t pf_newton_iters{0};    ///< Newton iterations, all solves
+  /// Every registered service instrument (counters and gauges) by name —
+  /// the registry snapshot the named fields above are read from.
+  std::map<std::string, double> metrics;
 };
 
 /// The concurrent admission daemon.  All public methods are thread-safe;
@@ -196,6 +248,28 @@ class SchedulerService {
   /// Requests currently queued (all classes).
   std::size_t queue_depth() const;
 
+  /// The service's own metrics registry — always on, independent of the
+  /// process-global obs sinks.  Installing it globally (sparcle_serve
+  /// does) folds scheduler.* / assigner.* instruments into the same
+  /// registry the ops endpoint exposes.
+  obs::MetricsRegistry& registry() { return registry_; }
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
+  /// The live sliding window behind `service.window.*` and the SLOs.
+  const obs::TimeSeriesWindow& window() const { return window_; }
+
+  /// Evaluates the configured SLOs against the window right now.
+  obs::SloReport slo_report() const;
+
+  /// Full Prometheus text exposition: the registry, the window gauges
+  /// (`service.window.*`), and the SLO gauges (`slo.*`), prefix
+  /// `sparcle_`.  The TcpServer `metrics` verb serves this.
+  std::string prometheus_text() const;
+
+  /// Flat health document for the TcpServer `stats` verb: status, SLO
+  /// worst-state, queue depth, window rates, and per-objective burn.
+  std::map<std::string, std::string> health_fields() const;
+
   /// The network this service places onto.  Immutable for the service's
   /// lifetime; connection threads use it to resolve NCP names in wire
   /// submissions.
@@ -206,6 +280,7 @@ class SchedulerService {
     enum class Verb { kSubmit, kRemove } verb{Verb::kSubmit};
     Application app;        ///< submit payload
     std::string name;       ///< remove payload
+    std::uint64_t trace{0};  ///< trace id, assigned at enqueue
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;  ///< max() = none
     std::promise<ServiceResult> promise;
@@ -220,16 +295,35 @@ class SchedulerService {
   void process_batch(std::vector<Request>& batch);
   void publish_snapshot();
   std::size_t queued_unlocked() const;
+  /// Counter add on the internal registry, mirrored to the global sink
+  /// when one is installed and it is not the internal registry itself.
+  void bump(const char* name, std::uint64_t n = 1);
+  void gauge_set(const char* name, double v);
+  /// Logs a queue-level bounce to the installed decision log and counts
+  /// it (`service.rejected.<reason_head>`).
+  void log_queue_reject(const char* reason_head, const std::string& app,
+                        bool guaranteed, const std::string& detail);
+  /// registry_ snapshot + window + SLO gauges merged — the exposition's
+  /// and health document's single source.
+  obs::MetricsSnapshot telemetry_snapshot(obs::SloReport* report_out) const;
 
   Network net_;               ///< immutable reference copy for readers
   Scheduler scheduler_;       ///< touched only by the scheduling thread
   ServiceOptions options_;
 
-  mutable std::mutex mu_;     ///< guards queues_, stats_, flags
+  obs::MetricsRegistry registry_;   ///< always-on service instruments
+  obs::TimeSeriesWindow window_;    ///< live per-second telemetry
+  obs::SloTracker slo_;             ///< objectives over window_
+  std::atomic<std::uint64_t> next_trace_{1};
+
+  mutable std::mutex mu_;     ///< guards queues_, first_violation_, flags
   std::condition_variable work_cv_;   ///< wakes the scheduling thread
   std::condition_variable idle_cv_;   ///< wakes drain()ers
   std::deque<Request> queues_[kClasses];
-  ServiceStats stats_;
+  std::string first_violation_;  ///< first checker report, if any
+  /// PF counters from the previous batch (scheduler reports absolutes;
+  /// the window wants deltas).  Scheduling thread only.
+  Scheduler::PfSolverStats prev_pf_;
   bool paused_{false};
   bool stopping_{false};
   bool processing_{false};    ///< a batch is being applied right now

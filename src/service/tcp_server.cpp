@@ -210,6 +210,12 @@ std::string TcpServer::handle_line(const std::string& line) {
       service_.drain();
       return wire::snapshot_line(*service_.snapshot());
     }
+    if (verb == "stats") {
+      return wire::to_line(service_.health_fields());
+    }
+    if (verb == "metrics") {
+      return wire::metrics_line(service_.prometheus_text());
+    }
   } catch (const std::exception& e) {
     return wire::error_line(e.what());
   }

@@ -196,6 +196,22 @@ std::string result_line(const ServiceResult& result) {
   fields["availability"] = fmt(result.availability);
   fields["paths"] = std::to_string(result.paths);
   fields["latency_us"] = fmt(result.latency_us);
+  if (result.timeline.trace_id != 0) {
+    fields["trace_id"] = std::to_string(result.timeline.trace_id);
+    fields["queue_us"] = fmt(result.timeline.queue_us);
+    fields["batch_us"] = fmt(result.timeline.batch_us);
+    fields["apply_us"] = fmt(result.timeline.apply_us);
+    fields["solve_us"] = fmt(result.timeline.solve_us);
+    fields["reply_us"] = fmt(result.timeline.reply_us);
+  }
+  return to_line(fields);
+}
+
+std::string metrics_line(const std::string& body) {
+  std::map<std::string, std::string> fields;
+  fields["status"] = "ok";
+  fields["format"] = "prometheus-0.0.4";
+  fields["body"] = body;
   return to_line(fields);
 }
 

@@ -18,6 +18,8 @@
 ///     {"verb":"query"}              — snapshot summary
 ///     {"verb":"query","name":"a"}   — one application's view
 ///     {"verb":"drain"}              — block until the queue empties
+///     {"verb":"stats"}              — flat JSON health document (SLO state)
+///     {"verb":"metrics"}            — Prometheus exposition in "body"
 ///
 /// The `app` payload of submit is a scenario-format `app ... end` block
 /// (workload::parse_apps_text / write_app_text) — the same text format
@@ -40,8 +42,17 @@ std::map<std::string, std::string> parse_line(const std::string& line);
 
 /// Renders a ServiceResult as a response line:
 /// `{"status":"admitted","rate":...,"availability":...,"paths":...,
-///   "latency_us":...}` plus `"reason"` when non-empty.
+///   "latency_us":...}` plus `"reason"` when non-empty.  Requests that
+/// reached the queue also carry `"trace_id"` and the per-stage breakdown
+/// `"queue_us"`/`"batch_us"`/`"apply_us"`/`"solve_us"`/`"reply_us"`
+/// (RequestTimeline — the stages sum to latency_us).
 std::string result_line(const ServiceResult& result);
+
+/// Renders a multi-line text payload (Prometheus exposition) as the
+/// `metrics` response: `{"status":"ok","format":"prometheus-0.0.4",
+///   "body":"..."}` with the text newline-escaped into one JSON string.
+/// Clients recover the text by unescaping `body` (e.g. `jq -r .body`).
+std::string metrics_line(const std::string& body);
 
 /// Renders a snapshot summary response:
 /// `{"status":"ok","version":...,"apps":...,"total_gr_rate":...,

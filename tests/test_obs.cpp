@@ -351,6 +351,80 @@ TEST(DecisionLog, QueueRejectRowsRoundTripThroughCsv) {
   EXPECT_EQ(rows[1].app, "late7");
 }
 
+TEST(DecisionLog, CapacityCapDropsOldestAndKeepsSeqMonotone) {
+  MetricsRegistry reg;
+  Observability sinks;
+  sinks.metrics = &reg;
+  ScopedInstall session(sinks);
+
+  DecisionLog log;
+  log.set_capacity(2);
+  for (int i = 0; i < 5; ++i)
+    log.record(DecisionKind::kAdmit, "app" + std::to_string(i), "BE", "ok",
+               1.0, 1.0, 1);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 3u);
+  const auto rows = log.snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  // The newest rows survive; seq stays globally monotone across drops so
+  // gaps are detectable in an exported audit window.
+  EXPECT_EQ(rows[0].app, "app3");
+  EXPECT_EQ(rows[0].seq, 3u);
+  EXPECT_EQ(rows[1].seq, 4u);
+  // Drops are mirrored to the installed registry.
+  EXPECT_EQ(reg.snapshot().counter_or("decision_log.dropped"), 3u);
+
+  // Shrinking evicts eagerly; a zero cap drops everything recorded.
+  log.set_capacity(1);
+  EXPECT_EQ(log.size(), 1u);
+  log.set_capacity(0);
+  EXPECT_EQ(log.size(), 0u);
+  log.record(DecisionKind::kAdmit, "x", "BE", "ok", 1.0, 1.0, 1);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 6u);
+}
+
+TEST(DecisionLog, RowsCarryTheActiveThreadTraceId) {
+  DecisionLog log;
+  {
+    ScopedTrace scope(42);
+    log.record(DecisionKind::kAdmit, "a", "BE", "ok", 1.0, 1.0, 1);
+  }
+  log.record(DecisionKind::kAdmit, "b", "BE", "ok", 1.0, 1.0, 1);
+  const auto rows = log.snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].trace, 42u);
+  EXPECT_EQ(rows[1].trace, 0u);  // outside the scope the id is restored
+  // The id is the trailing CSV column.
+  const std::string csv = log.to_csv();
+  EXPECT_NE(csv.find(",42\n"), std::string::npos) << csv;
+}
+
+TEST(ChromeTrace, CapacityCapKeepsTheNewestEvents) {
+  MetricsRegistry reg;
+  Observability sinks;
+  sinks.metrics = &reg;
+  ScopedInstall session(sinks);
+
+  ChromeTraceCollector trace;
+  trace.set_capacity(3);
+  for (int i = 0; i < 7; ++i)
+    trace.record_complete("e" + std::to_string(i), i * 10.0, 1.0);
+  EXPECT_EQ(trace.event_count(), 3u);
+  EXPECT_EQ(trace.dropped(), 4u);
+  const std::string json = trace.to_json();
+  EXPECT_EQ(json.find("\"name\": \"e0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"e6\""), std::string::npos);
+  EXPECT_EQ(reg.snapshot().counter_or("trace.dropped"), 4u);
+
+  // A zero cap records nothing (but still counts the attempts).
+  trace.set_capacity(0);
+  EXPECT_EQ(trace.event_count(), 0u);
+  trace.record_flow("flow", 0.0, /*start=*/true, 9);
+  EXPECT_EQ(trace.event_count(), 0u);
+  EXPECT_EQ(trace.dropped(), 8u);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end: assigner memo counters match the known call pattern
 

@@ -12,6 +12,8 @@
 
 #include "core/parallel.hpp"
 #include "obs/obs.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/slo.hpp"
 #include "service/client.hpp"
 #include "service/tcp_server.hpp"
 #include "service/wire.hpp"
@@ -446,6 +448,181 @@ TEST(TcpServer, HandleLineReportsProtocolErrors) {
   expect_error("{\"verb\":\"submit\",\"app\":\"ncp rogue 5\"}",
                "network is fixed");
   expect_error("{\"verb\":\"remove\"}", "missing 'name'");
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry plane: request tracing, stage breakdown, SLOs, ops endpoint
+
+TEST(Telemetry, TimelineStagesPartitionTheLatency) {
+  // Batch several submits so the shared PF solve is visibly amortized.
+  ServiceOptions options;
+  options.max_batch = 16;
+  options.start_paused = true;
+  SchedulerService svc(make_two_relay_net(), SchedulerOptions{}, options);
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(svc.submit(
+        make_app("app" + std::to_string(i), QoeSpec::best_effort(1.0))));
+  svc.resume();
+
+  std::set<std::uint64_t> traces;
+  double shared_solve = -1.0;
+  for (auto& f : futures) {
+    const ServiceResult r = f.get();
+    ASSERT_TRUE(r.ok()) << r.reason;
+    const service::RequestTimeline& t = r.timeline;
+    EXPECT_TRUE(traces.insert(t.trace_id).second);  // ids are unique
+    EXPECT_GT(t.trace_id, 0u);
+    EXPECT_GE(t.queue_us, 0.0);
+    EXPECT_GE(t.batch_us, 0.0);
+    EXPECT_GE(t.apply_us, 0.0);
+    EXPECT_GE(t.solve_us, 0.0);
+    EXPECT_GE(t.reply_us, 0.0);
+    // The stages partition enqueue-to-reply: they are computed from the
+    // same clock reads as latency_us, so the sum matches exactly (up to
+    // floating-point rounding).
+    EXPECT_NEAR(t.total_us(), r.latency_us, 1e-3) << r.latency_us;
+    // Every request in the one batch reports the same shared solve cost.
+    if (shared_solve < 0.0)
+      shared_solve = t.solve_us;
+    else
+      EXPECT_DOUBLE_EQ(t.solve_us, shared_solve);
+  }
+}
+
+TEST(Telemetry, ExpiredRequestsStillGetAPartitionedTimeline) {
+  ServiceOptions options;
+  options.start_paused = true;
+  SchedulerService svc(make_two_relay_net(), SchedulerOptions{}, options);
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  auto expired = svc.submit(make_app("late", QoeSpec::best_effort(1.0)), past);
+  svc.resume();
+  const ServiceResult r = expired.get();
+  ASSERT_EQ(r.status, ServiceResult::Status::kDeadlineExceeded);
+  EXPECT_GT(r.timeline.trace_id, 0u);  // it was queued, so it was traced
+  EXPECT_DOUBLE_EQ(r.timeline.apply_us, 0.0);  // never reached the scheduler
+  EXPECT_DOUBLE_EQ(r.timeline.solve_us, 0.0);
+  EXPECT_NEAR(r.timeline.total_us(), r.latency_us, 1e-3);
+}
+
+TEST(Telemetry, TraceIdLinksDecisionLogAndChromeTrace) {
+  obs::DecisionLog decisions;
+  obs::ChromeTraceCollector trace;
+  obs::Observability sinks;
+  sinks.decisions = &decisions;
+  sinks.trace = &trace;
+  obs::ScopedInstall obs_session(sinks);
+
+  SchedulerService svc(make_two_relay_net());
+  const ServiceResult r =
+      svc.submit(make_app("a", QoeSpec::best_effort(1.0))).get();
+  ASSERT_TRUE(r.ok()) << r.reason;
+  const std::uint64_t id = r.timeline.trace_id;
+  ASSERT_GT(id, 0u);
+
+  // The scheduler's admit row carries the originating request's trace id
+  // (stamped via the scheduling thread's ScopedTrace).
+  bool found = false;
+  for (const obs::Decision& d : decisions.snapshot())
+    if (d.kind == obs::DecisionKind::kAdmit && d.app == "a") {
+      found = true;
+      EXPECT_EQ(d.trace, id);
+    }
+  EXPECT_TRUE(found);
+  // ...and lands in the trailing CSV column.
+  const std::string csv = decisions.to_csv();
+  EXPECT_EQ(csv.find(obs::DecisionLog::kCsvHeader), 0u);
+  EXPECT_NE(csv.find("," + std::to_string(id) + "\n"), std::string::npos);
+
+  // The Chrome trace shows the request as one causally-linked flow: a
+  // flow start at enqueue, the enqueue-to-reply span tagged with the
+  // trace id, and a flow finish binding to it.
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("\"name\": \"service.request\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"trace_id\": " + std::to_string(id) + "}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": " + std::to_string(id)), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+}
+
+TEST(Telemetry, SloFlipsToDegradedUnderQueueOverload) {
+  // 8 arrivals against a 5-deep paused queue: 3 bounce, the reject ratio
+  // hits 0.375 against the default 0.25 ceiling — burn 1.5, degraded.
+  ServiceOptions options;
+  options.queue_capacity = 5;
+  options.start_paused = true;
+  SchedulerService svc(make_two_relay_net(), SchedulerOptions{}, options);
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < 8; ++i)
+    futures.push_back(svc.submit(
+        make_app("app" + std::to_string(i), QoeSpec::best_effort(1.0))));
+
+  const obs::SloReport report = svc.slo_report();
+  const obs::SloEvaluation* rej = report.find("reject_ratio");
+  ASSERT_NE(rej, nullptr);
+  EXPECT_NEAR(rej->observed, 0.375, 1e-9);
+  EXPECT_NEAR(rej->burn, 1.5, 1e-9);
+  EXPECT_EQ(rej->state, obs::SloState::kDegraded);
+  EXPECT_EQ(report.worst, obs::SloState::kDegraded);
+
+  // The health document and the exposition tell the same story — through
+  // the TcpServer verbs, as an operator would see them.
+  service::TcpServer server(svc);  // never started: handle_line is direct
+  const auto stats_fields =
+      service::wire::parse_line(server.handle_line("{\"verb\":\"stats\"}"));
+  EXPECT_EQ(stats_fields.at("status"), "ok");
+  EXPECT_EQ(stats_fields.at("slo_state"), "degraded");
+  EXPECT_EQ(stats_fields.at("slo.reject_ratio.state"), "degraded");
+  EXPECT_EQ(stats_fields.at("queue_depth"), "5");
+
+  const auto metrics_fields =
+      service::wire::parse_line(server.handle_line("{\"verb\":\"metrics\"}"));
+  EXPECT_EQ(metrics_fields.at("status"), "ok");
+  EXPECT_EQ(metrics_fields.at("format"), "prometheus-0.0.4");
+  const auto samples = obs::validate_exposition(metrics_fields.at("body"));
+  EXPECT_FALSE(samples.empty());
+  EXPECT_NE(metrics_fields.at("body").find("sparcle_slo_reject_ratio_burn"),
+            std::string::npos);
+
+  svc.resume();
+  for (auto& f : futures) (void)f.get();
+}
+
+TEST(Telemetry, StatsCoverEveryRegisteredServiceInstrument) {
+  // ServiceStats is derived from the registry snapshot, so every counter
+  // and gauge the service registers must appear in stats().metrics — a
+  // newly added instrument can never silently miss the stats path.
+  SchedulerService svc(make_two_relay_net());
+  service::LocalClient client(svc);
+  ASSERT_TRUE(client.submit(make_app("a", QoeSpec::best_effort(1.0))).ok());
+  ASSERT_TRUE(client.remove("a").ok());
+  svc.drain();
+
+  const obs::MetricsSnapshot snap = svc.registry().snapshot();
+  const service::ServiceStats stats = svc.stats();
+  ASSERT_FALSE(snap.counters.empty());
+  for (const auto& [name, value] : snap.counters) {
+    ASSERT_EQ(stats.metrics.count(name), 1u) << name;
+    EXPECT_DOUBLE_EQ(stats.metrics.at(name), static_cast<double>(value))
+        << name;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    ASSERT_EQ(stats.metrics.count(name), 1u) << name;
+    EXPECT_DOUBLE_EQ(stats.metrics.at(name), value) << name;
+  }
+  // The named legacy fields read from the same registry.
+  EXPECT_EQ(stats.submits, snap.counter_or("service.submits"));
+  EXPECT_EQ(stats.removes, snap.counter_or("service.removes"));
+  EXPECT_EQ(stats.admitted, snap.counter_or("service.admitted"));
+  EXPECT_EQ(stats.batches, snap.counter_or("service.batches"));
+  // The latency histogram recorded both requests.
+  const obs::Histogram* lat =
+      svc.registry().find_histogram("service.admission_latency.us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), 2u);
 }
 
 // ---------------------------------------------------------------------------

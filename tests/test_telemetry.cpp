@@ -1,0 +1,353 @@
+/// \file test_telemetry.cpp
+/// The live telemetry plane: TimeSeriesWindow bucket semantics
+/// (wrap-around, idle gaps, monotone-clock regressions), the Prometheus
+/// text exposition contract (name/label escaping, cumulative
+/// _bucket/_sum/_count histograms, deterministic ordering), and SLO
+/// burn-rate evaluation.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/slo.hpp"
+#include "obs/time_series.hpp"
+
+namespace sparcle::obs {
+namespace {
+
+using Clock = TimeSeriesWindow::Clock;
+
+Clock::time_point at(Clock::time_point origin, double seconds) {
+  return origin +
+         std::chrono::duration_cast<Clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesWindow
+
+TEST(TimeSeriesWindow, RateCountsEventsOverTheWindow) {
+  const auto origin = Clock::now();
+  TimeSeriesWindow w(10, origin);
+  for (int i = 0; i < 6; ++i) w.add_at("arrivals", 1.0, at(origin, 0.5 * i));
+  const auto r = w.rate_at("arrivals", at(origin, 2.5));
+  EXPECT_DOUBLE_EQ(r.total, 6.0);
+  EXPECT_EQ(r.samples, 6u);
+  // 3 seconds of a 10s window are covered (process age), so the
+  // denominator is 3, not 10.
+  EXPECT_DOUBLE_EQ(r.per_second, 2.0);
+}
+
+TEST(TimeSeriesWindow, WeightedAddAccumulatesSumNotCount) {
+  const auto origin = Clock::now();
+  TimeSeriesWindow w(10, origin);
+  w.add_at("admitted", 5.0, at(origin, 0.0));
+  const auto r = w.rate_at("admitted", at(origin, 0.0));
+  EXPECT_DOUBLE_EQ(r.total, 5.0);
+  EXPECT_EQ(r.samples, 1u);
+}
+
+TEST(TimeSeriesWindow, WrapAroundDropsBucketsOlderThanTheWindow) {
+  const auto origin = Clock::now();
+  TimeSeriesWindow w(5, origin);
+  // One event per second for 10 seconds; the 5-wide ring recycles each
+  // bucket once.
+  for (int s = 0; s < 10; ++s) w.add_at("e", 1.0, at(origin, s));
+  const auto r = w.rate_at("e", at(origin, 9.0));
+  EXPECT_DOUBLE_EQ(r.total, 5.0);  // seconds 5..9 only
+  EXPECT_DOUBLE_EQ(r.per_second, 1.0);
+}
+
+TEST(TimeSeriesWindow, BucketRecyclingResetsPreviousLapCounts) {
+  const auto origin = Clock::now();
+  TimeSeriesWindow w(5, origin);
+  w.add_at("e", 100.0, at(origin, 0.0));
+  // Second 5 maps onto the same ring slot as second 0; the old count must
+  // not leak into the new bucket.
+  w.add_at("e", 1.0, at(origin, 5.0));
+  const auto r = w.rate_at("e", at(origin, 5.0));
+  EXPECT_DOUBLE_EQ(r.total, 1.0);
+  EXPECT_EQ(r.samples, 1u);
+}
+
+TEST(TimeSeriesWindow, IdleGapReadsZeroWithoutWrites) {
+  const auto origin = Clock::now();
+  TimeSeriesWindow w(5, origin);
+  w.add_at("e", 1.0, at(origin, 0.0));
+  // 100 seconds later, with no writes in between, every bucket stamp has
+  // fallen out of the window: the query must skip them, not wrap into
+  // stale slots.
+  const auto r = w.rate_at("e", at(origin, 100.0));
+  EXPECT_DOUBLE_EQ(r.total, 0.0);
+  EXPECT_EQ(r.samples, 0u);
+}
+
+TEST(TimeSeriesWindow, MonotoneGuardClampsBackwardsClock) {
+  const auto origin = Clock::now();
+  TimeSeriesWindow w(10, origin);
+  w.add_at("e", 1.0, at(origin, 8.0));
+  // A time-point *before* the newest second ever seen is clamped forward
+  // to second 8 — a regressing clock can't reopen a closed bucket.
+  w.add_at("e", 1.0, at(origin, 3.0));
+  const auto r = w.rate_at("e", at(origin, 8.0));
+  EXPECT_DOUBLE_EQ(r.total, 2.0);
+  // Queries clamp the same way: asking about the "past" reads the window
+  // ending at the high-water second.
+  const auto back = w.rate_at("e", at(origin, 0.0));
+  EXPECT_DOUBLE_EQ(back.total, 2.0);
+}
+
+TEST(TimeSeriesWindow, ValueSeriesPercentilesAndMean) {
+  const auto origin = Clock::now();
+  TimeSeriesWindow w(60, origin);
+  double sum = 0.0;
+  for (int v = 1; v <= 100; ++v) {
+    w.observe_at("lat", static_cast<double>(v), at(origin, 0.5));
+    sum += v;
+  }
+  const auto s = w.values_at("lat", at(origin, 1.0));
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.sum, sum);
+  EXPECT_DOUBLE_EQ(s.mean, sum / 100.0);
+  // Log-bucket interpolation: rank 50 falls in the (32, 64] bucket, rank
+  // 99 in (64, 128].
+  EXPECT_GE(s.p50, 32.0);
+  EXPECT_LE(s.p50, 64.0);
+  EXPECT_GE(s.p99, 64.0);
+  EXPECT_LE(s.p99, 128.0);
+  EXPECT_LE(s.p50, s.p99);
+  EXPECT_TRUE(w.is_value_series("lat"));
+  EXPECT_FALSE(w.is_value_series("nope"));
+}
+
+TEST(TimeSeriesWindow, UnknownSeriesReadsAllZero) {
+  TimeSeriesWindow w(5);
+  EXPECT_DOUBLE_EQ(w.rate("ghost").total, 0.0);
+  EXPECT_EQ(w.values("ghost").count, 0u);
+}
+
+TEST(TimeSeriesWindow, ExportMaterializesGauges) {
+  const auto origin = Clock::now();
+  TimeSeriesWindow w(10, origin);
+  w.add_at("arrivals", 1.0, at(origin, 0.0));
+  w.observe_at("lat", 42.0, at(origin, 0.0));
+  MetricsSnapshot snap;
+  w.export_to(snap, "service.window.", at(origin, 0.0));
+  EXPECT_DOUBLE_EQ(snap.gauge_or("service.window.arrivals.total"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("service.window.arrivals.per_second"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("service.window.lat.count"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("service.window.lat.mean"), 42.0);
+  EXPECT_GT(snap.gauge_or("service.window.lat.p99"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("service.queue.depth"), "service_queue_depth");
+  EXPECT_EQ(prometheus_name("a-b c"), "a_b_c");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(prometheus_name("ok:name_1"), "ok:name_1");
+}
+
+TEST(Prometheus, LabelValueEscaping) {
+  EXPECT_EQ(prometheus_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(Prometheus, CountersGetTotalSuffixAndTypeLine) {
+  MetricsRegistry reg;
+  reg.counter("service.admitted").add(3);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE sparcle_service_admitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("sparcle_service_admitted_total 3"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramContractHoldsOnRealRegistry) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat.us", {1.0, 10.0, 100.0});
+  for (double v : {0.5, 5.0, 5.0, 50.0, 5000.0}) h.observe(v);
+  reg.counter("events").add(7);
+  reg.gauge("depth").set(2.5);
+  const std::string text = to_prometheus(reg.snapshot());
+
+  // validate_exposition enforces: cumulative buckets, +Inf == _count,
+  // _sum/_count present.  It throws on violation.
+  const auto samples = validate_exposition(text);
+  double inf_bucket = -1.0, count = -1.0;
+  for (const auto& s : samples) {
+    if (s.name == "sparcle_lat_us_bucket" && s.labels.count("le") &&
+        s.labels.at("le") == "+Inf")
+      inf_bucket = s.value;
+    if (s.name == "sparcle_lat_us_count") count = s.value;
+  }
+  EXPECT_DOUBLE_EQ(inf_bucket, 5.0);
+  EXPECT_DOUBLE_EQ(count, 5.0);
+}
+
+TEST(Prometheus, OutputIsDeterministic) {
+  MetricsRegistry reg;
+  reg.counter("b").add(1);
+  reg.counter("a").add(2);
+  reg.gauge("z").set(1.0);
+  reg.histogram("h", {1.0}).observe(0.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(to_prometheus(snap), to_prometheus(snap));
+  // Counters come before gauges before histograms, names sorted.
+  const std::string text = to_prometheus(snap);
+  EXPECT_LT(text.find("sparcle_a_total"), text.find("sparcle_b_total"));
+  EXPECT_LT(text.find("sparcle_b_total"), text.find("sparcle_z"));
+  EXPECT_LT(text.find("sparcle_z"), text.find("sparcle_h_bucket"));
+}
+
+TEST(Prometheus, ParserRoundTripsSamplesWithLabels) {
+  const std::string text =
+      "# HELP x_bucket help\n"
+      "x_bucket{le=\"1\"} 2\n"
+      "x_bucket{le=\"+Inf\"} 4\n"
+      "x_sum 3.5\n"
+      "x_count 4\n";
+  const auto samples = parse_exposition(text);
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].name, "x_bucket");
+  EXPECT_EQ(samples[0].labels.at("le"), "1");
+  EXPECT_DOUBLE_EQ(samples[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(samples[2].value, 3.5);
+}
+
+TEST(Prometheus, ParserRejectsMalformedLines) {
+  EXPECT_THROW(parse_exposition("{no_name} 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_exposition("name_without_value\n"), std::runtime_error);
+  EXPECT_THROW(parse_exposition("x{le=1} 2\n"), std::runtime_error);
+  EXPECT_THROW(parse_exposition("x not_a_number\n"), std::runtime_error);
+}
+
+TEST(Prometheus, ValidatorRejectsBrokenHistograms) {
+  // Non-cumulative buckets.
+  EXPECT_THROW(validate_exposition("x_bucket{le=\"1\"} 5\n"
+                                   "x_bucket{le=\"+Inf\"} 3\n"
+                                   "x_sum 1\nx_count 3\n"),
+               std::runtime_error);
+  // +Inf bucket disagrees with _count.
+  EXPECT_THROW(validate_exposition("x_bucket{le=\"1\"} 1\n"
+                                   "x_bucket{le=\"+Inf\"} 4\n"
+                                   "x_sum 1\nx_count 5\n"),
+               std::runtime_error);
+  // Missing +Inf bucket.
+  EXPECT_THROW(validate_exposition("x_bucket{le=\"1\"} 1\n"
+                                   "x_sum 1\nx_count 1\n"),
+               std::runtime_error);
+  // Missing _sum.
+  EXPECT_THROW(validate_exposition("x_bucket{le=\"+Inf\"} 1\n"
+                                   "x_count 1\n"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// SLO burn rate
+
+TEST(Slo, RatioObjectiveWalksOkDegradedBreached) {
+  const auto origin = Clock::now();
+  TimeSeriesWindow w(60, origin);
+  for (int i = 0; i < 8; ++i) w.add_at("arrivals", 1.0, at(origin, 0.0));
+  for (int i = 0; i < 3; ++i) w.add_at("rejected", 1.0, at(origin, 0.0));
+
+  auto make = [](double target) {
+    SloSpec spec;
+    spec.name = "reject_ratio";
+    spec.series = "rejected";
+    spec.aggregate = SloSpec::Aggregate::kRatio;
+    spec.denominator = "arrivals";
+    spec.target = target;
+    return spec;
+  };
+
+  {  // observed 0.375, target 0.5 -> burn 0.75 -> ok
+    SloTracker t;
+    t.add(make(0.5));
+    const SloReport r = t.evaluate(w, at(origin, 0.0));
+    ASSERT_EQ(r.targets.size(), 1u);
+    EXPECT_NEAR(r.targets[0].observed, 0.375, 1e-12);
+    EXPECT_EQ(r.targets[0].state, SloState::kOk);
+    EXPECT_EQ(r.worst, SloState::kOk);
+  }
+  {  // target 0.25 -> burn 1.5 -> degraded
+    SloTracker t;
+    t.add(make(0.25));
+    const SloReport r = t.evaluate(w, at(origin, 0.0));
+    EXPECT_NEAR(r.targets[0].burn, 1.5, 1e-12);
+    EXPECT_EQ(r.targets[0].state, SloState::kDegraded);
+    EXPECT_EQ(r.worst, SloState::kDegraded);
+  }
+  {  // target 0.1 -> burn 3.75 >= 2 -> breached
+    SloTracker t;
+    t.add(make(0.1));
+    const SloReport r = t.evaluate(w, at(origin, 0.0));
+    EXPECT_EQ(r.targets[0].state, SloState::kBreached);
+    EXPECT_EQ(r.worst, SloState::kBreached);
+  }
+}
+
+TEST(Slo, LatencyP99ObjectiveAndMinSamples) {
+  const auto origin = Clock::now();
+  TimeSeriesWindow w(60, origin);
+  SloSpec spec;
+  spec.name = "admission_p99_us";
+  spec.series = "lat";
+  spec.aggregate = SloSpec::Aggregate::kP99;
+  spec.target = 100.0;
+  spec.min_samples = 5;
+  SloTracker t;
+  t.add(spec);
+
+  // Too few samples: ok regardless of the value.
+  w.observe_at("lat", 100000.0, at(origin, 0.0));
+  EXPECT_EQ(t.evaluate(w, at(origin, 0.0)).worst, SloState::kOk);
+
+  for (int i = 0; i < 10; ++i) w.observe_at("lat", 100000.0, at(origin, 0.0));
+  const SloReport r = t.evaluate(w, at(origin, 0.0));
+  EXPECT_EQ(r.worst, SloState::kBreached);
+  ASSERT_NE(r.find("admission_p99_us"), nullptr);
+  EXPECT_GT(r.find("admission_p99_us")->burn, 2.0);
+}
+
+TEST(Slo, DisabledAndExportedObjectives) {
+  SloTracker t;
+  SloSpec off;
+  off.name = "off";
+  off.series = "x";
+  off.target = 0.0;  // disabled
+  t.add(off);
+  EXPECT_EQ(t.size(), 0u);
+
+  const auto origin = Clock::now();
+  TimeSeriesWindow w(60, origin);
+  w.add_at("arrivals", 1.0, at(origin, 0.0));
+  w.add_at("rejected", 1.0, at(origin, 0.0));
+  SloSpec ratio;
+  ratio.name = "reject_ratio";
+  ratio.series = "rejected";
+  ratio.aggregate = SloSpec::Aggregate::kRatio;
+  ratio.denominator = "arrivals";
+  ratio.target = 0.25;
+  t.add(ratio);
+  const SloReport report = t.evaluate(w, at(origin, 0.0));
+  MetricsSnapshot snap;
+  SloTracker::export_to(report, snap);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("slo.reject_ratio.observed"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("slo.reject_ratio.target"), 0.25);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("slo.reject_ratio.burn"), 4.0);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("slo.state"),
+                   static_cast<double>(SloState::kBreached));
+  // The exported gauges survive the exposition writer's sanitizer and the
+  // validator.
+  EXPECT_NO_THROW(validate_exposition(to_prometheus(snap)));
+}
+
+}  // namespace
+}  // namespace sparcle::obs

@@ -6,6 +6,11 @@
 # Usage: tools/bench_service.sh <label> [build-dir]
 #   e.g. tools/bench_service.sh pr6-after build
 #
+# The whole benchmarks map is appended verbatim, so the per-stage latency
+# breakdown rows bench_service emits (stage_queue_p50_us/batchN,
+# stage_apply_*, stage_solve_* — RequestTimeline percentiles) land in the
+# trajectory automatically alongside the gated keys below.
+#
 # After appending, the script gates three things:
 #   1. regression: if the new admissions_per_s/batch16 falls more than 3%
 #      below the previous trajectory entry's, exit 1.  Override the budget
