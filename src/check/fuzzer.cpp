@@ -16,6 +16,7 @@
 #include "model/application.hpp"
 #include "model/network.hpp"
 #include "model/task_graph.hpp"
+#include "policy/policy.hpp"
 #include "sim/churn_injector.hpp"
 
 namespace sparcle::check {
@@ -448,7 +449,13 @@ ScenarioVerdict run_scenario_checks(const ScenarioFile& s,
                                     const AssignerFactory& factory,
                                     const FuzzOptions& options) {
   ScenarioVerdict verdict;
-  const SchedulerOptions sched_options;
+  SchedulerOptions sched_options;
+  // The policy axis: run the scheduler-pipeline phase under the named
+  // plugin.  The oracles below keep the default algorithm regardless —
+  // they verify optimality claims that only the paper's rule makes.
+  if (!options.policy.empty())
+    sched_options.policy = std::shared_ptr<const policy::SchedulingPolicy>(
+        policy::make_policy(options.policy));
   Scheduler scheduler = factory
                             ? Scheduler(s.net, factory(), sched_options)
                             : Scheduler(s.net, sched_options);
@@ -623,12 +630,13 @@ ScenarioFile shrink_failure(const ScenarioFile& scenario,
 }
 
 std::string save_repro(const ScenarioFile& scenario, const std::string& dir,
-                       std::uint64_t seed) {
+                       std::uint64_t seed, const std::string& policy) {
   if (dir.empty()) return "";
   const std::string path =
       dir + "/sparcle-fuzz-repro-" + std::to_string(seed) + ".scn";
   std::ofstream out(path);
   if (!out) return "";
+  if (!policy.empty()) out << "# policy: " << policy << "\n";
   out << workload::write_scenario(scenario);
   out.close();
   return out.fail() ? "" : path;
@@ -649,19 +657,31 @@ FuzzOutcome fuzz_scheduler(const FuzzOptions& options,
     const ScenarioFile scenario =
         order_iteration ? random_pinned_tree_scenario(rng, options)
                         : random_scenario(rng, options);
-    ScenarioVerdict verdict = run_scenario_checks(scenario, factory, options);
+    // Policy axis: an independent stream draws the iteration's plugin,
+    // so enabling the axis does not reshuffle the scenario corpus.
+    FuzzOptions iter_options = options;
+    if (!options.policies.empty()) {
+      Rng policy_rng(scenario_seed ^ 0x90116cull);
+      iter_options.policy = options.policies[static_cast<std::size_t>(
+          policy_rng.uniform_int(
+              0, static_cast<std::int64_t>(options.policies.size()) - 1))];
+    }
+    ScenarioVerdict verdict =
+        run_scenario_checks(scenario, factory, iter_options);
     ++outcome.iterations_run;
     if (!verdict.failed()) continue;
 
     FuzzFailure failure;
     failure.iteration = i;
     failure.scenario_seed = scenario_seed;
+    failure.policy = iter_options.policy;
     failure.phase = verdict.phase;
     failure.report = verdict.report;
     failure.scenario = scenario;
-    failure.shrunk = shrink_failure(scenario, factory, options, verdict);
-    failure.repro_path =
-        save_repro(failure.shrunk, options.repro_dir, scenario_seed);
+    failure.shrunk =
+        shrink_failure(scenario, factory, iter_options, verdict);
+    failure.repro_path = save_repro(failure.shrunk, options.repro_dir,
+                                    scenario_seed, iter_options.policy);
     outcome.failure = std::move(failure);
     return outcome;
   }

@@ -52,6 +52,18 @@ struct FuzzOptions {
   /// starting must be behaviorally invisible; the per-event invariant
   /// suite's PF-optimality re-solve is the oracle).
   bool alternate_pf_warm{true};
+  /// Scheduling-policy plugin (policy::make_policy name) installed for
+  /// the scheduler-pipeline phase of run_scenario_checks; "" = legacy
+  /// hard-coded rules (no plugin).  The optimality oracles always run
+  /// the default algorithm — invariants must hold under ANY policy, but
+  /// optimality claims are the default's alone.
+  std::string policy{};
+  /// Policy axis: when non-empty, fuzz_scheduler draws one of these
+  /// names per iteration (from a stream independent of the scenario
+  /// stream, so adding the axis does not reshuffle generated scenarios)
+  /// and records it in FuzzFailure::policy and the `# policy:` header of
+  /// the saved repro.
+  std::vector<std::string> policies{};
   /// Where shrunk `.scn` repros are written ("" = don't write).
   std::string repro_dir{"."};
   /// Cap on candidate evaluations during shrinking.
@@ -97,15 +109,19 @@ workload::ScenarioFile shrink_failure(const workload::ScenarioFile& scenario,
                                       const FuzzOptions& options,
                                       const ScenarioVerdict& original);
 
-/// Serializes `scenario` to `<dir>/sparcle-fuzz-repro-<seed>.scn`.
-/// Returns the path, or "" when dir is empty or the write failed.
+/// Serializes `scenario` to `<dir>/sparcle-fuzz-repro-<seed>.scn`; a
+/// non-empty `policy` is recorded as a `# policy: <name>` header comment
+/// so the repro replays under the same plugin.  Returns the path, or ""
+/// when dir is empty or the write failed.
 std::string save_repro(const workload::ScenarioFile& scenario,
-                       const std::string& dir, std::uint64_t seed);
+                       const std::string& dir, std::uint64_t seed,
+                       const std::string& policy = {});
 
 /// One minimized failure.
 struct FuzzFailure {
   std::size_t iteration{0};
   std::uint64_t scenario_seed{0};
+  std::string policy;  ///< plugin active at failure ("" = legacy rules)
   std::string phase;
   CheckReport report;
   workload::ScenarioFile scenario;  ///< as generated

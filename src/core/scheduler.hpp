@@ -100,6 +100,14 @@ struct SchedulerOptions {
   /// Newton-iteration budget of a warm attempt before the cold fallback
   /// (forwarded to PfOptions::warm_newton_budget).
   int pf_warm_newton_budget{160};
+  /// Scheduling-policy plugin (docs/policies.md): decision point 2
+  /// (candidate ranking — forwarded into the default assigner's options
+  /// when assigner_options.policy is unset) and decision point 3 (the
+  /// restore order of repair()).  nullptr reproduces the pre-refactor
+  /// hard-coded rules bit for bit, and so does policy::DefaultPolicy
+  /// (tests/test_policy.cpp).  Shared ownership: copies of these options
+  /// keep the plugin alive for the scheduler's lifetime.
+  std::shared_ptr<const policy::SchedulingPolicy> policy{};
 };
 
 /// The admission-control scheduler.  Thread-compatible (external

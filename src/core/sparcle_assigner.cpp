@@ -151,6 +151,29 @@ AssignmentResult SparcleAssigner::assign(
       // Lines 7-16: evaluate every unplaced CT's best host, then pick a CT
       // by its best-host γ (see SparcleAssignerOptions on the direction).
       refresh_cache();
+      if (options_.policy != nullptr && options_.dynamic_ranking) {
+        // Policy plugin (decision point 2): hand the round's candidates
+        // over in CT order.  policy::DefaultPolicy reproduces the inline
+        // rule below bit for bit (tests/test_policy.cpp).
+        std::vector<policy::CtCandidate> candidates;
+        std::vector<NcpId> hosts(total, kInvalidId);
+        for (CtId i = 0; i < static_cast<CtId>(total); ++i) {
+          if (engine.placed(i))
+            hosts[i] = engine.host(i);
+          else
+            candidates.push_back({i, cache[i].host, cache[i].gamma});
+        }
+        policy::SelectContext ctx;
+        ctx.net = problem.net;
+        ctx.graph = problem.graph;
+        ctx.most_constrained_pass = most_constrained;
+        ctx.ct_host = &hosts;
+        const std::size_t pick = options_.policy->select_ct(ctx, candidates);
+        if (pick < candidates.size()) {
+          chosen = candidates[pick].ct;
+          chosen_host = candidates[pick].host;
+        }
+      } else {
       double chosen_gamma = most_constrained ? kInf : -kInf;
       std::vector<std::pair<double, CtId>> ranked;
       for (CtId i = 0; i < static_cast<CtId>(total); ++i) {
@@ -171,6 +194,7 @@ AssignmentResult SparcleAssigner::assign(
           std::reverse(ranked.begin(), ranked.end());
         for (const auto& [g, i] : ranked) static_order.push_back(i);
         order_frozen = true;
+      }
       }
     }
 

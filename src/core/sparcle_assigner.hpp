@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/assignment.hpp"
+#include "policy/policy.hpp"
 
 /// \file sparcle_assigner.hpp
 /// SPARCLE's dynamic-ranking task-assignment algorithm (Algorithm 2).
@@ -60,6 +61,16 @@ struct SparcleAssignerOptions {
   /// hardware concurrency); 1 = serial.  The reduction is deterministic,
   /// so the result is bit-identical for any value.
   int eval_threads{0};
+
+  /// Candidate-ranking policy plugin (decision point 2 of
+  /// policy::SchedulingPolicy): each dynamic-ranking round hands the
+  /// evaluated (CT, best host, γ) candidates to the policy instead of the
+  /// built-in argmin/argmax rule.  Non-owning — the caller keeps the
+  /// policy alive for the assigner's lifetime (Scheduler holds it via
+  /// SchedulerOptions::policy).  nullptr (and policy::DefaultPolicy,
+  /// bit-identically) reproduce the paper's greedy; the static-ranking
+  /// ablation path (dynamic_ranking = false) ignores the policy.
+  const policy::SchedulingPolicy* policy{nullptr};
 };
 
 /// Algorithm 2 as an Assigner.

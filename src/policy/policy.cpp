@@ -1,0 +1,178 @@
+#include "policy/policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sparcle::policy {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+
+bool is_gr(const Application* app) {
+  return app != nullptr && app->qoe.cls == QoeClass::kGuaranteedRate;
+}
+
+/// GR rate still missing against the guarantee (0 for BE / covered apps).
+double gr_shortfall(const RepairCandidate& c) {
+  if (!is_gr(c.app)) return 0.0;
+  const double missing = c.app->qoe.min_rate - c.allocated_rate;
+  return missing > 0 ? missing : 0.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Base rules: the pre-refactor hard-coded behavior, verbatim.
+
+std::size_t SchedulingPolicy::pick_next(
+    const std::vector<PendingApp>& pending) const {
+  (void)pending;
+  return 0;  // FIFO: the classic pipeline submits in arrival order
+}
+
+std::size_t SchedulingPolicy::select_ct(
+    const SelectContext& ctx, const std::vector<CtCandidate>& candidates)
+    const {
+  // Mirrors the historical inline loop of SparcleAssigner::assign():
+  // initialize against ±infinity and take the first *strictly* better
+  // candidate, so ties keep the lowest CT id.
+  double best = ctx.most_constrained_pass ? kInf : -kInf;
+  std::size_t chosen = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double g = candidates[i].gamma;
+    const bool better = ctx.most_constrained_pass ? g < best : g > best;
+    if (better) {
+      best = g;
+      chosen = i;
+    }
+  }
+  return chosen;
+}
+
+bool SchedulingPolicy::repair_before(const RepairCandidate& a,
+                                     const RepairCandidate& b) const {
+  // Mirrors the historical stable_sort comparator of Scheduler::repair():
+  // GR before BE; GR by descending guarantee; BE by descending priority.
+  const bool ga = is_gr(a.app);
+  const bool gb = is_gr(b.app);
+  if (ga != gb) return ga;
+  if (ga) return a.app->qoe.min_rate > b.app->qoe.min_rate;
+  return a.app->qoe.priority > b.app->qoe.priority;
+}
+
+// ---------------------------------------------------------------------------
+// Shortest-job-first.
+
+std::size_t ShortestJobFirstPolicy::pick_next(
+    const std::vector<PendingApp>& pending) const {
+  std::size_t chosen = 0;
+  for (std::size_t i = 1; i < pending.size(); ++i)
+    if (pending[i].size < pending[chosen].size) chosen = i;
+  return chosen;
+}
+
+bool ShortestJobFirstPolicy::repair_before(const RepairCandidate& a,
+                                           const RepairCandidate& b) const {
+  const bool ga = is_gr(a.app);
+  const bool gb = is_gr(b.app);
+  if (ga != gb) return ga;  // guarantees are contractual: GR still first
+  return a.size < b.size;   // then cheapest restore first within the class
+}
+
+// ---------------------------------------------------------------------------
+// Deadline/latency-aware.
+
+std::size_t DeadlineAwarePolicy::pick_next(
+    const std::vector<PendingApp>& pending) const {
+  // Earliest deadline first; equal deadlines (e.g. all patient) fall back
+  // to arrival order via the strict comparison.
+  std::size_t chosen = 0;
+  for (std::size_t i = 1; i < pending.size(); ++i)
+    if (pending[i].deadline < pending[chosen].deadline) chosen = i;
+  return chosen;
+}
+
+bool DeadlineAwarePolicy::repair_before(const RepairCandidate& a,
+                                        const RepairCandidate& b) const {
+  // Most degraded first: GR apps by absolute shortfall, then BE apps with
+  // zero alive paths (total outage) before partially served ones.
+  const double sa = gr_shortfall(a);
+  const double sb = gr_shortfall(b);
+  if (sa != sb) return sa > sb;
+  const bool oa = !is_gr(a.app) && a.alive_paths == 0;
+  const bool ob = !is_gr(b.app) && b.alive_paths == 0;
+  if (oa != ob) return oa;
+  return SchedulingPolicy::repair_before(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Energy-aware.
+
+std::size_t EnergyAwarePolicy::pick_next(
+    const std::vector<PendingApp>& pending) const {
+  // Least radio-hungry first: Σ TT bits drives the tx/rx power term.
+  std::size_t chosen = 0;
+  for (std::size_t i = 1; i < pending.size(); ++i)
+    if (pending[i].bits < pending[chosen].bits) chosen = i;
+  return chosen;
+}
+
+std::size_t EnergyAwarePolicy::select_ct(
+    const SelectContext& ctx,
+    const std::vector<CtCandidate>& candidates) const {
+  // Rate per incremental watt.  Placing CT i on host j costs the CPU term
+  // cpu_full_load_watts * a_i / C_j plus the idle draw if j runs nothing
+  // yet (EnergyModel charges idle only to occupied NCPs), so the policy
+  // consolidates onto already-awake devices.  Infeasible candidates
+  // (gamma <= 0) score -infinity so a feasible one always wins when any
+  // exists — matching the default policy's preference for progress.
+  if (ctx.net == nullptr || ctx.graph == nullptr || ctx.ct_host == nullptr)
+    return SchedulingPolicy::select_ct(ctx, candidates);
+  double best = -kInf;
+  std::size_t chosen = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const CtCandidate& c = candidates[i];
+    double score = -kInf;
+    if (c.host != kInvalidId && c.gamma > 0) {
+      bool occupied = false;
+      for (const NcpId h : *ctx.ct_host)
+        if (h == c.host) {
+          occupied = true;
+          break;
+        }
+      const double cap = ctx.net->ncp(c.host).capacity[0];
+      const double req = ctx.graph->ct(c.ct).requirement[0];
+      double watts = occupied ? 0.0 : profile_.idle_watts;
+      if (cap > kEps) watts += profile_.cpu_full_load_watts * (req / cap);
+      score = c.gamma / (watts + kEps);
+    }
+    if (score > best) {
+      best = score;
+      chosen = i;
+    }
+  }
+  return chosen;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+std::vector<std::string> policy_names() {
+  return {"default", "sjf", "deadline", "energy"};
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy(const std::string& name) {
+  if (name == "default") return std::make_unique<DefaultPolicy>();
+  if (name == "sjf") return std::make_unique<ShortestJobFirstPolicy>();
+  if (name == "deadline") return std::make_unique<DeadlineAwarePolicy>();
+  if (name == "energy") return std::make_unique<EnergyAwarePolicy>();
+  std::string known;
+  for (const std::string& n : policy_names())
+    known += (known.empty() ? "" : ", ") + n;
+  throw std::invalid_argument("unknown scheduling policy '" + name +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace sparcle::policy

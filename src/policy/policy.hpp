@@ -1,0 +1,178 @@
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.hpp"
+#include "model/application.hpp"
+#include "model/ids.hpp"
+#include "model/network.hpp"
+#include "model/task_graph.hpp"
+
+/// \file policy.hpp
+/// Swappable scheduling policies (docs/policies.md).  The scheduler used
+/// to hard-code one dynamic-ranking greedy rule at each of its three
+/// decision points; this module extracts them behind one interface so the
+/// tournament harness (bench_tournament, tools/soak) can race alternatives
+/// over adversarial workload matrices:
+///
+///   1. *admission ordering* — which queued application to admit next
+///      (consumed by the soak runner's bounded pending queue; the classic
+///      pipeline submits in arrival order, which is what the default
+///      policy reproduces);
+///   2. *candidate ranking* — which (CT, best host) candidate the
+///      dynamic-ranking greedy of Algorithm 2 commits each round
+///      (SparcleAssignerOptions::policy);
+///   3. *repair ordering* — the order Scheduler::repair() restores the
+///      applications hurt by a failure (SchedulerOptions::policy).
+///
+/// Every policy must be deterministic: identical inputs produce identical
+/// choices (ties break on the lowest index), so soak failures replay from
+/// a seed and the property tests can demand bit-identical placements.
+/// The default policy is bit-identical to the pre-refactor hard-coded
+/// rules at every decision point (tests/test_policy.cpp holds the
+/// equivalence corpus).
+
+namespace sparcle::policy {
+
+/// One evaluated (CT, best host) pair of a dynamic-ranking round: `gamma`
+/// is the eq. (2) bottleneck-rate estimate of placing `ct` on `host`.
+struct CtCandidate {
+  CtId ct{kInvalidId};
+  NcpId host{kInvalidId};
+  double gamma{0.0};
+};
+
+/// Read-only context of one candidate-ranking round.
+struct SelectContext {
+  const Network* net{nullptr};
+  const TaskGraph* graph{nullptr};
+  /// Direction of the enclosing ranking pass (see
+  /// SparcleAssignerOptions::Ranking): true = the Algorithm 2 listing
+  /// (commit the most constrained CT, argmin γ), false = the §IV-B prose
+  /// (argmax).  The default policy honors it; alternatives may ignore it.
+  bool most_constrained_pass{true};
+  /// Committed host per CT so far (kInvalidId = unplaced), indexed by
+  /// CtId.  Lets policies reason about consolidation and locality.
+  const std::vector<NcpId>* ct_host{nullptr};
+};
+
+/// One application waiting in an admission queue.
+struct PendingApp {
+  const Application* app{nullptr};
+  double arrival_time{0.0};
+  /// Absolute simulation-time deadline after which admission is useless
+  /// (the soak queue reneges expired entries); +infinity = patient.
+  double deadline{std::numeric_limits<double>::infinity()};
+  double size{0.0};  ///< Σ CT requirements, resource 0 (computation)
+  double bits{0.0};  ///< Σ TT bits per data unit (radio/transport cost)
+};
+
+/// One application a repair pass must restore.
+struct RepairCandidate {
+  const Application* app{nullptr};
+  double allocated_rate{0.0};  ///< rate still carried after shedding
+  std::size_t alive_paths{0};  ///< paths that survived the failure
+  double size{0.0};            ///< Σ CT requirements, resource 0
+};
+
+/// The swappable scheduling policy.  The base-class implementations ARE
+/// the pre-refactor hard-coded rules, so `class MyPolicy : public
+/// SchedulingPolicy` overrides only the decision points it cares about.
+/// Implementations must be deterministic, stateless across calls (they
+/// may be consulted concurrently by parallel evaluation rounds), and must
+/// return in-range indices.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// Registry identifier ("default", "sjf", "deadline", "energy", ...).
+  virtual std::string name() const = 0;
+
+  /// Decision point 1 — admission ordering: index of the pending
+  /// application to admit next.  `pending` is in arrival order and
+  /// non-empty.  Base rule: FIFO (index 0).
+  virtual std::size_t pick_next(const std::vector<PendingApp>& pending) const;
+
+  /// Decision point 2 — candidate ranking: index of the candidate to
+  /// commit this round.  `candidates` is in CT-id order and non-empty.
+  /// Base rule: the paper's greedy — argmin γ in a most-constrained pass,
+  /// argmax otherwise, first (lowest CT id) on ties.
+  virtual std::size_t select_ct(const SelectContext& ctx,
+                                const std::vector<CtCandidate>& candidates)
+      const;
+
+  /// Decision point 3 — repair ordering: strict-weak-order comparator,
+  /// true when `a` must be restored before `b`.  Callers stable_sort, so
+  /// equivalent candidates keep placed order.  Base rule: GR before BE,
+  /// GR by descending guarantee, BE by descending priority.
+  virtual bool repair_before(const RepairCandidate& a,
+                             const RepairCandidate& b) const;
+};
+
+/// "default" — the pre-refactor scheduler verbatim: FIFO admission, the
+/// paper's dynamic-ranking greedy commit rule, GR-first largest-guarantee
+/// repair.  Bit-identical to running with no policy installed.
+class DefaultPolicy : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "default"; }
+};
+
+/// "sjf" — shortest-job-first: admits the smallest queued application
+/// (Σ CT computation requirement) first, and repairs cheap applications
+/// first within each QoE class (GR still precedes BE — guarantees are
+/// contractual).  Wins admission *count* under heavy-tailed sizes and
+/// flash crowds, where one elephant at the queue head starves mice.
+class ShortestJobFirstPolicy : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "sjf"; }
+  std::size_t pick_next(const std::vector<PendingApp>& pending) const override;
+  bool repair_before(const RepairCandidate& a,
+                     const RepairCandidate& b) const override;
+};
+
+/// "deadline" — deadline/latency-aware: earliest-deadline-first admission
+/// (queued applications whose patience is about to lapse go first), and
+/// most-degraded-first repair (largest GR shortfall, then BE apps with no
+/// alive path).  Wins admitted fraction when queues build and entries
+/// renege — flash crowds, diurnal peaks.
+class DeadlineAwarePolicy : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "deadline"; }
+  std::size_t pick_next(const std::vector<PendingApp>& pending) const override;
+  bool repair_before(const RepairCandidate& a,
+                     const RepairCandidate& b) const override;
+};
+
+/// "energy" — energy-aware (src/energy device model): ranks assignment
+/// candidates by estimated rate per incremental watt — a host that
+/// already runs a CT charges no extra idle power, so the policy
+/// consolidates — and admits the least radio-hungry queued application
+/// (Σ TT bits) first.  Trades bottleneck rate for data-per-Joule; wins
+/// the energy column of the tournament report.
+class EnergyAwarePolicy : public SchedulingPolicy {
+ public:
+  EnergyAwarePolicy() = default;
+  explicit EnergyAwarePolicy(DevicePowerProfile profile)
+      : profile_(profile) {}
+  std::string name() const override { return "energy"; }
+  std::size_t pick_next(const std::vector<PendingApp>& pending) const override;
+  std::size_t select_ct(const SelectContext& ctx,
+                        const std::vector<CtCandidate>& candidates)
+      const override;
+
+ private:
+  DevicePowerProfile profile_{};
+};
+
+/// Names of every registered policy, in tournament order ("default"
+/// first).
+std::vector<std::string> policy_names();
+
+/// Builds a policy by registry name; throws std::invalid_argument on an
+/// unknown name (the message lists the known ones).
+std::unique_ptr<SchedulingPolicy> make_policy(const std::string& name);
+
+}  // namespace sparcle::policy

@@ -1,0 +1,210 @@
+#include "workload/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace sparcle::workload {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+constexpr double kDay = 86400.0;
+constexpr double kHour = 3600.0;
+/// Flash-crowd shape: a quiet 0.4× base with a `kBurstLen`-second burst
+/// at the top of every hour.  The burst amplitude is chosen so the mean
+/// over one hour equals the spec's mean rate:
+///   0.4·3600 + kBurstLen·kBurstMult = 3600.
+constexpr double kBurstLen = 120.0;
+constexpr double kBurstMult = 18.0;
+constexpr double kFlashBase = 0.4;
+
+double exponential(Rng& rng, double mean) {
+  // Inverse CDF on (0, 1]; 1 - uniform[0,1) avoids log(0).
+  return -mean * std::log(1.0 - rng.uniform(0.0, 1.0));
+}
+
+/// Pareto factor with α = 1.2 (infinite variance), clipped at 40× so a
+/// single elephant stays placeable-in-principle on the soak site.
+double pareto_factor(Rng& rng) {
+  const double u = 1.0 - rng.uniform(0.0, 1.0);
+  return std::min(40.0, std::pow(u, -1.0 / 1.2));
+}
+
+}  // namespace
+
+const char* to_string(ArrivalPattern pattern) {
+  switch (pattern) {
+    case ArrivalPattern::kSteady: return "steady";
+    case ArrivalPattern::kDiurnal: return "diurnal";
+    case ArrivalPattern::kFlashCrowd: return "flash_crowd";
+    case ArrivalPattern::kHeavyTail: return "heavy_tail";
+    case ArrivalPattern::kRegionalOutage: return "regional_outage";
+    case ArrivalPattern::kTenantMix: return "tenant_mix";
+  }
+  return "?";
+}
+
+std::vector<ArrivalPattern> all_arrival_patterns() {
+  return {ArrivalPattern::kSteady,        ArrivalPattern::kDiurnal,
+          ArrivalPattern::kFlashCrowd,    ArrivalPattern::kHeavyTail,
+          ArrivalPattern::kRegionalOutage, ArrivalPattern::kTenantMix};
+}
+
+ArrivalPattern parse_arrival_pattern(const std::string& name) {
+  for (ArrivalPattern p : all_arrival_patterns())
+    if (name == to_string(p)) return p;
+  std::string known;
+  for (ArrivalPattern p : all_arrival_patterns()) {
+    if (!known.empty()) known += ", ";
+    known += to_string(p);
+  }
+  throw std::invalid_argument("unknown arrival pattern '" + name +
+                              "' (known: " + known + ")");
+}
+
+ArrivalGenerator::ArrivalGenerator(const Network& net, ArrivalSpec spec,
+                                   std::uint64_t seed)
+    : net_(&net), spec_(std::move(spec)), rng_(seed) {
+  if (spec_.arrivals == 0 || spec_.horizon <= 0)
+    throw std::invalid_argument("ArrivalSpec: arrivals and horizon must be "
+                                "positive");
+  mean_rate_ = static_cast<double>(spec_.arrivals) / spec_.horizon;
+  switch (spec_.pattern) {
+    case ArrivalPattern::kDiurnal:
+      peak_rate_ = mean_rate_ * 1.85;
+      break;
+    case ArrivalPattern::kFlashCrowd:
+      peak_rate_ = mean_rate_ * (kFlashBase + kBurstMult);
+      break;
+    default:
+      peak_rate_ = mean_rate_;
+      break;
+  }
+
+  // The pooled task graphs: a mix of chains and layered DAGs, small
+  // enough that a million-arrival soak stays assignment-bound rather
+  // than graph-allocation-bound.  Heavy-tail scales whole graphs so the
+  // size distribution across arrivals is Pareto over the pool.
+  const std::size_t pool = std::max<std::size_t>(1, spec_.graph_pool);
+  pool_.reserve(pool);
+  for (std::size_t g = 0; g < pool; ++g) {
+    TaskRanges ranges = spec_.tasks;
+    if (spec_.pattern == ArrivalPattern::kHeavyTail) {
+      const double f = pareto_factor(rng_);
+      ranges.ct_min *= f;
+      ranges.ct_max *= f;
+      ranges.tt_min *= f;
+      ranges.tt_max *= f;
+    }
+    if (rng_.bernoulli(0.5)) {
+      pool_.push_back(linear_task_graph(
+          static_cast<std::size_t>(rng_.uniform_int(1, 4)), rng_, ranges));
+    } else {
+      pool_.push_back(random_layered_task_graph(
+          rng_, ranges, static_cast<std::size_t>(rng_.uniform_int(1, 3)),
+          /*max_width=*/2, /*edge_prob=*/0.35));
+    }
+  }
+}
+
+double ArrivalGenerator::rate_at(double t) const {
+  switch (spec_.pattern) {
+    case ArrivalPattern::kDiurnal:
+      // Day/night wave; strictly positive (trough = 0.15× mean).
+      return mean_rate_ * (1.0 + 0.85 * std::sin(kTwoPi * t / kDay));
+    case ArrivalPattern::kFlashCrowd:
+      return mean_rate_ *
+             (kFlashBase +
+              (std::fmod(t, kHour) < kBurstLen ? kBurstMult : 0.0));
+    default:
+      return mean_rate_;
+  }
+}
+
+double ArrivalGenerator::next_time() {
+  // Lewis-Shedler thinning against the pattern's peak rate; exact for
+  // the homogeneous patterns (acceptance probability 1).
+  double t = now_;
+  for (;;) {
+    t += exponential(rng_, 1.0 / peak_rate_);
+    if (rng_.uniform(0.0, 1.0) * peak_rate_ <= rate_at(t)) return t;
+  }
+}
+
+bool ArrivalGenerator::next(Arrival& out) {
+  if (emitted_ >= spec_.arrivals) return false;
+  now_ = next_time();
+
+  Arrival a;
+  a.time = now_;
+  a.lifetime = exponential(rng_, spec_.mean_lifetime);
+  a.patience = spec_.mean_patience * rng_.uniform(0.4, 1.6);
+  a.app.name = "a" + std::to_string(emitted_);
+  a.app.graph = pool_[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(pool_.size()) - 1))];
+
+  // Tenant mix: tenant A (one third of arrivals) buys guaranteed rate or
+  // top-priority best effort; tenant B rides at the bottom weight.
+  const bool tenant_a = spec_.pattern == ArrivalPattern::kTenantMix &&
+                        rng_.bernoulli(1.0 / 3.0);
+  const double gr_fraction =
+      spec_.pattern == ArrivalPattern::kTenantMix
+          ? (tenant_a ? 0.5 : 0.02)
+          : spec_.gr_fraction;
+  if (rng_.bernoulli(gr_fraction)) {
+    a.app.qoe = QoeSpec::guaranteed_rate(rng_.uniform(0.05, 0.3),
+                                         /*min_rate_availability=*/0.0);
+  } else if (spec_.pattern == ArrivalPattern::kTenantMix) {
+    a.app.qoe = QoeSpec::best_effort(tenant_a ? 4.0 : 0.5);
+  } else {
+    a.app.qoe = QoeSpec::best_effort(rng_.uniform(0.5, 4.0));
+  }
+
+  // Pin every source and sink to a uniformly drawn NCP (per arrival, so
+  // a pooled graph still exercises distinct routes).
+  const auto draw_ncp = [&] {
+    return static_cast<NcpId>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(net_->ncp_count()) - 1));
+  };
+  for (CtId s : a.app.graph->sources()) a.app.pinned[s] = draw_ncp();
+  for (CtId s : a.app.graph->sinks()) a.app.pinned[s] = draw_ncp();
+
+  ++emitted_;
+  out = std::move(a);
+  return true;
+}
+
+Network soak_site(std::size_t regions, std::size_t ncps_per_region, Rng& rng,
+                  const NetRanges& ranges) {
+  if (regions == 0 || ncps_per_region == 0)
+    throw std::invalid_argument("soak_site: regions and ncps_per_region "
+                                "must be positive");
+  Network net(ResourceSchema::cpu_only());
+  std::vector<NcpId> hubs;
+  hubs.reserve(regions);
+  for (std::size_t g = 0; g < regions; ++g) {
+    const std::string prefix = "r" + std::to_string(g);
+    const NcpId hub = net.add_ncp(
+        prefix + "n0", {rng.uniform(ranges.ncp_min, ranges.ncp_max)});
+    hubs.push_back(hub);
+    for (std::size_t i = 1; i < ncps_per_region; ++i) {
+      const NcpId leaf = net.add_ncp(
+          prefix + "n" + std::to_string(i),
+          {rng.uniform(ranges.ncp_min, ranges.ncp_max)});
+      net.add_link(prefix + "l" + std::to_string(i), hub, leaf,
+                   rng.uniform(ranges.bw_min, ranges.bw_max));
+    }
+  }
+  // Backbone ring at double bandwidth; a 2-region site needs only the
+  // single hub-hub link.
+  const std::size_t backbone = regions == 2 ? 1 : regions;
+  for (std::size_t g = 0; g < backbone && regions > 1; ++g) {
+    net.add_link("bb" + std::to_string(g), hubs[g], hubs[(g + 1) % regions],
+                 2.0 * rng.uniform(ranges.bw_min, ranges.bw_max));
+  }
+  return net;
+}
+
+}  // namespace sparcle::workload

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/application.hpp"
+#include "model/network.hpp"
+#include "workload/rng.hpp"
+#include "workload/task_graphs.hpp"
+#include "workload/topologies.hpp"
+
+/// \file arrivals.hpp
+/// Adversarial arrival-process generators for the long-horizon soak and
+/// policy-tournament harnesses (docs/policies.md).  Each pattern is a
+/// named stressor the scheduling-policy plugins are raced against:
+///
+///   * steady          — homogeneous Poisson baseline;
+///   * diurnal         — a sinusoidal day/night wave (peak ≈ 1.85× mean);
+///   * flash_crowd     — a quiet base rate with a 120 s, ~45× burst at the
+///                       top of every simulated hour;
+///   * heavy_tail      — steady arrivals whose application sizes follow a
+///                       Pareto (mice and elephants contend for the queue);
+///   * regional_outage — steady arrivals; the soak runner pairs this
+///                       pattern with correlated burst churn
+///                       (sim::generate_burst_churn) so admission races
+///                       repair;
+///   * tenant_mix      — two tenants: a guaranteed-rate heavy tenant and a
+///                       best-effort tenant at opposite priorities.
+///
+/// Generators are streaming (O(pool) memory regardless of the arrival
+/// count — a million-arrival soak reuses a small pool of task graphs) and
+/// deterministic in (network shape, spec, seed): the same inputs replay
+/// the same timestamps, graphs, pins, and QoE contracts bit for bit.
+
+namespace sparcle::workload {
+
+enum class ArrivalPattern : std::uint8_t {
+  kSteady,
+  kDiurnal,
+  kFlashCrowd,
+  kHeavyTail,
+  kRegionalOutage,
+  kTenantMix,
+};
+
+const char* to_string(ArrivalPattern pattern);
+/// Every pattern, in tournament-report order (steady first).
+std::vector<ArrivalPattern> all_arrival_patterns();
+/// Inverse of to_string(); throws std::invalid_argument (the message
+/// lists the known names) on an unknown name.
+ArrivalPattern parse_arrival_pattern(const std::string& name);
+
+/// Shape of one arrival stream.
+struct ArrivalSpec {
+  ArrivalPattern pattern{ArrivalPattern::kSteady};
+  /// Total applications to emit; the mean rate is arrivals / horizon.
+  std::size_t arrivals{10000};
+  /// Stream length in simulated seconds.  Patterns with an internal
+  /// period (diurnal: one day; flash_crowd: one hour) should span a whole
+  /// number of periods so first-half/second-half drift gates compare like
+  /// with like — the tournament uses two simulated days for diurnal.
+  double horizon{86400.0};
+  /// Mean exponential session length (admitted apps depart after it).
+  double mean_lifetime{600.0};
+  /// Mean queueing patience: an arrival reneges if not admitted within
+  /// uniform(0.4, 1.6) × mean_patience seconds.
+  double mean_patience{30.0};
+  /// Fraction of arrivals requesting a Guaranteed-Rate contract.
+  double gr_fraction{0.10};
+  /// Distinct task graphs built up front and sampled per arrival.
+  std::size_t graph_pool{32};
+  /// Base per-CT requirement ranges (heavy_tail scales these per pooled
+  /// graph by a Pareto factor).
+  TaskRanges tasks{};
+};
+
+/// One emitted application arrival.
+struct Arrival {
+  double time{0.0};      ///< non-decreasing simulated seconds
+  Application app;       ///< validated; name unique within the stream
+  double lifetime{0.0};  ///< session length once admitted
+  double patience{0.0};  ///< renege deadline is time + patience
+};
+
+/// Streams one ArrivalSpec against a network (pins are drawn from the
+/// network's NCPs).  Non-homogeneous patterns are sampled by Poisson
+/// thinning, so every pattern consumes the seed deterministically.
+class ArrivalGenerator {
+ public:
+  ArrivalGenerator(const Network& net, ArrivalSpec spec, std::uint64_t seed);
+
+  /// Emits the next arrival; false once `spec().arrivals` have been
+  /// emitted (out is untouched).
+  bool next(Arrival& out);
+
+  std::size_t emitted() const { return emitted_; }
+  const ArrivalSpec& spec() const { return spec_; }
+
+ private:
+  double rate_at(double t) const;  ///< λ(t) of the pattern
+  double next_time();              ///< thinning step
+
+  const Network* net_;
+  ArrivalSpec spec_;
+  Rng rng_;
+  std::vector<std::shared_ptr<const TaskGraph>> pool_;
+  double mean_rate_{0.0};
+  double peak_rate_{0.0};
+  double now_{0.0};
+  std::size_t emitted_{0};
+};
+
+/// The soak topology: `regions` star clusters (one hub + leaves) joined
+/// by a backbone ring of double-bandwidth links between consecutive hubs.
+/// Regional-outage churn bursts centered on a hub take a whole cluster's
+/// connectivity with them, which is what makes the repair-ordering
+/// decision point observable.  Deterministic in (arguments, rng state).
+Network soak_site(std::size_t regions, std::size_t ncps_per_region, Rng& rng,
+                  const NetRanges& ranges = {});
+
+}  // namespace sparcle::workload

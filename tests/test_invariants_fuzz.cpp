@@ -11,6 +11,7 @@
 #include "check/invariants.hpp"
 #include "check/oracles.hpp"
 #include "core/sparcle_assigner.hpp"
+#include "policy/policy.hpp"
 #include "testutil.hpp"
 
 // The invariant fuzz gate: seeded random scenarios through the scheduler
@@ -35,6 +36,34 @@ TEST(InvariantsFuzz, SchedulerPipelineAndOraclesClean) {
     const check::FuzzFailure& f = *outcome.failure;
     FAIL() << "fuzz failure at iteration " << f.iteration << " (scenario seed "
            << f.scenario_seed << ") in phase " << f.phase << ":\n"
+           << f.report.to_string() << "repro: "
+           << (f.repro_path.empty() ? std::string("<not written>")
+                                    : f.repro_path);
+  }
+}
+
+// The policy axis: the same pipeline with a random scheduling-policy
+// plugin per iteration (docs/policies.md).  The invariant battery must
+// hold under ANY policy — plugins choose orderings, never feasibility —
+// while the optimality oracles keep running the default algorithm.  A
+// failure records the active policy in the report and in the repro's
+// `# policy:` header.
+TEST(InvariantsFuzz, PolicyAxisPipelineClean) {
+  check::FuzzOptions options;
+  options.seed = testutil::test_seed() + 0xbeef;
+  options.iterations = testutil::env_size("SPARCLE_FUZZ_ITERS", 200) / 2;
+  options.policies = policy::policy_names();
+  const char* dir = std::getenv("SPARCLE_FUZZ_REPRO_DIR");
+  options.repro_dir = (dir && *dir) ? dir : ::testing::TempDir();
+
+  const check::FuzzOutcome outcome = check::fuzz_scheduler(options);
+  EXPECT_EQ(outcome.iterations_run, options.iterations);
+  if (outcome.failure) {
+    const check::FuzzFailure& f = *outcome.failure;
+    FAIL() << "fuzz failure at iteration " << f.iteration << " (scenario seed "
+           << f.scenario_seed << ", policy "
+           << (f.policy.empty() ? std::string("<legacy>") : f.policy)
+           << ") in phase " << f.phase << ":\n"
            << f.report.to_string() << "repro: "
            << (f.repro_path.empty() ? std::string("<not written>")
                                     : f.repro_path);

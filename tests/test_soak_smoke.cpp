@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "policy/policy.hpp"
+#include "soak/soak.hpp"
+#include "testutil.hpp"
+
+// Tier-1 smoke soak (docs/policies.md): every adversarial scenario
+// generator x every scheduling policy runs at least one short cell —
+// the full invariant battery at sampled epochs included — inside the
+// ordinary ctest budget.  The nightly tools/soak.sh runs the same
+// matrix at six orders of magnitude more arrivals; this test exists so
+// a policy or generator regression fails in CI, not at 3am.
+
+namespace sparcle {
+namespace {
+
+TEST(SoakSmoke, EveryScenarioPolicyCellClean) {
+  const std::size_t arrivals =
+      testutil::env_size("SPARCLE_SMOKE_ARRIVALS", 120);
+  const std::uint64_t seed = testutil::test_seed() + 0x50a4;
+  for (const std::string& scenario : soak::tournament_scenarios()) {
+    for (const std::string& policy : policy::policy_names()) {
+      SCOPED_TRACE(scenario + " x " + policy + testutil::seed_message(seed));
+      soak::SoakOptions options =
+          soak::cell_options(scenario, policy, arrivals, seed);
+      options.invariant_epochs = 2;
+      const soak::SoakResult result = soak::run_soak(options);
+
+      for (const std::string& violation : result.violations)
+        ADD_FAILURE() << violation;
+      EXPECT_EQ(result.arrivals, arrivals);
+      // Conservation: every arrival is accounted for exactly once.
+      EXPECT_EQ(result.admitted + result.rejected + result.reneged +
+                    result.queue_full,
+                result.arrivals);
+      EXPECT_GE(result.epochs.size(), 2u);
+      EXPECT_GT(result.admitted, 0u);
+      if (scenario == "regional_outage") {
+        EXPECT_GT(result.churn_events, 0u);
+        EXPECT_EQ(result.repairs, result.churn_events);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sparcle

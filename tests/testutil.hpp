@@ -40,4 +40,14 @@ inline std::size_t env_size(const char* name, std::size_t fallback) {
   return static_cast<std::size_t>(std::strtoull(env, nullptr, 0));
 }
 
+/// The reproduction footer for a failed randomized assertion: append to
+/// EXPECT/ASSERT streams so every failure prints the effective seed and
+/// the exact variable to replay it —
+///
+///     EXPECT_TRUE(ok) << testutil::seed_message(seed);
+inline std::string seed_message(std::uint64_t seed) {
+  return " [seed=" + std::to_string(seed) +
+         "; rerun with SPARCLE_TEST_SEED=" + std::to_string(seed) + "]";
+}
+
 }  // namespace sparcle::testutil

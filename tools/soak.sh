@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# The nightly soak entry (docs/policies.md): two phases, both gated
+# in-process by the sparcle_soak binary — invariant violations always
+# fail; RSS drift (SPARCLE_SOAK_MAX_RSS_DRIFT, default 5%) and
+# admission-rate drift (SPARCLE_SOAK_MAX_RATE_DRIFT, default 3%) gate at
+# >= 10k arrivals/cell.
+#
+#   1. The full policies x scenarios tournament matrix at
+#      SPARCLE_SOAK_MATRIX_ARRIVALS arrivals/cell (default 20000), whose
+#      comparative report is appended as one labeled entry to the
+#      checked-in BENCH_tournament.json trajectory.
+#   2. Long-horizon soaks: each SPARCLE_SOAK_LONG_CELLS
+#      "scenario:policy" cell at SPARCLE_SOAK_ARRIVALS arrivals
+#      (default 1000000 — a simulated-day, million-arrival run; set
+#      SPARCLE_SOAK_LONG_CELLS="" for the quick matrix-only mode).
+#
+# Usage: tools/soak.sh <label> [build-dir]
+#   e.g. tools/soak.sh nightly-$(date +%Y%m%d) build
+#
+# Per-cell JSON/CSV land in SPARCLE_SOAK_ARTIFACT_DIR (default
+# soak-artifacts/) for workflow upload; every failure line printed by
+# the binary carries the seed, so a 3am red run replays locally with a
+# single SPARCLE_TEST_SEED=<n>.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:?usage: tools/soak.sh <label> [build-dir]}"
+BUILD="${2:-build}"
+ARTIFACTS="${SPARCLE_SOAK_ARTIFACT_DIR:-soak-artifacts}"
+MATRIX_ARRIVALS="${SPARCLE_SOAK_MATRIX_ARRIVALS:-20000}"
+LONG_ARRIVALS="${SPARCLE_SOAK_ARRIVALS:-1000000}"
+LONG_CELLS="${SPARCLE_SOAK_LONG_CELLS-steady:default flash_crowd:deadline regional_outage:default}"
+SOAK="./${BUILD}/tools/soak/sparcle_soak"
+
+mkdir -p "${ARTIFACTS}"
+trap 'exit 130' INT
+trap 'exit 143' TERM
+
+cmake --build "${BUILD}" -j "$(nproc 2>/dev/null || echo 2)" \
+      --target sparcle_soak_bin >/dev/null
+
+# Phase 1: the full matrix, appended to the BENCH_tournament.json
+# trajectory.  The binary exits non-zero on any gate failure.
+MATRIX_JSON="${ARTIFACTS}/tournament-${LABEL}.json"
+"${SOAK}" --arrivals "${MATRIX_ARRIVALS}" \
+          --json "${MATRIX_JSON}" --csv "${ARTIFACTS}/tournament-${LABEL}.csv"
+
+python3 - "${MATRIX_JSON}" "${LABEL}" <<'EOF'
+import json, pathlib, sys
+raw = json.load(open(sys.argv[1]))
+entry = {"label": sys.argv[2], "seed": raw["seed"],
+         "arrivals_per_cell": raw["arrivals_per_cell"],
+         "winners": raw["winners"], "cells": raw["cells"]}
+path = pathlib.Path("BENCH_tournament.json")
+doc = json.loads(path.read_text()) if path.exists() else {
+    "description": "Scheduling-policy tournament over adversarial "
+                   "soak scenarios (docs/policies.md)",
+    "trajectory": [],
+}
+doc["trajectory"].append(entry)
+path.write_text(json.dumps(doc, indent=1) + "\n")
+print(f"appended '{sys.argv[2]}' to {path}")
+EOF
+
+# Phase 2: the long-horizon cells.
+for cell in ${LONG_CELLS}; do
+  scenario="${cell%%:*}"
+  policy="${cell##*:}"
+  echo "== long soak ${scenario} x ${policy}: ${LONG_ARRIVALS} arrivals =="
+  "${SOAK}" --scenario "${scenario}" --policy "${policy}" \
+            --arrivals "${LONG_ARRIVALS}" \
+            --json "${ARTIFACTS}/soak-${scenario}-${policy}-${LABEL}.json" \
+            --csv "${ARTIFACTS}/soak-${scenario}-${policy}-${LABEL}.csv"
+done
+
+echo "soak.sh: all gates clean; artifacts in ${ARTIFACTS}/"
