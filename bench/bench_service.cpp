@@ -2,7 +2,10 @@
 /// Load generator for the placement service (src/service): measures
 /// sustained admission throughput and enqueue-to-reply latency on a
 /// 64-node dispersed site as a function of the scheduler batch size and
-/// the number of client threads.
+/// the number of client threads — plus the wire path itself: closed-loop
+/// TCP round trips through the event-loop server in both codecs (NDJSON
+/// vs binary frames) and a connection-scaling sweep to 1024 concurrent
+/// clients.
 ///
 /// Two drive modes:
 ///
@@ -20,16 +23,21 @@
 /// checked-in BENCH_service.json trajectory and gates regressions.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "service/client.hpp"
+#include "service/event_server.hpp"
 #include "service/scheduler_service.hpp"
 
 using namespace sparcle;
@@ -175,6 +183,82 @@ RunResult run_config(const Network& net, const std::vector<Application>& arrival
   return result;
 }
 
+/// One wire-path configuration: `clients` closed-loop TCP clients, each
+/// its own connection in `codec`, each driving `ops_per_client` round
+/// trips of `verb` against an already-running event server.  Latency is
+/// whole-round-trip (encode, kernel, event loop, decode).
+struct WireResult {
+  double rps{0.0};
+  double p50_us{0.0};
+  double p99_us{0.0};
+  std::size_t ops{0};
+  std::size_t errors{0};
+};
+
+WireResult run_wire(std::uint16_t port, service::Codec codec,
+                    std::size_t clients, std::size_t ops_per_client,
+                    const std::string& verb) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::size_t> errors{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t ready = 0;
+  bool go = false;
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        service::TcpClient client("127.0.0.1", port, codec);
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          ++ready;
+          cv.notify_all();
+          cv.wait(lock, [&] { return go; });
+        }
+        const std::map<std::string, std::string> request{{"verb", verb}};
+        latencies[c].reserve(ops_per_client);
+        for (std::size_t i = 0; i < ops_per_client; ++i) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const auto reply = client.call(request);
+          latencies[c].push_back(
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+          const auto it = reply.find("status");
+          if (it == reply.end() || it->second != "ok") ++errors;
+        }
+      } catch (const std::exception&) {
+        ++errors;
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return ready == clients; });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    go = true;
+    cv.notify_all();
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  WireResult result;
+  std::vector<double> all;
+  for (const std::vector<double>& lat : latencies)
+    all.insert(all.end(), lat.begin(), lat.end());
+  result.ops = all.size();
+  result.errors = errors.load();
+  result.rps = static_cast<double>(all.size()) / wall_s;
+  result.p50_us = percentile(all, 0.50);
+  result.p99_us = percentile(all, 0.99);
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -238,6 +322,77 @@ int main() {
     json["closed_p99_us/" + key] = r.p99_us;
   }
   closed_table.print();
+
+  // -------------------------------------------------------------------
+  // Wire path: one service + event-loop server shared by both sweeps.
+  {
+    service::ServiceOptions wire_options;
+    wire_options.max_batch = 16;
+    wire_options.queue_capacity = 4096;
+    service::SchedulerService svc(net, SchedulerOptions{}, wire_options);
+    for (std::size_t i = 0; i < 8; ++i) svc.submit(arrivals[i]).get();
+    service::EventServer server(svc);
+    server.start();
+
+    bench::section("wire codec: closed-loop metrics scrapes over TCP "
+                   "(json vs binary frames)");
+    bench::note(
+        "Each client owns one connection and scrapes the ops endpoint in a\n"
+        "closed loop — the multi-KB Prometheus body is the codec-bound\n"
+        "payload: NDJSON must escape it into a JSON string and the client\n"
+        "re-scan it char by char; binary frames carry it verbatim.");
+    Table codec_table(
+        {"codec", "clients", "scrapes/s", "p50 us", "p99 us", "errors"});
+    for (const service::Codec codec :
+         {service::Codec::kJson, service::Codec::kBinary}) {
+      const char* codec_name = codec == service::Codec::kJson ? "json"
+                                                              : "binary";
+      for (const std::size_t clients :
+           {std::size_t{1}, std::size_t{8}, std::size_t{64}}) {
+        const std::size_t ops = clients == 1 ? 192 : (clients == 8 ? 48 : 12);
+        const WireResult r =
+            run_wire(server.port(), codec, clients, ops, "metrics");
+        codec_table.add_row({codec_name, std::to_string(clients),
+                             fmt(r.rps, 0), fmt(r.p50_us, 0),
+                             fmt(r.p99_us, 0), std::to_string(r.errors)});
+        const std::string key =
+            std::string(codec_name) + "_clients" + std::to_string(clients);
+        json["wire_rps/" + key] = r.rps;
+        json["wire_p50_us/" + key] = r.p50_us;
+        json["wire_p99_us/" + key] = r.p99_us;
+      }
+    }
+    codec_table.print();
+
+    bench::section("connection scaling: binary codec, closed-loop queries, "
+                   "1 -> 1024 clients");
+    bench::note(
+        "Every client is a live connection on the single event loop; the\n"
+        "closed-loop p99 should grow at most linearly with the client count\n"
+        "(tools/bench_service.sh gates p99@256 against p99@1).");
+    Table scale_table(
+        {"clients", "queries/s", "p50 us", "p99 us", "ops", "errors"});
+    for (const std::size_t clients :
+         {std::size_t{1}, std::size_t{64}, std::size_t{256},
+          std::size_t{1024}}) {
+      const std::size_t ops = std::max<std::size_t>(4, 2048 / clients);
+      const WireResult r = run_wire(server.port(), service::Codec::kBinary,
+                                    clients, ops, "query");
+      scale_table.add_row({std::to_string(clients), fmt(r.rps, 0),
+                           fmt(r.p50_us, 0), fmt(r.p99_us, 0),
+                           std::to_string(r.ops),
+                           std::to_string(r.errors)});
+      const std::string key = "clients" + std::to_string(clients);
+      json["scale_rps/" + key] = r.rps;
+      json["scale_p50_us/" + key] = r.p50_us;
+      json["scale_p99_us/" + key] = r.p99_us;
+      json["scale_ops/" + key] = static_cast<double>(r.ops);
+      json["scale_errors/" + key] = static_cast<double>(r.errors);
+    }
+    scale_table.print();
+    server.stop();
+    svc.stop();
+  }
 
   if (const char* path = std::getenv("SPARCLE_BENCH_JSON")) {
     std::FILE* out = std::fopen(path, "w");

@@ -1,13 +1,17 @@
 /// \file sparcle_serve.cpp
 /// The placement daemon: load a scenario file, keep its network as the
 /// managed dispersed-computing fabric, pre-admit the scenario's
-/// applications, and serve placement requests over newline-delimited JSON
-/// on TCP until interrupted (docs/service.md documents the protocol).
+/// applications, and serve placement requests on TCP until interrupted.
+/// One event-loop thread multiplexes every connection, and both wire
+/// codecs share the port: newline-delimited JSON (docs/service.md) and
+/// length-prefixed binary frames (docs/wire.md) — the first byte a client
+/// sends picks the codec.
 ///
 /// Usage:
 ///   sparcle_serve <scenario-file> [--port P] [--bind ADDR]
 ///                 [--max-batch N] [--queue-capacity N] [--deadline-ms N]
-///                 [--threads N] [--window-seconds N] [--validate]
+///                 [--threads N] [--window-seconds N] [--idle-timeout-ms N]
+///                 [--validate]
 ///                 [--oneshot] [--metrics-out FILE] [--decision-log FILE]
 ///                 [--trace-out FILE] [--trace-capacity N]
 ///                 [--decision-capacity N]
@@ -20,11 +24,12 @@
 ///   --threads         worker threads for candidate evaluation (also
 ///                     settable via SPARCLE_THREADS; 0 = auto)
 ///   --window-seconds  live telemetry window width (default 60)
+///   --idle-timeout-ms close connections idle for this long (0 = never)
 ///   --validate        run the invariant checker after every batch
 ///   --oneshot         start, loop a submit/query/remove round trip back
-///                     through a TCP client, scrape and validate the
-///                     stats/metrics ops verbs, print the transcript, exit
-///                     (the self-test mode CI exercises)
+///                     through a TCP client in *both* codecs, scrape and
+///                     validate the stats/metrics ops verbs, print the
+///                     transcript, exit (the self-test mode CI exercises)
 ///   --metrics-out     write a metrics snapshot on exit (JSON / .csv)
 ///   --decision-log    write the decision log as CSV on exit (includes
 ///                     queue_reject rows for backpressure bounces, each
@@ -54,7 +59,7 @@
 #include "obs/prometheus.hpp"
 #include "service/client.hpp"
 #include "service/scheduler_service.hpp"
-#include "service/tcp_server.hpp"
+#include "service/event_server.hpp"
 #include "workload/scenario_io.hpp"
 
 using namespace sparcle;
@@ -68,7 +73,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <scenario-file> [--port P] [--bind ADDR] "
                "[--max-batch N] [--queue-capacity N] [--deadline-ms N]\n"
-               "       [--threads N] [--window-seconds N] [--validate] "
+               "       [--threads N] [--window-seconds N] "
+               "[--idle-timeout-ms N] [--validate] "
                "[--oneshot] [--metrics-out FILE] [--decision-log FILE]\n"
                "       [--trace-out FILE] [--trace-capacity N] "
                "[--decision-capacity N]\n",
@@ -110,7 +116,8 @@ double sample_value(const std::vector<obs::ExpositionSample>& samples,
 /// stack, exercising every verb once — including a double scrape of the
 /// ops endpoint with exposition validation and counter-monotonicity
 /// checks.  Returns an exit status.
-int oneshot(service::TcpServer& server, const workload::ScenarioFile& scenario,
+int oneshot(service::EventServer& server,
+            const workload::ScenarioFile& scenario,
             const Network& net) {
   service::TcpClient client("127.0.0.1", server.port());
   print_fields("query", client.query());
@@ -191,12 +198,65 @@ int oneshot(service::TcpServer& server, const workload::ScenarioFile& scenario,
   return 0;
 }
 
+/// The binary half of --oneshot: open a binary-codec connection next to
+/// a JSON one against the same daemon, check the two codecs agree on a
+/// query, and push a submit/remove probe through the frame path (trace
+/// fields included).  Returns an exit status.
+int oneshot_binary(service::EventServer& server,
+                   const workload::ScenarioFile& scenario,
+                   const Network& net) {
+  service::TcpClient json("127.0.0.1", server.port(), service::Codec::kJson);
+  service::TcpClient binary("127.0.0.1", server.port(),
+                            service::Codec::kBinary);
+  const auto json_query = json.query();
+  const auto binary_query = binary.query();
+  print_fields("bquery", binary_query);
+  if (json_query != binary_query) {
+    std::fprintf(stderr,
+                 "oneshot: binary and JSON query responses differ\n");
+    return 1;
+  }
+  if (!scenario.apps.empty()) {
+    Application probe = scenario.apps.front();
+    probe.name = "oneshot_probe_bin";
+    const std::string block = workload::write_app_text(probe, net);
+    const auto submitted = binary.submit_app_text(block);
+    print_fields("bsubmit", submitted);
+    if (const auto it = submitted.find("status");
+        it == submitted.end() ||
+        (it->second != "admitted" && it->second != "rejected")) {
+      std::fprintf(stderr, "oneshot: unexpected binary submit response\n");
+      return 1;
+    }
+    if (submitted.find("trace_id") == submitted.end() ||
+        submitted.find("queue_us") == submitted.end() ||
+        submitted.find("solve_us") == submitted.end()) {
+      std::fprintf(stderr, "oneshot: binary submit response lacks the "
+                           "stage breakdown\n");
+      return 1;
+    }
+    print_fields("bremove", binary.remove("oneshot_probe_bin"));
+  }
+  const auto health =
+      binary.call(std::map<std::string, std::string>{{"verb", "stats"}});
+  const auto slo_it = health.find("slo_state");
+  if (slo_it == health.end() ||
+      (slo_it->second != "ok" && slo_it->second != "degraded" &&
+       slo_it->second != "breached")) {
+    std::fprintf(stderr,
+                 "oneshot: binary stats response lacks a valid slo_state\n");
+    return 1;
+  }
+  std::printf("oneshot: binary codec OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string scenario_path;
-  service::TcpServerOptions tcp_options;
-  tcp_options.port = 7411;
+  service::EventServerOptions net_options;
+  net_options.port = 7411;
   service::ServiceOptions svc_options;
   SchedulerOptions sched_options;
   bool run_oneshot = false;
@@ -212,11 +272,11 @@ int main(int argc, char** argv) {
     if (arg == "--port") {
       const char* v = next();
       if (!v) return usage(argv[0]);
-      tcp_options.port = static_cast<std::uint16_t>(std::atoi(v));
+      net_options.port = static_cast<std::uint16_t>(std::atoi(v));
     } else if (arg == "--bind") {
       const char* v = next();
       if (!v) return usage(argv[0]);
-      tcp_options.bind_address = v;
+      net_options.bind_address = v;
     } else if (arg == "--max-batch") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -237,6 +297,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       svc_options.window_seconds = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--idle-timeout-ms") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      net_options.idle_timeout = std::chrono::milliseconds(std::atoi(v));
     } else if (arg == "--validate") {
       svc_options.validate_batches = true;
     } else if (arg == "--oneshot") {
@@ -304,7 +368,7 @@ int main(int argc, char** argv) {
       if (local.submit(app).status == service::ServiceResult::Status::kAdmitted)
         ++admitted;
 
-    service::TcpServer server(svc, tcp_options);
+    service::EventServer server(svc, net_options);
     try {
       server.start();
     } catch (const std::exception& e) {
@@ -316,7 +380,7 @@ int main(int argc, char** argv) {
         "sparcle_serve: %zu NCPs, %zu/%zu scenario app(s) admitted; "
         "listening on %s:%u (max_batch=%zu queue_capacity=%zu window=%zus)\n",
         scenario.net.ncp_count(), admitted, scenario.apps.size(),
-        tcp_options.bind_address.c_str(), server.port(),
+        net_options.bind_address.c_str(), server.port(),
         svc_options.max_batch, svc_options.queue_capacity,
         svc_options.window_seconds);
     std::fflush(stdout);
@@ -324,6 +388,8 @@ int main(int argc, char** argv) {
     if (run_oneshot) {
       try {
         status = oneshot(server, scenario, svc.network());
+        if (status == 0)
+          status = oneshot_binary(server, scenario, svc.network());
       } catch (const std::exception& e) {
         std::fprintf(stderr, "oneshot: %s\n", e.what());
         status = 1;

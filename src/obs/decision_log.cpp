@@ -31,6 +31,7 @@ const char* to_string(DecisionKind kind) {
     case DecisionKind::kPathAdd: return "path_add";
     case DecisionKind::kRepair: return "repair";
     case DecisionKind::kQueueReject: return "queue_reject";
+    case DecisionKind::kWireReject: return "wire_reject";
   }
   return "?";
 }

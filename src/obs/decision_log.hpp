@@ -35,10 +35,18 @@ enum class DecisionKind : std::uint8_t {
   /// `deadline_exceeded ...`).  docs/service.md covers the backpressure
   /// semantics.
   kQueueReject,
+  /// A request rejected at the wire layer before it could be parsed into a
+  /// service request: oversized NDJSON line or binary frame, bad magic /
+  /// version byte, or a malformed frame body.  The peer receives a
+  /// structured error response (not a silent connection drop); the reason
+  /// column records the wire-level cause.  docs/wire.md covers the framing
+  /// rules these rejects enforce.
+  kWireReject,
 };
 
 /// Symbolic name of a decision kind (`admit`, `reject`, `path_add`,
-/// `repair`, `queue_reject`) as written into the CSV `kind` column.
+/// `repair`, `queue_reject`, `wire_reject`) as written into the CSV
+/// `kind` column.
 const char* to_string(DecisionKind kind);
 
 struct Decision {

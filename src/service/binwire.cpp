@@ -1,0 +1,384 @@
+#include "service/binwire.hpp"
+
+#include <bit>
+#include <charconv>
+#include <cstring>
+
+namespace sparcle::service::binwire {
+namespace {
+
+// Value type tags inside the field-map payload.
+enum : std::uint8_t {
+  kValString = 0,
+  kValF64 = 1,
+  kValU64 = 2,
+  kValTrue = 3,
+  kValFalse = 4,
+};
+
+// Payload sanity caps, all well above anything the protocol produces.
+constexpr std::size_t kMaxFields = 1024;
+constexpr std::size_t kMaxKeyBytes = 255;
+
+/// Well-known field keys by key code (index 1..N; 0x00 marks an inline
+/// key).  Append-only: codes are wire format, docs/wire.md mirrors this
+/// table.
+constexpr const char* kKnownKeys[] = {
+    nullptr,         // 0x00: inline key marker, never a known key
+    "verb",          // 0x01 (JSON-side only; requests carry it in type)
+    "status",        // 0x02
+    "reason",        // 0x03
+    "app",           // 0x04
+    "name",          // 0x05
+    "rate",          // 0x06
+    "availability",  // 0x07
+    "paths",         // 0x08
+    "latency_us",    // 0x09
+    "trace_id",      // 0x0a
+    "queue_us",      // 0x0b
+    "batch_us",      // 0x0c
+    "apply_us",      // 0x0d
+    "solve_us",      // 0x0e
+    "reply_us",      // 0x0f
+    "version",       // 0x10
+    "apps",          // 0x11
+    "total_gr_rate", // 0x12
+    "total_be_rate", // 0x13
+    "be_utility",    // 0x14
+    "class",         // 0x15
+    "priority",      // 0x16
+    "min_rate",      // 0x17
+    "format",        // 0x18
+    "body",          // 0x19
+    "slo_state",     // 0x1a
+    "queue_depth",   // 0x1b
+};
+constexpr std::size_t kKnownKeyCount =
+    sizeof(kKnownKeys) / sizeof(kKnownKeys[0]);
+
+std::uint8_t key_code(const std::string& key) {
+  for (std::size_t i = 1; i < kKnownKeyCount; ++i)
+    if (key == kKnownKeys[i]) return static_cast<std::uint8_t>(i);
+  return 0;
+}
+
+[[noreturn]] void fail(ErrorCategory category, std::size_t pos,
+                       const std::string& what) {
+  throw Error(category, "binwire: malformed frame at offset " +
+                            std::to_string(pos) + ": " + what);
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out += static_cast<char>(v & 0xFF);
+  out += static_cast<char>((v >> 8) & 0xFF);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+/// Strictly bounds-checked little-endian reader over one payload.
+struct Reader {
+  std::string_view data;
+  std::size_t pos{0};
+
+  std::size_t remaining() const { return data.size() - pos; }
+
+  void need(std::size_t n, const char* what) const {
+    if (remaining() < n)
+      fail(ErrorCategory::kMalformed, pos,
+           std::string("truncated ") + what + " (need " + std::to_string(n) +
+               " bytes, have " + std::to_string(remaining()) + ")");
+  }
+
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+
+  std::uint16_t u16(const char* what) {
+    need(2, what);
+    const std::uint16_t v =
+        static_cast<std::uint16_t>(static_cast<std::uint8_t>(data[pos])) |
+        static_cast<std::uint16_t>(static_cast<std::uint8_t>(data[pos + 1]))
+            << 8;
+    pos += 2;
+    return v;
+  }
+
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[pos + i]))
+           << (8 * i);
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[pos + i]))
+           << (8 * i);
+    pos += 8;
+    return v;
+  }
+
+  std::string_view bytes(std::size_t n, const char* what) {
+    need(n, what);
+    const std::string_view v = data.substr(pos, n);
+    pos += n;
+    return v;
+  }
+};
+
+/// Shortest round-trip text of a double (matches wire.cpp / the scenario
+/// writer, so binary→text restores the exact string JSON would carry).
+std::string fmt(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
+}
+
+/// Appends one value with the most compact type whose decode restores
+/// `text` byte-for-byte.  The guards make decode(encode(m)) == m
+/// unconditional: a numeric-looking text that would not round-trip is
+/// stored as a string.
+void encode_value(std::string& out, const std::string& text) {
+  if (text == "true") {
+    out += static_cast<char>(kValTrue);
+    return;
+  }
+  if (text == "false") {
+    out += static_cast<char>(kValFalse);
+    return;
+  }
+  if (!text.empty() && text.size() <= 20 && text[0] >= '0' && text[0] <= '9') {
+    std::uint64_t u = 0;
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), u);
+    if (ec == std::errc{} && end == text.data() + text.size() &&
+        std::to_string(u) == text) {
+      out += static_cast<char>(kValU64);
+      put_u64(out, u);
+      return;
+    }
+  }
+  if (!text.empty()) {
+    double d = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), d);
+    if (ec == std::errc{} && end == text.data() + text.size() &&
+        fmt(d) == text) {
+      out += static_cast<char>(kValF64);
+      put_u64(out, std::bit_cast<std::uint64_t>(d));
+      return;
+    }
+  }
+  out += static_cast<char>(kValString);
+  put_u32(out, static_cast<std::uint32_t>(text.size()));
+  out += text;
+}
+
+}  // namespace
+
+bool is_request(FrameType type) {
+  switch (type) {
+    case FrameType::kSubmit:
+    case FrameType::kRemove:
+    case FrameType::kQuery:
+    case FrameType::kDrain:
+    case FrameType::kStats:
+    case FrameType::kMetrics:
+      return true;
+    case FrameType::kReply:
+    case FrameType::kError:
+      return false;
+  }
+  return false;
+}
+
+const char* verb_name(FrameType type) {
+  switch (type) {
+    case FrameType::kSubmit: return "submit";
+    case FrameType::kRemove: return "remove";
+    case FrameType::kQuery: return "query";
+    case FrameType::kDrain: return "drain";
+    case FrameType::kStats: return "stats";
+    case FrameType::kMetrics: return "metrics";
+    case FrameType::kReply:
+    case FrameType::kError:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+FrameType verb_type(const std::string& verb) {
+  if (verb == "submit") return FrameType::kSubmit;
+  if (verb == "remove") return FrameType::kRemove;
+  if (verb == "query") return FrameType::kQuery;
+  if (verb == "drain") return FrameType::kDrain;
+  if (verb == "stats") return FrameType::kStats;
+  if (verb == "metrics") return FrameType::kMetrics;
+  throw Error(ErrorCategory::kMalformed,
+              "binwire: unknown verb '" + verb + "'");
+}
+
+std::string encode_fields(const std::map<std::string, std::string>& fields) {
+  std::string out;
+  out.reserve(16 + fields.size() * 16);
+  put_u16(out, static_cast<std::uint16_t>(fields.size()));
+  for (const auto& [key, value] : fields) {
+    const std::uint8_t code = key_code(key);
+    out += static_cast<char>(code);
+    if (code == 0) {
+      put_u16(out, static_cast<std::uint16_t>(key.size()));
+      out += key;
+    }
+    encode_value(out, value);
+  }
+  return out;
+}
+
+std::string encode(FrameType type,
+                   const std::map<std::string, std::string>& fields) {
+  const std::string payload = encode_fields(fields);
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out += static_cast<char>(kMagic);
+  out += static_cast<char>(kVersion);
+  out += static_cast<char>(static_cast<std::uint8_t>(type));
+  out += static_cast<char>(0);  // flags
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+std::string encode_request(const std::map<std::string, std::string>& fields) {
+  const auto verb_it = fields.find("verb");
+  if (verb_it == fields.end())
+    throw Error(ErrorCategory::kMalformed, "binwire: request lacks a verb");
+  const FrameType type = verb_type(verb_it->second);
+  std::map<std::string, std::string> payload = fields;
+  payload.erase("verb");
+  return encode(type, payload);
+}
+
+std::string encode_error(const std::string& reason) {
+  std::map<std::string, std::string> fields;
+  fields["status"] = "error";
+  fields["reason"] = reason;
+  return encode(FrameType::kError, fields);
+}
+
+std::size_t frame_length(std::string_view buffer,
+                         std::size_t max_payload_bytes) {
+  if (buffer.empty()) return 0;
+  if (static_cast<std::uint8_t>(buffer[0]) != kMagic)
+    fail(ErrorCategory::kBadMagic, 0,
+         "bad magic byte 0x" + std::to_string(static_cast<unsigned>(
+                                   static_cast<std::uint8_t>(buffer[0]))));
+  if (buffer.size() < 2) return 0;
+  const std::uint8_t version = static_cast<std::uint8_t>(buffer[1]);
+  if (version != kVersion)
+    throw Error(ErrorCategory::kBadVersion,
+                "binwire: unsupported protocol version " +
+                    std::to_string(version) + " (this server speaks " +
+                    std::to_string(kVersion) + ")");
+  if (buffer.size() < kHeaderBytes) return 0;
+  if (static_cast<std::uint8_t>(buffer[3]) != 0)
+    fail(ErrorCategory::kMalformed, 3, "nonzero flags in a version-1 frame");
+  Reader header{buffer.substr(4, 4), 0};
+  const std::uint32_t payload = header.u32("payload length");
+  if (payload > max_payload_bytes)
+    throw Error(ErrorCategory::kOversized,
+                "binwire: declared payload of " + std::to_string(payload) +
+                    " bytes exceeds the " +
+                    std::to_string(max_payload_bytes) + "-byte frame cap");
+  const std::size_t total = kHeaderBytes + payload;
+  return buffer.size() >= total ? total : 0;
+}
+
+std::map<std::string, std::string> decode_fields(std::string_view payload) {
+  std::map<std::string, std::string> out;
+  Reader r{payload, 0};
+  const std::uint16_t count = r.u16("field count");
+  if (count > kMaxFields)
+    fail(ErrorCategory::kMalformed, 0,
+         "field count " + std::to_string(count) + " exceeds the cap of " +
+             std::to_string(kMaxFields));
+  for (std::uint16_t f = 0; f < count; ++f) {
+    const std::size_t field_pos = r.pos;
+    const std::uint8_t code = r.u8("key code");
+    std::string key;
+    if (code == 0) {
+      const std::uint16_t len = r.u16("inline key length");
+      if (len > kMaxKeyBytes)
+        fail(ErrorCategory::kMalformed, field_pos,
+             "inline key of " + std::to_string(len) + " bytes exceeds the " +
+                 std::to_string(kMaxKeyBytes) + "-byte cap");
+      key = std::string(r.bytes(len, "inline key"));
+    } else if (code < kKnownKeyCount) {
+      key = kKnownKeys[code];
+    } else {
+      fail(ErrorCategory::kMalformed, field_pos,
+           "unknown key code 0x" + std::to_string(code));
+    }
+    const std::uint8_t type = r.u8("value type");
+    switch (type) {
+      case kValString: {
+        const std::uint32_t len = r.u32("string length");
+        if (len > r.remaining())
+          fail(ErrorCategory::kMalformed, r.pos,
+               "string value of " + std::to_string(len) +
+                   " bytes overruns the payload");
+        out[key] = std::string(r.bytes(len, "string value"));
+        break;
+      }
+      case kValF64:
+        out[key] = fmt(std::bit_cast<double>(r.u64("f64 value")));
+        break;
+      case kValU64:
+        out[key] = std::to_string(r.u64("u64 value"));
+        break;
+      case kValTrue:
+        out[key] = "true";
+        break;
+      case kValFalse:
+        out[key] = "false";
+        break;
+      default:
+        fail(ErrorCategory::kMalformed, field_pos,
+             "unknown value type 0x" + std::to_string(type));
+    }
+  }
+  if (r.remaining() != 0)
+    fail(ErrorCategory::kMalformed, r.pos,
+         std::to_string(r.remaining()) + " trailing payload bytes");
+  return out;
+}
+
+Frame decode(std::string_view frame, std::size_t max_payload_bytes) {
+  const std::size_t total = frame_length(frame, max_payload_bytes);
+  if (total == 0 || total != frame.size())
+    fail(ErrorCategory::kMalformed, frame.size(),
+         "decode() requires exactly one complete frame");
+  Frame out;
+  const std::uint8_t type = static_cast<std::uint8_t>(frame[2]);
+  out.type = static_cast<FrameType>(type);
+  if (!is_request(out.type) && out.type != FrameType::kReply &&
+      out.type != FrameType::kError)
+    fail(ErrorCategory::kMalformed, 2,
+         "unknown frame type 0x" + std::to_string(type));
+  out.fields = decode_fields(frame.substr(kHeaderBytes));
+  return out;
+}
+
+}  // namespace sparcle::service::binwire

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+/// \file binwire.hpp
+/// The placement service's versioned binary wire codec — the compact
+/// sibling of the flat-JSON line protocol in wire.hpp.  Both codecs share
+/// one port: the first byte a connection sends selects the codec (the
+/// binary magic 0xB5 can never open a JSON line), so the JSON protocol
+/// stays available for debugging while bulk traffic rides fixed-width
+/// binary frames.  docs/wire.md is the normative byte-level spec; the
+/// short version:
+///
+///     offset  size  field
+///     0       1     magic (0xB5)
+///     1       1     protocol version (currently 1)
+///     2       1     frame type (request verb or reply/error)
+///     3       1     flags (must be 0 in version 1)
+///     4       4     payload length N, little-endian uint32
+///     8       N     payload: a field map (see below)
+///
+/// The payload is a typed field map carrying the same flat string→string
+/// fields the JSON codec uses: a little-endian uint16 field count, then
+/// per field a 1-byte key code (well-known keys; 0x00 prefixes an inline
+/// length-delimited key), a 1-byte value type (string / f64 / u64 /
+/// true / false), and the value bytes.  Encoding detects numeric and
+/// boolean value texts and stores them in binary; decoding restores the
+/// exact original text (shortest round-trip formatting), so
+/// `decode(encode(m)) == m` for every field map the service emits — the
+/// property the json↔binary equivalence tests in tests/test_binwire.cpp
+/// lock down.
+///
+/// Decoding is strictly bounds-checked: every read validates against the
+/// remaining payload, and malformed input throws binwire::Error (never
+/// reads out of bounds, never crashes) with a reason category the server
+/// maps to a structured error frame.
+
+namespace sparcle::service::binwire {
+
+/// First byte of every binary frame.  Chosen outside ASCII so the first
+/// byte of a connection unambiguously selects binary vs NDJSON framing.
+inline constexpr std::uint8_t kMagic = 0xB5;
+
+/// The protocol version this build speaks.  A server receiving any other
+/// version answers with a version-1 error frame naming both versions and
+/// closes (docs/wire.md "Version negotiation").
+inline constexpr std::uint8_t kVersion = 1;
+
+/// Bytes in the fixed frame header (magic, version, type, flags, length).
+inline constexpr std::size_t kHeaderBytes = 8;
+
+/// Frame type byte: request verbs mirror the JSON `verb` field; replies
+/// have the high bit set.
+enum class FrameType : std::uint8_t {
+  kSubmit = 0x01,   ///< request: admit one application
+  kRemove = 0x02,   ///< request: remove a placed application
+  kQuery = 0x03,    ///< request: snapshot summary / one app's view
+  kDrain = 0x04,    ///< request: block until the queue empties
+  kStats = 0x05,    ///< request: flat health document
+  kMetrics = 0x06,  ///< request: Prometheus exposition
+  kReply = 0x81,    ///< response: field map (status carries the outcome)
+  kError = 0x82,    ///< response: protocol-level error (status=error)
+};
+
+/// Why a frame failed to decode (Error::category()).  The server maps
+/// these to structured error frames / connection handling.
+enum class ErrorCategory : std::uint8_t {
+  kBadMagic,    ///< first byte is not kMagic (not a binary frame)
+  kBadVersion,  ///< unsupported protocol version (negotiation failure)
+  kOversized,   ///< declared payload length exceeds the frame cap
+  kMalformed,   ///< anything else: truncated, bad type/flags, bad payload
+};
+
+/// Decode failure: carries the category plus a human-readable reason
+/// (byte offsets included) suitable for an error frame.
+class Error : public std::runtime_error {
+ public:
+  /// Builds an error carrying `category` and the `what` reason text.
+  Error(ErrorCategory category, const std::string& what)
+      : std::runtime_error(what), category_(category) {}
+  /// The failure class, for the server's error-frame / close decision.
+  ErrorCategory category() const { return category_; }
+
+ private:
+  ErrorCategory category_;
+};
+
+/// One decoded frame: the type byte plus the payload field map.
+struct Frame {
+  FrameType type{FrameType::kReply};           ///< the header's type byte
+  std::map<std::string, std::string> fields;   ///< decoded payload fields
+};
+
+/// True for the request-verb frame types (kSubmit..kMetrics).
+bool is_request(FrameType type);
+
+/// Symbolic name of a request frame type (`submit`, `remove`, ... — the
+/// JSON `verb` spelling), or nullptr for reply/error types.
+const char* verb_name(FrameType type);
+
+/// The frame type of a JSON verb string; throws Error (kMalformed) on an
+/// unknown verb.
+FrameType verb_type(const std::string& verb);
+
+/// Encodes a complete frame (header + typed field-map payload).
+std::string encode(FrameType type,
+                   const std::map<std::string, std::string>& fields);
+
+/// Encodes a request from JSON-shaped fields: the `verb` entry selects
+/// the frame type, every other field rides in the payload.  Throws Error
+/// (kMalformed) when `verb` is missing or unknown.
+std::string encode_request(const std::map<std::string, std::string>& fields);
+
+/// Encodes an error frame: `{"status":"error","reason":reason}`.
+std::string encode_error(const std::string& reason);
+
+/// Length in bytes of the complete frame at the front of `buffer`, or 0
+/// when more bytes are needed (partial header / partial payload).
+/// Validates the header eagerly — throws Error with kBadMagic /
+/// kBadVersion / kOversized / kMalformed (nonzero flags) so a server can
+/// reject a bad frame before buffering its payload.  `max_payload_bytes`
+/// caps the declared payload length.
+std::size_t frame_length(std::string_view buffer,
+                         std::size_t max_payload_bytes = 1 << 20);
+
+/// Decodes one complete frame (as delimited by frame_length).  Throws
+/// Error on any malformation; never reads outside `frame`.
+Frame decode(std::string_view frame, std::size_t max_payload_bytes = 1 << 20);
+
+/// Decodes a payload field map (no header).  Exposed for tests and for
+/// client-side reply handling.
+std::map<std::string, std::string> decode_fields(std::string_view payload);
+
+/// Encodes just the typed field map (no header).  Exposed for tests.
+std::string encode_fields(const std::map<std::string, std::string>& fields);
+
+}  // namespace sparcle::service::binwire

@@ -9,11 +9,14 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "service/binwire.hpp"
 #include "service/wire.hpp"
 
 namespace sparcle::service {
 
-TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+TcpClient::TcpClient(const std::string& host, std::uint16_t port,
+                     Codec codec)
+    : codec_(codec) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -49,12 +52,10 @@ TcpClient::~TcpClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-std::string TcpClient::request(const std::string& line) {
-  std::string out = line;
-  out += '\n';
+void TcpClient::send_all(const std::string& data) {
   std::size_t off = 0;
-  while (off < out.size()) {
-    const ssize_t n = ::send(fd_, out.data() + off, out.size() - off,
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
 #ifdef MSG_NOSIGNAL
                              MSG_NOSIGNAL
 #else
@@ -68,14 +69,32 @@ std::string TcpClient::request(const std::string& line) {
     }
     off += static_cast<std::size_t>(n);
   }
+}
+
+std::map<std::string, std::string> TcpClient::read_reply() {
   char chunk[4096];
+  if (codec_ == Codec::kJson) {
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string response = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        if (!response.empty() && response.back() == '\r') response.pop_back();
+        return wire::parse_line(response);
+      }
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0)
+        throw std::runtime_error("TcpClient: connection closed by server");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
   for (;;) {
-    const std::size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
-      std::string response = buffer_.substr(0, newline);
-      buffer_.erase(0, newline + 1);
-      if (!response.empty() && response.back() == '\r') response.pop_back();
-      return response;
+    const std::size_t frame_bytes = binwire::frame_length(buffer_);
+    if (frame_bytes != 0) {
+      binwire::Frame frame = binwire::decode(buffer_.substr(0, frame_bytes));
+      buffer_.erase(0, frame_bytes);
+      return std::move(frame.fields);
     }
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
@@ -85,9 +104,43 @@ std::string TcpClient::request(const std::string& line) {
   }
 }
 
+std::map<std::string, std::string> TcpClient::call(
+    const std::map<std::string, std::string>& fields) {
+  if (codec_ == Codec::kJson)
+    send_all(wire::to_line(fields) + "\n");
+  else
+    send_all(binwire::encode_request(fields));
+  return read_reply();
+}
+
+std::string TcpClient::request(const std::string& line) {
+  if (codec_ == Codec::kJson) {
+    send_all(line + "\n");
+    // Return the raw line (re-rendered through the parsed map would be
+    // equivalent; raw preserves the server's exact bytes for tests).
+    char chunk[4096];
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string response = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        if (!response.empty() && response.back() == '\r') response.pop_back();
+        return response;
+      }
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0)
+        throw std::runtime_error("TcpClient: connection closed by server");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+  return wire::to_line(call(wire::parse_line(line)));
+}
+
 std::map<std::string, std::string> TcpClient::request_fields(
     const std::string& line) {
-  return wire::parse_line(request(line));
+  if (codec_ == Codec::kJson) return wire::parse_line(request(line));
+  return call(wire::parse_line(line));
 }
 
 std::map<std::string, std::string> TcpClient::submit_app_text(
@@ -95,27 +148,27 @@ std::map<std::string, std::string> TcpClient::submit_app_text(
   std::map<std::string, std::string> req;
   req["verb"] = "submit";
   req["app"] = app_block;
-  return request_fields(wire::to_line(req));
+  return call(req);
 }
 
 std::map<std::string, std::string> TcpClient::remove(const std::string& name) {
   std::map<std::string, std::string> req;
   req["verb"] = "remove";
   req["name"] = name;
-  return request_fields(wire::to_line(req));
+  return call(req);
 }
 
 std::map<std::string, std::string> TcpClient::query(const std::string& name) {
   std::map<std::string, std::string> req;
   req["verb"] = "query";
   if (!name.empty()) req["name"] = name;
-  return request_fields(wire::to_line(req));
+  return call(req);
 }
 
 std::map<std::string, std::string> TcpClient::drain() {
   std::map<std::string, std::string> req;
   req["verb"] = "drain";
-  return request_fields(wire::to_line(req));
+  return call(req);
 }
 
 }  // namespace sparcle::service

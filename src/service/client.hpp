@@ -9,9 +9,17 @@
 /// Client-side access to the placement service: LocalClient wraps an
 /// in-process SchedulerService behind the same verbs the wire protocol
 /// exposes (tests and embedders skip the socket), and TcpClient speaks
-/// the NDJSON protocol to a remote sparcle_serve daemon.
+/// either wire codec — NDJSON lines or binary frames (binwire.hpp) — to a
+/// remote sparcle_serve daemon over one connection.
 
 namespace sparcle::service {
+
+/// Which wire codec a TcpClient speaks.  Both land on the same server
+/// port; the first byte the client sends pins the connection's codec.
+enum class Codec {
+  kJson,    ///< newline-delimited flat JSON (wire.hpp)
+  kBinary,  ///< length-prefixed binary frames (binwire.hpp)
+};
 
 /// Synchronous in-process client: each call enqueues through the service
 /// and blocks on the future.  Thread-safe (the service is).
@@ -39,20 +47,35 @@ class LocalClient {
   SchedulerService& service_;
 };
 
-/// Blocking NDJSON-over-TCP client for sparcle_serve.  One connection,
-/// one outstanding request at a time; NOT thread-safe (use one client
-/// per thread — the daemon handles each connection independently).
+/// Blocking TCP client for sparcle_serve.  One connection, one
+/// outstanding request at a time; NOT thread-safe (use one client per
+/// thread — the daemon multiplexes connections on its event loop).  The
+/// codec is fixed per connection at construction.
 class TcpClient {
  public:
   /// Connects to `host:port`; throws std::runtime_error on failure.
-  TcpClient(const std::string& host, std::uint16_t port);
+  /// `codec` selects the wire encoding for the whole connection.
+  TcpClient(const std::string& host, std::uint16_t port,
+            Codec codec = Codec::kJson);
   ~TcpClient();
 
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
 
-  /// Sends one request line (newline appended) and returns the response
-  /// line.  Throws std::runtime_error if the connection drops.
+  /// The connection's wire codec.
+  Codec codec() const { return codec_; }
+
+  /// Sends one request (a flat field map including `verb`) in the
+  /// connection's codec and returns the parsed response fields.  This is
+  /// the codec-independent core every helper below rides.
+  std::map<std::string, std::string> call(
+      const std::map<std::string, std::string>& fields);
+
+  /// Sends one JSON request line and returns the response as a JSON line.
+  /// On a binary connection the line is parsed, re-encoded as a frame,
+  /// and the reply rendered back to JSON — so line-oriented callers work
+  /// identically over both codecs.  Throws std::runtime_error if the
+  /// connection drops.
   std::string request(const std::string& line);
 
   /// request() plus response parsing into the flat field map.
@@ -70,8 +93,12 @@ class TcpClient {
   std::map<std::string, std::string> drain();
 
  private:
+  void send_all(const std::string& data);
+  std::map<std::string, std::string> read_reply();
+
   int fd_{-1};
-  std::string buffer_;  ///< bytes received past the last response line
+  Codec codec_{Codec::kJson};
+  std::string buffer_;  ///< bytes received past the last response
 };
 
 }  // namespace sparcle::service

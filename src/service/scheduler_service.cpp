@@ -26,6 +26,19 @@ std::string fmt(double v) {
   return std::string(buf, end);
 }
 
+/// Delivers a request's terminal result through whichever channel the
+/// caller chose: the completion callback (async front ends) or the
+/// promise (future-based callers).  Templated because Request is a
+/// private nested type; the argument is always SchedulerService::Request.
+template <typename RequestT>
+void fulfill(RequestT& req, ServiceResult result) {
+  if (req.callback) {
+    req.callback(std::move(result));
+    return;
+  }
+  req.promise.set_value(std::move(result));
+}
+
 }  // namespace
 
 const char* to_string(ServiceResult::Status status) {
@@ -141,6 +154,31 @@ std::future<ServiceResult> SchedulerService::remove(
   return enqueue(std::move(req), kControl, deadline);
 }
 
+void SchedulerService::submit_async(Application app, Completion on_done) {
+  const auto deadline =
+      options_.default_deadline.count() > 0
+          ? std::chrono::steady_clock::now() + options_.default_deadline
+          : kNoDeadline;
+  const bool gr = app.qoe.cls == QoeClass::kGuaranteedRate;
+  Request req;
+  req.verb = Request::Verb::kSubmit;
+  req.app = std::move(app);
+  req.callback = std::move(on_done);
+  enqueue(std::move(req), gr ? kGr : kBe, deadline);
+}
+
+void SchedulerService::remove_async(std::string app_name, Completion on_done) {
+  const auto deadline =
+      options_.default_deadline.count() > 0
+          ? std::chrono::steady_clock::now() + options_.default_deadline
+          : kNoDeadline;
+  Request req;
+  req.verb = Request::Verb::kRemove;
+  req.name = std::move(app_name);
+  req.callback = std::move(on_done);
+  enqueue(std::move(req), kControl, deadline);
+}
+
 std::future<ServiceResult> SchedulerService::enqueue(
     Request req, std::size_t cls,
     std::chrono::steady_clock::time_point deadline) {
@@ -159,7 +197,7 @@ std::future<ServiceResult> SchedulerService::enqueue(
       ServiceResult result;
       result.status = ServiceResult::Status::kShutdown;
       result.reason = "service is stopping";
-      req.promise.set_value(std::move(result));
+      fulfill(req, std::move(result));
       return future;
     }
     window_.add("arrivals");
@@ -173,7 +211,7 @@ std::future<ServiceResult> SchedulerService::enqueue(
                       std::to_string(options_.queue_capacity) +
                       " requests queued";
       log_queue_reject("queue_full", label, gr, result.reason);
-      req.promise.set_value(std::move(result));
+      fulfill(req, std::move(result));
       return future;
     }
     bump(req.verb == Request::Verb::kSubmit ? "service.submits"
@@ -587,7 +625,7 @@ void SchedulerService::process_batch(std::vector<Request>& batch) {
       trace->record_flow("service.request", trace->to_origin_us(done),
                          /*start=*/false, batch[i].trace);
     }
-    batch[i].promise.set_value(std::move(results[i]));
+    fulfill(batch[i], std::move(results[i]));
   }
 }
 

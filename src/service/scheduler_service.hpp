@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -222,6 +223,20 @@ class SchedulerService {
   std::future<ServiceResult> remove(
       std::string app_name, std::chrono::steady_clock::time_point deadline);
 
+  /// Callback invoked exactly once with a request's terminal result.
+  /// Runs on the scheduling thread (batch completions) or inline on the
+  /// caller's thread (enqueue-time bounces: queue_full / shutdown), so it
+  /// must be cheap and must not re-enter the service.
+  using Completion = std::function<void(ServiceResult)>;
+
+  /// submit() without a future: `on_done` fires when the batch containing
+  /// the request completes (or immediately on queue_full / shutdown).
+  /// This is the event-loop front end's path — nothing ever blocks.
+  void submit_async(Application app, Completion on_done);
+
+  /// remove() without a future (control class; see submit_async).
+  void remove_async(std::string app_name, Completion on_done);
+
   /// The latest published snapshot — never null after construction (an
   /// empty version-0 snapshot is published at start), never blocks.
   std::shared_ptr<const ServiceSnapshot> snapshot() const;
@@ -263,15 +278,15 @@ class SchedulerService {
 
   /// Full Prometheus text exposition: the registry, the window gauges
   /// (`service.window.*`), and the SLO gauges (`slo.*`), prefix
-  /// `sparcle_`.  The TcpServer `metrics` verb serves this.
+  /// `sparcle_`.  The wire `metrics` verb serves this.
   std::string prometheus_text() const;
 
-  /// Flat health document for the TcpServer `stats` verb: status, SLO
+  /// Flat health document for the wire `stats` verb: status, SLO
   /// worst-state, queue depth, window rates, and per-objective burn.
   std::map<std::string, std::string> health_fields() const;
 
   /// The network this service places onto.  Immutable for the service's
-  /// lifetime; connection threads use it to resolve NCP names in wire
+  /// lifetime; the event loop uses it to resolve NCP names in wire
   /// submissions.
   const Network& network() const { return net_; }
 
@@ -284,6 +299,7 @@ class SchedulerService {
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;  ///< max() = none
     std::promise<ServiceResult> promise;
+    Completion callback;  ///< when set, fires instead of the promise
   };
   /// Queue class index: lower pops first.
   enum : std::size_t { kControl = 0, kGr = 1, kBe = 2, kClasses = 3 };

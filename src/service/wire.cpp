@@ -188,7 +188,7 @@ std::map<std::string, std::string> parse_line(const std::string& line) {
   return out;
 }
 
-std::string result_line(const ServiceResult& result) {
+std::map<std::string, std::string> result_fields(const ServiceResult& result) {
   std::map<std::string, std::string> fields;
   fields["status"] = to_string(result.status);
   if (!result.reason.empty()) fields["reason"] = result.reason;
@@ -204,18 +204,19 @@ std::string result_line(const ServiceResult& result) {
     fields["solve_us"] = fmt(result.timeline.solve_us);
     fields["reply_us"] = fmt(result.timeline.reply_us);
   }
-  return to_line(fields);
+  return fields;
 }
 
-std::string metrics_line(const std::string& body) {
+std::map<std::string, std::string> metrics_fields(const std::string& body) {
   std::map<std::string, std::string> fields;
   fields["status"] = "ok";
   fields["format"] = "prometheus-0.0.4";
   fields["body"] = body;
-  return to_line(fields);
+  return fields;
 }
 
-std::string snapshot_line(const ServiceSnapshot& snap) {
+std::map<std::string, std::string> snapshot_fields(
+    const ServiceSnapshot& snap) {
   std::map<std::string, std::string> fields;
   fields["status"] = "ok";
   fields["version"] = std::to_string(snap.version);
@@ -223,16 +224,17 @@ std::string snapshot_line(const ServiceSnapshot& snap) {
   fields["total_gr_rate"] = fmt(snap.total_gr_rate);
   fields["total_be_rate"] = fmt(snap.total_be_rate);
   fields["be_utility"] = fmt(snap.be_utility);
-  return to_line(fields);
+  return fields;
 }
 
-std::string app_line(const ServiceSnapshot& snap, const std::string& name) {
+std::map<std::string, std::string> app_fields(const ServiceSnapshot& snap,
+                                              const std::string& name) {
   const AppView* view = snap.find(name);
   if (view == nullptr) {
     std::map<std::string, std::string> fields;
     fields["status"] = "not_found";
     fields["name"] = name;
-    return to_line(fields);
+    return fields;
   }
   std::map<std::string, std::string> fields;
   fields["status"] = "ok";
@@ -244,14 +246,34 @@ std::string app_line(const ServiceSnapshot& snap, const std::string& name) {
     fields["min_rate"] = fmt(view->min_rate);
   else
     fields["priority"] = fmt(view->priority);
-  return to_line(fields);
+  return fields;
 }
 
-std::string error_line(const std::string& reason) {
+std::map<std::string, std::string> error_fields(const std::string& reason) {
   std::map<std::string, std::string> fields;
   fields["status"] = "error";
   fields["reason"] = reason;
-  return to_line(fields);
+  return fields;
+}
+
+std::string result_line(const ServiceResult& result) {
+  return to_line(result_fields(result));
+}
+
+std::string metrics_line(const std::string& body) {
+  return to_line(metrics_fields(body));
+}
+
+std::string snapshot_line(const ServiceSnapshot& snap) {
+  return to_line(snapshot_fields(snap));
+}
+
+std::string app_line(const ServiceSnapshot& snap, const std::string& name) {
+  return to_line(app_fields(snap, name));
+}
+
+std::string error_line(const std::string& reason) {
+  return to_line(error_fields(reason));
 }
 
 }  // namespace sparcle::service::wire

@@ -40,30 +40,48 @@ std::string to_line(const std::map<std::string, std::string>& fields);
 /// the offending position on malformed input.
 std::map<std::string, std::string> parse_line(const std::string& line);
 
-/// Renders a ServiceResult as a response line:
-/// `{"status":"admitted","rate":...,"availability":...,"paths":...,
-///   "latency_us":...}` plus `"reason"` when non-empty.  Requests that
-/// reached the queue also carry `"trace_id"` and the per-stage breakdown
-/// `"queue_us"`/`"batch_us"`/`"apply_us"`/`"solve_us"`/`"reply_us"`
-/// (RequestTimeline — the stages sum to latency_us).
+/// The flat field map of a ServiceResult response:
+/// `status`=admitted/..., `rate`, `availability`, `paths`, `latency_us`,
+/// plus `reason` when non-empty.  Requests that reached the queue also
+/// carry `trace_id` and the per-stage breakdown `queue_us`/`batch_us`/
+/// `apply_us`/`solve_us`/`reply_us` (RequestTimeline — the stages sum to
+/// latency_us).  Both codecs serialize this map: to_line for JSON,
+/// binwire::encode for binary frames.
+std::map<std::string, std::string> result_fields(const ServiceResult& result);
+
+/// The `metrics` response fields: `status`=ok,
+/// `format`=prometheus-0.0.4, and the multi-line exposition text in
+/// `body`.  JSON clients recover the text by unescaping `body` (e.g.
+/// `jq -r .body`); binary clients read it verbatim.
+std::map<std::string, std::string> metrics_fields(const std::string& body);
+
+/// The snapshot summary fields: `status`=ok, `version`, `apps`,
+/// `total_gr_rate`, `total_be_rate`, `be_utility`.
+std::map<std::string, std::string> snapshot_fields(const ServiceSnapshot& snap);
+
+/// One application's snapshot view (`status`=ok, `name`, `class`,
+/// `rate`, `paths`, and `min_rate` or `priority`), or
+/// `status`=not_found when absent.
+std::map<std::string, std::string> app_fields(const ServiceSnapshot& snap,
+                                              const std::string& name);
+
+/// An error response's fields: `status`=error, `reason`.
+std::map<std::string, std::string> error_fields(const std::string& reason);
+
+/// result_fields rendered as one JSON response line.
 std::string result_line(const ServiceResult& result);
 
-/// Renders a multi-line text payload (Prometheus exposition) as the
-/// `metrics` response: `{"status":"ok","format":"prometheus-0.0.4",
-///   "body":"..."}` with the text newline-escaped into one JSON string.
-/// Clients recover the text by unescaping `body` (e.g. `jq -r .body`).
+/// metrics_fields rendered as one JSON response line (the exposition
+/// newline-escaped into one JSON string).
 std::string metrics_line(const std::string& body);
 
-/// Renders a snapshot summary response:
-/// `{"status":"ok","version":...,"apps":...,"total_gr_rate":...,
-///   "total_be_rate":...,"be_utility":...}`.
+/// snapshot_fields rendered as one JSON response line.
 std::string snapshot_line(const ServiceSnapshot& snap);
 
-/// Renders one application's snapshot view, or
-/// `{"status":"not_found","name":...}` when absent.
+/// app_fields rendered as one JSON response line.
 std::string app_line(const ServiceSnapshot& snap, const std::string& name);
 
-/// Renders an error response: `{"status":"error","reason":...}`.
+/// error_fields rendered as one JSON response line.
 std::string error_line(const std::string& reason);
 
 }  // namespace sparcle::service::wire

@@ -1,0 +1,601 @@
+#include "service/binwire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "service/client.hpp"
+#include "service/event_server.hpp"
+#include "service/wire.hpp"
+#include "workload/scenario_io.hpp"
+
+/// \file test_binwire.cpp
+/// The binary wire codec and the event-loop server: field-map round
+/// trips, json<->binary equivalence for every verb, fuzz-style malformed
+/// frame rejection, mixed-codec sessions against one server, partial
+/// frame reassembly, oversized-request structured rejects, and the idle
+/// sweep.
+
+namespace sparcle {
+namespace {
+
+namespace binwire = service::binwire;
+namespace wire = service::wire;
+using service::Codec;
+using service::SchedulerService;
+using service::ServiceResult;
+using Fields = std::map<std::string, std::string>;
+
+// ---------------------------------------------------------------------------
+// Fixtures (the test_service two-relay classic)
+
+Network make_two_relay_net(double relay_cap = 10.0) {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("src", ResourceVector::scalar(1.0));
+  net.add_ncp("r1", ResourceVector::scalar(relay_cap));
+  net.add_ncp("r2", ResourceVector::scalar(relay_cap));
+  net.add_ncp("dst", ResourceVector::scalar(1.0));
+  net.add_link("s1", 0, 1, 1000.0);
+  net.add_link("1d", 1, 3, 1000.0);
+  net.add_link("s2", 0, 2, 1000.0);
+  net.add_link("2d", 2, 3, 1000.0);
+  return net;
+}
+
+std::shared_ptr<const TaskGraph> make_relay_graph(double mid_cpu = 1.0) {
+  auto g = std::make_shared<TaskGraph>(ResourceSchema::cpu_only());
+  const CtId s = g->add_ct("source", ResourceVector::scalar(0));
+  const CtId m = g->add_ct("mid", ResourceVector::scalar(mid_cpu));
+  const CtId t = g->add_ct("sink", ResourceVector::scalar(0));
+  g->add_tt("sm", 1.0, s, m);
+  g->add_tt("mt", 1.0, m, t);
+  g->finalize();
+  return g;
+}
+
+Application make_app(const std::string& name, QoeSpec qoe,
+                     double mid_cpu = 1.0) {
+  Application app;
+  app.name = name;
+  app.graph = make_relay_graph(mid_cpu);
+  app.qoe = qoe;
+  app.pinned = {{0, 0}, {2, 3}};
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// Raw-socket helpers
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  timeval tv{};
+  tv.tv_sec = 10;  // a hung server fails the test instead of wedging CI
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+void send_raw(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads one complete binary frame (decoded) off a raw socket.
+binwire::Frame recv_frame(int fd, std::string& buffer) {
+  char chunk[4096];
+  for (;;) {
+    const std::size_t len = binwire::frame_length(buffer);
+    if (len != 0) {
+      binwire::Frame frame = binwire::decode(buffer.substr(0, len));
+      buffer.erase(0, len);
+      return frame;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    EXPECT_GT(n, 0) << "connection closed before a full frame arrived";
+    if (n <= 0) return binwire::Frame{};
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// Reads one JSON response line off a raw socket.
+std::string recv_line(int fd, std::string& buffer) {
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      return line;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    EXPECT_GT(n, 0) << "connection closed before a full line arrived";
+    if (n <= 0) return "";
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// True when the peer has closed the connection (recv sees EOF).
+bool recv_eof(int fd) {
+  char chunk[64];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return true;
+    if (n < 0) return false;  // timeout or error: not a clean close
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codec: round trips
+
+TEST(Binwire, FieldMapRoundTripsExactly) {
+  const std::vector<Fields> cases = {
+      {},
+      {{"verb", "query"}},
+      {{"status", "ok"}, {"apps", "3"}, {"rate", "2.5"}},
+      {{"reason", "line with \"quotes\" and\nnewlines\tand \\ slashes"}},
+      {{"body", std::string("nul byte: \0 inside", 18)}},
+      {{"custom_key_not_in_table", "value"}, {"x", ""}},
+      {{"u64max", "18446744073709551615"}, {"neg", "-42"}},
+      {{"t", "true"}, {"f", "false"}},
+      {{"pi", "3.141592653589793"}, {"tiny", "1e-300"}},
+      {{std::string(200, 'k'), std::string(5000, 'v')}},
+  };
+  for (const Fields& fields : cases) {
+    const std::string payload = binwire::encode_fields(fields);
+    EXPECT_EQ(binwire::decode_fields(payload), fields);
+    const std::string frame =
+        binwire::encode(binwire::FrameType::kReply, fields);
+    const binwire::Frame decoded = binwire::decode(frame);
+    EXPECT_EQ(decoded.type, binwire::FrameType::kReply);
+    EXPECT_EQ(decoded.fields, fields);
+  }
+}
+
+TEST(Binwire, AwkwardNumericTextsSurviveExactly) {
+  // Texts that LOOK numeric but do not round-trip through a binary
+  // number must fall back to strings: the decoded text is byte-identical.
+  const std::vector<std::string> values = {
+      "007", "-0", "+1", "1.0", "1e2", "0x10", " 42", "42 ", "1.", ".5",
+      "9999999999999999999999999999", "NaN", "inf", "true ", "True",
+  };
+  for (const std::string& v : values) {
+    const Fields fields = {{"rate", v}};
+    EXPECT_EQ(binwire::decode_fields(binwire::encode_fields(fields)), fields)
+        << "value '" << v << "'";
+  }
+}
+
+TEST(Binwire, HeaderLayoutIsStable) {
+  const std::string frame =
+      binwire::encode(binwire::FrameType::kQuery, Fields{});
+  ASSERT_GE(frame.size(), binwire::kHeaderBytes);
+  EXPECT_EQ(static_cast<std::uint8_t>(frame[0]), binwire::kMagic);
+  EXPECT_EQ(static_cast<std::uint8_t>(frame[1]), binwire::kVersion);
+  EXPECT_EQ(static_cast<std::uint8_t>(frame[2]), 0x03);  // kQuery
+  EXPECT_EQ(static_cast<std::uint8_t>(frame[3]), 0);     // flags
+  EXPECT_EQ(binwire::frame_length(frame), frame.size());
+}
+
+TEST(Binwire, VerbNamesRoundTrip) {
+  const std::vector<std::string> verbs = {"submit", "remove", "query",
+                                          "drain", "stats", "metrics"};
+  for (const std::string& verb : verbs) {
+    const binwire::FrameType type = binwire::verb_type(verb);
+    EXPECT_TRUE(binwire::is_request(type));
+    EXPECT_STREQ(binwire::verb_name(type), verb.c_str());
+  }
+  EXPECT_FALSE(binwire::is_request(binwire::FrameType::kReply));
+  EXPECT_FALSE(binwire::is_request(binwire::FrameType::kError));
+  EXPECT_THROW(binwire::verb_type("frobnicate"), binwire::Error);
+}
+
+TEST(Binwire, EveryVerbEncodesJsonEquivalently) {
+  const Network net = make_two_relay_net();
+  const std::string block =
+      workload::write_app_text(make_app("eq", QoeSpec::best_effort(1.5)), net);
+  const std::vector<Fields> requests = {
+      {{"verb", "submit"}, {"app", block}},
+      {{"verb", "remove"}, {"name", "eq"}},
+      {{"verb", "query"}},
+      {{"verb", "query"}, {"name", "eq"}},
+      {{"verb", "drain"}},
+      {{"verb", "stats"}},
+      {{"verb", "metrics"}},
+  };
+  for (const Fields& request : requests) {
+    // JSON side: the line codec reproduces the map.
+    EXPECT_EQ(wire::parse_line(wire::to_line(request)), request);
+    // Binary side: the frame carries the verb in the type byte and the
+    // rest of the map in the payload.
+    const std::string frame = binwire::encode_request(request);
+    const binwire::Frame decoded = binwire::decode(frame);
+    Fields reassembled = decoded.fields;
+    reassembled["verb"] = binwire::verb_name(decoded.type);
+    EXPECT_EQ(reassembled, request);
+  }
+}
+
+TEST(Binwire, ResponseBuildersAgreeAcrossCodecs) {
+  ServiceResult result;
+  result.status = ServiceResult::Status::kAdmitted;
+  result.rate = 2.25;
+  result.availability = 0.987654321;
+  result.paths = 3;
+  result.latency_us = 1234.5;
+  result.timeline.trace_id = 0x123456789abcdefULL;
+  result.timeline.queue_us = 10.5;
+  result.timeline.batch_us = 0.25;
+  result.timeline.apply_us = 3;
+  result.timeline.solve_us = 900.125;
+  result.timeline.reply_us = 1.0;
+  const std::string body =
+      "# TYPE sparcle_x_total counter\nsparcle_x_total 7\n\"quoted\"\n";
+  const std::vector<Fields> responses = {
+      wire::result_fields(result),
+      wire::metrics_fields(body),
+      wire::error_fields("bad thing: \"details\" at offset 7"),
+  };
+  for (const Fields& fields : responses) {
+    EXPECT_EQ(wire::parse_line(wire::to_line(fields)), fields);
+    const std::string frame =
+        binwire::encode(binwire::FrameType::kReply, fields);
+    EXPECT_EQ(binwire::decode(frame).fields, fields);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codec: malformed input
+
+TEST(Binwire, TruncatedFramesReadAsPartial) {
+  const std::string frame = binwire::encode(
+      binwire::FrameType::kSubmit, Fields{{"app", "app a be 1\nend"}});
+  for (std::size_t len = 0; len < frame.size(); ++len)
+    EXPECT_EQ(binwire::frame_length(frame.substr(0, len)), 0u)
+        << "prefix length " << len;
+  EXPECT_EQ(binwire::frame_length(frame), frame.size());
+}
+
+TEST(Binwire, BadHeadersThrowTheRightCategory) {
+  const auto category_of = [](const std::string& bytes,
+                              std::size_t max = 1 << 20) {
+    try {
+      binwire::frame_length(bytes, max);
+    } catch (const binwire::Error& e) {
+      return e.category();
+    }
+    ADD_FAILURE() << "header unexpectedly accepted";
+    return binwire::ErrorCategory::kMalformed;
+  };
+  std::string good = binwire::encode(binwire::FrameType::kQuery, Fields{});
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'x';
+  EXPECT_EQ(category_of(bad_magic), binwire::ErrorCategory::kBadMagic);
+
+  std::string bad_version = good;
+  bad_version[1] = 2;
+  EXPECT_EQ(category_of(bad_version), binwire::ErrorCategory::kBadVersion);
+
+  std::string bad_flags = good;
+  bad_flags[3] = 1;
+  EXPECT_EQ(category_of(bad_flags), binwire::ErrorCategory::kMalformed);
+
+  // Declared payload larger than the cap is rejected from the header
+  // alone — before any payload bytes arrive.
+  std::string oversized = good.substr(0, binwire::kHeaderBytes);
+  oversized[4] = static_cast<char>(0xFF);
+  oversized[5] = static_cast<char>(0xFF);
+  oversized[6] = static_cast<char>(0xFF);
+  oversized[7] = static_cast<char>(0x7F);
+  EXPECT_EQ(category_of(oversized), binwire::ErrorCategory::kOversized);
+  EXPECT_EQ(category_of(good, 1), binwire::ErrorCategory::kOversized);
+}
+
+TEST(Binwire, MalformedPayloadsNeverEscapeTheErrorType) {
+  // Fuzz-style sweep: every single-byte mutation and every truncation of
+  // a valid frame either decodes cleanly or throws binwire::Error — no
+  // other exception, no crash, no out-of-bounds read.
+  const std::string frame = binwire::encode_request(
+      Fields{{"verb", "submit"},
+             {"app", "app a be 1\nend"},
+             {"trace_id", "123456789"},
+             {"rate", "2.5"},
+             {"flag", "true"}});
+  const auto probe = [](const std::string& bytes) {
+    try {
+      const std::size_t len = binwire::frame_length(bytes);
+      if (len != 0 && len <= bytes.size())
+        binwire::decode(bytes.substr(0, len));
+    } catch (const binwire::Error&) {
+      // expected for most mutations
+    }
+  };
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (const unsigned delta : {1u, 0x80u, 0xFFu}) {
+      std::string mutated = frame;
+      mutated[i] = static_cast<char>(
+          static_cast<unsigned char>(mutated[i]) ^ delta);
+      probe(mutated);
+    }
+  }
+  for (std::size_t len = 0; len <= frame.size(); ++len)
+    probe(frame.substr(0, len));
+  // Deterministic garbage that starts with the magic byte.
+  std::string garbage = "\xb5";
+  std::uint32_t x = 0x12345678;
+  for (int i = 0; i < 4096; ++i) {
+    x = x * 1664525u + 1013904223u;
+    garbage += static_cast<char>(x >> 24);
+  }
+  probe(garbage);
+}
+
+// ---------------------------------------------------------------------------
+// Event server: sockets, both codecs
+
+TEST(EventServerWire, BinaryClientRoundTrips) {
+  SchedulerService svc(make_two_relay_net());
+  service::EventServer server(svc);
+  server.start();
+  service::TcpClient client("127.0.0.1", server.port(), Codec::kBinary);
+
+  auto summary = client.query();
+  EXPECT_EQ(summary.at("status"), "ok");
+  EXPECT_EQ(summary.at("apps"), "0");
+
+  const std::string block = workload::write_app_text(
+      make_app("bin_app", QoeSpec::best_effort(1.5)), svc.network());
+  auto submitted = client.submit_app_text(block);
+  EXPECT_EQ(submitted.at("status"), "admitted") << block;
+  EXPECT_NE(submitted.find("trace_id"), submitted.end());
+
+  auto view = client.query("bin_app");
+  EXPECT_EQ(view.at("status"), "ok");
+  EXPECT_EQ(view.at("class"), "be");
+  EXPECT_EQ(view.at("priority"), "1.5");
+
+  EXPECT_EQ(client.remove("bin_app").at("status"), "removed");
+  EXPECT_EQ(client.query("bin_app").at("status"), "not_found");
+  EXPECT_EQ(client.drain().at("apps"), "0");
+
+  auto health = client.call(Fields{{"verb", "stats"}});
+  EXPECT_EQ(health.at("status"), "ok");
+  auto metrics = client.call(Fields{{"verb", "metrics"}});
+  EXPECT_NE(metrics.at("body").find("sparcle_"), std::string::npos);
+
+  server.stop();
+}
+
+TEST(EventServerWire, JsonAndBinaryClientsAgreeOnOneServer) {
+  SchedulerService svc(make_two_relay_net());
+  service::EventServer server(svc);
+  server.start();
+  service::TcpClient json("127.0.0.1", server.port(), Codec::kJson);
+  service::TcpClient binary("127.0.0.1", server.port(), Codec::kBinary);
+
+  EXPECT_EQ(json.query(), binary.query());
+
+  const std::string block = workload::write_app_text(
+      make_app("shared", QoeSpec::best_effort(2.0)), svc.network());
+  EXPECT_EQ(json.submit_app_text(block).at("status"), "admitted");
+  // The binary client observes the JSON client's admission and vice
+  // versa: one server, one service, two codecs.
+  EXPECT_EQ(binary.query("shared").at("status"), "ok");
+  EXPECT_EQ(binary.remove("shared").at("status"), "removed");
+  EXPECT_EQ(json.query("shared").at("status"), "not_found");
+  server.stop();
+}
+
+TEST(EventServerWire, MixedCodecSessionsRunConcurrently) {
+  SchedulerService svc(make_two_relay_net(100.0));
+  service::EventServer server(svc);
+  server.start();
+  const std::uint16_t port = server.port();
+  const Network& net = svc.network();
+
+  constexpr int kThreads = 4;
+  constexpr int kAppsPerThread = 3;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const Codec codec = (t % 2 == 0) ? Codec::kJson : Codec::kBinary;
+      try {
+        service::TcpClient client("127.0.0.1", port, codec);
+        for (int i = 0; i < kAppsPerThread; ++i) {
+          const std::string name =
+              "mix_" + std::to_string(t) + "_" + std::to_string(i);
+          const std::string block = workload::write_app_text(
+              make_app(name, QoeSpec::best_effort(1.0)), net);
+          const auto submitted = client.submit_app_text(block);
+          if (submitted.at("status") != "admitted") ++failures;
+          if (client.query(name).at("status") != "ok") ++failures;
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  service::TcpClient client("127.0.0.1", port, Codec::kBinary);
+  EXPECT_EQ(client.drain().at("apps"),
+            std::to_string(kThreads * kAppsPerThread));
+  server.stop();
+
+  // The socket-layer instruments observed all of it.
+  const obs::MetricsSnapshot snap = svc.registry().snapshot();
+  EXPECT_GE(snap.counter_or("service.net.accepted"),
+            static_cast<std::uint64_t>(kThreads));
+  EXPECT_GT(snap.counter_or("service.net.frames.in"), 0u);
+  EXPECT_GT(snap.counter_or("service.net.frames.out"), 0u);
+  EXPECT_GT(snap.counter_or("service.net.bytes.in"), 0u);
+  EXPECT_GT(snap.counter_or("service.net.bytes.out"), 0u);
+  EXPECT_GE(snap.counter_or("service.net.codec.json"), 2u);
+  EXPECT_GE(snap.counter_or("service.net.codec.binary"), 2u);
+}
+
+TEST(EventServerWire, PartialFramesReassembleAndPipelinedFramesAllAnswer) {
+  SchedulerService svc(make_two_relay_net());
+  service::EventServer server(svc);
+  server.start();
+  const int fd = connect_to(server.port());
+
+  // Dribble one query frame a few bytes at a time.
+  const std::string frame = binwire::encode_request(Fields{{"verb", "query"}});
+  for (std::size_t off = 0; off < frame.size(); off += 3) {
+    send_raw(fd, frame.substr(off, 3));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::string buffer;
+  binwire::Frame reply = recv_frame(fd, buffer);
+  EXPECT_EQ(reply.type, binwire::FrameType::kReply);
+  EXPECT_EQ(reply.fields.at("status"), "ok");
+
+  // Two pipelined frames in one send: two replies, in order.
+  const std::string stats = binwire::encode_request(Fields{{"verb", "stats"}});
+  send_raw(fd, frame + stats);
+  binwire::Frame first = recv_frame(fd, buffer);
+  binwire::Frame second = recv_frame(fd, buffer);
+  EXPECT_NE(first.fields.find("apps"), first.fields.end());
+  EXPECT_NE(second.fields.find("slo_state"), second.fields.end());
+
+  ::close(fd);
+  server.stop();
+}
+
+TEST(EventServerWire, OversizedJsonLineGetsStructuredReject) {
+  obs::DecisionLog decisions;
+  obs::Observability sinks;
+  sinks.decisions = &decisions;
+  obs::install(sinks);
+
+  SchedulerService svc(make_two_relay_net());
+  service::EventServerOptions options;
+  options.max_frame_bytes = 1024;
+  service::EventServer server(svc, options);
+  server.start();
+
+  const int fd = connect_to(server.port());
+  send_raw(fd, std::string(5000, 'x'));  // no newline, over the cap
+  std::string buffer;
+  const Fields reply = wire::parse_line(recv_line(fd, buffer));
+  EXPECT_EQ(reply.at("status"), "error");
+  EXPECT_EQ(reply.at("category"), "oversized");
+  EXPECT_NE(reply.at("reason").find("1024"), std::string::npos);
+  EXPECT_TRUE(recv_eof(fd));  // reject answered, then closed — not dropped
+  ::close(fd);
+  server.stop();
+  obs::uninstall();
+
+  EXPECT_GE(svc.registry().snapshot().counter_or("service.net.wire_rejects"),
+            1u);
+  bool logged = false;
+  for (const obs::Decision& d : decisions.snapshot())
+    if (d.kind == obs::DecisionKind::kWireReject) logged = true;
+  EXPECT_TRUE(logged) << "oversized line should land in the decision log";
+}
+
+TEST(EventServerWire, OversizedBinaryFrameGetsStructuredReject) {
+  SchedulerService svc(make_two_relay_net());
+  service::EventServerOptions options;
+  options.max_frame_bytes = 1024;
+  service::EventServer server(svc, options);
+  server.start();
+
+  const int fd = connect_to(server.port());
+  // Header declaring a 1 MiB payload against a 1 KiB cap: rejected from
+  // the header alone, before any payload is buffered.
+  std::string header(binwire::kHeaderBytes, '\0');
+  header[0] = static_cast<char>(binwire::kMagic);
+  header[1] = static_cast<char>(binwire::kVersion);
+  header[2] = 0x03;  // query
+  const std::uint32_t declared = 1u << 20;
+  std::memcpy(&header[4], &declared, sizeof(declared));
+  send_raw(fd, header);
+  std::string buffer;
+  const binwire::Frame reply = recv_frame(fd, buffer);
+  EXPECT_EQ(reply.type, binwire::FrameType::kError);
+  EXPECT_EQ(reply.fields.at("status"), "error");
+  EXPECT_EQ(reply.fields.at("category"), "oversized");
+  EXPECT_TRUE(recv_eof(fd));
+  ::close(fd);
+  server.stop();
+}
+
+TEST(EventServerWire, BadVersionGetsErrorFrameAndClose) {
+  SchedulerService svc(make_two_relay_net());
+  service::EventServer server(svc);
+  server.start();
+  const int fd = connect_to(server.port());
+  std::string frame = binwire::encode_request(Fields{{"verb", "query"}});
+  frame[1] = 9;  // a future protocol version
+  send_raw(fd, frame);
+  std::string buffer;
+  const binwire::Frame reply = recv_frame(fd, buffer);
+  EXPECT_EQ(reply.type, binwire::FrameType::kError);
+  EXPECT_EQ(reply.fields.at("category"), "bad_version");
+  EXPECT_TRUE(recv_eof(fd));
+  ::close(fd);
+  server.stop();
+}
+
+TEST(EventServerWire, MalformedJsonLineKeepsTheConnectionUsable) {
+  SchedulerService svc(make_two_relay_net());
+  service::EventServer server(svc);
+  server.start();
+  const int fd = connect_to(server.port());
+  std::string buffer;
+  // NDJSON resynchronizes on the newline: a garbage line is answered
+  // with an error and the next request still works.
+  send_raw(fd, "this is not json\n");
+  Fields reply = wire::parse_line(recv_line(fd, buffer));
+  EXPECT_EQ(reply.at("status"), "error");
+  send_raw(fd, "{\"verb\":\"query\"}\n");
+  reply = wire::parse_line(recv_line(fd, buffer));
+  EXPECT_EQ(reply.at("status"), "ok");
+  ::close(fd);
+  server.stop();
+  EXPECT_GE(
+      svc.registry().snapshot().counter_or("service.net.protocol_errors"),
+      1u);
+}
+
+TEST(EventServerWire, IdleConnectionsAreSweptOut) {
+  SchedulerService svc(make_two_relay_net());
+  service::EventServerOptions options;
+  options.idle_timeout = std::chrono::milliseconds(100);
+  service::EventServer server(svc, options);
+  server.start();
+  const int fd = connect_to(server.port());
+  EXPECT_TRUE(recv_eof(fd)) << "idle connection should be closed by sweep";
+  ::close(fd);
+  server.stop();
+  EXPECT_GE(svc.registry().snapshot().counter_or("service.net.idle_closed"),
+            1u);
+}
+
+}  // namespace
+}  // namespace sparcle

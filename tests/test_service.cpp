@@ -15,7 +15,7 @@
 #include "obs/prometheus.hpp"
 #include "obs/slo.hpp"
 #include "service/client.hpp"
-#include "service/tcp_server.hpp"
+#include "service/event_server.hpp"
 #include "service/wire.hpp"
 #include "workload/scenario_io.hpp"
 
@@ -403,9 +403,9 @@ TEST(SchedulerService, StopDrainsQueuedWorkAndRejectsNewWork) {
 // ---------------------------------------------------------------------------
 // TCP front end
 
-TEST(TcpServer, WireRoundTripOverRealSockets) {
+TEST(EventServer, WireRoundTripOverRealSockets) {
   SchedulerService svc(make_two_relay_net());
-  service::TcpServer server(svc);  // port 0: ephemeral
+  service::EventServer server(svc);  // port 0: ephemeral
   server.start();
   ASSERT_GT(server.port(), 0);
 
@@ -431,9 +431,9 @@ TEST(TcpServer, WireRoundTripOverRealSockets) {
   server.stop();
 }
 
-TEST(TcpServer, HandleLineReportsProtocolErrors) {
+TEST(EventServer, HandleLineReportsProtocolErrors) {
   SchedulerService svc(make_two_relay_net());
-  service::TcpServer server(svc);  // never started: handle_line is direct
+  service::EventServer server(svc);  // never started: handle_line is direct
 
   auto expect_error = [&](const std::string& line, const char* substring) {
     const auto fields = service::wire::parse_line(server.handle_line(line));
@@ -569,8 +569,8 @@ TEST(Telemetry, SloFlipsToDegradedUnderQueueOverload) {
   EXPECT_EQ(report.worst, obs::SloState::kDegraded);
 
   // The health document and the exposition tell the same story — through
-  // the TcpServer verbs, as an operator would see them.
-  service::TcpServer server(svc);  // never started: handle_line is direct
+  // the wire verbs, as an operator would see them.
+  service::EventServer server(svc);  // never started: handle_line is direct
   const auto stats_fields =
       service::wire::parse_line(server.handle_line("{\"verb\":\"stats\"}"));
   EXPECT_EQ(stats_fields.at("status"), "ok");

@@ -22,6 +22,17 @@
 #      client, so no queue-wait noise) must stay within 1.25x the latest
 #      checked-in entry that recorded it.  Override the multiplier with
 #      SPARCLE_SERVICE_P50_BUDGET (default 1.25).
+#   4. codec: the binary frame codec must beat NDJSON on closed-loop
+#      metrics-scrape p50 at 64 clients (wire_p50_us/binary_clients64 <
+#      wire_p50_us/json_clients64) — the binary wire path's reason to
+#      exist.
+#   5. connection scaling: closed-loop query p99 at 256 clients must stay
+#      within SPARCLE_SERVICE_SCALE_P99_MULT (default 512 — 2x the
+#      linear-in-clients budget, which absorbs timer noise at the
+#      microsecond-scale single-client floor) times the 1-client p99, and
+#      the 1024-client sustain level must finish with zero client errors.
+# Gates 4 and 5 only fire when the wire_*/scale_* keys are present, so
+# trajectory entries from before the event-loop server never trip them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,12 +52,14 @@ SPARCLE_BENCH_JSON="${SCRATCH}" "./${BUILD}/bench/bench_service"
 
 python3 - "$SCRATCH" "$LABEL" "${SPARCLE_BENCH_TOLERANCE:-0.03}" \
     "${SPARCLE_SERVICE_MIN_SPEEDUP:-2.0}" \
-    "${SPARCLE_SERVICE_P50_BUDGET:-1.25}" <<'EOF'
+    "${SPARCLE_SERVICE_P50_BUDGET:-1.25}" \
+    "${SPARCLE_SERVICE_SCALE_P99_MULT:-512}" <<'EOF'
 import json, sys, pathlib
 raw = json.load(open(sys.argv[1]))
 tolerance = float(sys.argv[3])
 min_speedup = float(sys.argv[4])
 p50_budget = float(sys.argv[5])
+scale_mult = float(sys.argv[6])
 entry = {"label": sys.argv[2], "time_unit": "us",
          "benchmarks": dict(raw["benchmarks"])}
 path = pathlib.Path("BENCH_service.json")
@@ -92,5 +105,37 @@ if baseline and P50 in entry["benchmarks"]:
         print(f"FAIL: closed-loop admission p50 {now:.0f}us is over "
               f"{p50_budget:.2f}x the '{baseline['label']}' baseline "
               f"({base:.0f}us)", file=sys.stderr)
+        sys.exit(1)
+
+bench = entry["benchmarks"]
+BIN64, JSON64 = "wire_p50_us/binary_clients64", "wire_p50_us/json_clients64"
+if BIN64 in bench and JSON64 in bench:
+    b, j = bench[BIN64], bench[JSON64]
+    print(f"codec p50 @64 clients: binary {b:.0f}us vs json {j:.0f}us "
+          f"({j / b:.2f}x)")
+    if b >= j:
+        print(f"FAIL: binary codec p50 {b:.0f}us does not beat json "
+              f"{j:.0f}us at 64 clients", file=sys.stderr)
+        sys.exit(1)
+
+P99_1, P99_256 = "scale_p99_us/clients1", "scale_p99_us/clients256"
+if P99_1 in bench and P99_256 in bench:
+    base, now = bench[P99_1], bench[P99_256]
+    print(f"scaling p99: {base:.0f}us @1 client -> {now:.0f}us @256 "
+          f"({now / base:.0f}x, budget {scale_mult:.0f}x)")
+    if now > scale_mult * base:
+        print(f"FAIL: query p99 at 256 clients ({now:.0f}us) is over "
+              f"{scale_mult:.0f}x the 1-client p99 ({base:.0f}us)",
+              file=sys.stderr)
+        sys.exit(1)
+
+ERR1024, OPS1024 = "scale_errors/clients1024", "scale_ops/clients1024"
+if OPS1024 in bench:
+    errors = bench.get(ERR1024, 0.0)
+    print(f"1024-client sustain: {bench[OPS1024]:.0f} ops, "
+          f"{errors:.0f} errors")
+    if errors > 0:
+        print(f"FAIL: {errors:.0f} client errors at the 1024-connection "
+              f"sustain level", file=sys.stderr)
         sys.exit(1)
 EOF
