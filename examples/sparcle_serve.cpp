@@ -11,11 +11,14 @@
 ///   sparcle_serve <scenario-file> [--port P] [--bind ADDR]
 ///                 [--max-batch N] [--queue-capacity N] [--deadline-ms N]
 ///                 [--threads N] [--window-seconds N] [--idle-timeout-ms N]
-///                 [--validate]
+///                 [--shards N] [--validate]
 ///                 [--oneshot] [--metrics-out FILE] [--decision-log FILE]
 ///                 [--trace-out FILE] [--trace-capacity N]
 ///                 [--decision-capacity N]
 ///
+///   --shards          run a federated backend with N regional scheduler
+///                     shards (docs/federation.md) instead of one global
+///                     scheduler; the wire protocol is unchanged
 ///   --port            TCP port (default 7411; 0 picks an ephemeral port)
 ///   --bind            bind address (default 127.0.0.1, loopback only)
 ///   --max-batch       admission requests coalesced per scheduler batch
@@ -55,6 +58,7 @@
 #include <thread>
 #include <vector>
 
+#include "federation/federation.hpp"
 #include "obs/obs.hpp"
 #include "obs/prometheus.hpp"
 #include "service/client.hpp"
@@ -74,7 +78,7 @@ int usage(const char* argv0) {
                "usage: %s <scenario-file> [--port P] [--bind ADDR] "
                "[--max-batch N] [--queue-capacity N] [--deadline-ms N]\n"
                "       [--threads N] [--window-seconds N] "
-               "[--idle-timeout-ms N] [--validate] "
+               "[--idle-timeout-ms N] [--shards N] [--validate] "
                "[--oneshot] [--metrics-out FILE] [--decision-log FILE]\n"
                "       [--trace-out FILE] [--trace-capacity N] "
                "[--decision-capacity N]\n",
@@ -259,6 +263,7 @@ int main(int argc, char** argv) {
   net_options.port = 7411;
   service::ServiceOptions svc_options;
   SchedulerOptions sched_options;
+  std::size_t shards = 1;
   bool run_oneshot = false;
   std::string metrics_path, decisions_path, trace_path;
   std::size_t trace_capacity = 0, decision_capacity = 0;
@@ -301,6 +306,11 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       net_options.idle_timeout = std::chrono::milliseconds(std::atoi(v));
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      shards = static_cast<std::size_t>(std::atoi(v));
+      if (shards == 0) shards = 1;
     } else if (arg == "--validate") {
       svc_options.validate_batches = true;
     } else if (arg == "--oneshot") {
@@ -349,7 +359,28 @@ int main(int argc, char** argv) {
 
   int status = 0;
   {
-    service::SchedulerService svc(scenario.net, sched_options, svc_options);
+    // One global scheduler by default; --shards N swaps in the federated
+    // backend behind the same PlacementService surface — the event loop,
+    // wire codecs, and local client are untouched.
+    std::unique_ptr<service::PlacementService> backend;
+    if (shards > 1) {
+      federation::FederationOptions fed_options;
+      fed_options.shards = shards;
+      fed_options.scheduler = sched_options;
+      fed_options.service = svc_options;
+      try {
+        backend = std::make_unique<federation::FederatedService>(scenario.net,
+                                                                 fed_options);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "sparcle_serve: --shards %zu: %s\n", shards,
+                     e.what());
+        return 1;
+      }
+    } else {
+      backend = std::make_unique<service::SchedulerService>(
+          scenario.net, sched_options, svc_options);
+    }
+    service::PlacementService& svc = *backend;
 
     // Unify the sinks: the service's own registry becomes the global one,
     // so scheduler.* / assigner.* / trace.dropped instruments are scraped

@@ -357,7 +357,7 @@ ScenarioFile random_scenario(Rng& rng, const FuzzOptions& options) {
   for (std::size_t j = 0; j < n; ++j)
     e.ncps.push_back({"n" + std::to_string(j),
                       random_vector(rng, nr, 4.0, 40.0),
-                      random_fail_prob(rng)});
+                      random_fail_prob(rng), {}});
   // Random spanning tree (connected by construction) ...
   std::size_t link_idx = 0;
   auto add_link = [&](NcpId a, NcpId b, bool directed) {
@@ -410,8 +410,8 @@ ScenarioFile random_pinned_tree_scenario(Rng& rng, const FuzzOptions& options) {
       rng.uniform_int(2, static_cast<std::int64_t>(std::max<std::size_t>(
                              2, options.max_ncps))));
   for (std::size_t j = 0; j < n; ++j)
-    e.ncps.push_back(
-        {"n" + std::to_string(j), random_vector(rng, 1, 4.0, 40.0), 0.0});
+    e.ncps.push_back({"n" + std::to_string(j),
+                      random_vector(rng, 1, 4.0, 40.0), 0.0, {}});
   for (std::size_t j = 1; j < n; ++j)
     e.links.push_back({"l" + std::to_string(j - 1), rng.uniform(8.0, 80.0),
                        static_cast<NcpId>(rng.uniform_int(

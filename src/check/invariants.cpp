@@ -342,6 +342,18 @@ CheckReport check_scheduler_state(const Scheduler& scheduler,
     }
   }
 
+  // External (federated cross-shard) reservations hold capacity exactly
+  // like GR reservations — fold them into both totals, so the capacity
+  // check sees them as load and the residual check sees them as reserved.
+  // Rebuilding from the reservation *table* (not the scheduler's
+  // accumulated ext_reserved_) is what makes this a leak detector: a
+  // release that failed to return capacity shows up as kResidualMismatch.
+  for (const auto& [ext_name, ext] : scheduler.external_reservations()) {
+    (void)ext_name;
+    total.add_scaled_at(ext.elements, ext.load, ext.rate);
+    gr_total.add_scaled_at(ext.elements, ext.load, ext.rate);
+  }
+
   // Global capacity feasibility: Σ rate·load <= C on every element.
   for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j)
     for (std::size_t r = 0; r < net.schema().size(); ++r) {

@@ -170,6 +170,7 @@ Scheduler::Scheduler(Network net, std::unique_ptr<Assigner> assigner,
       options_(options),
       assigner_(std::move(assigner)),
       gr_reserved_(LoadMap::zeros(net_)),
+      ext_reserved_(LoadMap::zeros(net_)),
       residual_(net_) {
   if (!assigner_) throw std::invalid_argument("Scheduler: null assigner");
   if (options_.max_paths == 0 || options_.max_paths > kMaxExactPaths)
@@ -179,6 +180,7 @@ Scheduler::Scheduler(Network net, std::unique_ptr<Assigner> assigner,
 void Scheduler::rebuild_residual() {
   residual_ = CapacitySnapshot(net_);
   residual_.subtract_scaled(gr_reserved_, 1.0);
+  residual_.subtract_scaled(ext_reserved_, 1.0);
   std::vector<ElementKey> dead(failed_.begin(), failed_.end());
   residual_.scale_elements(dead, 0.0);
   predict_scratch_valid_ = false;  // scratch no longer mirrors residual_
@@ -188,11 +190,13 @@ void Scheduler::recompute_residual_element(const ElementKey& e) {
   if (e.kind == ElementKey::Kind::kNcp) {
     ResourceVector v = net_.ncp(e.index).capacity;
     v -= gr_reserved_.ncp_load(e.index);
+    v -= ext_reserved_.ncp_load(e.index);
     v.clamp_nonnegative();
     if (failed_.contains(e)) v *= 0.0;
     residual_.ncp(e.index) = std::move(v);
   } else {
-    double c = net_.link(e.index).bandwidth - gr_reserved_.link_load(e.index);
+    double c = net_.link(e.index).bandwidth - gr_reserved_.link_load(e.index) -
+               ext_reserved_.link_load(e.index);
     if (c < 0 || failed_.contains(e)) c = 0;
     residual_.link(e.index) = c;
   }
@@ -207,6 +211,112 @@ void Scheduler::recompute_residual_element(const ElementKey& e) {
 void Scheduler::apply_gr_delta(const PathInfo& path, double rate_delta) {
   gr_reserved_.add_scaled_at(path.elements, path.load, rate_delta);
   for (const ElementKey& e : path.elements) recompute_residual_element(e);
+}
+
+bool Scheduler::reserve_external(const std::string& name, const LoadMap& load,
+                                 std::vector<ElementKey> elements, double rate,
+                                 std::string* why) {
+  const auto fail = [&](std::string reason) {
+    if (why) *why = std::move(reason);
+    if (obs::MetricsRegistry* reg = obs::metrics())
+      reg->counter("scheduler.external.reserve_rejects").add(1);
+    return false;
+  };
+  if (!(rate > 0)) return fail("external reservation rate must be positive");
+  if (external_.contains(name))
+    return fail("external reservation '" + name + "' already exists");
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  // Authoritative fit check against the *current* residual (GR + prior
+  // external holds already subtracted) — the federation plans on an
+  // optimistic snapshot, so this is where stale plans get caught.
+  constexpr double kTol = 1e-9;
+  for (const ElementKey& e : elements) {
+    const bool is_ncp = e.kind == ElementKey::Kind::kNcp;
+    const std::string& ename =
+        is_ncp ? net_.ncp(e.index).name : net_.link(e.index).name;
+    if (failed_.contains(e))
+      return fail("element '" + ename + "' is marked failed");
+    if (is_ncp) {
+      const ResourceVector& need = load.ncp_load(e.index);
+      const ResourceVector& have = residual_.ncp(e.index);
+      for (std::size_t r = 0; r < need.size(); ++r)
+        if (rate * need[r] >
+            have[r] + kTol * (1.0 + net_.ncp(e.index).capacity[r]))
+          return fail("insufficient residual on NCP '" + ename + "'");
+    } else {
+      if (rate * load.link_load(e.index) >
+          residual_.link(e.index) +
+              kTol * (1.0 + net_.link(e.index).bandwidth))
+        return fail("insufficient residual on link '" + ename + "'");
+    }
+  }
+  ExternalReservation res;
+  res.load = LoadMap::zeros(net_);
+  res.load.add_scaled_at(elements, load, 1.0);  // masked to `elements`
+  res.rate = rate;
+  ext_reserved_.add_scaled_at(elements, res.load, rate);
+  bool touches_be = false;
+  for (const ElementKey& e : elements) {
+    recompute_residual_element(e);
+    if (!touches_be) touches_be = element_touches_be(e);
+  }
+  res.elements = std::move(elements);
+  external_.emplace(name, std::move(res));
+  if (touches_be) maybe_reallocate();
+  if (obs::MetricsRegistry* reg = obs::metrics())
+    reg->counter("scheduler.external.reserves").add(1);
+  run_validation_hook();
+  return true;
+}
+
+bool Scheduler::commit_external(const std::string& name, std::string* why) {
+  const auto fail = [&](std::string reason) {
+    if (why) *why = std::move(reason);
+    return false;
+  };
+  auto it = external_.find(name);
+  if (it == external_.end())
+    return fail("unknown external reservation '" + name + "'");
+  if (it->second.committed)
+    return fail("external reservation '" + name + "' already committed");
+  for (const ElementKey& e : it->second.elements)
+    if (failed_.contains(e)) {
+      const std::string& ename = e.kind == ElementKey::Kind::kNcp
+                                     ? net_.ncp(e.index).name
+                                     : net_.link(e.index).name;
+      return fail("element '" + ename +
+                  "' failed between reserve and commit");
+    }
+  it->second.committed = true;
+  if (obs::MetricsRegistry* reg = obs::metrics())
+    reg->counter("scheduler.external.commits").add(1);
+  return true;
+}
+
+bool Scheduler::release_external(const std::string& name) {
+  auto it = external_.find(name);
+  if (it == external_.end()) return false;
+  ext_reserved_.add_scaled_at(it->second.elements, it->second.load,
+                              -it->second.rate);
+  bool touches_be = false;
+  for (const ElementKey& e : it->second.elements) {
+    recompute_residual_element(e);
+    if (!touches_be) touches_be = element_touches_be(e);
+  }
+  external_.erase(it);
+  if (touches_be) maybe_reallocate();
+  if (obs::MetricsRegistry* reg = obs::metrics())
+    reg->counter("scheduler.external.releases").add(1);
+  run_validation_hook();
+  return true;
+}
+
+double Scheduler::total_external_rate() const {
+  double sum = 0.0;
+  for (const auto& [name, res] : external_) sum += res.rate;
+  return sum;
 }
 
 bool Scheduler::element_touches_be(const ElementKey& e) const {

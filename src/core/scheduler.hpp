@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -265,6 +266,61 @@ class Scheduler {
   /// counts that cost so operators can weigh it.
   ReoptimizeReport global_reoptimize(double min_utility_gain = 0.0);
 
+  /// A capacity reservation held by an external owner (the federation
+  /// layer's two-phase cross-shard admission, src/federation): `rate`
+  /// times the per-unit `load` is pinned on this scheduler's elements
+  /// exactly like a GR reservation, but the owning application is placed
+  /// *outside* this scheduler, so nothing shows up in placed().
+  struct ExternalReservation {
+    LoadMap load;                      ///< per-unit load, this net's shape
+    std::vector<ElementKey> elements;  ///< distinct elements `load` touches
+    double rate{0.0};                  ///< reserved processing rate
+    bool committed{false};             ///< reserve -> commit transition done
+  };
+
+  /// Phase one of the two-phase cross-shard admission: atomically reserves
+  /// `rate * load` on this scheduler's residual capacities under `name`.
+  /// Fails without mutating anything — filling `why` when non-null — if a
+  /// reservation with that name already exists, any touched element is
+  /// marked failed, or the request does not fit the current residual
+  /// (after GR and prior external reservations).  On success the capacity
+  /// is held (invisible to later submits and the BE allocation) until
+  /// release_external(); the BE PF allocation is re-solved when a touched
+  /// element carries Best-Effort paths.
+  bool reserve_external(const std::string& name, const LoadMap& load,
+                        std::vector<ElementKey> elements, double rate,
+                        std::string* why = nullptr);
+
+  /// Phase two: marks the pending reservation `name` committed.  No
+  /// capacity changes (the hold was taken at reserve time); this only
+  /// records that every co-reserving shard accepted.  Fails — filling
+  /// `why` — on an unknown name, a double commit, or when a touched
+  /// element failed between the phases (the caller must then abort the
+  /// distributed admission and release everywhere).
+  bool commit_external(const std::string& name, std::string* why = nullptr);
+
+  /// Releases reservation `name` (pending or committed): returns its
+  /// capacity to the residual and re-solves the BE allocation when a
+  /// touched element carries BE paths.  The abort path of the two-phase
+  /// protocol and the removal path of committed cross-shard apps both land
+  /// here.  Returns false (no-op) for an unknown name; always leak-free —
+  /// the invariant checker proves residual == capacity − GR − external
+  /// after any reserve/commit/release interleaving.
+  bool release_external(const std::string& name);
+
+  /// Current external reservations by name (deterministic order).
+  const std::map<std::string, ExternalReservation>& external_reservations()
+      const {
+    return external_;
+  }
+
+  /// Σ over external reservations of rate * per-unit load, by element —
+  /// the checker's counterpart of the GR reserved load.
+  const LoadMap& external_reserved_load() const { return ext_reserved_; }
+
+  /// Total reserved rate over external reservations (pending + committed).
+  double total_external_rate() const;
+
   /// The (copied-in) network this scheduler manages.
   const Network& network() const { return net_; }
   /// All currently placed applications, in admission order.
@@ -400,6 +456,8 @@ class Scheduler {
   SchedulerOptions options_;
   std::unique_ptr<Assigner> assigner_;
   LoadMap gr_reserved_;        ///< Σ over GR paths of rate * per-unit load
+  LoadMap ext_reserved_;       ///< Σ over external reservations, likewise
+  std::map<std::string, ExternalReservation> external_;
   std::set<ElementKey> failed_;
   CapacitySnapshot residual_;  ///< see rebuild_residual()
   std::vector<PlacedApp> placed_;

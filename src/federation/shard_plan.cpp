@@ -1,0 +1,240 @@
+#include "federation/shard_plan.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace sparcle::federation {
+
+namespace {
+
+/// Materializes the plan's index maps and shard sub-networks from a
+/// global-NCP -> shard assignment.
+ShardPlan assemble(const Network& net, std::size_t shards,
+                   const std::vector<std::size_t>& assignment) {
+  ShardPlan plan;
+  plan.shards.resize(shards);
+  plan.shard_of_ncp = assignment;
+  plan.local_ncp.assign(net.ncp_count(), kInvalidId);
+  plan.shard_of_link.assign(net.link_count(), ShardPlan::kBoundary);
+  plan.local_link.assign(net.link_count(), kInvalidId);
+
+  for (std::size_t s = 0; s < shards; ++s)
+    plan.shards[s].net = Network(net.schema());
+
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j) {
+    const std::size_t s = assignment[static_cast<std::size_t>(j)];
+    const Ncp& n = net.ncp(j);
+    const NcpId local =
+        plan.shards[s].net.add_ncp(n.name, n.capacity, n.fail_prob, n.region);
+    plan.local_ncp[static_cast<std::size_t>(j)] = local;
+    plan.shards[s].global_ncps.push_back(j);
+  }
+
+  for (LinkId l = 0; l < static_cast<LinkId>(net.link_count()); ++l) {
+    const Link& lk = net.link(l);
+    const std::size_t sa = assignment[static_cast<std::size_t>(lk.a)];
+    const std::size_t sb = assignment[static_cast<std::size_t>(lk.b)];
+    if (sa != sb) {
+      plan.boundary_links.push_back(l);
+      continue;
+    }
+    Shard& shard = plan.shards[sa];
+    const NcpId la = plan.local_ncp[static_cast<std::size_t>(lk.a)];
+    const NcpId lb = plan.local_ncp[static_cast<std::size_t>(lk.b)];
+    const LinkId local =
+        lk.directed
+            ? shard.net.add_directed_link(lk.name, la, lb, lk.bandwidth,
+                                          lk.fail_prob)
+            : shard.net.add_link(lk.name, la, lb, lk.bandwidth, lk.fail_prob);
+    plan.shard_of_link[static_cast<std::size_t>(l)] = sa;
+    plan.local_link[static_cast<std::size_t>(l)] = local;
+    shard.global_links.push_back(l);
+  }
+
+  // Shard region label sets, sorted and deduplicated.
+  for (Shard& shard : plan.shards) {
+    for (NcpId local = 0; local < static_cast<NcpId>(shard.net.ncp_count());
+         ++local) {
+      const std::string& label = shard.net.ncp(local).region;
+      if (!label.empty()) shard.regions.push_back(label);
+    }
+    std::sort(shard.regions.begin(), shard.regions.end());
+    shard.regions.erase(
+        std::unique(shard.regions.begin(), shard.regions.end()),
+        shard.regions.end());
+  }
+  return plan;
+}
+
+}  // namespace
+
+ShardPlan plan_by_region(const Network& net, std::size_t shards) {
+  if (shards == 0)
+    throw std::invalid_argument("plan_by_region: shards must be positive");
+  // Region label -> dense region rank in *shortlex* order (label length,
+  // then lexicographic), so "r2" ranks before "r10" and the partition is
+  // independent of NCP insertion order.
+  std::map<std::string, std::size_t> region_index;
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j) {
+    const std::string& label = net.ncp(j).region;
+    if (label.empty())
+      throw std::invalid_argument("plan_by_region: NCP '" + net.ncp(j).name +
+                                  "' has no region label");
+    region_index.emplace(label, 0);
+  }
+  if (shards > region_index.size())
+    throw std::invalid_argument(
+        "plan_by_region: " + std::to_string(shards) + " shards but only " +
+        std::to_string(region_index.size()) + " region label(s)");
+  std::vector<std::string> labels;
+  labels.reserve(region_index.size());
+  for (const auto& [label, idx] : region_index) labels.push_back(label);
+  std::sort(labels.begin(), labels.end(),
+            [](const std::string& x, const std::string& y) {
+              return x.size() != y.size() ? x.size() < y.size() : x < y;
+            });
+  for (std::size_t i = 0; i < labels.size(); ++i) region_index[labels[i]] = i;
+
+  // Deal regions in contiguous balanced blocks: region rank i -> shard
+  // i*shards/regions keeps shard sizes within one region of each other
+  // for equal-sized regions while keeping consecutive regions together —
+  // a numbered-region site (r0..rN on a backbone ring) yields shards of
+  // adjacent regions rather than islands scattered around the ring.
+  const std::size_t regions = labels.size();
+  std::vector<std::size_t> assignment(net.ncp_count(), 0);
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j)
+    assignment[static_cast<std::size_t>(j)] =
+        region_index.at(net.ncp(j).region) * shards / regions;
+  return assemble(net, shards, assignment);
+}
+
+ShardPlan plan_by_graph_cut(const Network& net, std::size_t shards) {
+  if (shards == 0)
+    throw std::invalid_argument("plan_by_graph_cut: shards must be positive");
+  const std::size_t n = net.ncp_count();
+  if (shards > n)
+    throw std::invalid_argument("plan_by_graph_cut: " +
+                                std::to_string(shards) + " shards but only " +
+                                std::to_string(n) + " NCP(s)");
+
+  // Greedy farthest-point seeds: start at NCP 0; each further seed is the
+  // node with the largest BFS distance to the nearest existing seed
+  // (lowest id on ties) — unreached components naturally win, so every
+  // component gets a seed before any is split.
+  constexpr std::size_t kUnreached = static_cast<std::size_t>(-1);
+  std::vector<NcpId> seeds{0};
+  std::vector<std::size_t> dist(n, kUnreached);
+  while (seeds.size() < shards) {
+    std::fill(dist.begin(), dist.end(), kUnreached);
+    std::deque<NcpId> frontier;
+    for (NcpId s : seeds) {
+      dist[static_cast<std::size_t>(s)] = 0;
+      frontier.push_back(s);
+    }
+    while (!frontier.empty()) {
+      const NcpId v = frontier.front();
+      frontier.pop_front();
+      for (LinkId l : net.incident_links(v)) {
+        const NcpId u = net.other_end(l, v);
+        if (dist[static_cast<std::size_t>(u)] != kUnreached) continue;
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        frontier.push_back(u);
+      }
+    }
+    NcpId best = kInvalidId;
+    std::size_t best_dist = 0;
+    for (NcpId j = 0; j < static_cast<NcpId>(n); ++j) {
+      const std::size_t d = dist[static_cast<std::size_t>(j)];
+      if (d == 0) continue;  // a seed
+      const std::size_t score = d == kUnreached ? kUnreached - 1 : d;
+      if (best == kInvalidId || score > best_dist) {
+        best = j;
+        best_dist = score;
+      }
+    }
+    if (best == kInvalidId) {
+      // Fewer reachable non-seed nodes than shards; grab the lowest
+      // unseeded id (isolated singletons).
+      for (NcpId j = 0; j < static_cast<NcpId>(n); ++j)
+        if (std::find(seeds.begin(), seeds.end(), j) == seeds.end()) {
+          best = j;
+          break;
+        }
+    }
+    seeds.push_back(best);
+  }
+
+  // Balanced growth: shards take turns consuming their BFS frontier, one
+  // node per turn, so parts grow in lockstep until frontiers collide.
+  std::vector<std::size_t> assignment(n, ShardPlan::kBoundary);
+  std::vector<std::deque<NcpId>> frontiers(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    assignment[static_cast<std::size_t>(seeds[s])] = s;
+    frontiers[s].push_back(seeds[s]);
+  }
+  std::size_t assigned = shards;
+  bool progress = true;
+  while (assigned < n && progress) {
+    progress = false;
+    for (std::size_t s = 0; s < shards; ++s) {
+      // Claim one new node for shard s from its frontier.
+      while (!frontiers[s].empty()) {
+        const NcpId v = frontiers[s].front();
+        NcpId claimed = kInvalidId;
+        for (LinkId l : net.incident_links(v)) {
+          const NcpId u = net.other_end(l, v);
+          if (assignment[static_cast<std::size_t>(u)] ==
+              ShardPlan::kBoundary) {
+            claimed = u;
+            break;
+          }
+        }
+        if (claimed == kInvalidId) {
+          frontiers[s].pop_front();  // exhausted node, drop and retry
+          continue;
+        }
+        assignment[static_cast<std::size_t>(claimed)] = s;
+        frontiers[s].push_back(claimed);
+        ++assigned;
+        progress = true;
+        break;
+      }
+    }
+  }
+  // Disconnected leftovers (no frontier reaches them): round-robin onto
+  // the smallest shards for balance.
+  if (assigned < n) {
+    std::vector<std::size_t> sizes(shards, 0);
+    for (std::size_t j = 0; j < n; ++j)
+      if (assignment[j] != ShardPlan::kBoundary) ++sizes[assignment[j]];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (assignment[j] != ShardPlan::kBoundary) continue;
+      const std::size_t s = static_cast<std::size_t>(
+          std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+      assignment[j] = s;
+      ++sizes[s];
+    }
+  }
+  return assemble(net, shards, assignment);
+}
+
+ShardPlan make_shard_plan(const Network& net, std::size_t shards) {
+  bool all_labeled = net.ncp_count() > 0;
+  std::map<std::string, bool> labels;
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j) {
+    const std::string& label = net.ncp(j).region;
+    if (label.empty()) {
+      all_labeled = false;
+      break;
+    }
+    labels.emplace(label, true);
+  }
+  if (all_labeled && labels.size() >= shards)
+    return plan_by_region(net, shards);
+  return plan_by_graph_cut(net, shards);
+}
+
+}  // namespace sparcle::federation

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "model/network.hpp"
+
+/// \file shard_plan.hpp
+/// Partitioning a dispersed-computing site into regional scheduler shards
+/// (docs/federation.md).  A ShardPlan slices one Network into disjoint
+/// sub-networks — one per shard, each owning a set of NCPs and every link
+/// whose endpoints both fall inside it — plus the *boundary links* that
+/// cross shards and therefore belong to no shard: only the federation
+/// layer routes over those, so its planning snapshot is authoritative for
+/// them.  Two builders: region-label grouping (workload::soak_site stamps
+/// `r<g>` labels) and a multi-seed BFS balanced graph cut for unlabeled
+/// networks, following the decentralized resource-mapping direction of
+/// Asaduzzaman & Maheswaran (arXiv 0903.4392).
+
+namespace sparcle::federation {
+
+/// One regional shard of a federated site.
+struct Shard {
+  /// The shard sub-network: its NCPs (names, capacities, fail
+  /// probabilities, and region labels preserved) plus every intra-shard
+  /// link, with dense local ids.
+  Network net;
+  /// Local NCP id -> global NCP id (ascending: locals preserve the
+  /// global ordering).
+  std::vector<NcpId> global_ncps;
+  /// Local link id -> global link id (ascending).
+  std::vector<LinkId> global_links;
+  /// Region labels grouped into this shard, sorted (empty for graph-cut
+  /// plans over unlabeled networks).
+  std::vector<std::string> regions;
+};
+
+/// A complete partition of a site into shards.  Built once per
+/// FederatedService; immutable afterwards.
+struct ShardPlan {
+  std::vector<Shard> shards;
+  /// Global NCP id -> owning shard index.
+  std::vector<std::size_t> shard_of_ncp;
+  /// Global NCP id -> local id within its owning shard.
+  std::vector<NcpId> local_ncp;
+  /// Global link id -> owning shard index, or kBoundary when the
+  /// endpoints live in different shards.
+  std::vector<std::size_t> shard_of_link;
+  /// Global link id -> local id within its owning shard (undefined for
+  /// boundary links).
+  std::vector<LinkId> local_link;
+  /// Global ids of every boundary link, ascending.
+  std::vector<LinkId> boundary_links;
+
+  /// Sentinel in shard_of_link: the link crosses shards.
+  static constexpr std::size_t kBoundary = static_cast<std::size_t>(-1);
+
+  std::size_t shard_count() const { return shards.size(); }
+  /// True when global link `l` crosses shards.
+  bool is_boundary(LinkId l) const {
+    return shard_of_link.at(static_cast<std::size_t>(l)) == kBoundary;
+  }
+};
+
+/// Partitions by region label: regions are sorted shortlex (by label
+/// length, then lexicographically — "r2" before "r10") and dealt in
+/// contiguous balanced blocks, so every shard owns at least one whole
+/// region when `shards` <= region count and numerically-suffixed region
+/// schemes keep *neighboring* regions in the same shard (on a backbone
+/// ring like workload::soak_site this makes each shard's sub-network a
+/// connected chain of regions instead of a scatter of islands).  Throws
+/// std::invalid_argument when any NCP is unlabeled, `shards` is 0, or
+/// `shards` exceeds the region count.
+ShardPlan plan_by_region(const Network& net, std::size_t shards);
+
+/// Partitions an arbitrary (connected or not) network into `shards`
+/// balanced parts by multi-seed BFS: greedy farthest-point seeding, then
+/// round-robin frontier growth so parts stay within one node of each
+/// other until frontiers collide.  Deterministic.  Throws
+/// std::invalid_argument when `shards` is 0 or exceeds the NCP count.
+ShardPlan plan_by_graph_cut(const Network& net, std::size_t shards);
+
+/// Picks the builder automatically: region grouping when every NCP
+/// carries a region label and at least `shards` distinct labels exist,
+/// the graph cut otherwise.
+ShardPlan make_shard_plan(const Network& net, std::size_t shards);
+
+}  // namespace sparcle::federation

@@ -6,14 +6,15 @@
 namespace sparcle {
 
 NcpId Network::add_ncp(std::string name, ResourceVector capacity,
-                       double fail_prob) {
+                       double fail_prob, std::string region) {
   if (capacity.size() != schema_.size())
     throw std::invalid_argument("NCP '" + name +
                                 "' capacity does not match schema");
   if (fail_prob < 0.0 || fail_prob >= 1.0)
     throw std::invalid_argument("NCP '" + name +
                                 "' failure probability out of [0,1)");
-  ncps_.push_back({std::move(name), std::move(capacity), fail_prob});
+  ncps_.push_back(
+      {std::move(name), std::move(capacity), fail_prob, std::move(region)});
   csr_valid_ = false;
   return static_cast<NcpId>(ncps_.size() - 1);
 }

@@ -21,6 +21,7 @@ struct Ncp {
   std::string name;         ///< unique label within the Network
   ResourceVector capacity;  ///< per-resource-type capacity C_j^(r)
   double fail_prob{0.0};    ///< independent failure probability P_f
+  std::string region;       ///< optional region label ("" = unlabeled)
 };
 
 /// A communication link with bandwidth capacity C_j^(b).  Undirected by
@@ -44,9 +45,11 @@ class Network {
   /// An empty network whose nodes will use `schema` for capacities.
   explicit Network(ResourceSchema schema) : schema_(std::move(schema)) {}
 
-  /// Adds a node; its capacity vector must match the schema size.
+  /// Adds a node; its capacity vector must match the schema size.  The
+  /// optional `region` label groups NCPs for federated shard planning
+  /// (shard_plan.hpp); an empty label means "unlabeled".
   NcpId add_ncp(std::string name, ResourceVector capacity,
-                double fail_prob = 0.0);
+                double fail_prob = 0.0, std::string region = {});
   /// Adds an undirected link (bandwidth shared across both directions).
   LinkId add_link(std::string name, NcpId a, NcpId b, double bandwidth,
                   double fail_prob = 0.0);

@@ -96,6 +96,12 @@ class LoadMap {
   /// Per-unit bandwidth load on link `l`.
   double link_load(LinkId l) const { return link_.at(l); }
 
+  /// Mutable computation load on node `j` (federated load splitting
+  /// writes per-shard fragments element by element).
+  ResourceVector& ncp_load(NcpId j) { return ncp_.at(j); }
+  /// Mutable bandwidth load on link `l`.
+  double& link_load(LinkId l) { return link_.at(l); }
+
   /// Accumulates CT `i`'s requirement onto node `j`.
   void add_ct(const TaskGraph& graph, CtId i, NcpId j) {
     ncp_.at(j) += graph.ct(i).requirement;

@@ -32,6 +32,7 @@ const char* to_string(DecisionKind kind) {
     case DecisionKind::kRepair: return "repair";
     case DecisionKind::kQueueReject: return "queue_reject";
     case DecisionKind::kWireReject: return "wire_reject";
+    case DecisionKind::kFederate: return "federate";
   }
   return "?";
 }

@@ -42,11 +42,17 @@ enum class DecisionKind : std::uint8_t {
   /// column records the wire-level cause.  docs/wire.md covers the framing
   /// rules these rejects enforce.
   kWireReject,
+  /// A federation-router decision on one arrival (docs/federation.md):
+  /// routed to its home shard, admitted cross-shard via two-phase
+  /// reserve-commit, aborted at reserve/commit, or rejected by the γ
+  /// pre-gate.  The reason column records the route taken and the shards
+  /// touched.
+  kFederate,
 };
 
 /// Symbolic name of a decision kind (`admit`, `reject`, `path_add`,
-/// `repair`, `queue_reject`, `wire_reject`) as written into the CSV
-/// `kind` column.
+/// `repair`, `queue_reject`, `wire_reject`, `federate`) as written into
+/// the CSV `kind` column.
 const char* to_string(DecisionKind kind);
 
 struct Decision {

@@ -26,7 +26,7 @@ enum class Codec {
 class LocalClient {
  public:
   /// Borrows `service`; the caller keeps it alive.
-  explicit LocalClient(SchedulerService& service) : service_(service) {}
+  explicit LocalClient(PlacementService& service) : service_(service) {}
 
   /// Submits one application and waits for the batch containing it.
   ServiceResult submit(Application app) {
@@ -44,7 +44,7 @@ class LocalClient {
   void drain() { service_.drain(); }
 
  private:
-  SchedulerService& service_;
+  PlacementService& service_;
 };
 
 /// Blocking TCP client for sparcle_serve.  One connection, one

@@ -198,7 +198,7 @@ constexpr std::uint64_t kListenerId = 1;
 constexpr std::uint64_t kWakeId = 2;
 }  // namespace
 
-EventServer::EventServer(SchedulerService& service, EventServerOptions options)
+EventServer::EventServer(PlacementService& service, EventServerOptions options)
     : service_(service), options_(std::move(options)) {
   obs::MetricsRegistry& reg = service_.registry();
   accepted_ = &reg.counter("service.net.accepted");

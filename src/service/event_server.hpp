@@ -59,7 +59,9 @@ struct EventServerOptions {
   std::size_t max_write_buffer_bytes{16u << 20};
 };
 
-/// Serves a SchedulerService over TCP with a single event-loop thread.
+/// Serves a PlacementService (one global SchedulerService, or a
+/// federation::FederatedService of regional shards) over TCP with a
+/// single event-loop thread.
 /// The server borrows the service — the caller keeps it alive until
 /// stop() returns.  start() binds, listens, and spawns the loop; stop()
 /// closes every connection, joins the loop and any drain helpers, and
@@ -73,7 +75,7 @@ class EventServer {
   /// Borrows `service` (kept alive by the caller) and registers the
   /// `service.net.*` instruments in its metrics registry.  Does not open
   /// any socket — call start().
-  EventServer(SchedulerService& service, EventServerOptions options = {});
+  EventServer(PlacementService& service, EventServerOptions options = {});
   /// Calls stop().
   ~EventServer();
 
@@ -127,7 +129,7 @@ class EventServer {
   void sweep_idle();
   void post_completion(Completion done);
 
-  SchedulerService& service_;
+  PlacementService& service_;
   EventServerOptions options_;
 
   int listen_fd_{-1};

@@ -50,6 +50,7 @@ const char* to_string(ServiceResult::Status status) {
     case ServiceResult::Status::kQueueFull: return "queue_full";
     case ServiceResult::Status::kDeadlineExceeded: return "deadline_exceeded";
     case ServiceResult::Status::kShutdown: return "shutdown";
+    case ServiceResult::Status::kApplied: return "applied";
   }
   return "unknown";
 }
@@ -63,8 +64,10 @@ const AppView* ServiceSnapshot::find(const std::string& name) const {
 SchedulerService::SchedulerService(Network net, SchedulerOptions sched_options,
                                    ServiceOptions options)
     : net_(net),
-      scheduler_(std::move(net), std::move(sched_options)),
+      scheduler_(std::move(net), sched_options),
       options_(options),
+      policy_(sched_options.policy),
+      start_(std::chrono::steady_clock::now()),
       window_(options.window_seconds == 0 ? 1 : options.window_seconds),
       paused_(options.start_paused) {
   // Default objectives; target 0 disables (SloTracker::add drops them).
@@ -179,11 +182,42 @@ void SchedulerService::remove_async(std::string app_name, Completion on_done) {
   enqueue(std::move(req), kControl, deadline);
 }
 
+std::future<ServiceResult> SchedulerService::apply(SchedulerFn fn) {
+  Request req;
+  req.verb = Request::Verb::kApply;
+  req.fn = std::move(fn);
+  return enqueue(std::move(req), kControl, kNoDeadline);
+}
+
+void SchedulerService::apply_async(SchedulerFn fn, Completion on_done) {
+  Request req;
+  req.verb = Request::Verb::kApply;
+  req.fn = std::move(fn);
+  req.callback = std::move(on_done);
+  enqueue(std::move(req), kControl, kNoDeadline);
+}
+
+bool SchedulerService::inspect(
+    const std::function<void(const Scheduler&)>& fn) {
+  // The reference capture is safe: get() blocks until the request is
+  // fulfilled (run, or bounced with kShutdown without running fn).
+  auto future = apply([&fn](Scheduler& scheduler) { fn(scheduler); });
+  return future.get().status == ServiceResult::Status::kApplied;
+}
+
 std::future<ServiceResult> SchedulerService::enqueue(
     Request req, std::size_t cls,
     std::chrono::steady_clock::time_point deadline) {
   req.enqueued = std::chrono::steady_clock::now();
   req.deadline = deadline;
+  if (policy_ != nullptr && req.verb == Request::Verb::kSubmit &&
+      req.app.graph != nullptr) {
+    // Feature extraction for SchedulingPolicy::pick_next, outside the
+    // queue lock (mirrors the soak engine's PendingApp fields).
+    const ResourceVector need = req.app.graph->total_ct_requirement();
+    req.size = need.size() > 0 ? need[0] : 0.0;
+    req.bits = req.app.graph->total_tt_bits();
+  }
   std::future<ServiceResult> future = req.promise.get_future();
 
   const std::string& label =
@@ -214,8 +248,9 @@ std::future<ServiceResult> SchedulerService::enqueue(
       fulfill(req, std::move(result));
       return future;
     }
-    bump(req.verb == Request::Verb::kSubmit ? "service.submits"
-                                            : "service.removes");
+    bump(req.verb == Request::Verb::kSubmit   ? "service.submits"
+         : req.verb == Request::Verb::kRemove ? "service.removes"
+                                              : "service.applies");
     req.trace = next_trace_.fetch_add(1, std::memory_order_relaxed);
     if (obs::ChromeTraceCollector* trace = obs::trace_collector())
       trace->record_flow("service.request", trace->to_origin_us(req.enqueued),
@@ -364,12 +399,43 @@ void SchedulerService::scheduling_loop() {
         return stopping_ || (!paused_ && queued_unlocked() > 0);
       });
       if (queued_unlocked() == 0 && stopping_) return;
-      // Pop up to max_batch requests, higher classes first, FIFO within
-      // each class.
+      // Pop up to max_batch requests, higher classes first.  Within a
+      // class: FIFO, unless a scheduling policy is installed — then the
+      // policy's pick_next (decision point 1, docs/policies.md) chooses
+      // among the queued submits of that class.  Control requests
+      // (removes, apply fns) always stay FIFO, and DefaultPolicy returns
+      // index 0, reproducing the classic FIFO dequeue bit for bit.
       for (std::size_t cls = 0; cls < kClasses; ++cls) {
-        while (batch.size() < options_.max_batch && !queues_[cls].empty()) {
-          batch.push_back(std::move(queues_[cls].front()));
-          queues_[cls].pop_front();
+        auto& queue = queues_[cls];
+        if (policy_ == nullptr || cls == kControl) {
+          while (batch.size() < options_.max_batch && !queue.empty()) {
+            batch.push_back(std::move(queue.front()));
+            queue.pop_front();
+          }
+          continue;
+        }
+        std::vector<policy::PendingApp> pending;
+        while (batch.size() < options_.max_batch && !queue.empty()) {
+          pending.clear();
+          pending.reserve(queue.size());
+          for (const Request& req : queue) {
+            policy::PendingApp p;
+            p.app = &req.app;
+            p.arrival_time =
+                std::chrono::duration<double>(req.enqueued - start_).count();
+            if (req.deadline !=
+                std::chrono::steady_clock::time_point::max())
+              p.deadline =
+                  std::chrono::duration<double>(req.deadline - start_)
+                      .count();
+            p.size = req.size;
+            p.bits = req.bits;
+            pending.push_back(p);
+          }
+          std::size_t pick = policy_->pick_next(pending);
+          if (pick >= queue.size()) pick = 0;  // out-of-range: fall back FIFO
+          batch.push_back(std::move(queue[pick]));
+          queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
         }
       }
       processing_ = true;
@@ -436,6 +502,22 @@ void SchedulerService::process_batch(std::vector<Request>& batch) {
       const obs::ScopedTrace trace_scope(req.trace);
       const obs::ScopedTimer apply_span("service.apply");
       apply_start[i] = std::chrono::steady_clock::now();
+      if (req.verb == Request::Verb::kApply) {
+        // Control function (federation reserve/commit/release, churn
+        // injection, inspection).  A throwing fn fails its own request,
+        // never the scheduling thread.
+        try {
+          req.fn(scheduler_);
+          results[i].status = ServiceResult::Status::kApplied;
+        } catch (const std::exception& e) {
+          results[i].status = ServiceResult::Status::kRejected;
+          results[i].reason = std::string("control function failed: ") +
+                              e.what();
+          bump("service.apply_failures");
+        }
+        apply_end[i] = std::chrono::steady_clock::now();
+        continue;
+      }
       if (req.verb == Request::Verb::kRemove) {
         const bool found = scheduler_.remove(req.name);
         results[i].status = found ? ServiceResult::Status::kRemoved

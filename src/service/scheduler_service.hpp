@@ -121,6 +121,7 @@ struct ServiceResult {
     kQueueFull,         ///< bounced at enqueue: bounded queue at capacity
     kDeadlineExceeded,  ///< bounced at dequeue: deadline passed in queue
     kShutdown,          ///< bounced: the service is stopping
+    kApplied,           ///< apply(): control function ran on the scheduler
   };
   Status status{Status::kRejected};
   std::string reason;        ///< human-readable detail (rejections)
@@ -139,8 +140,9 @@ struct ServiceResult {
 };
 
 /// Symbolic name of a result status (`admitted`, `rejected`, `removed`,
-/// `not_found`, `queue_full`, `deadline_exceeded`, `shutdown`) — the wire
-/// protocol's `status` field.
+/// `not_found`, `queue_full`, `deadline_exceeded`, `shutdown`, `applied`)
+/// — the wire protocol's `status` field (`applied` never crosses the
+/// wire; it is the in-process control-function outcome).
 const char* to_string(ServiceResult::Status status);
 
 /// One placed application inside a published snapshot.
@@ -195,16 +197,63 @@ struct ServiceStats {
   std::map<std::string, double> metrics;
 };
 
+/// The abstract placement-service surface the front ends program against:
+/// everything the event-loop server, the TCP server, and the in-process
+/// client need — admission (blocking futures and completion callbacks),
+/// snapshots, lifecycle, and telemetry.  SchedulerService (one global
+/// scheduler) and federation::FederatedService (regional shards behind
+/// the same contract) are the two implementations, which is what lets
+/// `sparcle_serve --shards N` swap the backend without the wire front
+/// ends noticing.
+class PlacementService {
+ public:
+  virtual ~PlacementService() = default;
+
+  /// Callback invoked exactly once with a request's terminal result.
+  /// Runs on a service-internal thread (batch completions) or inline on
+  /// the caller's thread (enqueue-time bounces: queue_full / shutdown),
+  /// so it must be cheap and must not re-enter the service.
+  using Completion = std::function<void(ServiceResult)>;
+
+  /// Enqueues an admission request; the future resolves when the request
+  /// has been fully processed (or immediately on queue_full/shutdown).
+  virtual std::future<ServiceResult> submit(Application app) = 0;
+  /// Enqueues a removal (served ahead of submits — it only frees capacity).
+  virtual std::future<ServiceResult> remove(std::string app_name) = 0;
+  /// submit() without a future — the event-loop front end's path.
+  virtual void submit_async(Application app, Completion on_done) = 0;
+  /// remove() without a future.
+  virtual void remove_async(std::string app_name, Completion on_done) = 0;
+  /// The latest published snapshot — never null, never blocks.
+  virtual std::shared_ptr<const ServiceSnapshot> snapshot() const = 0;
+  /// Blocks until every request enqueued before the call has been answered.
+  virtual void drain() = 0;
+  /// Graceful drain-and-stop; idempotent.
+  virtual void stop() = 0;
+  /// Snapshot of the lifetime counters.
+  virtual ServiceStats stats() const = 0;
+  /// The service's own always-on metrics registry.
+  virtual obs::MetricsRegistry& registry() = 0;
+  virtual const obs::MetricsRegistry& registry() const = 0;
+  /// Full Prometheus text exposition (the wire `metrics` verb).
+  virtual std::string prometheus_text() const = 0;
+  /// Flat health document (the wire `stats` verb).
+  virtual std::map<std::string, std::string> health_fields() const = 0;
+  /// The *full* network this service places onto (federated: the whole
+  /// site, not one shard) — the event loop resolves NCP names against it.
+  virtual const Network& network() const = 0;
+};
+
 /// The concurrent admission daemon.  All public methods are thread-safe;
 /// the wrapped Scheduler is touched only by the internal scheduling
 /// thread.  Destruction stops the service (pending requests are answered
 /// with kShutdown).
-class SchedulerService {
+class SchedulerService : public PlacementService {
  public:
   /// Serves placement over `net` using SPARCLE's own assignment algorithm.
   SchedulerService(Network net, SchedulerOptions sched_options = {},
                    ServiceOptions options = {});
-  ~SchedulerService();
+  ~SchedulerService() override;
 
   SchedulerService(const SchedulerService&) = delete;
   SchedulerService& operator=(const SchedulerService&) = delete;
@@ -212,44 +261,62 @@ class SchedulerService {
   /// Enqueues an admission request; the future resolves when the batch
   /// containing it completes (or immediately on queue_full/shutdown).
   /// GR submissions queue ahead of BE submissions.
-  std::future<ServiceResult> submit(Application app);
+  std::future<ServiceResult> submit(Application app) override;
   /// submit() with an explicit deadline: if the scheduling thread picks
   /// the request up after `deadline`, it is rejected unprocessed.
   std::future<ServiceResult> submit(
       Application app, std::chrono::steady_clock::time_point deadline);
 
   /// Enqueues a removal (control class: served before submits).
-  std::future<ServiceResult> remove(std::string app_name);
+  std::future<ServiceResult> remove(std::string app_name) override;
   std::future<ServiceResult> remove(
       std::string app_name, std::chrono::steady_clock::time_point deadline);
-
-  /// Callback invoked exactly once with a request's terminal result.
-  /// Runs on the scheduling thread (batch completions) or inline on the
-  /// caller's thread (enqueue-time bounces: queue_full / shutdown), so it
-  /// must be cheap and must not re-enter the service.
-  using Completion = std::function<void(ServiceResult)>;
 
   /// submit() without a future: `on_done` fires when the batch containing
   /// the request completes (or immediately on queue_full / shutdown).
   /// This is the event-loop front end's path — nothing ever blocks.
-  void submit_async(Application app, Completion on_done);
+  void submit_async(Application app, Completion on_done) override;
 
   /// remove() without a future (control class; see submit_async).
-  void remove_async(std::string app_name, Completion on_done);
+  void remove_async(std::string app_name, Completion on_done) override;
+
+  /// A control function run on the scheduling thread with exclusive
+  /// access to the wrapped Scheduler — the federation layer's hook for
+  /// the two-phase reserve/commit/release calls and churn injection
+  /// without a second synchronization domain.  The function must not
+  /// re-enter the service and must leave any open batch balanced (it
+  /// runs inside the current scheduler batch, so deferred PF re-solves
+  /// settle at batch end as usual).
+  using SchedulerFn = std::function<void(Scheduler&)>;
+
+  /// Enqueues `fn` at control priority (ahead of submits); the future
+  /// resolves with kApplied after the batch containing it completes.
+  /// Control requests never expire.
+  std::future<ServiceResult> apply(SchedulerFn fn);
+
+  /// apply() without a future (see submit_async for callback rules).
+  void apply_async(SchedulerFn fn, Completion on_done);
+
+  /// Runs `fn` on the scheduling thread against the settled post-batch
+  /// scheduler state and blocks until it finished — the read-side
+  /// counterpart of apply() (the federation conservation check and tests
+  /// use it to observe residuals race-free).  Returns false if the
+  /// service was stopping and `fn` never ran.
+  bool inspect(const std::function<void(const Scheduler&)>& fn);
 
   /// The latest published snapshot — never null after construction (an
   /// empty version-0 snapshot is published at start), never blocks.
-  std::shared_ptr<const ServiceSnapshot> snapshot() const;
+  std::shared_ptr<const ServiceSnapshot> snapshot() const override;
 
   /// Blocks until every request enqueued before the call has been
   /// answered and its snapshot published.  Does not stop the service.
-  void drain();
+  void drain() override;
 
   /// Graceful drain-and-stop: stop accepting new requests, process
   /// everything already queued, then join the scheduling thread.
   /// Requests that arrive after stop() begins resolve to kShutdown.
   /// Idempotent; the destructor calls it.
-  void stop();
+  void stop() override;
 
   /// Pauses the scheduling thread after the in-flight batch (see
   /// ServiceOptions::start_paused).
@@ -258,7 +325,7 @@ class SchedulerService {
   void resume();
 
   /// Snapshot of the lifetime counters.
-  ServiceStats stats() const;
+  ServiceStats stats() const override;
 
   /// Requests currently queued (all classes).
   std::size_t queue_depth() const;
@@ -267,8 +334,8 @@ class SchedulerService {
   /// process-global obs sinks.  Installing it globally (sparcle_serve
   /// does) folds scheduler.* / assigner.* instruments into the same
   /// registry the ops endpoint exposes.
-  obs::MetricsRegistry& registry() { return registry_; }
-  const obs::MetricsRegistry& registry() const { return registry_; }
+  obs::MetricsRegistry& registry() override { return registry_; }
+  const obs::MetricsRegistry& registry() const override { return registry_; }
 
   /// The live sliding window behind `service.window.*` and the SLOs.
   const obs::TimeSeriesWindow& window() const { return window_; }
@@ -279,25 +346,31 @@ class SchedulerService {
   /// Full Prometheus text exposition: the registry, the window gauges
   /// (`service.window.*`), and the SLO gauges (`slo.*`), prefix
   /// `sparcle_`.  The wire `metrics` verb serves this.
-  std::string prometheus_text() const;
+  std::string prometheus_text() const override;
 
   /// Flat health document for the wire `stats` verb: status, SLO
   /// worst-state, queue depth, window rates, and per-objective burn.
-  std::map<std::string, std::string> health_fields() const;
+  std::map<std::string, std::string> health_fields() const override;
 
   /// The network this service places onto.  Immutable for the service's
   /// lifetime; the event loop uses it to resolve NCP names in wire
   /// submissions.
-  const Network& network() const { return net_; }
+  const Network& network() const override { return net_; }
 
  private:
   struct Request {
-    enum class Verb { kSubmit, kRemove } verb{Verb::kSubmit};
+    enum class Verb { kSubmit, kRemove, kApply } verb{Verb::kSubmit};
     Application app;        ///< submit payload
     std::string name;       ///< remove payload
+    SchedulerFn fn;         ///< apply payload (control function)
     std::uint64_t trace{0};  ///< trace id, assigned at enqueue
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;  ///< max() = none
+    /// Precomputed policy::PendingApp features of a submit (Σ CT
+    /// requirement resource 0, Σ TT bits) so SchedulingPolicy::pick_next
+    /// never touches the task graph under the queue lock.
+    double size{0.0};
+    double bits{0.0};
     std::promise<ServiceResult> promise;
     Completion callback;  ///< when set, fires instead of the promise
   };
@@ -326,6 +399,13 @@ class SchedulerService {
   Network net_;               ///< immutable reference copy for readers
   Scheduler scheduler_;       ///< touched only by the scheduling thread
   ServiceOptions options_;
+  /// Admission-ordering policy (decision point 1, docs/policies.md),
+  /// shared from SchedulerOptions::policy.  nullptr (and DefaultPolicy)
+  /// reproduce the classic 3-class FIFO dequeue bit for bit.
+  std::shared_ptr<const policy::SchedulingPolicy> policy_;
+  /// Service birth instant: the epoch pick_next's arrival_time/deadline
+  /// seconds are measured from.
+  std::chrono::steady_clock::time_point start_;
 
   obs::MetricsRegistry registry_;   ///< always-on service instruments
   obs::TimeSeriesWindow window_;    ///< live per-second telemetry

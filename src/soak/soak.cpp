@@ -19,6 +19,8 @@
 
 #include "check/invariants.hpp"
 #include "energy/energy_model.hpp"
+#include "federation/check.hpp"
+#include "federation/federation.hpp"
 #include "policy/policy.hpp"
 
 namespace sparcle::soak {
@@ -124,6 +126,263 @@ void check_invariants(const Scheduler& scheduler, double sim_time,
   result.violations.push_back(msg.str());
 }
 
+// ---------------------------------------------------------------------
+// Federated soak: the same event loop, timebase, queueing, and drift
+// windows as run_soak, but the backend is a federation::FederatedService
+// (SoakOptions::federated_shards regional shards) instead of one raw
+// Scheduler.  Invariant epochs run the federation conservation check,
+// which itself runs the per-shard invariant battery on every shard.
+// The decision digest fingerprints (name, verdict, rate, path count) —
+// per-CT hosts live inside the shards and are already covered by the
+// per-shard checker — so federated digests are comparable only to
+// federated digests.
+SoakResult run_federated_soak(const Network& net, const SoakOptions& options) {
+  using service::ServiceResult;
+
+  SoakResult result;
+  result.policy = options.policy;
+  result.scenario = workload::to_string(options.arrivals.pattern);
+  result.seed = options.seed;
+
+  const std::shared_ptr<const policy::SchedulingPolicy> pol =
+      policy::make_policy(options.policy);
+  federation::FederationOptions fed_options;
+  fed_options.shards = options.federated_shards;
+  fed_options.scheduler = options.scheduler;
+  fed_options.scheduler.policy = pol;
+  federation::FederatedService fed(net, fed_options);
+
+  workload::ArrivalGenerator gen(net, options.arrivals,
+                                 options.seed ^ 0xa55a11);
+  sim::ChurnTrace churn;
+  if (options.churn)
+    churn = sim::generate_burst_churn(net, options.burst,
+                                      options.arrivals.horizon,
+                                      options.seed ^ 0xc0ffee);
+
+  std::deque<QueuedArrival> pending;
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+  Digest digest;
+  LatencyHistogram latency;
+
+  const std::size_t stats_epochs =
+      std::max<std::size_t>(2, options.stats_epochs);
+  const std::size_t epoch_arrivals =
+      std::max<std::size_t>(1, options.arrivals.arrivals / stats_epochs);
+  const std::size_t check_every =
+      options.invariant_epochs == 0
+          ? 0
+          : std::max<std::size_t>(1, stats_epochs / options.invariant_epochs);
+
+  const std::size_t total_arrivals = options.arrivals.arrivals;
+  const std::size_t warm_lo = total_arrivals / 4;
+  const std::size_t warm_mid = total_arrivals * 5 / 8;
+  std::size_t admitted_window_a = 0, admitted_window_b = 0;
+
+  const auto record_fed_epoch = [&](double sim_time) {
+    SoakEpoch e;
+    e.sim_time = sim_time;
+    e.arrivals = result.arrivals;
+    e.admitted = result.admitted;
+    const std::shared_ptr<const service::ServiceSnapshot> snap =
+        fed.snapshot();
+    e.placed = snap->apps.size();
+    e.gr_rate = snap->total_gr_rate;
+    e.be_rate = snap->total_be_rate;
+    e.rss_mb = process_rss_mb();
+    result.epochs.push_back(e);
+  };
+  const auto check_fed = [&](double sim_time) {
+    fed.drain();
+    const federation::ConservationReport report =
+        federation::check_federation(fed);
+    if (report.ok()) return;
+    std::ostringstream msg;
+    msg << "federated soak invariant failure: shards="
+        << options.federated_shards << " policy=" << options.policy
+        << " scenario=" << workload::to_string(options.arrivals.pattern)
+        << " seed=" << options.seed << " sim_time=" << sim_time
+        << " (rerun with SPARCLE_TEST_SEED=" << options.seed << ")\n"
+        << report.to_string();
+    result.violations.push_back(msg.str());
+  };
+
+  double now = 0.0;
+  double next_tick = options.tick_seconds;
+  std::size_t churn_at = 0;
+  workload::Arrival upcoming;
+  bool have_arrival = gen.next(upcoming);
+  std::size_t epochs_recorded = 0;
+
+  const auto run_tick = [&](double t) {
+    for (std::size_t i = 0; i < pending.size();) {
+      if (pending[i].deadline < t) {
+        ++result.reneged;
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t budget = options.admit_per_tick;
+         budget > 0 && !pending.empty(); --budget) {
+      std::vector<policy::PendingApp> views;
+      views.reserve(pending.size());
+      for (const QueuedArrival& q : pending)
+        views.push_back({&q.arrival.app, q.arrival.time, q.deadline, q.size,
+                         q.bits});
+      std::size_t pick = pol->pick_next(views);
+      if (pick >= pending.size()) pick = 0;
+      QueuedArrival q = std::move(pending[pick]);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const ServiceResult admission = fed.submit(q.arrival.app).get();
+      const auto t1 = std::chrono::steady_clock::now();
+      latency.record(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+
+      const bool admitted =
+          admission.status == ServiceResult::Status::kAdmitted;
+      digest.str(q.arrival.app.name);
+      digest.u64(admitted ? 1 : 0);
+      if (admitted) {
+        ++result.admitted;
+        if (result.arrivals >= warm_lo && result.arrivals < warm_mid)
+          ++admitted_window_a;
+        else if (result.arrivals >= warm_mid)
+          ++admitted_window_b;
+        if (is_gr(q.arrival.app)) ++result.gr_admitted;
+        digest.f64(admission.rate);
+        digest.u64(admission.paths);
+        departures.push({t + q.arrival.lifetime, q.arrival.app.name});
+      } else {
+        ++result.rejected;
+      }
+    }
+  };
+
+  while (have_arrival || !pending.empty()) {
+    const double t_arrival = have_arrival ? upcoming.time : kInf;
+    const double t_depart =
+        departures.empty() ? kInf : departures.top().time;
+    const double t_churn =
+        churn_at < churn.events.size() ? churn.events[churn_at].time : kInf;
+    const double t_tick = pending.empty() && !have_arrival ? kInf : next_tick;
+    const double t = std::min({t_arrival, t_depart, t_churn, t_tick});
+    if (t == kInf) break;
+    now = t;
+
+    if (t_depart <= t) {
+      const Departure d = departures.top();
+      departures.pop();
+      if (fed.remove(d.name).get().status == ServiceResult::Status::kRemoved)
+        ++result.departed;
+      continue;
+    }
+    if (t_churn <= t) {
+      const sim::ChurnEvent& ev = churn.events[churn_at++];
+      if (ev.fail)
+        fed.mark_failed(ev.element);
+      else
+        fed.mark_recovered(ev.element);
+      ++result.churn_events;
+      fed.repair(ev.element);
+      ++result.repairs;
+      continue;
+    }
+    if (t_tick <= t) {
+      run_tick(t);
+      next_tick += options.tick_seconds;
+      continue;
+    }
+
+    ++result.arrivals;
+    if (is_gr(upcoming.app)) ++result.gr_arrivals;
+    if (pending.size() >= options.queue_capacity) {
+      ++result.queue_full;
+    } else {
+      QueuedArrival q;
+      q.deadline = upcoming.time + upcoming.patience;
+      q.size = upcoming.app.graph->total_ct_requirement()[0];
+      q.bits = upcoming.app.graph->total_tt_bits();
+      q.arrival = std::move(upcoming);
+      pending.push_back(std::move(q));
+    }
+    have_arrival = gen.next(upcoming);
+
+    if (result.arrivals % epoch_arrivals == 0 &&
+        epochs_recorded < stats_epochs) {
+      record_fed_epoch(now);
+      ++epochs_recorded;
+      if (check_every != 0 && epochs_recorded % check_every == 0)
+        check_fed(now);
+    }
+  }
+  record_fed_epoch(now);
+  if (options.invariant_epochs != 0) check_fed(now);
+
+  result.admit_ratio =
+      result.arrivals == 0
+          ? 0.0
+          : static_cast<double>(result.admitted) / result.arrivals;
+  result.gr_admit_ratio =
+      result.gr_arrivals == 0
+          ? 1.0
+          : static_cast<double>(result.gr_admitted) / result.gr_arrivals;
+
+  {
+    const std::shared_ptr<const service::ServiceSnapshot> snap =
+        fed.snapshot();
+    result.final_gr_rate = snap->total_gr_rate;
+    result.final_be_rate = snap->total_be_rate;
+  }
+  // Energy: shard-local placements priced against each shard's
+  // sub-network, committed cross-shard paths against the full site.
+  for (std::size_t s = 0; s < fed.shard_count(); ++s) {
+    const EnergyModel energy(fed.plan().shards[s].net);
+    fed.shard(s).inspect([&](const Scheduler& sc) {
+      for (const PlacedApp& pa : sc.placed())
+        for (std::size_t p = 0; p < pa.paths.size(); ++p) {
+          const double rate =
+              p < pa.path_rates.size() ? pa.path_rates[p] : 0.0;
+          result.energy_watts += energy.total_power(
+              *pa.app.graph, pa.paths[p].placement, rate);
+        }
+    });
+  }
+  {
+    const EnergyModel energy(net);
+    for (const auto& [name, ca] : fed.cross_apps())
+      for (std::size_t p = 0; p < ca.paths.size(); ++p) {
+        const double rate =
+            p < ca.path_rates.size() ? ca.path_rates[p] : 0.0;
+        result.energy_watts += energy.total_power(
+            *ca.app.graph, ca.paths[p].placement, rate);
+      }
+  }
+  const double carried = result.final_gr_rate + result.final_be_rate;
+  result.energy_efficiency =
+      result.energy_watts > 0 ? carried / result.energy_watts : 0.0;
+  result.submit_p50_us = latency.quantile(0.50);
+  result.submit_p99_us = latency.quantile(0.99);
+  result.decision_digest = digest.h;
+
+  if (result.epochs.size() >= 4) {
+    const double warm = result.epochs[result.epochs.size() / 4].rss_mb;
+    const double end = result.epochs.back().rss_mb;
+    if (warm > 0) result.rss_drift = (end - warm) / warm;
+  }
+  if (warm_mid > warm_lo && result.arrivals > warm_mid) {
+    const double r1 = static_cast<double>(admitted_window_a) /
+                      static_cast<double>(warm_mid - warm_lo);
+    const double r2 = static_cast<double>(admitted_window_b) /
+                      static_cast<double>(result.arrivals - warm_mid);
+    if (r1 > 0) result.admit_rate_drift = std::abs(r2 - r1) / r1;
+  }
+  return result;
+}
+
 }  // namespace
 
 double process_rss_mb() {
@@ -144,7 +403,10 @@ double process_rss_mb() {
 
 Network make_soak_network(const SoakOptions& options) {
   Rng rng(options.seed ^ 0x5175e5);
-  return workload::soak_site(options.regions, options.ncps_per_region, rng);
+  // A federated soak needs at least one region per shard.
+  const std::size_t regions =
+      std::max(options.regions, options.federated_shards);
+  return workload::soak_site(regions, options.ncps_per_region, rng);
 }
 
 SoakResult run_soak(const SoakOptions& options) {
@@ -153,6 +415,8 @@ SoakResult run_soak(const SoakOptions& options) {
 }
 
 SoakResult run_soak(const Network& net, const SoakOptions& options) {
+  if (options.federated_shards > 0) return run_federated_soak(net, options);
+
   SoakResult result;
   result.policy = options.policy;
   result.scenario = workload::to_string(options.arrivals.pattern);
@@ -442,6 +706,7 @@ TournamentReport run_tournament(const TournamentOptions& options) {
                                       options.arrivals_per_cell,
                                       options.seed);
       cell.invariant_epochs = options.invariant_epochs;
+      cell.federated_shards = options.federated_shards;
       report.cells.push_back({scenario, policy, run_soak(cell)});
     }
   }

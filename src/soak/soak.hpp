@@ -62,6 +62,14 @@ struct SoakOptions {
   std::size_t ncps_per_region{6};
   /// Base scheduler configuration; `policy` is installed on a copy.
   SchedulerOptions scheduler{};
+  /// When positive, the soak drives a federation::FederatedService over
+  /// this many regional shards instead of one raw Scheduler — shard-local
+  /// arrivals run the stock per-shard pipeline, cross-shard arrivals go
+  /// through two-phase reserve/commit — and every invariant epoch runs
+  /// the per-shard checker plus the federation conservation check
+  /// (federation/check.hpp).  `regions` is raised to at least this many
+  /// shards.  0 = the classic single-scheduler soak.
+  std::size_t federated_shards{0};
 };
 
 /// One sampled stats row (cumulative counters as of `sim_time`).
@@ -141,6 +149,9 @@ struct TournamentOptions {
   std::size_t arrivals_per_cell{20000};
   std::uint64_t seed{1};
   std::size_t invariant_epochs{2};
+  /// Run every cell against a federated site with this many shards
+  /// (SoakOptions::federated_shards); 0 = single-scheduler cells.
+  std::size_t federated_shards{0};
 };
 
 /// Every scenario name, in report order (= arrival-pattern names).

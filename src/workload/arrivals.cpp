@@ -107,6 +107,21 @@ ArrivalGenerator::ArrivalGenerator(const Network& net, ArrivalSpec spec,
           /*max_width=*/2, /*edge_prob=*/0.35));
     }
   }
+
+  // Region pools for locality pinning, by first appearance (no RNG use,
+  // so building them never perturbs existing seeded streams).
+  std::vector<std::string> seen;
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j) {
+    const std::string& label = net.ncp(j).region;
+    if (label.empty()) continue;
+    std::size_t g = 0;
+    while (g < seen.size() && seen[g] != label) ++g;
+    if (g == seen.size()) {
+      seen.push_back(label);
+      regions_.emplace_back();
+    }
+    regions_[g].push_back(j);
+  }
 }
 
 double ArrivalGenerator::rate_at(double t) const {
@@ -163,13 +178,30 @@ bool ArrivalGenerator::next(Arrival& out) {
   }
 
   // Pin every source and sink to a uniformly drawn NCP (per arrival, so
-  // a pooled graph still exercises distinct routes).
+  // a pooled graph still exercises distinct routes).  With locality > 0
+  // on a region-labeled network, the arrival first draws a home region
+  // and each endpoint lands inside it with that probability.  The
+  // locality == 0 branch is draw-for-draw identical to the classic
+  // pinning, so existing seeds replay unchanged.
   const auto draw_ncp = [&] {
     return static_cast<NcpId>(
         rng_.uniform_int(0, static_cast<std::int64_t>(net_->ncp_count()) - 1));
   };
-  for (CtId s : a.app.graph->sources()) a.app.pinned[s] = draw_ncp();
-  for (CtId s : a.app.graph->sinks()) a.app.pinned[s] = draw_ncp();
+  if (spec_.locality > 0.0 && !regions_.empty()) {
+    const std::vector<NcpId>& home = regions_[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(regions_.size()) - 1))];
+    const auto draw_pin = [&]() -> NcpId {
+      if (rng_.bernoulli(spec_.locality))
+        return home[static_cast<std::size_t>(rng_.uniform_int(
+            0, static_cast<std::int64_t>(home.size()) - 1))];
+      return draw_ncp();
+    };
+    for (CtId s : a.app.graph->sources()) a.app.pinned[s] = draw_pin();
+    for (CtId s : a.app.graph->sinks()) a.app.pinned[s] = draw_pin();
+  } else {
+    for (CtId s : a.app.graph->sources()) a.app.pinned[s] = draw_ncp();
+    for (CtId s : a.app.graph->sinks()) a.app.pinned[s] = draw_ncp();
+  }
 
   ++emitted_;
   out = std::move(a);
@@ -186,13 +218,15 @@ Network soak_site(std::size_t regions, std::size_t ncps_per_region, Rng& rng,
   hubs.reserve(regions);
   for (std::size_t g = 0; g < regions; ++g) {
     const std::string prefix = "r" + std::to_string(g);
-    const NcpId hub = net.add_ncp(
-        prefix + "n0", {rng.uniform(ranges.ncp_min, ranges.ncp_max)});
+    const NcpId hub =
+        net.add_ncp(prefix + "n0", {rng.uniform(ranges.ncp_min, ranges.ncp_max)},
+                    /*fail_prob=*/0.0, /*region=*/prefix);
     hubs.push_back(hub);
     for (std::size_t i = 1; i < ncps_per_region; ++i) {
-      const NcpId leaf = net.add_ncp(
-          prefix + "n" + std::to_string(i),
-          {rng.uniform(ranges.ncp_min, ranges.ncp_max)});
+      const NcpId leaf =
+          net.add_ncp(prefix + "n" + std::to_string(i),
+                      {rng.uniform(ranges.ncp_min, ranges.ncp_max)},
+                      /*fail_prob=*/0.0, /*region=*/prefix);
       net.add_link(prefix + "l" + std::to_string(i), hub, leaf,
                    rng.uniform(ranges.bw_min, ranges.bw_max));
     }

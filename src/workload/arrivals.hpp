@@ -71,6 +71,15 @@ struct ArrivalSpec {
   double gr_fraction{0.10};
   /// Distinct task graphs built up front and sampled per arrival.
   std::size_t graph_pool{32};
+  /// Source locality: when > 0, each arrival draws one *home region*
+  /// (uniform over the network's region labels) and pins each endpoint
+  /// inside it with this probability — uniformly over the whole site
+  /// otherwise.  The federated-placement benchmarks use ≈0.9 so most
+  /// arrivals are shard-local.  0 (the default) reproduces the classic
+  /// uniform pinning with an identical RNG draw sequence, so existing
+  /// seeds replay bit for bit; it is also the forced behavior on
+  /// networks without region labels.
+  double locality{0.0};
   /// Base per-CT requirement ranges (heavy_tail scales these per pooled
   /// graph by a Pareto factor).
   TaskRanges tasks{};
@@ -106,6 +115,9 @@ class ArrivalGenerator {
   ArrivalSpec spec_;
   Rng rng_;
   std::vector<std::shared_ptr<const TaskGraph>> pool_;
+  /// NCP ids grouped by region label, in first-appearance order (empty
+  /// when the network is unlabeled); the locality pin-draw pool.
+  std::vector<std::vector<NcpId>> regions_;
   double mean_rate_{0.0};
   double peak_rate_{0.0};
   double now_{0.0};

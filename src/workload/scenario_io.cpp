@@ -44,6 +44,17 @@ struct ParseContext {
     tokens.pop_back();
     return parse_number(value, line, "failure probability");
   }
+
+  /// Extracts a trailing "region=<label>" token if present; returns the
+  /// region label ("" when absent) and erases the token.  Order with
+  /// fail= is free: writers emit `region=` last, but readers strip
+  /// whichever trailing token matches first.
+  std::string take_region(std::vector<std::string>& tokens) const {
+    if (tokens.empty() || tokens.back().rfind("region=", 0) != 0) return {};
+    std::string value = tokens.back().substr(7);
+    tokens.pop_back();
+    return value;
+  }
 };
 
 /// Splits a line into whitespace-separated tokens, dropping `#` comments.
@@ -123,7 +134,9 @@ ScenarioFile parse_scenario_impl(std::istream& in, const ParseContext& ctx,
     }
 
     if (cmd == "ncp") {
+      std::string region = ctx.take_region(t);
       const double fp = ctx.take_fail_prob(t, lineno);
+      if (region.empty()) region = ctx.take_region(t);
       if (t.size() != 2 + schema.size())
         ctx.fail(lineno, "'ncp' expects a name and " +
                              std::to_string(schema.size()) + " capacities");
@@ -133,7 +146,7 @@ ScenarioFile parse_scenario_impl(std::istream& in, const ParseContext& ctx,
       for (std::size_t r = 0; r < schema.size(); ++r)
         cap[r] = ctx.parse_number(t[2 + r], lineno, "capacity");
       try {
-        ncp_by_name[t[1]] = out.net.add_ncp(t[1], cap, fp);
+        ncp_by_name[t[1]] = out.net.add_ncp(t[1], cap, fp, std::move(region));
       } catch (const std::invalid_argument& e) {
         ctx.fail(lineno, e.what());
       }
@@ -353,6 +366,7 @@ std::string write_scenario(const ScenarioFile& scenario) {
     for (std::size_t r = 0; r < n.capacity.size(); ++r)
       os << " " << fmt(n.capacity[r]);
     if (n.fail_prob > 0) os << " fail=" << fmt(n.fail_prob);
+    if (!n.region.empty()) os << " region=" << n.region;
     os << "\n";
   }
   for (LinkId l = 0; l < static_cast<LinkId>(net.link_count()); ++l) {

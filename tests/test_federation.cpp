@@ -1,0 +1,642 @@
+#include "federation/federation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "core/scheduler.hpp"
+#include "federation/check.hpp"
+#include "federation/shard_plan.hpp"
+#include "service/client.hpp"
+#include "service/event_server.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/rng.hpp"
+#include "workload/scenario_io.hpp"
+
+namespace sparcle {
+namespace {
+
+using federation::ConservationReport;
+using federation::FederatedService;
+using federation::FederationOptions;
+using federation::ShardPlan;
+using service::ServiceResult;
+
+// ---------------------------------------------------------------------------
+// Fixtures
+
+/// A two-region barbell: a0 - a1 in region "r0", b0 - b1 in region "r1",
+/// joined by the single boundary link "ab".  a1/b0 are fat relays; b1 (the
+/// usual cross-shard sink) carries `sink_cap` CPU so tests can fill it.
+Network make_two_region_net(double relay_cap = 10.0, double sink_cap = 2.0) {
+  Network net(ResourceSchema::cpu_only());
+  net.add_ncp("a0", ResourceVector::scalar(1.0), 0.0, "r0");
+  net.add_ncp("a1", ResourceVector::scalar(relay_cap), 0.0, "r0");
+  net.add_ncp("b0", ResourceVector::scalar(relay_cap), 0.0, "r1");
+  net.add_ncp("b1", ResourceVector::scalar(sink_cap), 0.0, "r1");
+  net.add_link("aa", 0, 1, 1000.0);
+  net.add_link("ab", 1, 2, 1000.0);  // the boundary
+  net.add_link("bb", 2, 3, 1000.0);
+  return net;
+}
+
+/// source (0 cpu) -> mid (`mid_cpu`) -> sink (`sink_cpu`), 1-bit TTs.
+std::shared_ptr<const TaskGraph> make_pipeline_graph(double mid_cpu,
+                                                     double sink_cpu = 0.0) {
+  auto g = std::make_shared<TaskGraph>(ResourceSchema::cpu_only());
+  const CtId s = g->add_ct("source", ResourceVector::scalar(0));
+  const CtId m = g->add_ct("mid", ResourceVector::scalar(mid_cpu));
+  const CtId t = g->add_ct("sink", ResourceVector::scalar(sink_cpu));
+  g->add_tt("sm", 1.0, s, m);
+  g->add_tt("mt", 1.0, m, t);
+  g->finalize();
+  return g;
+}
+
+Application make_app(const std::string& name, QoeSpec qoe, NcpId src,
+                     NcpId dst, double mid_cpu = 4.0, double sink_cpu = 0.0) {
+  Application app;
+  app.name = name;
+  app.graph = make_pipeline_graph(mid_cpu, sink_cpu);
+  app.qoe = qoe;
+  app.pinned = {{0, src}, {2, dst}};
+  return app;
+}
+
+/// Asserts the federation conservation check is clean after draining.
+void expect_conserved(FederatedService& fed) {
+  fed.drain();
+  const ConservationReport report = federation::check_federation(fed);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+/// Counter value from a ServiceStats metrics snapshot (0 when absent).
+double counter(const service::ServiceStats& stats, const std::string& name) {
+  const auto it = stats.metrics.find(name);
+  return it == stats.metrics.end() ? 0.0 : it->second;
+}
+
+/// A federation over the barbell with a test hook seam: the returned
+/// shared function is invoked from FederationOptions::on_reserved, so a
+/// test can arm/disarm per-submit behavior after construction.
+struct HookedFed {
+  std::shared_ptr<std::function<void(const std::string&)>> hook;
+  std::unique_ptr<FederatedService> fed;
+};
+
+HookedFed make_hooked_fed(Network net, std::size_t shards = 2) {
+  HookedFed h;
+  h.hook = std::make_shared<std::function<void(const std::string&)>>();
+  FederationOptions opt;
+  opt.shards = shards;
+  opt.on_reserved = [hook = h.hook](const std::string& name) {
+    if (*hook) (*hook)(name);
+  };
+  h.fed = std::make_unique<FederatedService>(std::move(net), opt);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// ShardPlan
+
+TEST(ShardPlan, RegionPlanSplitsTheBarbell) {
+  const Network net = make_two_region_net();
+  const ShardPlan plan = federation::plan_by_region(net, 2);
+
+  ASSERT_EQ(plan.shard_count(), 2u);
+  EXPECT_EQ(plan.shards[0].regions, std::vector<std::string>{"r0"});
+  EXPECT_EQ(plan.shards[1].regions, std::vector<std::string>{"r1"});
+  EXPECT_EQ(plan.shards[0].global_ncps, (std::vector<NcpId>{0, 1}));
+  EXPECT_EQ(plan.shards[1].global_ncps, (std::vector<NcpId>{2, 3}));
+  EXPECT_EQ(plan.shards[0].net.ncp(0).name, "a0");
+  EXPECT_EQ(plan.shards[1].net.ncp(1).name, "b1");
+  // Intra-region links land in their shard; "ab" is the lone boundary.
+  EXPECT_EQ(plan.shards[0].global_links, (std::vector<LinkId>{0}));
+  EXPECT_EQ(plan.shards[1].global_links, (std::vector<LinkId>{2}));
+  EXPECT_EQ(plan.boundary_links, (std::vector<LinkId>{1}));
+  EXPECT_TRUE(plan.is_boundary(1));
+  EXPECT_FALSE(plan.is_boundary(0));
+  EXPECT_EQ(plan.shard_of_ncp, (std::vector<std::size_t>{0, 0, 1, 1}));
+  EXPECT_EQ(plan.local_ncp, (std::vector<NcpId>{0, 1, 0, 1}));
+  // Capacities and region labels survive into the shard sub-networks.
+  EXPECT_DOUBLE_EQ(plan.shards[1].net.ncp(0).capacity[0], 10.0);
+  EXPECT_EQ(plan.shards[0].net.ncp(0).region, "r0");
+}
+
+TEST(ShardPlan, GraphCutBalancesAnUnlabeledPath) {
+  Network net(ResourceSchema::cpu_only());
+  for (int i = 0; i < 6; ++i)
+    net.add_ncp("n" + std::to_string(i), ResourceVector::scalar(1.0));
+  for (int i = 0; i < 5; ++i)
+    net.add_link("l" + std::to_string(i), i, i + 1, 10.0);
+
+  const ShardPlan plan = federation::plan_by_graph_cut(net, 2);
+  ASSERT_EQ(plan.shard_count(), 2u);
+  EXPECT_EQ(plan.shards[0].global_ncps.size(), 3u);
+  EXPECT_EQ(plan.shards[1].global_ncps.size(), 3u);
+  EXPECT_TRUE(plan.shards[0].regions.empty());
+  EXPECT_FALSE(plan.boundary_links.empty());
+  for (const LinkId l : plan.boundary_links) {
+    const Link& link = net.link(l);
+    EXPECT_NE(plan.shard_of_ncp[link.a], plan.shard_of_ncp[link.b]);
+  }
+  // Deterministic: the same input yields the identical assignment.
+  const ShardPlan again = federation::plan_by_graph_cut(net, 2);
+  EXPECT_EQ(plan.shard_of_ncp, again.shard_of_ncp);
+}
+
+TEST(ShardPlan, MakeShardPlanPrefersRegionLabels) {
+  const ShardPlan labeled =
+      federation::make_shard_plan(make_two_region_net(), 2);
+  EXPECT_FALSE(labeled.shards[0].regions.empty());
+
+  Network plain(ResourceSchema::cpu_only());
+  plain.add_ncp("x", ResourceVector::scalar(1.0));
+  plain.add_ncp("y", ResourceVector::scalar(1.0));
+  plain.add_link("xy", 0, 1, 10.0);
+  const ShardPlan cut = federation::make_shard_plan(plain, 2);
+  EXPECT_TRUE(cut.shards[0].regions.empty());  // fell back to the graph cut
+}
+
+TEST(ShardPlan, SoakSiteRegionsMapOntoShards) {
+  Rng rng(7);
+  const Network net = workload::soak_site(4, 8, rng);
+  const ShardPlan plan = federation::make_shard_plan(net, 4);
+
+  ASSERT_EQ(plan.shard_count(), 4u);
+  std::size_t covered = 0;
+  for (const federation::Shard& shard : plan.shards) {
+    EXPECT_EQ(shard.regions.size(), 1u);  // one soak region per shard
+    covered += shard.global_ncps.size();
+  }
+  EXPECT_EQ(covered, net.ncp_count());
+  // The backbone ring between hubs is exactly the boundary set.
+  EXPECT_FALSE(plan.boundary_links.empty());
+  for (const LinkId l : plan.boundary_links) {
+    const Link& link = net.link(l);
+    EXPECT_NE(plan.shard_of_ncp[link.a], plan.shard_of_ncp[link.b]);
+  }
+}
+
+TEST(ShardPlan, BuilderErrors) {
+  const Network net = make_two_region_net();
+  EXPECT_THROW(federation::plan_by_region(net, 0), std::invalid_argument);
+  EXPECT_THROW(federation::plan_by_region(net, 3), std::invalid_argument);
+  EXPECT_THROW(federation::plan_by_graph_cut(net, 5), std::invalid_argument);
+
+  Network plain(ResourceSchema::cpu_only());
+  plain.add_ncp("x", ResourceVector::scalar(1.0));
+  EXPECT_THROW(federation::plan_by_region(plain, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler external reservations (the per-shard half of the protocol)
+
+TEST(ExternalReservation, ReserveCommitReleaseLifecycle) {
+  const Network net = make_two_region_net();
+  Scheduler sc(net);
+
+  LoadMap load = LoadMap::zeros(net);
+  load.ncp_load(1)[0] = 2.0;
+  load.link_load(0) = 5.0;
+  const std::vector<ElementKey> elements = {ElementKey::ncp(1),
+                                            ElementKey::link(0)};
+
+  std::string why;
+  ASSERT_TRUE(sc.reserve_external("x", load, elements, 1.0, &why)) << why;
+  EXPECT_DOUBLE_EQ(sc.gr_residual_capacities().ncp(1)[0], 8.0);
+  EXPECT_DOUBLE_EQ(sc.gr_residual_capacities().link(0), 995.0);
+  EXPECT_FALSE(sc.external_reservations().at("x").committed);
+  EXPECT_TRUE(check::check_scheduler_state(sc, {}).ok());
+
+  // Names are unique; the failed reserve mutates nothing.
+  EXPECT_FALSE(sc.reserve_external("x", load, elements, 1.0, &why));
+  EXPECT_DOUBLE_EQ(sc.gr_residual_capacities().ncp(1)[0], 8.0);
+
+  ASSERT_TRUE(sc.commit_external("x", &why)) << why;
+  EXPECT_TRUE(sc.external_reservations().at("x").committed);
+  EXPECT_FALSE(sc.commit_external("x", &why));  // double commit refused
+  EXPECT_TRUE(check::check_scheduler_state(sc, {}).ok());
+
+  ASSERT_TRUE(sc.release_external("x"));
+  EXPECT_FALSE(sc.release_external("x"));  // unknown name: no-op
+  EXPECT_DOUBLE_EQ(sc.gr_residual_capacities().ncp(1)[0], 10.0);
+  EXPECT_DOUBLE_EQ(sc.gr_residual_capacities().link(0), 1000.0);
+  EXPECT_TRUE(sc.external_reservations().empty());
+  EXPECT_TRUE(check::check_scheduler_state(sc, {}).ok());
+}
+
+TEST(ExternalReservation, ReserveRespectsResidualAndFailures) {
+  const Network net = make_two_region_net();
+  Scheduler sc(net);
+
+  LoadMap load = LoadMap::zeros(net);
+  load.ncp_load(1)[0] = 6.0;
+  const std::vector<ElementKey> elements = {ElementKey::ncp(1)};
+
+  // Over capacity: 2 x 6 > 10 refuses without mutating.
+  std::string why;
+  EXPECT_FALSE(sc.reserve_external("big", load, elements, 2.0, &why));
+  EXPECT_NE(why.find("a1"), std::string::npos) << why;
+  EXPECT_DOUBLE_EQ(sc.gr_residual_capacities().ncp(1)[0], 10.0);
+  EXPECT_TRUE(sc.external_reservations().empty());
+
+  // A failed element refuses the reserve outright.
+  sc.mark_failed(ElementKey::ncp(1));
+  EXPECT_FALSE(sc.reserve_external("dead", load, elements, 1.0, &why));
+  sc.mark_recovered(ElementKey::ncp(1));
+
+  // Failure BETWEEN the phases poisons the commit (the distributed abort
+  // trigger); the release still restores everything.
+  ASSERT_TRUE(sc.reserve_external("race", load, elements, 1.0, &why)) << why;
+  sc.mark_failed(ElementKey::ncp(1));
+  EXPECT_FALSE(sc.commit_external("race", &why));
+  EXPECT_TRUE(sc.release_external("race"));
+  sc.mark_recovered(ElementKey::ncp(1));
+  EXPECT_DOUBLE_EQ(sc.gr_residual_capacities().ncp(1)[0], 10.0);
+  EXPECT_TRUE(check::check_scheduler_state(sc, {}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// FederatedService: routing and the two-phase happy path
+
+TEST(Federation, LocalArrivalsRouteToTheirHomeShard) {
+  FederationOptions opt;
+  opt.shards = 2;
+  FederatedService fed(make_two_region_net(), opt);
+  service::LocalClient client(fed);
+
+  // a0 -> a1 pins entirely inside region r0: no cross-shard machinery.
+  const ServiceResult got =
+      client.submit(make_app("local", QoeSpec::guaranteed_rate(1.0, 0.0), 0, 1));
+  ASSERT_EQ(got.status, ServiceResult::Status::kAdmitted) << got.reason;
+  EXPECT_DOUBLE_EQ(got.rate, 1.0);
+
+  EXPECT_TRUE(fed.cross_apps().empty());
+  const service::ServiceStats stats = fed.stats();
+  EXPECT_EQ(stats.submits, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(counter(stats, "federation.local.routed"), 1.0);
+  EXPECT_EQ(counter(stats, "federation.cross.submits"), 0.0);
+
+  // The shard's own admission pipeline placed it.
+  bool found = false;
+  fed.shard(0).inspect([&](const Scheduler& sc) {
+    for (const PlacedApp& p : sc.placed())
+      if (p.app.name == "local") found = true;
+  });
+  EXPECT_TRUE(found);
+  const auto snap = fed.snapshot();
+  EXPECT_NE(snap->find("local"), nullptr);
+  expect_conserved(fed);
+
+  EXPECT_EQ(client.remove("local").status, ServiceResult::Status::kRemoved);
+  EXPECT_EQ(client.remove("local").status, ServiceResult::Status::kNotFound);
+  expect_conserved(fed);
+}
+
+TEST(Federation, CrossShardAdmissionReservesOnEveryTouchedShard) {
+  FederationOptions opt;
+  opt.shards = 2;
+  FederatedService fed(make_two_region_net(), opt);
+  service::LocalClient client(fed);
+
+  // a0 (shard 0) -> b1 (shard 1): the sink CT carries real CPU, so the
+  // committed load must land on both shards plus the boundary link.
+  const ServiceResult got = client.submit(
+      make_app("cross", QoeSpec::guaranteed_rate(0.5, 0.0), 0, 3, 4.0, 1.0));
+  ASSERT_EQ(got.status, ServiceResult::Status::kAdmitted) << got.reason;
+  EXPECT_NEAR(got.rate, 0.5, 1e-9);
+  EXPECT_GE(got.paths, 1u);
+  // Cross results carry the wire's request-tracing contract (the
+  // federation stamps it — no SchedulerService queue is involved).
+  EXPECT_NE(got.timeline.trace_id, 0u);
+  EXPECT_GT(got.timeline.apply_us, 0.0);
+  EXPECT_GT(got.latency_us, 0.0);
+
+  const auto cross = fed.cross_apps();
+  ASSERT_EQ(cross.size(), 1u);
+  const federation::CrossApp& ca = cross.at("cross");
+  EXPECT_EQ(ca.shards, (std::vector<std::size_t>{0, 1}));
+  EXPECT_NEAR(ca.total_rate, 0.5, 1e-9);
+  EXPECT_NEAR(ca.load.ncp_load(3)[0], 0.5, 1e-9);  // sink: 0.5 x 1 cpu
+
+  // Both shards hold a committed reservation named after the app.
+  for (std::size_t s = 0; s < 2; ++s) {
+    bool committed = false;
+    fed.shard(s).inspect([&](const Scheduler& sc) {
+      const auto& ext = sc.external_reservations();
+      committed = ext.count("cross") > 0 && ext.at("cross").committed;
+    });
+    EXPECT_TRUE(committed) << "shard " << s;
+  }
+  // The planning residual charged the committed load.
+  EXPECT_NEAR(fed.plan_residual().ncp(3)[0], 2.0 - 0.5, 1e-9);
+  EXPECT_EQ(counter(fed.stats(), "federation.cross.admitted"), 1.0);
+  expect_conserved(fed);
+
+  // Removal releases every hold and refunds the planning residual.
+  EXPECT_EQ(client.remove("cross").status, ServiceResult::Status::kRemoved);
+  EXPECT_TRUE(fed.cross_apps().empty());
+  EXPECT_NEAR(fed.plan_residual().ncp(3)[0], 2.0, 1e-9);
+  for (std::size_t s = 0; s < 2; ++s) {
+    bool empty = false;
+    fed.shard(s).inspect([&](const Scheduler& sc) {
+      empty = sc.external_reservations().empty();
+    });
+    EXPECT_TRUE(empty) << "shard " << s;
+  }
+  expect_conserved(fed);
+}
+
+TEST(Federation, CrossShardBestEffortGetsAFixedFractionHold) {
+  FederationOptions opt;
+  opt.shards = 2;
+  opt.be_rate_fraction = 0.25;
+  FederatedService fed(make_two_region_net(), opt);
+  service::LocalClient client(fed);
+
+  const ServiceResult got =
+      client.submit(make_app("be_cross", QoeSpec::best_effort(1.0), 0, 3));
+  ASSERT_EQ(got.status, ServiceResult::Status::kAdmitted) << got.reason;
+  EXPECT_GT(got.rate, 0.0);
+  // Each committed path holds a fixed fraction of its standalone
+  // bottleneck (10 cpu / 4 per unit = 2.5), never the whole path.
+  ASSERT_GE(got.paths, 1u);
+  EXPECT_LE(got.rate,
+            static_cast<double>(got.paths) * 0.25 * 10.0 / 4.0 + 1e-9);
+  expect_conserved(fed);
+}
+
+TEST(Federation, DuplicateNamesAreRejectedAcrossShards) {
+  FederationOptions opt;
+  opt.shards = 2;
+  FederatedService fed(make_two_region_net(), opt);
+  service::LocalClient client(fed);
+
+  ASSERT_EQ(
+      client.submit(make_app("dup", QoeSpec::best_effort(1.0), 0, 1)).status,
+      ServiceResult::Status::kAdmitted);
+  // Same name arriving as a cross-shard app must bounce at the router.
+  const ServiceResult again =
+      client.submit(make_app("dup", QoeSpec::best_effort(1.0), 0, 3));
+  EXPECT_EQ(again.status, ServiceResult::Status::kRejected);
+  expect_conserved(fed);
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase edge cases — every abort must leave zero residue
+
+TEST(Federation, ShardRefusalAtReserveAbortsWithoutResidue) {
+  FederationOptions opt;
+  opt.shards = 2;
+  FederatedService fed(make_two_region_net(), opt);
+  service::LocalClient client(fed);
+
+  // Fill b1 with a shard-LOCAL GR app: invisible to the federation's
+  // optimistic planning residual, so the cross plan passes and only the
+  // authoritative shard reserve can say no.
+  ASSERT_EQ(client
+                .submit(make_app("filler", QoeSpec::guaranteed_rate(1.0, 0.0),
+                                 2, 3, 1.0, 2.0))
+                .status,
+            ServiceResult::Status::kAdmitted);
+  EXPECT_NEAR(fed.plan_residual().ncp(3)[0], 2.0, 1e-9);  // optimistic
+
+  const ServiceResult got = client.submit(
+      make_app("cx", QoeSpec::guaranteed_rate(0.5, 0.0), 0, 3, 4.0, 1.0));
+  EXPECT_EQ(got.status, ServiceResult::Status::kRejected) << got.reason;
+  EXPECT_EQ(
+      counter(fed.stats(), "federation.cross.aborted_reserve"),
+      1.0);
+  EXPECT_TRUE(fed.cross_apps().empty());
+  EXPECT_NEAR(fed.plan_residual().ncp(3)[0], 2.0, 1e-9);  // untouched
+  for (std::size_t s = 0; s < 2; ++s) {
+    bool empty = false;
+    fed.shard(s).inspect([&](const Scheduler& sc) {
+      empty = sc.external_reservations().empty();
+    });
+    EXPECT_TRUE(empty) << "leaked hold on shard " << s;
+  }
+  expect_conserved(fed);
+}
+
+TEST(Federation, AbortBetweenPhasesReleasesEveryHold) {
+  HookedFed h = make_hooked_fed(make_two_region_net());
+  service::LocalClient client(*h.fed);
+
+  *h.hook = [](const std::string&) {
+    throw std::runtime_error("operator abort between phases");
+  };
+  const ServiceResult got = client.submit(
+      make_app("cx", QoeSpec::guaranteed_rate(0.5, 0.0), 0, 3, 4.0, 1.0));
+  EXPECT_EQ(got.status, ServiceResult::Status::kRejected);
+  EXPECT_EQ(
+      counter(h.fed->stats(), "federation.cross.aborted_reserve"),
+      1.0);
+  EXPECT_TRUE(h.fed->cross_apps().empty());
+  expect_conserved(*h.fed);
+
+  // Holds were fully released: the identical resubmit now succeeds.
+  *h.hook = nullptr;
+  EXPECT_EQ(client
+                .submit(make_app("cx", QoeSpec::guaranteed_rate(0.5, 0.0), 0,
+                                 3, 4.0, 1.0))
+                .status,
+            ServiceResult::Status::kAdmitted);
+  expect_conserved(*h.fed);
+}
+
+TEST(Federation, DuplicateCommitAbortsAndReleasesEverywhere) {
+  HookedFed h = make_hooked_fed(make_two_region_net());
+  service::LocalClient client(*h.fed);
+
+  // Between the phases, commit shard 1's hold out-of-band: the protocol's
+  // own commit then sees a double commit and must abort globally.
+  *h.hook = [&h](const std::string& name) {
+    h.fed->shard(1)
+        .apply([name](Scheduler& sc) { sc.commit_external(name); })
+        .get();
+  };
+  const ServiceResult got = client.submit(
+      make_app("cx", QoeSpec::guaranteed_rate(0.5, 0.0), 0, 3, 4.0, 1.0));
+  EXPECT_EQ(got.status, ServiceResult::Status::kRejected);
+  EXPECT_EQ(
+      counter(h.fed->stats(), "federation.cross.aborted_commit"),
+      1.0);
+  EXPECT_TRUE(h.fed->cross_apps().empty());
+  // The abort released even the hold that HAD committed on shard 0.
+  for (std::size_t s = 0; s < 2; ++s) {
+    bool empty = false;
+    h.fed->shard(s).inspect([&](const Scheduler& sc) {
+      empty = sc.external_reservations().empty();
+    });
+    EXPECT_TRUE(empty) << "leaked hold on shard " << s;
+  }
+  expect_conserved(*h.fed);
+
+  *h.hook = nullptr;
+  EXPECT_EQ(client
+                .submit(make_app("cx", QoeSpec::guaranteed_rate(0.5, 0.0), 0,
+                                 3, 4.0, 1.0))
+                .status,
+            ServiceResult::Status::kAdmitted);
+  expect_conserved(*h.fed);
+}
+
+TEST(Federation, ChurnRacingAPendingReservationAborts) {
+  HookedFed h = make_hooked_fed(make_two_region_net());
+  service::LocalClient client(*h.fed);
+
+  // The sink NCP fails after every shard reserved but before any commit:
+  // shard 1's commit refuses (touched element failed) and the admission
+  // aborts leak-free.
+  *h.hook = [&h](const std::string&) {
+    h.fed->mark_failed(ElementKey::ncp(3));
+  };
+  const ServiceResult got = client.submit(
+      make_app("cx", QoeSpec::guaranteed_rate(0.5, 0.0), 0, 3, 4.0, 1.0));
+  EXPECT_EQ(got.status, ServiceResult::Status::kRejected);
+  EXPECT_EQ(
+      counter(h.fed->stats(), "federation.cross.aborted_commit"),
+      1.0);
+  EXPECT_TRUE(h.fed->cross_apps().empty());
+  EXPECT_TRUE(h.fed->failed_elements().contains(ElementKey::ncp(3)));
+  EXPECT_NEAR(h.fed->plan_residual().ncp(3)[0], 0.0, 1e-9);  // dead
+  expect_conserved(*h.fed);
+
+  // Recover + repair, then the same app admits cleanly.
+  *h.hook = nullptr;
+  h.fed->mark_recovered(ElementKey::ncp(3));
+  h.fed->repair(ElementKey::ncp(3));
+  EXPECT_EQ(client
+                .submit(make_app("cx", QoeSpec::guaranteed_rate(0.5, 0.0), 0,
+                                 3, 4.0, 1.0))
+                .status,
+            ServiceResult::Status::kAdmitted);
+  expect_conserved(*h.fed);
+}
+
+TEST(Federation, BoundaryLinkChurnIsFederationOwned) {
+  FederationOptions opt;
+  opt.shards = 2;
+  FederatedService fed(make_two_region_net(), opt);
+  service::LocalClient client(fed);
+
+  fed.mark_failed(ElementKey::link(1));  // "ab", owned by no shard
+  EXPECT_TRUE(fed.failed_elements().contains(ElementKey::link(1)));
+  EXPECT_NEAR(fed.plan_residual().link(1), 0.0, 1e-9);
+  // No shard scheduler saw the failure (the link is in neither shard).
+  for (std::size_t s = 0; s < 2; ++s) {
+    bool clean = false;
+    fed.shard(s).inspect([&](const Scheduler& sc) {
+      clean = sc.failed_elements().empty();
+    });
+    EXPECT_TRUE(clean) << "shard " << s;
+  }
+
+  // Every cross-shard route needs "ab": admission must refuse.
+  const ServiceResult down = client.submit(
+      make_app("cx", QoeSpec::guaranteed_rate(0.5, 0.0), 0, 3, 4.0, 1.0));
+  EXPECT_EQ(down.status, ServiceResult::Status::kRejected);
+  expect_conserved(fed);
+
+  fed.mark_recovered(ElementKey::link(1));
+  fed.repair(ElementKey::link(1));  // no-op for boundary links
+  EXPECT_EQ(client
+                .submit(make_app("cx", QoeSpec::guaranteed_rate(0.5, 0.0), 0,
+                                 3, 4.0, 1.0))
+                .status,
+            ServiceResult::Status::kAdmitted);
+  expect_conserved(fed);
+}
+
+// ---------------------------------------------------------------------------
+// Facade: snapshot, stats, exposition, wire protocol
+
+TEST(Federation, SnapshotAndStatsAggregateAcrossShards) {
+  FederationOptions opt;
+  opt.shards = 2;
+  FederatedService fed(make_two_region_net(), opt);
+  service::LocalClient client(fed);
+
+  ASSERT_EQ(client.submit(make_app("loc", QoeSpec::best_effort(1.0), 0, 1))
+                .status,
+            ServiceResult::Status::kAdmitted);
+  ASSERT_EQ(client
+                .submit(make_app("cx", QoeSpec::guaranteed_rate(0.5, 0.0), 0,
+                                 3, 4.0, 1.0))
+                .status,
+            ServiceResult::Status::kAdmitted);
+  fed.drain();
+
+  const auto snap = fed.snapshot();
+  EXPECT_EQ(snap->apps.size(), 2u);
+  EXPECT_NE(snap->find("loc"), nullptr);
+  EXPECT_NE(snap->find("cx"), nullptr);
+  EXPECT_NEAR(snap->total_gr_rate, 0.5, 1e-9);
+  EXPECT_GT(snap->version, 0u);
+
+  const service::ServiceStats stats = fed.stats();
+  EXPECT_EQ(stats.submits, 2u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 0u);
+
+  const std::string prom = fed.prometheus_text();
+  EXPECT_NE(prom.find("federation"), std::string::npos);
+
+  const auto health = fed.health_fields();
+  EXPECT_FALSE(health.empty());
+}
+
+TEST(Federation, EventServerSpeaksTheUnmodifiedWireProtocol) {
+  FederationOptions opt;
+  opt.shards = 2;
+  FederatedService fed(make_two_region_net(), opt);
+  service::EventServer server(fed);  // port 0: ephemeral
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  for (const service::Codec codec :
+       {service::Codec::kJson, service::Codec::kBinary}) {
+    service::TcpClient client("127.0.0.1", server.port(), codec);
+    // A cross-shard app over the stock wire protocol, both codecs.
+    const std::string name =
+        codec == service::Codec::kJson ? "wire_json" : "wire_bin";
+    const std::string block = workload::write_app_text(
+        make_app(name, QoeSpec::guaranteed_rate(0.25, 0.0), 0, 3, 4.0, 1.0),
+        fed.network());
+    EXPECT_EQ(client.submit_app_text(block).at("status"), "admitted")
+        << block;
+    EXPECT_EQ(client.query(name).at("status"), "ok");
+    EXPECT_EQ(client.remove(name).at("status"), "removed");
+  }
+
+  server.stop();
+  expect_conserved(fed);
+}
+
+TEST(Federation, SingleShardDegeneratesToOneScheduler) {
+  FederationOptions opt;
+  opt.shards = 1;
+  FederatedService fed(make_two_region_net(), opt);
+  service::LocalClient client(fed);
+
+  // With one shard everything is shard-local, boundary set empty.
+  EXPECT_TRUE(fed.plan().boundary_links.empty());
+  EXPECT_EQ(client
+                .submit(make_app("app", QoeSpec::guaranteed_rate(0.5, 0.0), 0,
+                                 3, 4.0, 1.0))
+                .status,
+            ServiceResult::Status::kAdmitted);
+  EXPECT_TRUE(fed.cross_apps().empty());
+  expect_conserved(fed);
+}
+
+}  // namespace
+}  // namespace sparcle

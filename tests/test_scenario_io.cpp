@@ -333,5 +333,39 @@ TEST(DotExport, PlacementShowsHostedCts) {
   EXPECT_NE(dot.find("lightblue"), std::string::npos);
 }
 
+TEST(ScenarioIo, RegionLabelsRoundTripThroughWriter) {
+  ScenarioFile sf;
+  sf.net = Network(ResourceSchema::cpu_only());
+  sf.net.add_ncp("a0", ResourceVector::scalar(4.0), 0.0, "r0");
+  sf.net.add_ncp("a1", ResourceVector::scalar(8.0), 0.05, "r0");
+  sf.net.add_ncp("b0", ResourceVector::scalar(2.0), 0.0, "r1");
+  sf.net.add_ncp("u", ResourceVector::scalar(1.0));  // unlabeled survives
+  sf.net.add_link("ab", 0, 2, 100.0);
+
+  const std::string text = write_scenario(sf);
+  EXPECT_NE(text.find("region=r0"), std::string::npos) << text;
+  const ScenarioFile again = parse_scenario_text(text);
+  ASSERT_EQ(again.net.ncp_count(), 4u);
+  EXPECT_EQ(again.net.ncp(0).region, "r0");
+  EXPECT_EQ(again.net.ncp(1).region, "r0");
+  EXPECT_DOUBLE_EQ(again.net.ncp(1).fail_prob, 0.05);  // fail= kept too
+  EXPECT_EQ(again.net.ncp(2).region, "r1");
+  EXPECT_EQ(again.net.ncp(3).region, "");
+}
+
+TEST(ScenarioIo, RegionTokenParsesInEitherOrderWithFail) {
+  const ScenarioFile sf = parse_scenario_text(R"(
+resources cpu
+ncp x 10 region=west fail=0.1
+ncp y 10 fail=0.2 region=east
+link xy x y 100
+)");
+  EXPECT_EQ(sf.net.ncp(0).region, "west");
+  EXPECT_DOUBLE_EQ(sf.net.ncp(0).fail_prob, 0.1);
+  EXPECT_EQ(sf.net.ncp(1).region, "east");
+  EXPECT_DOUBLE_EQ(sf.net.ncp(1).fail_prob, 0.2);
+}
+
 }  // namespace
 }  // namespace sparcle
+

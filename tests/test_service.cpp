@@ -12,6 +12,7 @@
 
 #include "core/parallel.hpp"
 #include "obs/obs.hpp"
+#include "policy/policy.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/slo.hpp"
 #include "service/client.hpp"
@@ -710,6 +711,84 @@ TEST(SchedulerService, ConcurrentMixedTrafficStaysConsistent) {
 
 // ---------------------------------------------------------------------------
 // WorkerPool::resolve_threads (satellite: SPARCLE_THREADS knob)
+
+// ---------------------------------------------------------------------------
+// Admission-ordering policy (SchedulingPolicy::pick_next, decision point 1)
+
+/// Stages a mixed GR/BE workload in one paused batch under `policy` and
+/// returns (status, rate) per submit plus the final admission-order
+/// snapshot — the comparable trace of the service's ordering decisions.
+std::pair<std::vector<std::pair<ServiceResult::Status, double>>,
+          std::vector<std::pair<std::string, double>>>
+run_policy_trace(std::shared_ptr<const policy::SchedulingPolicy> policy) {
+  SchedulerOptions sched;
+  sched.policy = std::move(policy);
+  ServiceOptions options;
+  options.max_batch = 16;
+  options.start_paused = true;
+  SchedulerService svc(make_star_net(4, 10.0, 1.0), sched, options);
+
+  // GR demand sums past the hub capacity (4 + 3 + 2 + 3 > 10), so WHICH
+  // app rejects depends entirely on the admission order; the BE pair's PF
+  // split rides on what admitted before them.
+  const double mids[] = {4.0, 3.0, 2.0, 3.0};
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(svc.submit(
+        make_star_app("gr" + std::to_string(i),
+                      QoeSpec::guaranteed_rate(1.0, 0.0), 1, 2, mids[i])));
+  for (int i = 0; i < 2; ++i)
+    futures.push_back(svc.submit(make_star_app(
+        "be" + std::to_string(i), QoeSpec::best_effort(1.0 + i), 3, 4, 1.0)));
+  svc.resume();
+
+  std::vector<std::pair<ServiceResult::Status, double>> results;
+  for (auto& f : futures) {
+    const ServiceResult r = f.get();
+    results.emplace_back(r.status, r.rate);
+  }
+  std::vector<std::pair<std::string, double>> placed;
+  for (const auto& view : svc.snapshot()->apps)
+    placed.emplace_back(view.name, view.allocated_rate);
+  svc.stop();
+  return {std::move(results), std::move(placed)};
+}
+
+TEST(ServicePolicy, DefaultPolicyIsBitIdenticalToNoPolicy) {
+  // DefaultPolicy must reproduce the FIFO fast path bit for bit: same
+  // statuses, same rates (exact ==, no tolerance), same admission order.
+  const auto fifo = run_policy_trace(nullptr);
+  const auto dflt = run_policy_trace(std::make_shared<policy::DefaultPolicy>());
+  EXPECT_EQ(fifo.first, dflt.first);
+  EXPECT_EQ(fifo.second, dflt.second);
+}
+
+TEST(ServicePolicy, ShortestJobFirstReordersAStagedBatch) {
+  SchedulerOptions sched;
+  sched.policy = std::make_shared<policy::ShortestJobFirstPolicy>();
+  ServiceOptions options;
+  options.max_batch = 16;
+  options.start_paused = true;
+  SchedulerService svc(make_star_net(4, 10.0, 1.0), sched, options);
+
+  // Arrival order big, s1, s2 — SJF must admit the small ones first.
+  std::vector<std::future<ServiceResult>> futures;
+  futures.push_back(svc.submit(
+      make_star_app("big", QoeSpec::guaranteed_rate(1.0, 0.0), 1, 2, 8.0)));
+  futures.push_back(svc.submit(
+      make_star_app("s1", QoeSpec::guaranteed_rate(1.0, 0.0), 2, 3, 1.0)));
+  futures.push_back(svc.submit(
+      make_star_app("s2", QoeSpec::guaranteed_rate(1.0, 0.0), 3, 4, 1.0)));
+  svc.resume();
+  for (auto& f : futures)
+    EXPECT_EQ(f.get().status, ServiceResult::Status::kAdmitted);
+
+  const auto snap = svc.snapshot();
+  ASSERT_EQ(snap->apps.size(), 3u);
+  EXPECT_EQ(snap->apps[0].name, "s1");
+  EXPECT_EQ(snap->apps[1].name, "s2");
+  EXPECT_EQ(snap->apps[2].name, "big");
+}
 
 TEST(WorkerPool, ResolveThreadsHonorsExplicitRequestFirst) {
   ::setenv("SPARCLE_THREADS", "3", 1);

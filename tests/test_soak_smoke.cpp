@@ -46,5 +46,40 @@ TEST(SoakSmoke, EveryScenarioPolicyCellClean) {
   }
 }
 
+// The same cell against a federated site (docs/federation.md): the
+// soak's event loop drives a FederatedService, so shard-local arrivals
+// exercise the per-shard pipelines and the locality tail exercises the
+// two-phase reserve/commit path; every invariant epoch runs the
+// federation conservation check.  The digest check pins determinism —
+// routing through shards must not depend on thread interleaving.
+TEST(SoakSmoke, FederatedCellCleanAndDeterministic) {
+  const std::size_t arrivals =
+      testutil::env_size("SPARCLE_SMOKE_ARRIVALS", 120);
+  const std::uint64_t seed = testutil::test_seed() + 0xfed5;
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    SCOPED_TRACE("steady x default, shards=" + std::to_string(shards) +
+                 testutil::seed_message(seed));
+    soak::SoakOptions options =
+        soak::cell_options("steady", "default", arrivals, seed);
+    options.invariant_epochs = 2;
+    options.federated_shards = shards;
+    const soak::SoakResult result = soak::run_soak(options);
+
+    for (const std::string& violation : result.violations)
+      ADD_FAILURE() << violation;
+    EXPECT_EQ(result.admitted + result.rejected + result.reneged +
+                  result.queue_full,
+              result.arrivals);
+    EXPECT_GT(result.admitted, 0u);
+    EXPECT_GE(result.epochs.size(), 2u);
+
+    if (shards == 2) {
+      const soak::SoakResult again = soak::run_soak(options);
+      EXPECT_EQ(result.decision_digest, again.decision_digest);
+      EXPECT_EQ(result.admitted, again.admitted);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sparcle

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "workload/arrivals.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/stats.hpp"
 
@@ -120,5 +121,61 @@ TEST(Rng, IsDeterministic) {
   EXPECT_EQ(a.uniform_int(0, 100), b.uniform_int(0, 100));
 }
 
+TEST(SoakSite, StampsRegionLabelsOnEveryNcp) {
+  Rng rng(11);
+  const Network net = soak_site(3, 6, rng);
+  std::set<std::string> labels;
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j) {
+    EXPECT_FALSE(net.ncp(j).region.empty()) << net.ncp(j).name;
+    labels.insert(net.ncp(j).region);
+  }
+  // One label per star cluster, "r0".."r2".
+  EXPECT_EQ(labels, (std::set<std::string>{"r0", "r1", "r2"}));
+}
+
+TEST(Arrivals, LocalityPinsEndpointsInsideOneRegion) {
+  Rng rng(5);
+  const Network net = soak_site(4, 8, rng);
+  std::vector<std::string> region_of(net.ncp_count());
+  for (NcpId j = 0; j < static_cast<NcpId>(net.ncp_count()); ++j)
+    region_of[j] = net.ncp(j).region;
+
+  ArrivalSpec spec;
+  spec.arrivals = 200;
+  spec.horizon = 2000.0;
+  spec.locality = 1.0;  // every endpoint pinned inside the home region
+  ArrivalGenerator gen(net, spec, 99);
+
+  Arrival a;
+  std::size_t seen = 0;
+  while (gen.next(a)) {
+    ++seen;
+    ASSERT_FALSE(a.app.pinned.empty());
+    const std::string home = region_of[a.app.pinned.begin()->second];
+    for (const auto& [ct, ncp] : a.app.pinned)
+      EXPECT_EQ(region_of[ncp], home) << a.app.name;
+  }
+  EXPECT_EQ(seen, 200u);
+}
+
+TEST(Arrivals, LocalityStreamsAreSeedDeterministic) {
+  Rng rng(5);
+  const Network net = soak_site(2, 6, rng);
+  ArrivalSpec spec;
+  spec.arrivals = 50;
+  spec.horizon = 500.0;
+  spec.locality = 0.9;
+  ArrivalGenerator g1(net, spec, 7), g2(net, spec, 7);
+  Arrival a, b;
+  while (g1.next(a)) {
+    ASSERT_TRUE(g2.next(b));
+    EXPECT_DOUBLE_EQ(a.time, b.time);
+    EXPECT_EQ(a.app.name, b.app.name);
+    EXPECT_EQ(a.app.pinned, b.app.pinned);
+  }
+  EXPECT_FALSE(g2.next(b));
+}
+
 }  // namespace
 }  // namespace sparcle
+

@@ -33,8 +33,11 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: sparcle_soak [--policy NAME] [--scenario NAME] [--arrivals N]\n"
-      "                    [--seed N] [--json PATH] [--csv PATH] [--list]\n"
+      "                    [--seed N] [--shards N] [--json PATH]\n"
+      "                    [--csv PATH] [--list]\n"
       "  default: every policy x every scenario;\n"
+      "  --shards N runs every cell against an N-shard federated site\n"
+      "  (federation conservation check at every invariant epoch);\n"
       "  env: SPARCLE_SOAK_ARRIVALS, SPARCLE_TEST_SEED,\n"
       "       SPARCLE_SOAK_MAX_RSS_DRIFT, SPARCLE_SOAK_MAX_RATE_DRIFT\n");
 }
@@ -86,6 +89,8 @@ int main(int argc, char** argv) {
       options.arrivals_per_cell = std::strtoull(value(), nullptr, 0);
     } else if (arg == "--seed") {
       options.seed = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--shards") {
+      options.federated_shards = std::strtoull(value(), nullptr, 0);
     } else if (arg == "--json") {
       json_path = value();
     } else if (arg == "--csv") {
@@ -114,6 +119,10 @@ int main(int argc, char** argv) {
               "(override with SPARCLE_TEST_SEED)\n",
               options.arrivals_per_cell,
               static_cast<unsigned long long>(options.seed));
+  if (options.federated_shards > 0)
+    std::printf("sparcle_soak: federated site, %zu shards "
+                "(conservation check per invariant epoch)\n",
+                options.federated_shards);
 
   const soak::TournamentReport report = soak::run_tournament(options);
   std::printf("%s", soak::tournament_csv(report).c_str());
